@@ -1,0 +1,53 @@
+//! Criterion microbench: the per-join sampling subroutine (§3.2) —
+//! Exact-Weight vs Extended-Olken vs wander-join walks on a UQ1 chain.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use suj_bench::{build_workload, UqOptions};
+use suj_join::weights::build_sampler;
+use suj_join::{WanderJoin, WeightKind};
+use suj_stats::SujRng;
+
+fn bench_join_sampling(c: &mut Criterion) {
+    let opts = UqOptions::new(4, 42, 0.2);
+    let w = build_workload("uq1", &opts).expect("workload");
+    let spec = w.join(0).clone();
+
+    let ew = build_sampler(spec.clone(), WeightKind::Exact).expect("ew");
+    let eo = build_sampler(spec.clone(), WeightKind::ExtendedOlken).expect("eo");
+    let wander = WanderJoin::new(spec.clone()).expect("wander");
+
+    let mut group = c.benchmark_group("join_sampling");
+    group.sample_size(30);
+
+    group.bench_function("exact_weight_sample", |b| {
+        let mut rng = SujRng::seed_from_u64(1);
+        b.iter(|| black_box(ew.sample(&mut rng)))
+    });
+    group.bench_function("extended_olken_sample", |b| {
+        let mut rng = SujRng::seed_from_u64(2);
+        b.iter(|| black_box(eo.sample(&mut rng)))
+    });
+    group.bench_function("wander_walk", |b| {
+        let mut rng = SujRng::seed_from_u64(3);
+        b.iter(|| black_box(wander.walk(&mut rng)))
+    });
+    group.bench_function("exact_weight_setup", |b| {
+        b.iter(|| {
+            black_box(build_sampler(spec.clone(), WeightKind::Exact).expect("ew"));
+        })
+    });
+    group.bench_function("extended_olken_setup", |b| {
+        b.iter(|| {
+            black_box(build_sampler(spec.clone(), WeightKind::ExtendedOlken).expect("eo"));
+        })
+    });
+    group.finish();
+
+    // Keep one Arc alive to avoid dropping costs inside the loop above.
+    let _hold: Arc<suj_join::JoinSpec> = spec;
+}
+
+criterion_group!(benches, bench_join_sampling);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion microbench: Algorithm 2 online sampling (Fig. 6 kernel) —
+//! sample reuse on vs off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use suj_bench::{build_workload, UqOptions};
+use suj_core::algorithm2::{OnlineConfig, OnlineUnionSampler};
+use suj_core::cover::CoverStrategy;
+use suj_core::walk_estimator::WalkEstimatorConfig;
+use suj_stats::SujRng;
+
+fn bench_online(c: &mut Criterion) {
+    let opts = UqOptions::new(2, 42, 0.2);
+    let w = Arc::new(build_workload("uq1", &opts).expect("workload"));
+
+    let mut group = c.benchmark_group("online_reuse");
+    group.sample_size(10);
+
+    for (label, reuse) in [("with_reuse", true), ("without_reuse", false)] {
+        let cfg = OnlineConfig {
+            reuse,
+            warmup: WalkEstimatorConfig {
+                max_walks_per_join: 500,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let sampler = OnlineUnionSampler::new(w.clone(), cfg, CoverStrategy::AsGiven);
+        group.bench_function(format!("{label}/N=200"), |b| {
+            let mut rng = SujRng::seed_from_u64(9);
+            b.iter(|| black_box(sampler.sample(200, &mut rng).expect("run").0.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_online);
+criterion_main!(benches);

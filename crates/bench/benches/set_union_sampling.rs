@@ -1,0 +1,43 @@
+//! Criterion microbench: Algorithm 1 set-union sampling (Fig. 5
+//! kernel) — EW vs EO weight instantiations across the three workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use suj_bench::{build_workload, UqOptions};
+use suj_core::algorithm1::UnionSamplerConfig;
+use suj_core::prelude::*;
+use suj_join::WeightKind;
+use suj_stats::SujRng;
+
+fn bench_set_union(c: &mut Criterion) {
+    let opts = UqOptions::new(2, 42, 0.2);
+    let mut group = c.benchmark_group("set_union_sampling");
+    group.sample_size(10);
+
+    for name in ["uq1", "uq2", "uq3"] {
+        let w = Arc::new(build_workload(name, &opts).expect("workload"));
+        let exact = full_join_union(&w).expect("ground truth");
+        for (label, weights) in [("EW", WeightKind::Exact), ("EO", WeightKind::ExtendedOlken)] {
+            let sampler = SetUnionSampler::new(
+                w.clone(),
+                &exact.overlap,
+                UnionSamplerConfig {
+                    weights,
+                    policy: CoverPolicy::Record,
+                    strategy: CoverStrategy::AsGiven,
+                    ..Default::default()
+                },
+            )
+            .expect("sampler");
+            group.bench_function(format!("{name}/{label}/N=200"), |b| {
+                let mut rng = SujRng::seed_from_u64(5);
+                b.iter(|| black_box(sampler.sample(200, &mut rng).expect("run").0.len()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_set_union);
+criterion_main!(benches);

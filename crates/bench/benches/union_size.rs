@@ -1,0 +1,43 @@
+//! Criterion microbench: union-size estimation (Fig. 4 kernel) —
+//! histogram-based (Theorem 4) and random-walk (§6) estimators vs the
+//! FullJoinUnion baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use suj_bench::{build_workload, UqOptions};
+use suj_core::prelude::*;
+use suj_core::walk_estimator::{walk_warmup, WalkEstimatorConfig};
+use suj_stats::SujRng;
+
+fn bench_union_size(c: &mut Criterion) {
+    let opts = UqOptions::new(2, 42, 0.2);
+    let uq1 = build_workload("uq1", &opts).expect("uq1");
+    let uq3 = build_workload("uq3", &opts).expect("uq3");
+
+    let mut group = c.benchmark_group("union_size");
+    group.sample_size(10);
+
+    for (name, w) in [("uq1", &uq1), ("uq3", &uq3)] {
+        group.bench_function(format!("{name}/histogram"), |b| {
+            b.iter(|| {
+                let est = HistogramEstimator::with_olken(w, DegreeMode::Max).expect("est");
+                black_box(est.overlap_map().expect("map").union_size())
+            })
+        });
+        group.bench_function(format!("{name}/random_walk"), |b| {
+            let mut rng = SujRng::seed_from_u64(7);
+            b.iter(|| {
+                let est =
+                    walk_warmup(w, &WalkEstimatorConfig::default(), &mut rng).expect("est");
+                black_box(est.overlap_map().expect("map").union_size())
+            })
+        });
+        group.bench_function(format!("{name}/full_join_union"), |b| {
+            b.iter(|| black_box(full_join_union(w).expect("exact").union_size()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_union_size);
+criterion_main!(benches);

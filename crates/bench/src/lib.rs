@@ -1,0 +1,268 @@
+//! Benchmark harness shared by the figure binaries and Criterion
+//! benches.
+//!
+//! Every panel of the paper's evaluation (Figures 4, 5, 6 — §9) has a
+//! regenerating binary in `src/bin/`; this library holds the common
+//! machinery: aligned table printing, timing, the three estimator
+//! configurations the paper compares (histogram+EO, histogram+EW,
+//! random-walk), and ratio-error metrics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use suj_core::prelude::*;
+use suj_core::walk_estimator::walk_warmup;
+use suj_join::WeightKind;
+use suj_stats::SujRng;
+pub use suj_tpch::prelude::*;
+
+/// An aligned text table, one per figure panel.
+#[derive(Debug, Clone)]
+pub struct FigureTable {
+    /// Panel title (e.g. "Fig 4a — ratio error, UQ1").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (stringified).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl FigureTable {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+}
+
+impl fmt::Display for FigureTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "\n=== {} ===", self.title)?;
+        for (i, h) in self.headers.iter().enumerate() {
+            write!(f, "{:>w$}  ", h, w = widths[i])?;
+        }
+        writeln!(f)?;
+        for (i, _) in self.headers.iter().enumerate() {
+            write!(f, "{}  ", "-".repeat(widths[i]))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                write!(f, "{:>w$}  ", c, w = widths[i])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Times a closure, returning its output and wall time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Formats a duration in milliseconds with three decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// The estimator configurations §9 compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimatorKind {
+    /// Histogram-based overlaps with extended-Olken join size hints.
+    HistogramEo,
+    /// Histogram-based overlaps with exact (EW) join size hints.
+    HistogramEw,
+    /// Random-walk warm-up estimation.
+    RandomWalk,
+}
+
+impl EstimatorKind {
+    /// Short label used in figure tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EstimatorKind::HistogramEo => "hist+EO",
+            EstimatorKind::HistogramEw => "hist+EW",
+            EstimatorKind::RandomWalk => "rand-walk",
+        }
+    }
+}
+
+/// Produces an overlap map with the given estimator, returning the
+/// warm-up time alongside.
+pub fn estimate_overlaps(
+    kind: EstimatorKind,
+    workload: &UnionWorkload,
+    rng: &mut SujRng,
+) -> Result<(OverlapMap, Duration), CoreError> {
+    let start = Instant::now();
+    let map = match kind {
+        EstimatorKind::HistogramEo => {
+            HistogramEstimator::with_olken(workload, DegreeMode::Max)?.overlap_map()?
+        }
+        EstimatorKind::HistogramEw => {
+            let sizes = workload.exact_join_sizes()?;
+            HistogramEstimator::new(workload, DegreeMode::Max, sizes, 0.0)?.overlap_map()?
+        }
+        EstimatorKind::RandomWalk => {
+            let est = walk_warmup(workload, &WalkEstimatorConfig::default(), rng)?;
+            est.overlap_map()?
+        }
+    };
+    Ok((map, start.elapsed()))
+}
+
+/// The weight kind a configuration uses in the join subroutine.
+pub fn weight_kind_for(kind: EstimatorKind) -> WeightKind {
+    match kind {
+        EstimatorKind::HistogramEo => WeightKind::ExtendedOlken,
+        EstimatorKind::HistogramEw | EstimatorKind::RandomWalk => WeightKind::Exact,
+    }
+}
+
+/// Per-join absolute errors of the estimated ratio `|J_i| / |U|`
+/// against ground truth (the §9.1 metric).
+pub fn ratio_errors(estimated: &OverlapMap, exact: &ExactUnion) -> Vec<f64> {
+    let n = estimated.n();
+    let est_union = estimated.union_size().max(f64::MIN_POSITIVE);
+    let true_union = exact.union_size() as f64;
+    (0..n)
+        .map(|j| {
+            let est_ratio = estimated.join_size(j) / est_union;
+            let true_ratio = exact.join_size(j) as f64 / true_union;
+            (est_ratio - true_ratio).abs() / true_ratio
+        })
+        .collect()
+}
+
+/// Mean of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Builds a workload by name ("uq1" | "uq2" | "uq3" | "uq4" — the
+/// cyclic extension).
+pub fn build_workload(name: &str, opts: &UqOptions) -> Result<UnionWorkload, CoreError> {
+    match name {
+        "uq1" => uq1(opts),
+        "uq2" => uq2(opts),
+        "uq3" => uq3(opts),
+        "uq4" => uq4_cyclic(opts),
+        other => Err(CoreError::Invalid(format!("unknown workload `{other}`"))),
+    }
+}
+
+/// Runs Algorithm 1 end-to-end with the given estimator configuration;
+/// returns the run report and the warm-up (estimation) time.
+pub fn run_set_union(
+    workload: &Arc<UnionWorkload>,
+    kind: EstimatorKind,
+    n_samples: usize,
+    seed: u64,
+) -> Result<(RunReport, Duration), CoreError> {
+    let mut rng = SujRng::seed_from_u64(seed);
+    let (map, warmup) = estimate_overlaps(kind, workload, &mut rng)?;
+    let sampler = SetUnionSampler::new(
+        workload.clone(),
+        &map,
+        suj_core::algorithm1::UnionSamplerConfig {
+            weights: weight_kind_for(kind),
+            policy: CoverPolicy::Record,
+            strategy: CoverStrategy::AsGiven,
+            ..Default::default()
+        },
+    )?;
+    let (_, mut report) = sampler.sample(n_samples, &mut rng)?;
+    report.warmup_time = warmup;
+    Ok((report, warmup))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_table_formats_aligned() {
+        let mut t = FigureTable::new("demo", &["x", "time_ms"]);
+        t.push_row(vec!["1".into(), "0.5".into()]);
+        t.push_row(vec!["100".into(), "12.25".into()]);
+        let s = t.to_string();
+        assert!(s.contains("demo"));
+        assert!(s.contains("time_ms"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn figure_table_rejects_ragged_rows() {
+        let mut t = FigureTable::new("demo", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn ratio_errors_zero_for_exact_map() {
+        let opts = UqOptions::new(1, 3, 0.3);
+        let w = uq3(&opts).unwrap();
+        let exact = full_join_union(&w).unwrap();
+        let errs = ratio_errors(&exact.overlap, &exact);
+        for e in errs {
+            assert!(e < 1e-9, "exact map must have zero ratio error, got {e}");
+        }
+    }
+
+    #[test]
+    fn estimators_produce_positive_unions() {
+        let opts = UqOptions::new(1, 3, 0.3);
+        let w = uq3(&opts).unwrap();
+        let mut rng = SujRng::seed_from_u64(1);
+        for kind in [
+            EstimatorKind::HistogramEo,
+            EstimatorKind::HistogramEw,
+            EstimatorKind::RandomWalk,
+        ] {
+            let (map, _) = estimate_overlaps(kind, &w, &mut rng).unwrap();
+            assert!(map.union_size() > 0.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn run_set_union_produces_report() {
+        let opts = UqOptions::new(1, 3, 0.3);
+        let w = Arc::new(uq3(&opts).unwrap());
+        let (report, warmup) =
+            run_set_union(&w, EstimatorKind::HistogramEw, 50, 9).unwrap();
+        assert!(report.accepted >= 50);
+        assert!(warmup > Duration::ZERO);
+    }
+
+    #[test]
+    fn workload_lookup() {
+        let opts = UqOptions::new(1, 3, 0.3);
+        assert!(build_workload("uq1", &opts).is_ok());
+        assert!(build_workload("nope", &opts).is_err());
+    }
+}

@@ -1,0 +1,510 @@
+//! Algorithm 1: non-Bernoulli union sampling with rejection and
+//! revision (§3.1).
+//!
+//! Join selection draws `J_j` with probability `|J'_j| / |U|` over a
+//! cover. A tuple sampled from `J_j` is kept only if `J_j` owns it:
+//!
+//! * [`CoverPolicy::Record`] — the paper's Algorithm 1: ownership is
+//!   tracked in the `orig_join` record of *seen* tuples. Sampling a
+//!   tuple from an earlier-cover join than its recorded owner triggers
+//!   a **revision**: ownership moves to the earlier join and every copy
+//!   of the tuple is purged from the result (lines 10–12).
+//! * [`CoverPolicy::MembershipOracle`] — enforces the cover exactly via
+//!   hash-index membership checks (`t` is rejected iff some
+//!   earlier-cover join contains it). No revisions are ever needed; this
+//!   is the ablation variant available in the centralized setting.
+//!
+//! Expected cost is `N + N log N` total join-sampling calls (Theorem 2).
+
+use crate::cover::{Cover, CoverStrategy};
+use crate::error::CoreError;
+use crate::overlap::OverlapMap;
+use crate::report::RunReport;
+use crate::workload::UnionWorkload;
+use std::sync::Arc;
+use std::time::Instant;
+use suj_join::weights::build_sampler;
+use suj_join::{JoinSampler, WeightKind};
+use suj_stats::SujRng;
+use suj_storage::{FxHashMap, Tuple};
+
+/// How cover ownership is decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoverPolicy {
+    /// Paper Algorithm 1: record of seen tuples + revision.
+    Record,
+    /// Exact membership checks against earlier-cover joins (no
+    /// revisions).
+    MembershipOracle,
+}
+
+/// Configuration of the set-union sampler.
+#[derive(Debug, Clone, Copy)]
+pub struct UnionSamplerConfig {
+    /// Weight instantiation for the per-join subroutine (§3.2).
+    pub weights: WeightKind,
+    /// Cover ownership policy.
+    pub policy: CoverPolicy,
+    /// Cover ordering strategy.
+    pub strategy: CoverStrategy,
+    /// Attempt budget inside the join-sampling subroutine per draw
+    /// (guards pathological estimates).
+    pub max_join_tries: u64,
+    /// Cover-rejection retries within one join selection. Theorem 1
+    /// requires the tuple accepted after selecting `J_j` to be uniform
+    /// over the cover region `J'_j`, so cover-rejected tuples are
+    /// redrawn from the *same* join; this caps that loop when a cover
+    /// region is (near-)empty but its estimated size is positive.
+    pub max_cover_retries: u64,
+}
+
+impl Default for UnionSamplerConfig {
+    fn default() -> Self {
+        Self {
+            weights: WeightKind::Exact,
+            policy: CoverPolicy::Record,
+            strategy: CoverStrategy::AsGiven,
+            max_join_tries: 1_000_000,
+            max_cover_retries: 100_000,
+        }
+    }
+}
+
+/// The set-union sampler (Algorithm 1).
+pub struct SetUnionSampler {
+    workload: Arc<UnionWorkload>,
+    cover: Cover,
+    samplers: Vec<Box<dyn JoinSampler>>,
+    config: UnionSamplerConfig,
+}
+
+impl SetUnionSampler {
+    /// Builds the sampler from an overlap map (exact or estimated).
+    pub fn new(
+        workload: Arc<UnionWorkload>,
+        overlap: &OverlapMap,
+        config: UnionSamplerConfig,
+    ) -> Result<Self, CoreError> {
+        if overlap.n() != workload.n_joins() {
+            return Err(CoreError::Invalid(format!(
+                "overlap map covers {} joins, workload has {}",
+                overlap.n(),
+                workload.n_joins()
+            )));
+        }
+        let cover = Cover::build(overlap, config.strategy);
+        let samplers = workload
+            .joins()
+            .iter()
+            .map(|j| build_sampler(j.clone(), config.weights))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(CoreError::Join)?;
+        Ok(Self {
+            workload,
+            cover,
+            samplers,
+            config,
+        })
+    }
+
+    /// The cover in use.
+    pub fn cover(&self) -> &Cover {
+        &self.cover
+    }
+
+    /// Draws `n` uniform samples (with replacement) from the set union.
+    pub fn sample(&self, n: usize, rng: &mut SujRng) -> Result<(Vec<Tuple>, RunReport), CoreError> {
+        let n_joins = self.workload.n_joins();
+        let mut report = RunReport::new(n_joins);
+        let Some(selection) = self.cover.selection() else {
+            return if n == 0 {
+                Ok((Vec::new(), report))
+            } else {
+                Err(CoreError::Invalid(
+                    "cannot sample a nonempty set from an empty union".into(),
+                ))
+            };
+        };
+
+        // Result with tombstones (revision removes all copies of a value).
+        let mut result: Vec<Tuple> = Vec::with_capacity(n);
+        let mut removed: Vec<bool> = Vec::with_capacity(n);
+        let mut positions: FxHashMap<Tuple, Vec<usize>> = FxHashMap::default();
+        let mut live = 0usize;
+        // orig_join record (paper line 4).
+        let mut orig: FxHashMap<Tuple, usize> = FxHashMap::default();
+        // Joins discovered to be unsampleable (estimate said nonempty,
+        // data says empty).
+        let mut dead = vec![false; n_joins];
+
+        while live < n {
+            let j = selection.draw(rng);
+            if dead[j] {
+                if dead.iter().all(|&d| d) {
+                    return Err(CoreError::Invalid(
+                        "all joins are empty but the union estimate is positive".into(),
+                    ));
+                }
+                continue;
+            }
+            report.join_draws[j] += 1;
+
+            // Theorem 1 semantics: the tuple emitted for this selection
+            // must be uniform over the cover region J'_j, so cover
+            // rejections redraw from the SAME join.
+            let mut retries = 0u64;
+            'selection: while retries < self.config.max_cover_retries {
+                retries += 1;
+                let start = Instant::now();
+                let (t_local, tries) =
+                    self.samplers[j].sample_until_accepted(rng, self.config.max_join_tries);
+                report.rejected_join += tries.saturating_sub(1);
+                let Some(t_local) = t_local else {
+                    report.rejected_time += start.elapsed();
+                    dead[j] = true;
+                    break 'selection;
+                };
+                let t = self.workload.to_canonical(j, &t_local);
+
+                let accept = match self.config.policy {
+                    CoverPolicy::MembershipOracle => {
+                        // Reject iff an earlier-cover join contains t.
+                        !(0..n_joins).any(|i| {
+                            i != j
+                                && self.cover.precedes(i, j)
+                                && self.workload.contains(i, &t)
+                        })
+                    }
+                    CoverPolicy::Record => match orig.get(&t).copied() {
+                        Some(i) if i == j => true,
+                        Some(i) if self.cover.precedes(i, j) => false, // line 8
+                        Some(i) => {
+                            // Revision (lines 10–12): j precedes i. Move
+                            // ownership to j and purge every copy of t.
+                            debug_assert!(self.cover.precedes(j, i));
+                            orig.insert(t.clone(), j);
+                            if let Some(ps) = positions.get_mut(&t) {
+                                for &p in ps.iter() {
+                                    if !removed[p] {
+                                        removed[p] = true;
+                                        live -= 1;
+                                        report.revision_removed += 1;
+                                    }
+                                }
+                                ps.clear();
+                            }
+                            report.revised += 1;
+                            true
+                        }
+                        None => {
+                            orig.insert(t.clone(), j);
+                            true
+                        }
+                    },
+                };
+
+                if accept {
+                    if self.config.policy == CoverPolicy::Record {
+                        positions.entry(t.clone()).or_default().push(result.len());
+                    }
+                    result.push(t);
+                    removed.push(false);
+                    live += 1;
+                    report.accepted += 1;
+                    report.accepted_time += start.elapsed();
+                    break 'selection;
+                } else {
+                    report.rejected_cover += 1;
+                    report.rejected_time += start.elapsed();
+                }
+            }
+        }
+
+        let final_result: Vec<Tuple> = result
+            .into_iter()
+            .zip(removed)
+            .filter(|(_, dead)| !dead)
+            .map(|(t, _)| t)
+            .collect();
+        // Revisions can leave us short; top up recursively (rare).
+        if final_result.len() < n {
+            let missing = n - final_result.len();
+            let (extra, extra_report) = self.sample(missing, rng)?;
+            let mut merged = final_result;
+            merged.extend(extra);
+            report.accepted += extra_report.accepted;
+            report.rejected_cover += extra_report.rejected_cover;
+            report.rejected_join += extra_report.rejected_join;
+            report.revised += extra_report.revised;
+            report.revision_removed += extra_report.revision_removed;
+            report.accepted_time += extra_report.accepted_time;
+            report.rejected_time += extra_report.rejected_time;
+            return Ok((merged, report));
+        }
+        Ok((final_result, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::full_join_union;
+    use suj_storage::{Relation, Schema, Value};
+
+    fn rel(name: &str, attrs: &[&str], rows: Vec<Vec<i64>>) -> Arc<Relation> {
+        let schema = Schema::new(attrs.iter().copied()).unwrap();
+        let tuples = rows
+            .into_iter()
+            .map(|vals| vals.into_iter().map(Value::int).collect())
+            .collect();
+        Arc::new(Relation::new(name, schema, tuples).unwrap())
+    }
+
+    /// Three overlapping joins over (a, b, c).
+    fn workload() -> Arc<UnionWorkload> {
+        let mk = |name: &str, extra_a: i64, extra_b: i64| {
+            let mut r_rows: Vec<Vec<i64>> =
+                vec![vec![1, 10], vec![2, 10], vec![3, 20], vec![extra_a, extra_b]];
+            r_rows.dedup();
+            // b = 10 has degree 2 in s so Extended Olken must reject.
+            let s_rows = vec![
+                vec![10, 100],
+                vec![10, 101],
+                vec![20, 200],
+                vec![extra_b, extra_b * 10],
+            ];
+            suj_join::JoinSpec::chain(
+                name,
+                vec![
+                    rel(&format!("{name}_r"), &["a", "b"], r_rows),
+                    rel(&format!("{name}_s"), &["b", "c"], s_rows),
+                ],
+            )
+            .unwrap()
+        };
+        Arc::new(
+            UnionWorkload::new(vec![
+                Arc::new(mk("j1", 7, 70)),
+                Arc::new(mk("j2", 8, 80)),
+                Arc::new(mk("j3", 9, 90)),
+            ])
+            .unwrap(),
+        )
+    }
+
+    fn assert_uniform_sample(samples: &[Tuple], universe: &suj_storage::FxHashSet<Tuple>, p_min: f64) {
+        let mut counts: FxHashMap<Tuple, u64> = FxHashMap::default();
+        for t in samples {
+            assert!(universe.contains(t), "non-member sampled: {t}");
+            *counts.entry(t.clone()).or_insert(0) += 1;
+        }
+        let observed: Vec<u64> = universe
+            .iter()
+            .map(|t| counts.get(t).copied().unwrap_or(0))
+            .collect();
+        let outcome = suj_stats::chi_square_test(&observed).unwrap();
+        assert!(
+            outcome.p_value > p_min,
+            "not uniform: chi2 = {}, p = {}",
+            outcome.statistic,
+            outcome.p_value
+        );
+    }
+
+    #[test]
+    fn oracle_policy_is_uniform() {
+        let w = workload();
+        let exact = full_join_union(&w).unwrap();
+        let sampler = SetUnionSampler::new(
+            w,
+            &exact.overlap,
+            UnionSamplerConfig {
+                policy: CoverPolicy::MembershipOracle,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut rng = SujRng::seed_from_u64(1);
+        let n = 2_000 * exact.union_size();
+        let (samples, report) = sampler.sample(n, &mut rng).unwrap();
+        assert_eq!(samples.len(), n);
+        assert_eq!(report.revised, 0, "oracle policy never revises");
+        assert_uniform_sample(&samples, &exact.union_set, 0.001);
+    }
+
+    #[test]
+    fn record_policy_is_uniform_and_revises() {
+        let w = workload();
+        let exact = full_join_union(&w).unwrap();
+        let sampler = SetUnionSampler::new(
+            w,
+            &exact.overlap,
+            UnionSamplerConfig {
+                policy: CoverPolicy::Record,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut rng = SujRng::seed_from_u64(2);
+        let n = 2_000 * exact.union_size();
+        let (samples, report) = sampler.sample(n, &mut rng).unwrap();
+        assert_eq!(samples.len(), n);
+        assert!(
+            report.revised > 0,
+            "overlapping joins must trigger revisions"
+        );
+        // The record policy is asymptotically uniform; allow a softer
+        // threshold than the oracle's.
+        assert_uniform_sample(&samples, &exact.union_set, 1e-4);
+    }
+
+    #[test]
+    fn eo_weights_also_uniform() {
+        let w = workload();
+        let exact = full_join_union(&w).unwrap();
+        let sampler = SetUnionSampler::new(
+            w,
+            &exact.overlap,
+            UnionSamplerConfig {
+                weights: WeightKind::ExtendedOlken,
+                policy: CoverPolicy::MembershipOracle,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut rng = SujRng::seed_from_u64(3);
+        let n = 1_500 * exact.union_size();
+        let (samples, report) = sampler.sample(n, &mut rng).unwrap();
+        assert!(report.rejected_join > 0, "EO must reject in the subroutine");
+        assert_uniform_sample(&samples, &exact.union_set, 0.001);
+    }
+
+    #[test]
+    fn cover_strategies_preserve_uniformity() {
+        let w = workload();
+        let exact = full_join_union(&w).unwrap();
+        for strategy in [CoverStrategy::DescendingSize, CoverStrategy::AscendingSize] {
+            let sampler = SetUnionSampler::new(
+                w.clone(),
+                &exact.overlap,
+                UnionSamplerConfig {
+                    policy: CoverPolicy::MembershipOracle,
+                    strategy,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let mut rng = SujRng::seed_from_u64(4);
+            let n = 1_500 * exact.union_size();
+            let (samples, _) = sampler.sample(n, &mut rng).unwrap();
+            assert_uniform_sample(&samples, &exact.union_set, 0.001);
+        }
+    }
+
+    #[test]
+    fn estimated_parameters_still_yield_member_tuples() {
+        // Histogram-estimated (loose) parameters: samples remain valid
+        // members and the requested count is met; uniformity degrades
+        // gracefully with estimate quality (§9 measures this).
+        let w = workload();
+        let est = crate::hist_estimator::HistogramEstimator::with_olken(
+            &w,
+            crate::hist_estimator::DegreeMode::Max,
+        )
+        .unwrap();
+        let map = est.overlap_map().unwrap();
+        let sampler = SetUnionSampler::new(
+            w.clone(),
+            &map,
+            UnionSamplerConfig {
+                policy: CoverPolicy::MembershipOracle,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut rng = SujRng::seed_from_u64(5);
+        let (samples, _) = sampler.sample(500, &mut rng).unwrap();
+        assert_eq!(samples.len(), 500);
+        let exact = full_join_union(&w).unwrap();
+        for t in &samples {
+            assert!(exact.union_set.contains(t));
+        }
+    }
+
+    #[test]
+    fn zero_requested_samples() {
+        let w = workload();
+        let exact = full_join_union(&w).unwrap();
+        let sampler =
+            SetUnionSampler::new(w, &exact.overlap, UnionSamplerConfig::default()).unwrap();
+        let mut rng = SujRng::seed_from_u64(6);
+        let (samples, report) = sampler.sample(0, &mut rng).unwrap();
+        assert!(samples.is_empty());
+        assert_eq!(report.accepted, 0);
+    }
+
+    #[test]
+    fn workload_with_empty_join_still_fulfills() {
+        // One join has no results; estimated parameters may still give
+        // it positive mass. The sampler must mark it dead and fulfill
+        // the request from the live join.
+        let live = suj_join::JoinSpec::chain(
+            "live",
+            vec![
+                rel("lr", &["a", "b"], vec![vec![1, 10], vec![2, 20]]),
+                rel("ls", &["b", "c"], vec![vec![10, 100], vec![20, 200]]),
+            ],
+        )
+        .unwrap();
+        let empty = suj_join::JoinSpec::chain(
+            "empty",
+            vec![
+                rel("er", &["a", "b"], vec![vec![9, 90]]),
+                rel("es", &["b", "c"], vec![vec![80, 800]]),
+            ],
+        )
+        .unwrap();
+        let w = Arc::new(UnionWorkload::new(vec![Arc::new(live), Arc::new(empty)]).unwrap());
+        // Deliberately wrong estimates giving the empty join mass.
+        let map = OverlapMap::new(2, vec![0.0, 2.0, 5.0, 0.0]).unwrap();
+        let sampler = SetUnionSampler::new(w, &map, UnionSamplerConfig::default()).unwrap();
+        let mut rng = SujRng::seed_from_u64(8);
+        let (samples, report) = sampler.sample(50, &mut rng).unwrap();
+        assert_eq!(samples.len(), 50);
+        assert!(report.accepted >= 50);
+    }
+
+    #[test]
+    fn mismatched_overlap_map_rejected() {
+        let w = workload();
+        let bad = OverlapMap::new(1, vec![0.0, 5.0]).unwrap();
+        assert!(SetUnionSampler::new(w, &bad, UnionSamplerConfig::default()).is_err());
+    }
+
+    #[test]
+    fn expected_cost_tracks_theorem2() {
+        // Theorem 2: expected join-subroutine calls ≤ N + N log N. With
+        // exact weights the only waste is cover rejection, so total
+        // draws should sit well under the bound.
+        let w = workload();
+        let exact = full_join_union(&w).unwrap();
+        let sampler = SetUnionSampler::new(
+            w,
+            &exact.overlap,
+            UnionSamplerConfig {
+                policy: CoverPolicy::MembershipOracle,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut rng = SujRng::seed_from_u64(7);
+        let n = 4_000usize;
+        let (_, report) = sampler.sample(n, &mut rng).unwrap();
+        let draws: u64 = report.join_draws.iter().sum();
+        let bound = n as f64 + n as f64 * (n as f64).ln();
+        assert!(
+            (draws as f64) < bound,
+            "draws {draws} exceed N + N ln N = {bound}"
+        );
+    }
+}

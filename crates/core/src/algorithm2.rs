@@ -1,0 +1,532 @@
+//! Algorithm 2: online union sampling with sample reuse and
+//! backtracking (§7).
+//!
+//! The histogram-based method has near-zero setup cost but loose
+//! parameters; the random-walk method is accurate but needs warm-up.
+//! Algorithm 2 takes both: parameters initialize from histograms,
+//! random walks refine them *during* sampling, and two devices keep the
+//! output uniform while parameters move:
+//!
+//! * **Sample reuse** — warm-up walk tuples `(t, p(t))` sit in per-join
+//!   pools; when join `J_j` is selected and its pool is non-empty, a
+//!   pooled tuple is drawn uniformly and accepted with rate
+//!   `R = l / (p(t)·|J_j|)` (emitting `⌊R⌋ + Bernoulli(frac R)` copies,
+//!   removed from the pool on acceptance), which makes the reused tuple
+//!   uniform over `J_j`. Pool exhaustion falls back to regular
+//!   walk-based sampling.
+//! * **Backtracking with parameter update** — every `φ` recorded walk
+//!   probabilities, sizes/overlaps/covers are re-estimated; previously
+//!   returned tuples are thinned with probability
+//!   `min(1, q_new(t)/q_old(t))` where `q(t)` is the tuple's emission
+//!   probability under a parameter set, so the retained sample follows
+//!   the refined distribution. Updates stop once the tracked confidence
+//!   level reaches `γ`.
+
+use crate::cover::{Cover, CoverStrategy};
+use crate::error::CoreError;
+use crate::hist_estimator::{DegreeMode, HistogramEstimator};
+use crate::report::RunReport;
+use crate::walk_estimator::{walk_warmup, WalkEstimate, WalkEstimatorConfig};
+use crate::workload::UnionWorkload;
+use std::sync::Arc;
+use std::time::Instant;
+use suj_join::{WalkOutcome, WanderJoin};
+use suj_stats::SujRng;
+use suj_storage::{FxHashMap, Tuple};
+
+/// Configuration of the online union sampler.
+#[derive(Debug, Clone, Copy)]
+pub struct OnlineConfig {
+    /// Parameter-update cadence: update after every `phi` recorded walk
+    /// probabilities (the paper's φ).
+    pub phi: u64,
+    /// Target confidence level γ; updates/backtracking stop once the
+    /// worst relative CI half-width at this level drops below
+    /// `ci_threshold`.
+    pub gamma: f64,
+    /// Relative CI half-width threshold paired with `gamma`.
+    pub ci_threshold: f64,
+    /// Warm-up walk configuration (set `max_walks_per_join = 0` for the
+    /// fully online, no-warm-up variant).
+    pub warmup: WalkEstimatorConfig,
+    /// Enable sample reuse (Fig. 6 toggles this).
+    pub reuse: bool,
+    /// Upper bound on copies emitted per reuse acceptance. §7's rate
+    /// `R = l/(p(t)·|J_j|)` legitimately exceeds 1 and the paper emits
+    /// `R` instances; on small joins (`p·|J| ≈ 1`) that means
+    /// pool-sized bursts of one tuple. The default keeps the paper's
+    /// semantics (`u64::MAX`); harnesses that want to observe the
+    /// pool-exhaustion slope bound it.
+    pub reuse_burst_cap: u64,
+    /// Enable backtracking (ablation toggle).
+    pub backtrack: bool,
+    /// Cover-retry cap per join selection.
+    pub max_cover_retries: u64,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        Self {
+            phi: 256,
+            gamma: 0.9,
+            ci_threshold: 0.05,
+            warmup: WalkEstimatorConfig::default(),
+            reuse: true,
+            reuse_burst_cap: u64::MAX,
+            backtrack: true,
+            max_cover_retries: 100_000,
+        }
+    }
+}
+
+/// The online union sampler (Algorithm 2).
+pub struct OnlineUnionSampler {
+    workload: Arc<UnionWorkload>,
+    config: OnlineConfig,
+    strategy: CoverStrategy,
+}
+
+/// Mutable per-run state: the record-policy result set with revision
+/// support plus per-tuple emission metadata for backtracking.
+struct RunState {
+    result: Vec<Tuple>,
+    removed: Vec<bool>,
+    /// (owning join, emission probability at acceptance time) per entry.
+    meta: Vec<(usize, f64)>,
+    positions: FxHashMap<Tuple, Vec<usize>>,
+    orig: FxHashMap<Tuple, usize>,
+    live: usize,
+}
+
+impl RunState {
+    fn new(n: usize) -> Self {
+        Self {
+            result: Vec::with_capacity(n),
+            removed: Vec::new(),
+            meta: Vec::new(),
+            positions: FxHashMap::default(),
+            orig: FxHashMap::default(),
+            live: 0,
+        }
+    }
+
+    fn push(&mut self, t: Tuple, join: usize, q: f64) {
+        self.positions
+            .entry(t.clone())
+            .or_default()
+            .push(self.result.len());
+        self.result.push(t);
+        self.removed.push(false);
+        self.meta.push((join, q));
+        self.live += 1;
+    }
+
+    fn purge(&mut self, t: &Tuple) -> u64 {
+        let mut purged = 0;
+        if let Some(ps) = self.positions.get_mut(t) {
+            for &p in ps.iter() {
+                if !self.removed[p] {
+                    self.removed[p] = true;
+                    self.live -= 1;
+                    purged += 1;
+                }
+            }
+            ps.clear();
+        }
+        purged
+    }
+
+    fn finish(self) -> Vec<Tuple> {
+        self.result
+            .into_iter()
+            .zip(self.removed)
+            .filter(|(_, dead)| !dead)
+            .map(|(t, _)| t)
+            .collect()
+    }
+}
+
+impl OnlineUnionSampler {
+    /// Builds the sampler.
+    pub fn new(
+        workload: Arc<UnionWorkload>,
+        config: OnlineConfig,
+        strategy: CoverStrategy,
+    ) -> Self {
+        Self {
+            workload,
+            config,
+            strategy,
+        }
+    }
+
+    /// Draws `n` samples from the set union, estimating parameters
+    /// online.
+    pub fn sample(&self, n: usize, rng: &mut SujRng) -> Result<(Vec<Tuple>, RunReport), CoreError> {
+        let w = &self.workload;
+        let n_joins = w.n_joins();
+        let mut report = RunReport::new(n_joins);
+
+        // ---- Warm-up: histogram initialization + optional walks. ----
+        let warmup_start = Instant::now();
+        let hist = HistogramEstimator::with_olken(w, DegreeMode::Max)?;
+        let hist_map = hist.overlap_map()?;
+        let fallback_sizes: Vec<f64> = (0..n_joins).map(|j| hist_map.join_size(j)).collect();
+
+        let mut est = if self.config.warmup.max_walks_per_join > 0 {
+            walk_warmup(w, &self.config.warmup, rng)?
+        } else {
+            WalkEstimate::empty(n_joins)
+        };
+        est.refresh_sizes(&fallback_sizes);
+        let mut map = est.overlap_map_with_fallback(&hist_map)?;
+        let mut cover = Cover::build(&map, self.strategy);
+        let mut selection = cover.selection().ok_or_else(|| {
+            CoreError::Invalid("union size estimate is zero; nothing to sample".into())
+        })?;
+        let wanders: Vec<WanderJoin> = w
+            .joins()
+            .iter()
+            .map(|j| WanderJoin::new(j.clone()))
+            .collect::<Result<_, _>>()
+            .map_err(CoreError::Join)?;
+        report.warmup_time = warmup_start.elapsed();
+
+        // Emission probability of a tuple owned by join j under the
+        // current parameters.
+        let q_emit = |cover: &Cover, est: &WalkEstimate, j: usize| -> f64 {
+            let sel = cover.sizes()[j] / cover.union_size().max(f64::MIN_POSITIVE);
+            sel / est.join_sizes[j].max(1.0)
+        };
+
+        let mut state = RunState::new(n);
+        let mut walks_at_last_update = est.total_walks();
+        let mut converged = est.worst_relative_half_width(self.config.gamma)
+            <= self.config.ci_threshold;
+
+        while state.live < n {
+            let j = selection.draw(rng);
+            report.join_draws[j] += 1;
+
+            // Sample one tuple uniform over the cover region J'_j
+            // (cover rejections retry within the join).
+            let mut retries = 0u64;
+            'selection: while retries < self.config.max_cover_retries {
+                retries += 1;
+
+                // --- Obtain a uniform tuple from J_j (reuse or walk). ---
+                let mut obtained: Option<(Tuple, u64)> = None; // (tuple, copies)
+                if self.config.reuse && !est.pools[j].is_empty() {
+                    let reuse_start = Instant::now();
+                    let idx = rng.index(est.pools[j].len());
+                    let l = est.pools[j].len() as f64;
+                    let (t, p) = est.pools[j][idx].clone();
+                    let rate = l / (p * est.join_sizes[j].max(1.0));
+                    // §7 allows R ≥ 1 (multiple instances per round). We
+                    // cap at the remaining demand: emitting past N would
+                    // be discarded anyway.
+                    let copies = (rate.floor() as u64
+                        + u64::from(rng.bernoulli(rate.fract())))
+                    .min(self.config.reuse_burst_cap)
+                    .min((n - state.live) as u64);
+                    if copies == 0 {
+                        report.reuse_rejected += 1;
+                        report.reuse_time += reuse_start.elapsed();
+                        // Fall through to a regular sample (line 9).
+                    } else {
+                        est.pools[j].swap_remove(idx);
+                        report.reuse_accepted += 1;
+                        report.reuse_copies += copies;
+                        report.reuse_time += reuse_start.elapsed();
+                        obtained = Some((t, copies));
+                    }
+                }
+                if obtained.is_none() {
+                    let start = Instant::now();
+                    match wanders[j].walk(rng) {
+                        WalkOutcome::Success { tuple, probability } => {
+                            let canonical =
+                                est.record_success(w, j, &tuple, probability, false);
+                            // Uniformization: accept with (1/p)/B.
+                            let accept =
+                                (1.0 / probability) / wanders[j].bound().max(f64::MIN_POSITIVE);
+                            if rng.bernoulli(accept) {
+                                obtained = Some((canonical, 1));
+                                report.accepted_time += start.elapsed();
+                            } else {
+                                report.rejected_join += 1;
+                                report.rejected_time += start.elapsed();
+                            }
+                        }
+                        WalkOutcome::Failure => {
+                            est.record_failure(j);
+                            report.rejected_join += 1;
+                            report.rejected_time += start.elapsed();
+                        }
+                    }
+                }
+
+                // --- Cover / record logic (lines 11–17). ---
+                if let Some((t, copies)) = obtained {
+                    let accept = match state.orig.get(&t).copied() {
+                        Some(i) if i == j => true,
+                        Some(i) if cover.precedes(i, j) => false,
+                        Some(_) => {
+                            // Revision: ownership moves to the earlier
+                            // join j; purge existing copies.
+                            state.orig.insert(t.clone(), j);
+                            report.revision_removed += state.purge(&t);
+                            report.revised += 1;
+                            true
+                        }
+                        None => {
+                            state.orig.insert(t.clone(), j);
+                            true
+                        }
+                    };
+                    if accept {
+                        let q = q_emit(&cover, &est, j);
+                        for _ in 0..copies {
+                            state.push(t.clone(), j, q);
+                            report.accepted += 1;
+                        }
+                        break 'selection;
+                    } else {
+                        report.rejected_cover += 1;
+                    }
+                }
+
+                // --- Parameter update + backtracking (lines 18–20). ---
+                if !converged
+                    && est.total_walks().saturating_sub(walks_at_last_update) >= self.config.phi
+                {
+                    let update_start = Instant::now();
+                    walks_at_last_update = est.total_walks();
+                    est.refresh_sizes(&fallback_sizes);
+                    map = est.overlap_map_with_fallback(&hist_map)?;
+                    cover = Cover::build(&map, self.strategy);
+                    if let Some(sel) = cover.selection() {
+                        selection = sel;
+                    }
+                    if self.config.backtrack {
+                        for pos in 0..state.result.len() {
+                            if state.removed[pos] {
+                                continue;
+                            }
+                            let (owner, q_old) = state.meta[pos];
+                            let q_new = q_emit(&cover, &est, owner);
+                            let keep = (q_new / q_old.max(f64::MIN_POSITIVE)).min(1.0);
+                            if !rng.bernoulli(keep) {
+                                state.removed[pos] = true;
+                                state.live -= 1;
+                                report.backtrack_dropped += 1;
+                                if let Some(ps) = state.positions.get_mut(&state.result[pos]) {
+                                    ps.retain(|&p| p != pos);
+                                }
+                            } else {
+                                state.meta[pos].1 = q_old.min(q_new);
+                            }
+                        }
+                    }
+                    report.update_rounds += 1;
+                    converged = est.worst_relative_half_width(self.config.gamma)
+                        <= self.config.ci_threshold;
+                    report.update_time += update_start.elapsed();
+                }
+            }
+        }
+
+        Ok((state.finish(), report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::full_join_union;
+    use suj_storage::{Relation, Schema, Value};
+
+    fn rel(name: &str, attrs: &[&str], rows: Vec<Vec<i64>>) -> Arc<Relation> {
+        let schema = Schema::new(attrs.iter().copied()).unwrap();
+        let tuples = rows
+            .into_iter()
+            .map(|vals| vals.into_iter().map(Value::int).collect())
+            .collect();
+        Arc::new(Relation::new(name, schema, tuples).unwrap())
+    }
+
+    fn workload() -> Arc<UnionWorkload> {
+        let shared_r: Vec<Vec<i64>> = (0..8).map(|i| vec![i, i % 3]).collect();
+        let shared_s: Vec<Vec<i64>> = (0..3).map(|b| vec![b, 100 + b]).collect();
+        let mut r1 = shared_r.clone();
+        r1.push(vec![50, 0]);
+        let mut r2 = shared_r;
+        r2.push(vec![60, 1]);
+        let j1 = suj_join::JoinSpec::chain(
+            "j1",
+            vec![
+                rel("r1", &["a", "b"], r1),
+                rel("s1", &["b", "c"], shared_s.clone()),
+            ],
+        )
+        .unwrap();
+        let j2 = suj_join::JoinSpec::chain(
+            "j2",
+            vec![rel("r2", &["a", "b"], r2), rel("s2", &["b", "c"], shared_s)],
+        )
+        .unwrap();
+        Arc::new(UnionWorkload::new(vec![Arc::new(j1), Arc::new(j2)]).unwrap())
+    }
+
+    fn config_fast() -> OnlineConfig {
+        OnlineConfig {
+            phi: 128,
+            warmup: WalkEstimatorConfig {
+                max_walks_per_join: 400,
+                min_walks_per_join: 100,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn produces_requested_count_of_members() {
+        let w = workload();
+        let exact = full_join_union(&w).unwrap();
+        let sampler = OnlineUnionSampler::new(w, config_fast(), CoverStrategy::AsGiven);
+        let mut rng = SujRng::seed_from_u64(11);
+        let (samples, report) = sampler.sample(300, &mut rng).unwrap();
+        assert_eq!(samples.len(), 300);
+        for t in &samples {
+            assert!(exact.union_set.contains(t), "non-member {t}");
+        }
+        assert!(report.accepted >= 300);
+    }
+
+    #[test]
+    fn reuse_pool_is_consumed() {
+        let w = workload();
+        let sampler = OnlineUnionSampler::new(w, config_fast(), CoverStrategy::AsGiven);
+        let mut rng = SujRng::seed_from_u64(12);
+        let (_, report) = sampler.sample(200, &mut rng).unwrap();
+        assert!(
+            report.reuse_accepted > 0,
+            "warm-up pools must serve some samples"
+        );
+    }
+
+    #[test]
+    fn no_reuse_variant_walks_more() {
+        let w = workload();
+        let mut rng_a = SujRng::seed_from_u64(13);
+        let mut rng_b = SujRng::seed_from_u64(13);
+        let with_reuse = OnlineUnionSampler::new(w.clone(), config_fast(), CoverStrategy::AsGiven);
+        let without_reuse = OnlineUnionSampler::new(
+            w,
+            OnlineConfig {
+                reuse: false,
+                ..config_fast()
+            },
+            CoverStrategy::AsGiven,
+        );
+        let (_, ra) = with_reuse.sample(200, &mut rng_a).unwrap();
+        let (_, rb) = without_reuse.sample(200, &mut rng_b).unwrap();
+        assert_eq!(rb.reuse_accepted, 0);
+        assert!(
+            ra.reuse_accepted > 0 && ra.rejected_join <= rb.rejected_join,
+            "reuse should cut regular-phase rejections: {} vs {}",
+            ra.rejected_join,
+            rb.rejected_join
+        );
+    }
+
+    #[test]
+    fn fully_online_no_warmup_works() {
+        let w = workload();
+        let exact = full_join_union(&w).unwrap();
+        let cfg = OnlineConfig {
+            warmup: WalkEstimatorConfig {
+                max_walks_per_join: 0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let sampler = OnlineUnionSampler::new(w, cfg, CoverStrategy::AsGiven);
+        let mut rng = SujRng::seed_from_u64(14);
+        let (samples, report) = sampler.sample(150, &mut rng).unwrap();
+        assert_eq!(samples.len(), 150);
+        for t in &samples {
+            assert!(exact.union_set.contains(t));
+        }
+        // Online estimation must have kicked in.
+        assert!(report.update_rounds > 0 || report.accepted > 0);
+    }
+
+    #[test]
+    fn approximate_uniformity_of_online_sampler() {
+        let w = workload();
+        let exact = full_join_union(&w).unwrap();
+        // Reuse emits copies in bursts (`R = l/(p·|J|)` is far above 1 on
+        // joins this small — the paper's regime has |J| ≫ pool size), so
+        // the chi-square independence assumption only holds for the
+        // regular phase; test uniformity with reuse off. Uniformity is
+        // only as accurate as the estimated |J'_j|/|U| ratios (§9.1
+        // measures exactly this), so drive the warm-up to ~1% error.
+        let cfg = OnlineConfig {
+            reuse: false,
+            warmup: WalkEstimatorConfig {
+                max_walks_per_join: 40_000,
+                min_walks_per_join: 8_000,
+                rel_threshold: 0.01,
+                ..Default::default()
+            },
+            ..config_fast()
+        };
+        let sampler = OnlineUnionSampler::new(w, cfg, CoverStrategy::AsGiven);
+        let mut rng = SujRng::seed_from_u64(15);
+        let n = 1_500 * exact.union_size();
+        let (samples, _) = sampler.sample(n, &mut rng).unwrap();
+        let mut counts: FxHashMap<Tuple, u64> = FxHashMap::default();
+        for t in &samples {
+            *counts.entry(t.clone()).or_insert(0) += 1;
+        }
+        let observed: Vec<u64> = exact
+            .union_set
+            .iter()
+            .map(|t| counts.get(t).copied().unwrap_or(0))
+            .collect();
+        let outcome = suj_stats::chi_square_test(&observed).unwrap();
+        // Online estimation wobbles early; the paper's guarantee is
+        // asymptotic. Accept a loose significance floor.
+        assert!(
+            outcome.p_value > 1e-6,
+            "grossly non-uniform: chi2={} p={}",
+            outcome.statistic,
+            outcome.p_value
+        );
+    }
+
+    #[test]
+    fn backtracking_can_drop_samples() {
+        let w = workload();
+        // Aggressive cadence + no warm-up so estimates move a lot.
+        let cfg = OnlineConfig {
+            phi: 32,
+            warmup: WalkEstimatorConfig {
+                max_walks_per_join: 0,
+                ..Default::default()
+            },
+            ci_threshold: 0.001, // keep updating for the whole run
+            ..Default::default()
+        };
+        let sampler = OnlineUnionSampler::new(w, cfg, CoverStrategy::AsGiven);
+        let mut rng = SujRng::seed_from_u64(16);
+        let (samples, report) = sampler.sample(400, &mut rng).unwrap();
+        assert_eq!(samples.len(), 400);
+        assert!(report.update_rounds > 0, "updates must fire");
+        // Backtracking may or may not drop depending on drift; the
+        // counter must at least be consistent.
+        assert!(report.backtrack_dropped <= report.accepted);
+    }
+}

@@ -1,0 +1,300 @@
+//! The Bernoulli "union trick" sampler (§3).
+//!
+//! Each round iterates all joins, selecting join `J_j` with Bernoulli
+//! probability `|J_j|/|U|` (several joins can fire in one round). A
+//! selected join contributes one uniform tuple, which is *kept only if
+//! `J_j` is the tuple's designated join* — the first join containing it.
+//! Every value `u` is then returned with probability
+//! `(|J_{f(u)}|/|U|) · (1/|J_{f(u)}|) = 1/|U|`.
+//!
+//! Two designation mechanisms are provided: the membership oracle
+//! computes `f(u)` exactly (first join in workload order containing
+//! `u`); the paper's record variant designates the first join `u` was
+//! *sampled from*, which converges to the oracle assignment as revision
+//! opportunities accrue (see Algorithm 1). This sampler exists as the
+//! simple baseline the non-Bernoulli cover selection improves upon —
+//! "this algorithm has a high rejection ratio for highly overlapping
+//! joins".
+
+use crate::error::CoreError;
+use crate::report::RunReport;
+use crate::workload::UnionWorkload;
+use std::sync::Arc;
+use std::time::Instant;
+use suj_join::membership::first_containing;
+use suj_join::weights::build_sampler;
+use suj_join::{JoinSampler, WeightKind};
+use suj_stats::SujRng;
+use suj_storage::Tuple;
+
+/// How the Bernoulli sampler designates each value's owning join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DesignationPolicy {
+    /// Exact: `f(u)` = first join (workload order) containing `u`,
+    /// decided by the membership oracle.
+    Oracle,
+    /// The paper's §3 description: `u` is owned by the first join it
+    /// was *sampled from*; converges to the oracle assignment as the
+    /// record fills in.
+    Record,
+}
+
+/// Bernoulli union-trick sampler.
+pub struct BernoulliUnionSampler {
+    workload: Arc<UnionWorkload>,
+    samplers: Vec<Box<dyn JoinSampler>>,
+    /// Selection probability per join: `|J_j| / |U|`.
+    probabilities: Vec<f64>,
+    max_join_tries: u64,
+}
+
+impl BernoulliUnionSampler {
+    /// Builds the sampler from size estimates (`join_sizes` and
+    /// `union_size` typically come from an estimator's `OverlapMap`).
+    pub fn new(
+        workload: Arc<UnionWorkload>,
+        join_sizes: &[f64],
+        union_size: f64,
+        weights: WeightKind,
+    ) -> Result<Self, CoreError> {
+        let n = workload.n_joins();
+        if join_sizes.len() != n {
+            return Err(CoreError::Invalid(format!(
+                "expected {n} join sizes, got {}",
+                join_sizes.len()
+            )));
+        }
+        if union_size <= 0.0 {
+            return Err(CoreError::Invalid("union size must be positive".into()));
+        }
+        let samplers = workload
+            .joins()
+            .iter()
+            .map(|j| build_sampler(j.clone(), weights))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(CoreError::Join)?;
+        let probabilities = join_sizes
+            .iter()
+            .map(|&s| (s / union_size).clamp(0.0, 1.0))
+            .collect();
+        Ok(Self {
+            workload,
+            samplers,
+            probabilities,
+            max_join_tries: 1_000_000,
+        })
+    }
+
+    /// Draws `n` samples using the exact membership-oracle designation.
+    pub fn sample(&self, n: usize, rng: &mut SujRng) -> Result<(Vec<Tuple>, RunReport), CoreError> {
+        self.sample_with_policy(n, DesignationPolicy::Oracle, rng)
+    }
+
+    /// Draws `n` samples with an explicit designation policy.
+    pub fn sample_with_policy(
+        &self,
+        n: usize,
+        policy: DesignationPolicy,
+        rng: &mut SujRng,
+    ) -> Result<(Vec<Tuple>, RunReport), CoreError> {
+        let n_joins = self.workload.n_joins();
+        let oracles = self.workload.oracles();
+        let mut report = RunReport::new(n_joins);
+        let mut out = Vec::with_capacity(n);
+        // First join each value was SAMPLED from (Record policy).
+        let mut record: suj_storage::FxHashMap<Tuple, usize> = Default::default();
+
+        let mut stall_rounds = 0u64;
+        while out.len() < n {
+            let mut fired = false;
+            for j in 0..n_joins {
+                if out.len() >= n {
+                    break;
+                }
+                if !rng.bernoulli(self.probabilities[j]) {
+                    continue;
+                }
+                fired = true;
+                report.join_draws[j] += 1;
+                let start = Instant::now();
+                let (t_local, tries) =
+                    self.samplers[j].sample_until_accepted(rng, self.max_join_tries);
+                report.rejected_join += tries.saturating_sub(1);
+                let Some(t_local) = t_local else {
+                    report.rejected_time += start.elapsed();
+                    continue; // join empty or pathological
+                };
+                let t = self.workload.to_canonical(j, &t_local);
+                let accept = match policy {
+                    DesignationPolicy::Oracle => {
+                        // Designated join: first (workload order)
+                        // containing t.
+                        first_containing(oracles, &t)
+                            .expect("sampled tuple must belong somewhere")
+                            == j
+                    }
+                    DesignationPolicy::Record => {
+                        // "retained only if it is sampled from the
+                        // first join where u was observed" (§3).
+                        *record.entry(t.clone()).or_insert(j) == j
+                    }
+                };
+                if accept {
+                    out.push(t);
+                    report.accepted += 1;
+                    report.accepted_time += start.elapsed();
+                } else {
+                    report.rejected_cover += 1;
+                    report.rejected_time += start.elapsed();
+                }
+            }
+            stall_rounds = if fired { 0 } else { stall_rounds + 1 };
+            if stall_rounds > 1_000_000 {
+                return Err(CoreError::Invalid(
+                    "Bernoulli sampler stalled: all selection probabilities ~ 0".into(),
+                ));
+            }
+        }
+        Ok((out, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::full_join_union;
+    use suj_storage::{FxHashMap, Relation, Schema, Value};
+
+    fn rel(name: &str, attrs: &[&str], rows: Vec<Vec<i64>>) -> Arc<Relation> {
+        let schema = Schema::new(attrs.iter().copied()).unwrap();
+        let tuples = rows
+            .into_iter()
+            .map(|vals| vals.into_iter().map(Value::int).collect())
+            .collect();
+        Arc::new(Relation::new(name, schema, tuples).unwrap())
+    }
+
+    fn workload() -> Arc<UnionWorkload> {
+        let j1 = suj_join::JoinSpec::chain(
+            "j1",
+            vec![
+                rel(
+                    "r1",
+                    &["a", "b"],
+                    vec![vec![1, 10], vec![2, 10], vec![3, 20], vec![4, 20]],
+                ),
+                rel("s1", &["b", "c"], vec![vec![10, 100], vec![20, 200]]),
+            ],
+        )
+        .unwrap();
+        let j2 = suj_join::JoinSpec::chain(
+            "j2",
+            vec![
+                rel("r2", &["a", "b"], vec![vec![1, 10], vec![9, 90], vec![8, 90]]),
+                rel("s2", &["b", "c"], vec![vec![10, 100], vec![90, 900]]),
+            ],
+        )
+        .unwrap();
+        Arc::new(UnionWorkload::new(vec![Arc::new(j1), Arc::new(j2)]).unwrap())
+    }
+
+    #[test]
+    fn uniform_over_set_union() {
+        let w = workload();
+        let exact = full_join_union(&w).unwrap();
+        let sizes: Vec<f64> = (0..2).map(|j| exact.join_size(j) as f64).collect();
+        let sampler = BernoulliUnionSampler::new(
+            w.clone(),
+            &sizes,
+            exact.union_size() as f64,
+            WeightKind::Exact,
+        )
+        .unwrap();
+        let mut rng = SujRng::seed_from_u64(55);
+        let universe: Vec<Tuple> = exact.union_set.iter().cloned().collect();
+        let n = 3_000 * universe.len();
+        let (samples, report) = sampler.sample(n, &mut rng).unwrap();
+        assert_eq!(samples.len(), n);
+        assert!(report.rejected_cover > 0, "overlap must cause rejections");
+
+        let mut counts: FxHashMap<Tuple, u64> = FxHashMap::default();
+        for t in &samples {
+            assert!(exact.union_set.contains(t));
+            *counts.entry(t.clone()).or_insert(0) += 1;
+        }
+        let observed: Vec<u64> = universe
+            .iter()
+            .map(|t| counts.get(t).copied().unwrap_or(0))
+            .collect();
+        let outcome = suj_stats::chi_square_test(&observed).unwrap();
+        assert!(outcome.p_value > 0.001, "p = {}", outcome.p_value);
+    }
+
+    #[test]
+    fn rejection_rate_grows_with_overlap() {
+        // Compare a disjoint workload with a fully-overlapping one.
+        let w_overlap = {
+            let mk = |n: &str| {
+                suj_join::JoinSpec::chain(
+                    n,
+                    vec![
+                        rel(&format!("{n}_r"), &["a", "b"], vec![vec![1, 10], vec![2, 10]]),
+                        rel(&format!("{n}_s"), &["b", "c"], vec![vec![10, 100]]),
+                    ],
+                )
+                .unwrap()
+            };
+            Arc::new(UnionWorkload::new(vec![Arc::new(mk("x")), Arc::new(mk("y"))]).unwrap())
+        };
+        let exact = full_join_union(&w_overlap).unwrap();
+        let sizes: Vec<f64> = (0..2).map(|j| exact.join_size(j) as f64).collect();
+        let sampler = BernoulliUnionSampler::new(
+            w_overlap,
+            &sizes,
+            exact.union_size() as f64,
+            WeightKind::Exact,
+        )
+        .unwrap();
+        let mut rng = SujRng::seed_from_u64(66);
+        let (_, report) = sampler.sample(2_000, &mut rng).unwrap();
+        // Fully-overlapping joins: half of all selections hit the
+        // non-designated join.
+        let ratio = report.rejected_cover as f64
+            / (report.rejected_cover + report.accepted) as f64;
+        assert!(ratio > 0.3, "expected heavy rejection, got {ratio}");
+    }
+
+    #[test]
+    fn record_policy_samples_members_and_rejects_duplicates() {
+        let w = workload();
+        let exact = full_join_union(&w).unwrap();
+        let sizes: Vec<f64> = (0..2).map(|j| exact.join_size(j) as f64).collect();
+        let sampler = BernoulliUnionSampler::new(
+            w,
+            &sizes,
+            exact.union_size() as f64,
+            WeightKind::Exact,
+        )
+        .unwrap();
+        let mut rng = SujRng::seed_from_u64(77);
+        let (samples, report) = sampler
+            .sample_with_policy(5_000, DesignationPolicy::Record, &mut rng)
+            .unwrap();
+        assert_eq!(samples.len(), 5_000);
+        for t in &samples {
+            assert!(exact.union_set.contains(t));
+        }
+        // The shared tuple must trigger record-based rejections from the
+        // non-owning join.
+        assert!(report.rejected_cover > 0);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let w = workload();
+        assert!(BernoulliUnionSampler::new(w.clone(), &[1.0], 2.0, WeightKind::Exact).is_err());
+        assert!(
+            BernoulliUnionSampler::new(w, &[1.0, 1.0], 0.0, WeightKind::Exact).is_err()
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Sampling the disjoint union (Definition 1).
+//!
+//! `V = J_1 ⊎ … ⊎ J_n` keeps duplicates, so sampling is a two-level
+//! categorical draw: pick join `J_j` with probability `|J_j| / Σ|J_i|`,
+//! then a uniform tuple from `J_j`. Every sample lands with probability
+//! `1/|V|`; independence is immediate since draws never interact — the
+//! paper evaluates no baseline here because "it has no extra delays".
+
+use crate::error::CoreError;
+use crate::report::RunReport;
+use crate::workload::UnionWorkload;
+use std::sync::Arc;
+use std::time::Instant;
+use suj_join::weights::build_sampler;
+use suj_join::{JoinSampler, SampleOutcome, WeightKind};
+use suj_stats::{Categorical, SujRng};
+use suj_storage::Tuple;
+
+/// Sampler over the disjoint union of a workload's joins.
+pub struct DisjointUnionSampler {
+    workload: Arc<UnionWorkload>,
+    samplers: Vec<Box<dyn JoinSampler>>,
+    selection: Option<Categorical>,
+    join_sizes: Vec<f64>,
+}
+
+impl DisjointUnionSampler {
+    /// Builds the sampler. `join_sizes` drive join selection — exact
+    /// EW sizes give exactly `1/|V|` per tuple.
+    pub fn new(
+        workload: Arc<UnionWorkload>,
+        join_sizes: Vec<f64>,
+        weights: WeightKind,
+    ) -> Result<Self, CoreError> {
+        if join_sizes.len() != workload.n_joins() {
+            return Err(CoreError::Invalid(format!(
+                "expected {} join sizes, got {}",
+                workload.n_joins(),
+                join_sizes.len()
+            )));
+        }
+        let samplers = workload
+            .joins()
+            .iter()
+            .map(|j| build_sampler(j.clone(), weights))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(CoreError::Join)?;
+        let selection = Categorical::new(&join_sizes);
+        Ok(Self {
+            workload,
+            samplers,
+            selection,
+            join_sizes,
+        })
+    }
+
+    /// Convenience: exact (EW) sizes and the given weight kind.
+    pub fn with_exact_sizes(
+        workload: Arc<UnionWorkload>,
+        weights: WeightKind,
+    ) -> Result<Self, CoreError> {
+        let sizes = workload.exact_join_sizes()?;
+        Self::new(workload, sizes, weights)
+    }
+
+    /// `Σ |J_j|` — the disjoint union size implied by the selection
+    /// weights.
+    pub fn disjoint_size(&self) -> f64 {
+        self.join_sizes.iter().sum()
+    }
+
+    /// Draws `n` independent samples.
+    pub fn sample(&self, n: usize, rng: &mut SujRng) -> (Vec<Tuple>, RunReport) {
+        let mut report = RunReport::new(self.workload.n_joins());
+        let mut out = Vec::with_capacity(n);
+        let Some(selection) = &self.selection else {
+            return (out, report); // empty union
+        };
+        let start = Instant::now();
+        while out.len() < n {
+            let j = selection.draw(rng);
+            report.join_draws[j] += 1;
+            match self.samplers[j].sample(rng) {
+                SampleOutcome::Accepted(local) => {
+                    out.push(self.workload.to_canonical(j, &local));
+                    report.accepted += 1;
+                }
+                SampleOutcome::Rejected => {
+                    report.rejected_join += 1;
+                }
+            }
+        }
+        report.accepted_time = start.elapsed();
+        (out, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::full_join_union;
+    use suj_storage::{FxHashMap, Relation, Schema, Value};
+
+    fn rel(name: &str, attrs: &[&str], rows: Vec<Vec<i64>>) -> Arc<Relation> {
+        let schema = Schema::new(attrs.iter().copied()).unwrap();
+        let tuples = rows
+            .into_iter()
+            .map(|vals| vals.into_iter().map(Value::int).collect())
+            .collect();
+        Arc::new(Relation::new(name, schema, tuples).unwrap())
+    }
+
+    fn workload() -> Arc<UnionWorkload> {
+        let j1 = suj_join::JoinSpec::chain(
+            "j1",
+            vec![
+                rel("r1", &["a", "b"], vec![vec![1, 10], vec![2, 10], vec![3, 20]]),
+                rel("s1", &["b", "c"], vec![vec![10, 100], vec![20, 200]]),
+            ],
+        )
+        .unwrap();
+        let j2 = suj_join::JoinSpec::chain(
+            "j2",
+            vec![
+                rel("r2", &["a", "b"], vec![vec![1, 10], vec![9, 90]]),
+                rel("s2", &["b", "c"], vec![vec![10, 100], vec![90, 900]]),
+            ],
+        )
+        .unwrap();
+        Arc::new(UnionWorkload::new(vec![Arc::new(j1), Arc::new(j2)]).unwrap())
+    }
+
+    #[test]
+    fn disjoint_distribution_counts_duplicates_twice() {
+        let w = workload();
+        let exact = full_join_union(&w).unwrap();
+        let sampler = DisjointUnionSampler::with_exact_sizes(w.clone(), WeightKind::Exact).unwrap();
+        assert_eq!(
+            sampler.disjoint_size(),
+            (exact.join_size(0) + exact.join_size(1)) as f64
+        );
+
+        let mut rng = SujRng::seed_from_u64(7);
+        let (samples, report) = sampler.sample(25_000, &mut rng);
+        assert_eq!(samples.len(), 25_000);
+        assert_eq!(report.accepted, 25_000);
+
+        // (1,10,100) lives in BOTH joins → expected frequency 2/|V|;
+        // single-join tuples get 1/|V|.
+        let mut counts: FxHashMap<Tuple, u64> = FxHashMap::default();
+        for t in &samples {
+            *counts.entry(t.clone()).or_insert(0) += 1;
+        }
+        let v = sampler.disjoint_size();
+        let shared = suj_storage::tuple![1i64, 10i64, 100i64];
+        let single = suj_storage::tuple![3i64, 20i64, 200i64];
+        let f_shared = counts[&shared] as f64 / 25_000.0;
+        let f_single = counts[&single] as f64 / 25_000.0;
+        assert!((f_shared - 2.0 / v).abs() < 0.02, "shared freq {f_shared}");
+        assert!((f_single - 1.0 / v).abs() < 0.02, "single freq {f_single}");
+    }
+
+    #[test]
+    fn all_samples_are_members() {
+        let w = workload();
+        let sampler = DisjointUnionSampler::with_exact_sizes(w.clone(), WeightKind::Exact).unwrap();
+        let mut rng = SujRng::seed_from_u64(9);
+        let (samples, _) = sampler.sample(500, &mut rng);
+        for t in samples {
+            assert!(w.contains(0, &t) || w.contains(1, &t));
+        }
+    }
+
+    #[test]
+    fn works_with_olken_weights() {
+        let w = workload();
+        let sampler =
+            DisjointUnionSampler::with_exact_sizes(w, WeightKind::ExtendedOlken).unwrap();
+        let mut rng = SujRng::seed_from_u64(10);
+        let (samples, report) = sampler.sample(200, &mut rng);
+        assert_eq!(samples.len(), 200);
+        // EO must have rejected at least occasionally on this skew.
+        assert!(report.attempts() >= 200);
+    }
+
+    #[test]
+    fn wrong_size_vector_rejected() {
+        let w = workload();
+        assert!(DisjointUnionSampler::new(w, vec![1.0], WeightKind::Exact).is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! Core-layer errors.
+
+use std::fmt;
+use suj_join::JoinError;
+use suj_storage::StorageError;
+
+/// Errors raised by the union sampling framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A workload needs at least one join.
+    NoJoins,
+    /// Joins in a workload disagree on the output attribute set.
+    SchemaMismatch {
+        /// Name of the offending join.
+        join: String,
+    },
+    /// A join-layer error.
+    Join(JoinError),
+    /// A storage-layer error.
+    Storage(StorageError),
+    /// Generic invariant violation with context.
+    Invalid(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NoJoins => write!(f, "union workload must contain at least one join"),
+            CoreError::SchemaMismatch { join } => write!(
+                f,
+                "join `{join}` does not produce the workload's common output schema"
+            ),
+            CoreError::Join(e) => write!(f, "join error: {e}"),
+            CoreError::Storage(e) => write!(f, "storage error: {e}"),
+            CoreError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Join(e) => Some(e),
+            CoreError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<JoinError> for CoreError {
+    fn from(e: JoinError) -> Self {
+        CoreError::Join(e)
+    }
+}
+
+impl From<StorageError> for CoreError {
+    fn from(e: StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = JoinError::NoRelations.into();
+        assert!(matches!(e, CoreError::Join(_)));
+        assert!(e.to_string().contains("join error"));
+        let s: CoreError = StorageError::EmptySchema.into();
+        assert!(s.to_string().contains("storage error"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

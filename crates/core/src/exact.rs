@@ -1,0 +1,179 @@
+//! The `FullJoinUnion` ground-truth baseline (§9).
+//!
+//! Materializes every join, canonicalizes, takes the set union, and
+//! derives the exact [`OverlapMap`]: for each distinct union tuple we
+//! compute its membership bitmask once, then
+//! `|O_Δ| = Σ_{mask ⊇ Δ} count(mask)`. This is the expensive baseline
+//! the estimators are judged against ("FullJoinUnion is extremely
+//! expensive on large datasets", §9) and the oracle for every uniformity
+//! test in the suite.
+
+use crate::error::CoreError;
+use crate::overlap::OverlapMap;
+use crate::workload::UnionWorkload;
+use suj_join::exec::execute;
+use suj_storage::{FxHashMap, FxHashSet, Tuple};
+
+/// Ground truth: materialized joins, union, and exact overlaps.
+#[derive(Debug, Clone)]
+pub struct ExactUnion {
+    /// Distinct result tuples per join (canonical order).
+    pub join_results: Vec<FxHashSet<Tuple>>,
+    /// The set union of all joins.
+    pub union_set: FxHashSet<Tuple>,
+    /// Exact overlap sizes for every subset.
+    pub overlap: OverlapMap,
+}
+
+impl ExactUnion {
+    /// `|U|`.
+    pub fn union_size(&self) -> usize {
+        self.union_set.len()
+    }
+
+    /// `|J_j|`.
+    pub fn join_size(&self, j: usize) -> usize {
+        self.join_results[j].len()
+    }
+}
+
+/// Runs the full-join-union baseline.
+pub fn full_join_union(workload: &UnionWorkload) -> Result<ExactUnion, CoreError> {
+    let n = workload.n_joins();
+    let mut join_results: Vec<FxHashSet<Tuple>> = Vec::with_capacity(n);
+    for j in 0..n {
+        let result = execute(workload.join(j));
+        let set: FxHashSet<Tuple> = result
+            .tuples()
+            .iter()
+            .map(|t| workload.to_canonical(j, t))
+            .collect();
+        join_results.push(set);
+    }
+
+    let mut union_set: FxHashSet<Tuple> = FxHashSet::default();
+    for set in &join_results {
+        union_set.extend(set.iter().cloned());
+    }
+
+    // Membership mask histogram over distinct union tuples.
+    let mut mask_counts: FxHashMap<u32, u64> = FxHashMap::default();
+    for t in &union_set {
+        let mut mask = 0u32;
+        for (j, set) in join_results.iter().enumerate() {
+            if set.contains(t) {
+                mask |= 1 << j;
+            }
+        }
+        *mask_counts.entry(mask).or_insert(0) += 1;
+    }
+
+    let overlap = OverlapMap::from_fn(n, |indices| {
+        let mut delta = 0u32;
+        for &j in indices {
+            delta |= 1 << j;
+        }
+        mask_counts
+            .iter()
+            .filter(|(m, _)| (*m & delta) == delta)
+            .map(|(_, &c)| c as f64)
+            .sum()
+    })?;
+
+    Ok(ExactUnion {
+        join_results,
+        union_set,
+        overlap,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use suj_join::JoinSpec;
+    use suj_storage::{Relation, Schema, Value};
+
+    fn rel(name: &str, attrs: &[&str], rows: Vec<Vec<i64>>) -> Arc<Relation> {
+        let schema = Schema::new(attrs.iter().copied()).unwrap();
+        let tuples = rows
+            .into_iter()
+            .map(|vals| vals.into_iter().map(Value::int).collect())
+            .collect();
+        Arc::new(Relation::new(name, schema, tuples).unwrap())
+    }
+
+    /// Builds two overlapping joins: results share tuples with b = 10.
+    fn workload() -> UnionWorkload {
+        let j1 = JoinSpec::chain(
+            "j1",
+            vec![
+                rel(
+                    "r1",
+                    &["a", "b"],
+                    vec![vec![1, 10], vec![2, 20], vec![3, 10]],
+                ),
+                rel("s1", &["b", "c"], vec![vec![10, 100], vec![20, 200]]),
+            ],
+        )
+        .unwrap();
+        let j2 = JoinSpec::chain(
+            "j2",
+            vec![
+                rel("r2", &["a", "b"], vec![vec![1, 10], vec![5, 50]]),
+                rel("s2", &["b", "c"], vec![vec![10, 100], vec![50, 500]]),
+            ],
+        )
+        .unwrap();
+        UnionWorkload::new(vec![Arc::new(j1), Arc::new(j2)]).unwrap()
+    }
+
+    #[test]
+    fn exact_sizes_and_overlaps() {
+        let w = workload();
+        let exact = full_join_union(&w).unwrap();
+        // J1 = {(1,10,100),(3,10,100),(2,20,200)}; J2 = {(1,10,100),(5,50,500)}.
+        assert_eq!(exact.join_size(0), 3);
+        assert_eq!(exact.join_size(1), 2);
+        assert_eq!(exact.union_size(), 4);
+        assert_eq!(exact.overlap.overlap(&[0, 1]), 1.0);
+        assert_eq!(exact.overlap.join_size(0), 3.0);
+    }
+
+    #[test]
+    fn eq1_union_size_matches_set_union() {
+        let w = workload();
+        let exact = full_join_union(&w).unwrap();
+        assert!((exact.overlap.union_size() - exact.union_size() as f64).abs() < 1e-9);
+        assert!(
+            (exact.overlap.union_size_inclusion_exclusion() - exact.union_size() as f64).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn cover_sizes_sum_to_union() {
+        let w = workload();
+        let exact = full_join_union(&w).unwrap();
+        for order in [[0usize, 1], [1, 0]] {
+            let sizes = exact.overlap.cover_sizes(&order);
+            let sum: f64 = sizes.iter().sum();
+            assert!((sum - exact.union_size() as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn membership_masks_agree_with_oracles() {
+        let w = workload();
+        let exact = full_join_union(&w).unwrap();
+        for t in &exact.union_set {
+            let mut expected = 0u32;
+            for (j, set) in exact.join_results.iter().enumerate() {
+                if set.contains(t) {
+                    expected |= 1 << j;
+                }
+            }
+            assert_eq!(w.membership_mask(t), expected, "tuple {t}");
+        }
+    }
+}

@@ -1,0 +1,403 @@
+//! The histogram-based overlap estimator (§5, §8, Theorem 4).
+//!
+//! Estimates `|O_Δ|` for any subset of joins using only column
+//! statistics — no data access beyond histograms and degrees, matching
+//! the paper's decentralized / data-market setting. The pipeline:
+//!
+//! 1. Cyclic joins are decomposed into skeleton + residual (§8.2), the
+//!    residual acting as a single relation.
+//! 2. A standard template is selected over all joins (§8.1.1) and each
+//!    join is split into an equi-length chain of two-attribute
+//!    relations (§5.2).
+//! 3. Theorem 4's recurrence runs over the aligned chains:
+//!    `K(1) = Σ_{v∈C} min_j d_{A_1}(v,R_{j,1})·d_{A_1}(v,R_{j,2})`, then
+//!    `K(i) = K(i−1) · min_j M_{j,i}` with `M_{j,i} = 1` across fake
+//!    joins.
+//! 4. The final bound is capped by the trivial `min_j |J_j|`.
+//!
+//! The `K(i)` multiplier uses the maximum degree by default; §5.1's
+//! refinement ("replace … with the minimum of the average degree") is
+//! selected with [`DegreeMode::Avg`] — cheaper bounds that are no longer
+//! strict upper bounds but much tighter on skewed data.
+
+use crate::error::CoreError;
+use crate::overlap::OverlapMap;
+use crate::workload::UnionWorkload;
+use suj_join::residual::decompose_cyclic;
+use suj_join::template::{build_template, split_join, DegreeBound, SplitJoin, Template};
+use suj_join::JoinSpec;
+
+/// Which degree statistic drives the `K(i)` multipliers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegreeMode {
+    /// Maximum degree (strict upper bound, §5.1 base form).
+    Max,
+    /// Average degree (§5.1 refinement — tighter, no longer a strict
+    /// bound).
+    Avg,
+}
+
+/// Histogram-based overlap estimator over a union workload.
+#[derive(Debug)]
+pub struct HistogramEstimator {
+    n: usize,
+    template: Template,
+    splits: Vec<SplitJoin>,
+    mode: DegreeMode,
+    /// Per-join size hints (EW exact sizes or EO bounds) used for
+    /// singleton entries and the trivial cap.
+    join_size_hints: Vec<f64>,
+}
+
+impl HistogramEstimator {
+    /// Builds the estimator. `join_size_hints` supplies `|J_j|`
+    /// estimates (the paper instantiates these with EW ground truth or
+    /// EO bounds). `zero_weight` is the §8.1.2 alternating-score
+    /// hyper-parameter (0.0 = plain scores).
+    pub fn new(
+        workload: &UnionWorkload,
+        mode: DegreeMode,
+        join_size_hints: Vec<f64>,
+        zero_weight: f64,
+    ) -> Result<Self, CoreError> {
+        let n = workload.n_joins();
+        if join_size_hints.len() != n {
+            return Err(CoreError::Invalid(format!(
+                "expected {n} join size hints, got {}",
+                join_size_hints.len()
+            )));
+        }
+        // §8.2: treat each cyclic join as skeleton + residual before
+        // splitting.
+        let prepared_specs: Vec<JoinSpec> = workload
+            .joins()
+            .iter()
+            .map(|j| decompose_cyclic(j).map(|d| d.spec))
+            .collect::<Result<_, _>>()
+            .map_err(CoreError::Join)?;
+
+        let spec_refs: Vec<&JoinSpec> = prepared_specs.iter().collect();
+        let template = build_template(&spec_refs, zero_weight).map_err(CoreError::Join)?;
+        let splits: Vec<SplitJoin> = prepared_specs
+            .iter()
+            .map(|s| split_join(s, &template))
+            .collect::<Result<_, _>>()
+            .map_err(CoreError::Join)?;
+
+        Ok(Self {
+            n,
+            template,
+            splits,
+            mode,
+            join_size_hints,
+        })
+    }
+
+    /// Convenience: estimator with extended-Olken join size hints (the
+    /// pure-histogram configuration of §9).
+    pub fn with_olken(
+        workload: &UnionWorkload,
+        mode: DegreeMode,
+    ) -> Result<Self, CoreError> {
+        let hints = workload
+            .joins()
+            .iter()
+            .map(|j| suj_join::bounds::olken_bound(j))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(CoreError::Join)?;
+        Self::new(workload, mode, hints, 0.0)
+    }
+
+    /// The selected template.
+    pub fn template(&self) -> &Template {
+        &self.template
+    }
+
+    /// The per-join split chains.
+    pub fn splits(&self) -> &[SplitJoin] {
+        &self.splits
+    }
+
+    /// The join size hints in use.
+    pub fn join_size_hints(&self) -> &[f64] {
+        &self.join_size_hints
+    }
+
+    fn mode_degree(&self, bound: &DegreeBound) -> f64 {
+        match self.mode {
+            DegreeMode::Max => bound.max_degree(),
+            DegreeMode::Avg => bound.avg_degree(),
+        }
+    }
+
+    /// Estimates `|O_Δ|` for a set of join indices (Theorem 4). A
+    /// singleton returns its size hint.
+    pub fn estimate_overlap(&self, joins: &[usize]) -> f64 {
+        assert!(!joins.is_empty(), "overlap of the empty set is undefined");
+        let cap = joins
+            .iter()
+            .map(|&j| self.join_size_hints[j])
+            .fold(f64::INFINITY, f64::min);
+        if joins.len() == 1 {
+            return cap;
+        }
+        let chain_len = self.splits[joins[0]].relations.len();
+        if chain_len == 0 {
+            // Single-attribute output schema — only the trivial bound.
+            return cap;
+        }
+
+        // K(1): exact per-value pass over the common domain of the first
+        // join attribute (SR_1.y == SR_2.x; for length-1 chains, the
+        // first attribute itself).
+        let k1 = if chain_len == 1 {
+            self.k1_single_relation(joins)
+        } else {
+            self.k1_pairwise(joins)
+        };
+        let mut k = k1;
+
+        // K(i) = K(i−1) · min_j M_{j,i}, with fake joins contributing 1.
+        // K(1) consumed link 0 (relations[0] ⋈ relations[1]); link `s`
+        // connects relations[s] and relations[s+1].
+        for s in 1..chain_len.saturating_sub(1) {
+            let mult = joins
+                .iter()
+                .map(|&j| {
+                    let split = &self.splits[j];
+                    if split.fake_links[s] {
+                        1.0
+                    } else {
+                        self.mode_degree(&split.relations[s + 1].deg_x)
+                    }
+                })
+                .fold(f64::INFINITY, f64::min);
+            k *= mult;
+            if k == 0.0 {
+                break;
+            }
+        }
+
+        k.min(cap).max(0.0)
+    }
+
+    /// `K(1)` when each split chain is a single two-attribute relation:
+    /// `Σ_v min_j d_{X_1}(v, SR_1^j)`.
+    fn k1_single_relation(&self, joins: &[usize]) -> f64 {
+        let domain_join = self.smallest_domain_join(joins, |sj| &sj.relations[0].deg_x);
+        let domain = &self.splits[domain_join].relations[0].deg_x;
+        let mut total = 0.0;
+        for v in domain.values() {
+            let m = joins
+                .iter()
+                .map(|&j| self.splits[j].relations[0].deg_x.degree(v))
+                .fold(f64::INFINITY, f64::min);
+            if m > 0.0 {
+                total += m;
+            }
+        }
+        total
+    }
+
+    /// `K(1) = Σ_{v∈C} min_j d_{A1}(v, R_{j,1}) · d_{A1}(v, R_{j,2})`
+    /// over the first join attribute `A_1 = SR_1.y = SR_2.x`.
+    fn k1_pairwise(&self, joins: &[usize]) -> f64 {
+        let domain_join = self.smallest_domain_join(joins, |sj| &sj.relations[0].deg_y);
+        let domain = &self.splits[domain_join].relations[0].deg_y;
+        let mut total = 0.0;
+        for v in domain.values() {
+            let m = joins
+                .iter()
+                .map(|&j| {
+                    let split = &self.splits[j];
+                    let d1 = split.relations[0].deg_y.degree(v);
+                    let d2 = split.relations[1].deg_x.degree(v);
+                    d1 * d2
+                })
+                .fold(f64::INFINITY, f64::min);
+            if m > 0.0 {
+                total += m;
+            }
+        }
+        total
+    }
+
+    /// The member join whose degree-bound domain is smallest (cheapest
+    /// to iterate; the min over joins makes any choice correct).
+    fn smallest_domain_join<'a>(
+        &'a self,
+        joins: &[usize],
+        f: impl Fn(&'a SplitJoin) -> &'a DegreeBound,
+    ) -> usize {
+        *joins
+            .iter()
+            .min_by_key(|&&j| f(&self.splits[j]).distinct())
+            .expect("nonempty join set")
+    }
+
+    /// The full overlap map (singletons = hints, larger sets =
+    /// Theorem 4 estimates).
+    pub fn overlap_map(&self) -> Result<OverlapMap, CoreError> {
+        OverlapMap::from_fn(self.n, |indices| self.estimate_overlap(indices))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::full_join_union;
+    use std::sync::Arc;
+    use suj_storage::{Relation, Schema, Value};
+
+    fn rel(name: &str, attrs: &[&str], rows: Vec<Vec<i64>>) -> Arc<Relation> {
+        let schema = Schema::new(attrs.iter().copied()).unwrap();
+        let tuples = rows
+            .into_iter()
+            .map(|vals| vals.into_iter().map(Value::int).collect())
+            .collect();
+        Arc::new(Relation::new(name, schema, tuples).unwrap())
+    }
+
+    /// Two equi-length chains with controlled overlap: shared rows in
+    /// both base relations.
+    fn overlapping_chains() -> UnionWorkload {
+        let shared_r: Vec<Vec<i64>> = (0..6).map(|i| vec![i, i % 3]).collect();
+        let shared_s: Vec<Vec<i64>> = (0..3).map(|b| vec![b, 100 + b]).collect();
+
+        let mut r1_rows = shared_r.clone();
+        r1_rows.push(vec![100, 0]);
+        let mut r2_rows = shared_r;
+        r2_rows.push(vec![200, 1]);
+        let mut s1_rows = shared_s.clone();
+        s1_rows.push(vec![7, 700]);
+        let s2_rows = shared_s;
+
+        let j1 = suj_join::JoinSpec::chain(
+            "j1",
+            vec![rel("r1", &["a", "b"], r1_rows), rel("s1", &["b", "c"], s1_rows)],
+        )
+        .unwrap();
+        let j2 = suj_join::JoinSpec::chain(
+            "j2",
+            vec![rel("r2", &["a", "b"], r2_rows), rel("s2", &["b", "c"], s2_rows)],
+        )
+        .unwrap();
+        UnionWorkload::new(vec![Arc::new(j1), Arc::new(j2)]).unwrap()
+    }
+
+    #[test]
+    fn max_mode_bound_dominates_exact_overlap() {
+        let w = overlapping_chains();
+        let exact = full_join_union(&w).unwrap();
+        let sizes = w.exact_join_sizes().unwrap();
+        let est = HistogramEstimator::new(&w, DegreeMode::Max, sizes, 0.0).unwrap();
+        let bound = est.estimate_overlap(&[0, 1]);
+        let truth = exact.overlap.overlap(&[0, 1]);
+        assert!(
+            bound >= truth - 1e-9,
+            "histogram bound {bound} must dominate exact overlap {truth}"
+        );
+    }
+
+    #[test]
+    fn avg_mode_is_tighter_than_max_mode() {
+        let w = overlapping_chains();
+        let sizes = w.exact_join_sizes().unwrap();
+        let max_est = HistogramEstimator::new(&w, DegreeMode::Max, sizes.clone(), 0.0).unwrap();
+        let avg_est = HistogramEstimator::new(&w, DegreeMode::Avg, sizes, 0.0).unwrap();
+        assert!(avg_est.estimate_overlap(&[0, 1]) <= max_est.estimate_overlap(&[0, 1]) + 1e-9);
+    }
+
+    #[test]
+    fn singleton_returns_hint() {
+        let w = overlapping_chains();
+        let est = HistogramEstimator::new(&w, DegreeMode::Max, vec![42.0, 7.0], 0.0).unwrap();
+        assert_eq!(est.estimate_overlap(&[0]), 42.0);
+        assert_eq!(est.estimate_overlap(&[1]), 7.0);
+    }
+
+    #[test]
+    fn cap_by_min_join_size() {
+        let w = overlapping_chains();
+        // Tiny hints force the cap.
+        let est = HistogramEstimator::new(&w, DegreeMode::Max, vec![1.0, 1000.0], 0.0).unwrap();
+        assert!(est.estimate_overlap(&[0, 1]) <= 1.0);
+    }
+
+    #[test]
+    fn identical_joins_overlap_estimate_is_large() {
+        // Two copies of the same join: the overlap is the whole join.
+        let mk = || {
+            suj_join::JoinSpec::chain(
+                "jx",
+                vec![
+                    rel("r", &["a", "b"], (0..5).map(|i| vec![i, i % 2]).collect()),
+                    rel("s", &["b", "c"], vec![vec![0, 10], vec![1, 11]]),
+                ],
+            )
+            .unwrap()
+        };
+        let w = UnionWorkload::new(vec![Arc::new(mk()), Arc::new(mk())]).unwrap();
+        let exact = full_join_union(&w).unwrap();
+        let sizes = w.exact_join_sizes().unwrap();
+        let est = HistogramEstimator::new(&w, DegreeMode::Max, sizes.clone(), 0.0).unwrap();
+        let bound = est.estimate_overlap(&[0, 1]);
+        let truth = exact.overlap.overlap(&[0, 1]);
+        assert!(bound >= truth - 1e-9);
+        assert!(bound <= sizes[0] + 1e-9, "cap at |J|");
+    }
+
+    #[test]
+    fn overlap_map_feeds_union_size() {
+        let w = overlapping_chains();
+        let exact = full_join_union(&w).unwrap();
+        let sizes = w.exact_join_sizes().unwrap();
+        let est = HistogramEstimator::new(&w, DegreeMode::Max, sizes, 0.0).unwrap();
+        let map = est.overlap_map().unwrap();
+        // Estimated |U| via Eq. 1: k-overlap clamping keeps it ≥ the
+        // exact union's lower pieces; sanity: strictly positive and not
+        // absurdly far off.
+        let est_u = map.union_size();
+        let true_u = exact.union_size() as f64;
+        assert!(est_u > 0.0);
+        assert!(est_u >= true_u * 0.2, "est {est_u} truth {true_u}");
+    }
+
+    #[test]
+    fn olken_hint_constructor() {
+        let w = overlapping_chains();
+        let est = HistogramEstimator::with_olken(&w, DegreeMode::Max).unwrap();
+        let exact_sizes = w.exact_join_sizes().unwrap();
+        for (hint, exact) in est.join_size_hints().iter().zip(&exact_sizes) {
+            assert!(hint >= exact);
+        }
+    }
+
+    #[test]
+    fn cyclic_join_estimation_via_residual() {
+        let tri = |suffix: &str, extra: i64| {
+            suj_join::JoinSpec::natural(
+                format!("tri{suffix}"),
+                vec![
+                    rel("x", &["a", "b"], vec![vec![1, 2], vec![extra, 2]]),
+                    rel("y", &["b", "c"], vec![vec![2, 3]]),
+                    rel("z", &["c", "a"], vec![vec![3, 1], vec![3, extra]]),
+                ],
+            )
+            .unwrap()
+        };
+        let w = UnionWorkload::new(vec![Arc::new(tri("1", 5)), Arc::new(tri("2", 7))]).unwrap();
+        let exact = full_join_union(&w).unwrap();
+        let sizes = w.exact_join_sizes().unwrap();
+        let est = HistogramEstimator::new(&w, DegreeMode::Max, sizes, 0.0).unwrap();
+        let bound = est.estimate_overlap(&[0, 1]);
+        let truth = exact.overlap.overlap(&[0, 1]);
+        assert!(bound >= truth - 1e-9, "bound {bound} truth {truth}");
+    }
+
+    #[test]
+    fn rejects_wrong_hint_count() {
+        let w = overlapping_chains();
+        assert!(HistogramEstimator::new(&w, DegreeMode::Max, vec![1.0], 0.0).is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! Sampling over the union of joins — the paper's primary contribution.
+//!
+//! Given joins `S = {J_1 … J_n}` with a common output schema, this crate
+//! returns independent uniform samples from `J_1 ∪ … ∪ J_n` (set union)
+//! or `J_1 ⊎ … ⊎ J_n` (disjoint union) without materializing any join:
+//!
+//! * [`workload`] — a validated union workload: joins canonicalized to a
+//!   shared attribute order, with membership oracles.
+//! * [`overlap`] — the `OverlapMap` over all join subsets, k-overlap
+//!   decomposition `A_j^k` (Theorem 3), union size (Eq. 1), and
+//!   inclusion–exclusion cover sizes (§3.1).
+//! * [`exact`] — the `FullJoinUnion` ground-truth baseline (§9).
+//! * [`hist_estimator`] — the histogram-based overlap estimator
+//!   (Theorem 4 over split joins; §5, §8).
+//! * [`walk_estimator`] — the random-walk overlap estimator with the
+//!   Eq. 3 confidence interval (§6), producing the reuse pools.
+//! * [`cover`] — cover construction over join orderings.
+//! * [`disjoint`] — sampling the disjoint union (Definition 1).
+//! * [`bernoulli`] — the Bernoulli "union trick" sampler (§3).
+//! * [`algorithm1`] — non-Bernoulli union sampling with rejection and
+//!   revision (Algorithm 1).
+//! * [`algorithm2`] — online union sampling with sample reuse and
+//!   backtracking (Algorithm 2, §7).
+//! * [`predicate_mode`] — selection predicates: push-down and
+//!   reject-during-sampling (§8.3).
+//! * [`report`] — run reports: acceptance/rejection/revision counters
+//!   and phase timing breakdowns (Fig. 5f–h).
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use suj_core::prelude::*;
+//! use suj_core::algorithm1::UnionSamplerConfig;
+//! use suj_join::JoinSpec;
+//! use suj_stats::SujRng;
+//! use suj_storage::{Relation, Schema, Tuple, Value};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let rel = |name: &str, attrs: [&str; 2], rows: &[(i64, i64)]| {
+//!     let tuples = rows.iter()
+//!         .map(|&(x, y)| Tuple::new(vec![Value::int(x), Value::int(y)]))
+//!         .collect();
+//!     Arc::new(Relation::new(name, Schema::new(attrs).unwrap(), tuples).unwrap())
+//! };
+//! // Two joins with one shared result tuple.
+//! let j1 = JoinSpec::chain("j1", vec![
+//!     rel("r1", ["a", "b"], &[(1, 10), (2, 20)]),
+//!     rel("s1", ["b", "c"], &[(10, 100), (20, 200)]),
+//! ])?;
+//! let j2 = JoinSpec::chain("j2", vec![
+//!     rel("r2", ["a", "b"], &[(1, 10), (3, 30)]),
+//!     rel("s2", ["b", "c"], &[(10, 100), (30, 300)]),
+//! ])?;
+//! let workload = Arc::new(UnionWorkload::new(vec![Arc::new(j1), Arc::new(j2)])?);
+//!
+//! // Ground-truth parameters here; estimators supply them in practice.
+//! let exact = full_join_union(&workload)?;
+//! assert_eq!(exact.union_size(), 3); // (1,10,100) is shared
+//!
+//! let sampler = SetUnionSampler::new(
+//!     workload, &exact.overlap, UnionSamplerConfig::default())?;
+//! let mut rng = SujRng::seed_from_u64(7);
+//! let (samples, _report) = sampler.sample(5, &mut rng)?;
+//! assert_eq!(samples.len(), 5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithm1;
+pub mod algorithm2;
+pub mod bernoulli;
+pub mod cover;
+pub mod disjoint;
+pub mod error;
+pub mod exact;
+pub mod hist_estimator;
+pub mod overlap;
+pub mod predicate_mode;
+pub mod report;
+pub mod walk_estimator;
+pub mod workload;
+
+pub use algorithm1::{CoverPolicy, SetUnionSampler, UnionSamplerConfig};
+pub use algorithm2::{OnlineConfig, OnlineUnionSampler};
+pub use bernoulli::{BernoulliUnionSampler, DesignationPolicy};
+pub use cover::{Cover, CoverStrategy};
+pub use error::CoreError;
+pub use exact::{full_join_union, ExactUnion};
+pub use hist_estimator::{DegreeMode, HistogramEstimator};
+pub use overlap::OverlapMap;
+pub use report::RunReport;
+pub use walk_estimator::{WalkEstimate, WalkEstimatorConfig};
+pub use workload::UnionWorkload;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::algorithm1::{CoverPolicy, SetUnionSampler, UnionSamplerConfig};
+    pub use crate::algorithm2::{OnlineConfig, OnlineUnionSampler};
+    pub use crate::bernoulli::{BernoulliUnionSampler, DesignationPolicy};
+    pub use crate::cover::{Cover, CoverStrategy};
+    pub use crate::disjoint::DisjointUnionSampler;
+    pub use crate::error::CoreError;
+    pub use crate::exact::{full_join_union, ExactUnion};
+    pub use crate::hist_estimator::{DegreeMode, HistogramEstimator};
+    pub use crate::overlap::OverlapMap;
+    pub use crate::report::RunReport;
+    pub use crate::walk_estimator::{WalkEstimate, WalkEstimatorConfig};
+    pub use crate::workload::UnionWorkload;
+}

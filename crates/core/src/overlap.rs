@@ -1,0 +1,299 @@
+//! Overlap maps, k-overlaps, union size, and cover sizes (§3.1, §4).
+//!
+//! An [`OverlapMap`] stores (exact or estimated) sizes `|O_Δ|` for every
+//! nonempty subset `Δ ⊆ S` of the workload's joins, indexed by bitmask.
+//! On top of it:
+//!
+//! * **Theorem 3** — the k-overlap decomposition: `|A_j^k|`, the number
+//!   of tuples of `J_j` appearing in exactly `k − 1` other joins,
+//!   computed top-down from `k = n` with exact binomial coefficients.
+//! * **Eq. 1** — `|U| = Σ_j Σ_k |A_j^k| / k`.
+//! * **§3.1** — cover sizes by inclusion–exclusion:
+//!   `|J'_i| = Σ_{Δ ⊆ S_i} (−1)^{|Δ|} |O_{Δ ∪ {i}}|` over the joins
+//!   `S_i` preceding `i` in the cover order.
+//!
+//! With exact overlaps these three views agree exactly; with estimates
+//! they are clamped to stay non-negative.
+
+use crate::error::CoreError;
+use suj_stats::binom::binomial_f64 as binom;
+
+/// Sizes `|O_Δ|` for every nonempty `Δ ⊆ S`, indexed by bitmask.
+#[derive(Debug, Clone)]
+pub struct OverlapMap {
+    n: usize,
+    /// `sizes[mask]` = `|O_Δ|` where bit `j` of `mask` selects join `j`.
+    /// Entry 0 is unused.
+    sizes: Vec<f64>,
+}
+
+impl OverlapMap {
+    /// Builds a map from a full size table (`sizes.len() == 2^n`,
+    /// `sizes[0]` ignored). Values must be finite and non-negative.
+    pub fn new(n: usize, sizes: Vec<f64>) -> Result<Self, CoreError> {
+        if n == 0 || n >= 30 {
+            return Err(CoreError::Invalid(format!(
+                "overlap map supports 1..=29 joins, got {n}"
+            )));
+        }
+        if sizes.len() != 1 << n {
+            return Err(CoreError::Invalid(format!(
+                "overlap table must have 2^{n} entries, got {}",
+                sizes.len()
+            )));
+        }
+        for (mask, &s) in sizes.iter().enumerate().skip(1) {
+            if !s.is_finite() || s < 0.0 {
+                return Err(CoreError::Invalid(format!(
+                    "overlap size for mask {mask:#b} is invalid: {s}"
+                )));
+            }
+        }
+        Ok(Self { n, sizes })
+    }
+
+    /// Builds a map by evaluating `f` on every nonempty subset (given as
+    /// a sorted index list).
+    pub fn from_fn(
+        n: usize,
+        mut f: impl FnMut(&[usize]) -> f64,
+    ) -> Result<Self, CoreError> {
+        if n == 0 || n >= 30 {
+            return Err(CoreError::Invalid(format!(
+                "overlap map supports 1..=29 joins, got {n}"
+            )));
+        }
+        let mut sizes = vec![0.0f64; 1 << n];
+        let mut indices = Vec::with_capacity(n);
+        for (mask, entry) in sizes.iter_mut().enumerate().skip(1) {
+            indices.clear();
+            for j in 0..n {
+                if mask & (1 << j) != 0 {
+                    indices.push(j);
+                }
+            }
+            *entry = f(&indices);
+        }
+        Self::new(n, sizes)
+    }
+
+    /// Number of joins.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `|O_Δ|` by bitmask. Panics on mask 0 or out-of-range masks.
+    pub fn overlap_mask(&self, mask: u32) -> f64 {
+        assert!(mask != 0 && (mask as usize) < (1 << self.n), "bad mask");
+        self.sizes[mask as usize]
+    }
+
+    /// `|O_Δ|` for a set of join indices.
+    pub fn overlap(&self, joins: &[usize]) -> f64 {
+        let mut mask = 0u32;
+        for &j in joins {
+            assert!(j < self.n, "join index {j} out of range");
+            mask |= 1 << j;
+        }
+        self.overlap_mask(mask)
+    }
+
+    /// `|J_j|` (the singleton overlap).
+    pub fn join_size(&self, j: usize) -> f64 {
+        self.overlap(&[j])
+    }
+
+    /// All k-overlaps `|A_j^k|` for join `j` (index 0 of the result is
+    /// `k = 1`), per Theorem 3, clamped to be non-negative (estimates may
+    /// momentarily dip below zero).
+    pub fn k_overlaps(&self, j: usize) -> Vec<f64> {
+        let n = self.n;
+        assert!(j < n);
+        let mut a = vec![0.0f64; n + 1]; // a[k], 1-based
+        // Base case k = n: |A_j^n| = |O_S|.
+        a[n] = self.sizes[(1usize << n) - 1];
+        for k in (1..n).rev() {
+            // Σ over Δ of size k containing j.
+            let mut sum = 0.0;
+            for mask in 1..(1u32 << n) {
+                if mask & (1 << j) != 0 && mask.count_ones() as usize == k {
+                    sum += self.sizes[mask as usize];
+                }
+            }
+            // Deduct higher-order contributions.
+            for (r, &ar) in a.iter().enumerate().take(n + 1).skip(k + 1) {
+                sum -= binom((r - 1) as u64, (k - 1) as u64) * ar;
+            }
+            a[k] = sum.max(0.0);
+        }
+        a.remove(0);
+        a
+    }
+
+    /// Union size via Eq. 1: `|U| = Σ_j Σ_k |A_j^k| / k`.
+    pub fn union_size(&self) -> f64 {
+        let mut total = 0.0;
+        for j in 0..self.n {
+            for (k0, ak) in self.k_overlaps(j).iter().enumerate() {
+                total += ak / (k0 + 1) as f64;
+            }
+        }
+        total
+    }
+
+    /// Union size via classic inclusion–exclusion (cross-check):
+    /// `|U| = Σ_{∅≠Δ} (−1)^{|Δ|+1} |O_Δ|`.
+    pub fn union_size_inclusion_exclusion(&self) -> f64 {
+        let mut total = 0.0;
+        for mask in 1..(1u32 << self.n) {
+            let sign = if mask.count_ones() % 2 == 1 { 1.0 } else { -1.0 };
+            total += sign * self.sizes[mask as usize];
+        }
+        total.max(0.0)
+    }
+
+    /// Cover sizes `|J'_i|` for a given cover order (a permutation of
+    /// `0..n`), indexed by join (not by order position). Clamped
+    /// non-negative.
+    ///
+    /// `|J'_i| = Σ_{Δ ⊆ S_i} (−1)^{|Δ|} |O_{Δ ∪ {i}}|`, where `S_i` is
+    /// the set of joins preceding `i` in the order.
+    pub fn cover_sizes(&self, order: &[usize]) -> Vec<f64> {
+        assert_eq!(order.len(), self.n, "order must be a permutation");
+        let mut sizes = vec![0.0f64; self.n];
+        let mut prior_mask = 0u32;
+        for &i in order {
+            assert!(i < self.n && prior_mask & (1 << i) == 0, "bad permutation");
+            // Enumerate all submasks of prior_mask (including 0).
+            let mut acc = 0.0;
+            let mut sub = prior_mask;
+            loop {
+                let sign = if sub.count_ones().is_multiple_of(2) { 1.0 } else { -1.0 };
+                acc += sign * self.sizes[(sub | (1 << i)) as usize];
+                if sub == 0 {
+                    break;
+                }
+                sub = (sub - 1) & prior_mask;
+            }
+            sizes[i] = acc.max(0.0);
+            prior_mask |= 1 << i;
+        }
+        sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three joins as explicit sets for exact arithmetic:
+    /// J0 = {1..10}, J1 = {6..13}, J2 = {9..20}.
+    fn three_set_map() -> OverlapMap {
+        let j0: Vec<i32> = (1..=10).collect();
+        let j1: Vec<i32> = (6..=13).collect();
+        let j2: Vec<i32> = (9..=20).collect();
+        let sets = [j0, j1, j2];
+        OverlapMap::from_fn(3, |idx| {
+            let mut iter = idx.iter();
+            let first = &sets[*iter.next().unwrap()];
+            first
+                .iter()
+                .filter(|x| idx.iter().all(|&j| sets[j].contains(x)))
+                .count() as f64
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn singleton_sizes() {
+        let m = three_set_map();
+        assert_eq!(m.join_size(0), 10.0);
+        assert_eq!(m.join_size(1), 8.0);
+        assert_eq!(m.join_size(2), 12.0);
+        assert_eq!(m.overlap(&[0, 1]), 5.0); // {6..10}
+        assert_eq!(m.overlap(&[1, 2]), 5.0); // {9..13}
+        assert_eq!(m.overlap(&[0, 2]), 2.0); // {9,10}
+        assert_eq!(m.overlap(&[0, 1, 2]), 2.0); // {9,10}
+    }
+
+    #[test]
+    fn k_overlaps_match_hand_computation() {
+        let m = three_set_map();
+        // J0 = {1..10}: exactly-1 = {1..5} (5), exactly-2 = {6,7,8} (3),
+        // exactly-3 = {9,10} (2).
+        assert_eq!(m.k_overlaps(0), vec![5.0, 3.0, 2.0]);
+        // J1 = {6..13}: exactly-1 = ∅... {6,7,8} in J0, {9,10} in both,
+        // {11,12,13} in J2 → exactly-1 = 0, exactly-2 = 6, exactly-3 = 2.
+        assert_eq!(m.k_overlaps(1), vec![0.0, 6.0, 2.0]);
+        // J2 = {9..20}: exactly-1 = {14..20} (7), exactly-2 = {11,12,13}
+        // (3), exactly-3 = {9,10} (2).
+        assert_eq!(m.k_overlaps(2), vec![7.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn union_size_via_eq1_matches_truth() {
+        let m = three_set_map();
+        // U = {1..20} → 20.
+        assert!((m.union_size() - 20.0).abs() < 1e-9);
+        assert!((m.union_size_inclusion_exclusion() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cover_sizes_partition_the_union() {
+        let m = three_set_map();
+        for order in [[0, 1, 2], [2, 1, 0], [1, 0, 2], [2, 0, 1]] {
+            let sizes = m.cover_sizes(&order);
+            let total: f64 = sizes.iter().sum();
+            assert!(
+                (total - 20.0).abs() < 1e-9,
+                "cover for order {order:?} must partition the union, got {total}"
+            );
+        }
+        // Hand check for order [0,1,2]:
+        // J'_0 = J0 = 10; J'_1 = J1 − J0∩J1 = 8 − 5 = 3;
+        // J'_2 = J2 − |J02| − |J12| + |J012| = 12 − 2 − 5 + 2 = 7.
+        let sizes = m.cover_sizes(&[0, 1, 2]);
+        assert_eq!(sizes, vec![10.0, 3.0, 7.0]);
+    }
+
+    #[test]
+    fn two_join_map() {
+        let m = OverlapMap::new(2, vec![0.0, 10.0, 8.0, 4.0]).unwrap();
+        assert_eq!(m.union_size_inclusion_exclusion(), 14.0);
+        assert!((m.union_size() - 14.0).abs() < 1e-9);
+        assert_eq!(m.k_overlaps(0), vec![6.0, 4.0]);
+        assert_eq!(m.k_overlaps(1), vec![4.0, 4.0]);
+        let sizes = m.cover_sizes(&[1, 0]);
+        assert_eq!(sizes, vec![6.0, 8.0]);
+    }
+
+    #[test]
+    fn estimates_clamp_negative_k_overlaps() {
+        // Inconsistent estimates: pairwise overlap larger than the join.
+        let m = OverlapMap::new(2, vec![0.0, 5.0, 5.0, 9.0]).unwrap();
+        let a0 = m.k_overlaps(0);
+        assert!(a0.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn validation_rejects_bad_input() {
+        assert!(OverlapMap::new(0, vec![]).is_err());
+        assert!(OverlapMap::new(2, vec![0.0; 3]).is_err());
+        assert!(OverlapMap::new(1, vec![0.0, f64::NAN]).is_err());
+        assert!(OverlapMap::new(1, vec![0.0, -1.0]).is_err());
+    }
+
+    #[test]
+    fn single_join_degenerates() {
+        let m = OverlapMap::new(1, vec![0.0, 42.0]).unwrap();
+        assert_eq!(m.union_size(), 42.0);
+        assert_eq!(m.cover_sizes(&[0]), vec![42.0]);
+        assert_eq!(m.k_overlaps(0), vec![42.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad mask")]
+    fn zero_mask_panics() {
+        three_set_map().overlap_mask(0);
+    }
+}

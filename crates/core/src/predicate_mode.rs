@@ -1,0 +1,267 @@
+//! Selection predicates over joins (§8.3).
+//!
+//! Two execution modes:
+//!
+//! * **Push-down** ([`push_down`]): filter each base relation with the
+//!   conjuncts that mention only its attributes, then sample the
+//!   filtered join. Works for both estimator families and is how the
+//!   UQ2 workload applies its `Q2` predicates.
+//! * **Reject-during-sampling** ([`FilteredSampler`]): wrap any join
+//!   sampler and reject samples failing the predicate — "works with
+//!   only random-walk [style sampling] … most appropriate for selection
+//!   predicates that are not very selective" since it adds a rejection
+//!   factor equal to the selectivity.
+
+use crate::error::CoreError;
+use std::sync::Arc;
+use suj_join::{JoinSampler, JoinSpec, SampleOutcome};
+use suj_stats::SujRng;
+use suj_storage::{CompiledPredicate, Predicate, Relation};
+
+/// Pushes a conjunctive predicate down to base relations, returning an
+/// equivalent filtered join.
+///
+/// The predicate must be decomposable into single-attribute conjuncts
+/// (`True`, `Compare`, or `And` of those); each conjunct filters every
+/// relation containing its attribute. For natural joins this preserves
+/// semantics exactly: `σ_{A op c}(R ⋈ S) = σ(R) ⋈ σ(S)`.
+pub fn push_down(
+    spec: &JoinSpec,
+    predicate: &Predicate,
+    name: &str,
+) -> Result<JoinSpec, CoreError> {
+    let conjuncts = flatten_conjuncts(predicate)?;
+
+    let mut new_relations: Vec<Arc<Relation>> = Vec::with_capacity(spec.n_relations());
+    for rel in spec.relations() {
+        // Conjuncts whose attribute lives in this relation.
+        let applicable: Vec<&Predicate> = conjuncts
+            .iter()
+            .copied()
+            .filter(|c| match c {
+                Predicate::Compare { attr, .. } => rel.schema().contains(attr),
+                _ => false,
+            })
+            .collect();
+        if applicable.is_empty() {
+            new_relations.push(rel.clone());
+        } else {
+            let combined = Predicate::And(applicable.into_iter().cloned().collect());
+            let compiled = combined.compile(rel.schema()).map_err(CoreError::Storage)?;
+            let filtered = rel.filter(format!("{}__σ", rel.name()), &compiled);
+            new_relations.push(Arc::new(filtered));
+        }
+    }
+
+    // Every conjunct must have found at least one home.
+    for c in &conjuncts {
+        if let Predicate::Compare { attr, .. } = c {
+            if !spec
+                .relations()
+                .iter()
+                .any(|r| r.schema().contains(attr))
+            {
+                return Err(CoreError::Invalid(format!(
+                    "predicate attribute `{attr}` not in any relation of `{}`",
+                    spec.name()
+                )));
+            }
+        }
+    }
+
+    JoinSpec::with_edges(name, new_relations, spec.edges().to_vec()).map_err(CoreError::Join)
+}
+
+/// Flattens a predicate into single-attribute conjuncts; fails on `Or` /
+/// `Not` (those cannot be pushed down independently).
+fn flatten_conjuncts(p: &Predicate) -> Result<Vec<&Predicate>, CoreError> {
+    let mut out = Vec::new();
+    fn walk<'a>(p: &'a Predicate, out: &mut Vec<&'a Predicate>) -> Result<(), CoreError> {
+        match p {
+            Predicate::True => Ok(()),
+            Predicate::Compare { .. } => {
+                out.push(p);
+                Ok(())
+            }
+            Predicate::And(children) => {
+                for c in children {
+                    walk(c, out)?;
+                }
+                Ok(())
+            }
+            Predicate::Or(_) | Predicate::Not(_) => Err(CoreError::Invalid(
+                "only conjunctions of comparisons can be pushed down; use \
+                 FilteredSampler for general predicates"
+                    .into(),
+            )),
+        }
+    }
+    walk(p, &mut out)?;
+    Ok(out)
+}
+
+/// Reject-during-sampling wrapper: uniform over `σ_pred(J)`.
+pub struct FilteredSampler {
+    inner: Box<dyn JoinSampler>,
+    predicate: CompiledPredicate,
+}
+
+impl FilteredSampler {
+    /// Wraps a sampler; the predicate is compiled against the join's
+    /// output schema.
+    pub fn new(inner: Box<dyn JoinSampler>, predicate: &Predicate) -> Result<Self, CoreError> {
+        let compiled = predicate
+            .compile(inner.spec().output_schema())
+            .map_err(CoreError::Storage)?;
+        Ok(Self {
+            inner,
+            predicate: compiled,
+        })
+    }
+}
+
+impl JoinSampler for FilteredSampler {
+    fn spec(&self) -> &JoinSpec {
+        self.inner.spec()
+    }
+
+    fn sample(&self, rng: &mut SujRng) -> SampleOutcome {
+        match self.inner.sample(rng) {
+            SampleOutcome::Accepted(t) if self.predicate.eval(&t) => SampleOutcome::Accepted(t),
+            _ => SampleOutcome::Rejected,
+        }
+    }
+
+    fn join_size_hint(&self) -> f64 {
+        // The unfiltered hint remains a valid upper bound.
+        self.inner.join_size_hint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suj_join::exec::execute;
+    use suj_join::weights::build_sampler;
+    use suj_join::WeightKind;
+    use suj_storage::{CompareOp, FxHashSet, Schema, Tuple, Value};
+
+    fn rel(name: &str, attrs: &[&str], rows: Vec<Vec<i64>>) -> Arc<Relation> {
+        let schema = Schema::new(attrs.iter().copied()).unwrap();
+        let tuples = rows
+            .into_iter()
+            .map(|vals| vals.into_iter().map(Value::int).collect())
+            .collect();
+        Arc::new(Relation::new(name, schema, tuples).unwrap())
+    }
+
+    fn spec() -> JoinSpec {
+        JoinSpec::chain(
+            "j",
+            vec![
+                rel(
+                    "r",
+                    &["a", "b"],
+                    vec![vec![1, 10], vec![2, 10], vec![3, 20], vec![4, 20]],
+                ),
+                rel(
+                    "s",
+                    &["b", "c"],
+                    vec![vec![10, 100], vec![10, 101], vec![20, 200]],
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn push_down_equals_filter_after_join() {
+        let spec = spec();
+        let pred = Predicate::And(vec![
+            Predicate::cmp("a", CompareOp::Le, Value::int(3)),
+            Predicate::cmp("c", CompareOp::Lt, Value::int(200)),
+        ]);
+        let pushed = push_down(&spec, &pred, "j_σ").unwrap();
+        let pushed_set = execute(&pushed).distinct_set();
+
+        // Ground truth: filter the full join output.
+        let full = execute(&spec);
+        let compiled = pred.compile(spec.output_schema()).unwrap();
+        let expected: FxHashSet<Tuple> = full
+            .tuples()
+            .iter()
+            .filter(|t| compiled.eval(t))
+            .cloned()
+            .collect();
+        assert_eq!(pushed_set, expected);
+        assert!(!expected.is_empty());
+    }
+
+    #[test]
+    fn push_down_on_join_attribute_filters_both_sides() {
+        let spec = spec();
+        let pred = Predicate::eq("b", Value::int(10));
+        let pushed = push_down(&spec, &pred, "j_b").unwrap();
+        // Both relations lost their b=20 rows.
+        assert_eq!(pushed.relation(0).len(), 2);
+        assert_eq!(pushed.relation(1).len(), 2);
+    }
+
+    #[test]
+    fn push_down_rejects_disjunctions() {
+        let spec = spec();
+        let pred = Predicate::Or(vec![Predicate::eq("a", Value::int(1))]);
+        assert!(push_down(&spec, &pred, "bad").is_err());
+    }
+
+    #[test]
+    fn push_down_rejects_unknown_attribute() {
+        let spec = spec();
+        let pred = Predicate::eq("zz", Value::int(1));
+        assert!(push_down(&spec, &pred, "bad").is_err());
+    }
+
+    #[test]
+    fn filtered_sampler_uniform_over_selection() {
+        let spec = Arc::new(spec());
+        let pred = Predicate::cmp("c", CompareOp::Le, Value::int(101));
+        let inner = build_sampler(spec.clone(), WeightKind::Exact).unwrap();
+        let sampler = FilteredSampler::new(inner, &pred).unwrap();
+
+        let compiled = pred.compile(spec.output_schema()).unwrap();
+        let expected: Vec<Tuple> = execute(&spec)
+            .tuples()
+            .iter()
+            .filter(|t| compiled.eval(t))
+            .cloned()
+            .collect();
+        assert!(expected.len() >= 2);
+
+        let mut rng = SujRng::seed_from_u64(3);
+        let mut counts: suj_storage::FxHashMap<Tuple, u64> = Default::default();
+        let mut accepted = 0;
+        while accepted < 2_000 * expected.len() {
+            if let SampleOutcome::Accepted(t) = sampler.sample(&mut rng) {
+                assert!(compiled.eval(&t));
+                *counts.entry(t).or_insert(0) += 1;
+                accepted += 1;
+            }
+        }
+        let observed: Vec<u64> = expected
+            .iter()
+            .map(|t| counts.get(t).copied().unwrap_or(0))
+            .collect();
+        let outcome = suj_stats::chi_square_test(&observed).unwrap();
+        assert!(outcome.p_value > 0.001, "p = {}", outcome.p_value);
+    }
+
+    #[test]
+    fn true_predicate_is_identity() {
+        let spec = spec();
+        let pushed = push_down(&spec, &Predicate::True, "same").unwrap();
+        assert_eq!(
+            execute(&pushed).distinct_set(),
+            execute(&spec).distinct_set()
+        );
+    }
+}

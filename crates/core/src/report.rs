@@ -1,0 +1,174 @@
+//! Run reports: counters and phase timing (Fig. 5f–h, Fig. 6b).
+//!
+//! Every union sampler produces a [`RunReport`] recording where time and
+//! attempts went: parameter estimation (warm-up), producing accepted
+//! answers, producing rejected answers, reuse-phase draws, revisions,
+//! and backtracking — the quantities the paper's time-breakdown and
+//! per-phase figures plot.
+
+use std::time::Duration;
+
+/// Counters and timings for one sampling run.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Tuples in the returned sample.
+    pub accepted: u64,
+    /// Samples rejected by cover logic (drawn from a join but owned by
+    /// an earlier cover member).
+    pub rejected_cover: u64,
+    /// Rejections inside the join-sampling subroutine (failed walks,
+    /// EO acceptance tests, cycle-consistency).
+    pub rejected_join: u64,
+    /// Revisions performed (Algorithm 1 lines 10–12).
+    pub revised: u64,
+    /// Tuples removed from the sample by revisions.
+    pub revision_removed: u64,
+    /// Reuse-pool draws that were accepted (Algorithm 2).
+    pub reuse_accepted: u64,
+    /// Sample copies emitted through the reuse path (§7's rate R can
+    /// emit several per accepted draw).
+    pub reuse_copies: u64,
+    /// Reuse-pool draws that were rejected (Algorithm 2).
+    pub reuse_rejected: u64,
+    /// Tuples dropped by backtracking (Algorithm 2, §7).
+    pub backtrack_dropped: u64,
+    /// Parameter-update rounds performed (Algorithm 2).
+    pub update_rounds: u64,
+    /// Per-join draw counts (how often each join was selected).
+    pub join_draws: Vec<u64>,
+    /// Warm-up / parameter-estimation wall time.
+    pub warmup_time: Duration,
+    /// Wall time spent producing accepted answers.
+    pub accepted_time: Duration,
+    /// Wall time spent producing rejected answers.
+    pub rejected_time: Duration,
+    /// Wall time spent in the reuse phase (Algorithm 2).
+    pub reuse_time: Duration,
+    /// Wall time spent updating estimates and backtracking.
+    pub update_time: Duration,
+}
+
+impl RunReport {
+    /// Creates an empty report for `n_joins` joins.
+    pub fn new(n_joins: usize) -> Self {
+        Self {
+            join_draws: vec![0; n_joins],
+            ..Self::default()
+        }
+    }
+
+    /// Total sampling attempts that reached the cover logic.
+    pub fn attempts(&self) -> u64 {
+        self.accepted + self.rejected_cover + self.reuse_rejected
+    }
+
+    /// Overall acceptance ratio (accepted / attempts); 1.0 when no
+    /// attempts were made.
+    pub fn acceptance_ratio(&self) -> f64 {
+        let attempts = self.attempts();
+        if attempts == 0 {
+            1.0
+        } else {
+            self.accepted as f64 / attempts as f64
+        }
+    }
+
+    /// Total wall time across phases.
+    pub fn total_time(&self) -> Duration {
+        self.warmup_time + self.accepted_time + self.rejected_time + self.reuse_time
+            + self.update_time
+    }
+
+    /// Samples accepted through the regular (non-reuse) path.
+    pub fn regular_accepted(&self) -> u64 {
+        self.accepted.saturating_sub(self.reuse_copies)
+    }
+
+    /// Mean time per accepted tuple in the regular phase; `None` when
+    /// nothing was accepted there (Fig. 6b's per-sample metric).
+    pub fn time_per_accepted(&self) -> Option<Duration> {
+        let regular = self.regular_accepted();
+        if regular == 0 {
+            None
+        } else {
+            Some(self.accepted_time / regular.max(1) as u32)
+        }
+    }
+
+    /// Mean time per reuse-emitted sample copy; `None` when the reuse
+    /// phase never accepted (Fig. 6b's reuse-phase metric).
+    pub fn time_per_reuse_accepted(&self) -> Option<Duration> {
+        if self.reuse_copies == 0 {
+            None
+        } else {
+            Some(self.reuse_time / self.reuse_copies.max(1) as u32)
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "accepted={} rejected_cover={} rejected_join={} revised={} reuse={}({} rej) backtrack_dropped={} acceptance={:.3} total={:?}",
+            self.accepted,
+            self.rejected_cover,
+            self.rejected_join,
+            self.revised,
+            self.reuse_accepted,
+            self.reuse_rejected,
+            self.backtrack_dropped,
+            self.acceptance_ratio(),
+            self.total_time(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_and_totals() {
+        let mut r = RunReport::new(3);
+        r.accepted = 80;
+        r.rejected_cover = 20;
+        assert_eq!(r.attempts(), 100);
+        assert!((r.acceptance_ratio() - 0.8).abs() < 1e-12);
+        assert_eq!(r.join_draws.len(), 3);
+    }
+
+    #[test]
+    fn empty_report_is_benign() {
+        let r = RunReport::new(0);
+        assert_eq!(r.attempts(), 0);
+        assert_eq!(r.acceptance_ratio(), 1.0);
+        assert!(r.time_per_accepted().is_none());
+        assert!(r.time_per_reuse_accepted().is_none());
+        assert_eq!(r.total_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn per_sample_times() {
+        let mut r = RunReport::new(1);
+        r.accepted = 4;
+        r.accepted_time = Duration::from_millis(40);
+        assert_eq!(r.time_per_accepted(), Some(Duration::from_millis(10)));
+        r.reuse_accepted = 2;
+        r.reuse_copies = 2;
+        r.reuse_time = Duration::from_millis(10);
+        assert_eq!(r.time_per_reuse_accepted(), Some(Duration::from_millis(5)));
+        // Copies emitted by reuse do not count toward the regular phase.
+        r.accepted += 2;
+        assert_eq!(r.regular_accepted(), 4);
+        assert_eq!(r.time_per_accepted(), Some(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn summary_mentions_key_counters() {
+        let mut r = RunReport::new(1);
+        r.accepted = 7;
+        r.revised = 2;
+        let s = r.summary();
+        assert!(s.contains("accepted=7"));
+        assert!(s.contains("revised=2"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Join-layer errors.
+
+use std::fmt;
+use suj_storage::StorageError;
+
+/// Errors raised while building or processing joins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinError {
+    /// A join spec needs at least one relation.
+    NoRelations,
+    /// The join graph is not connected (a cross product was implied).
+    Disconnected,
+    /// Two relations share attributes but no edge equates them (natural
+    /// join semantics would silently collapse distinct columns).
+    UncoveredSharedAttrs {
+        /// First relation name.
+        left: String,
+        /// Second relation name.
+        right: String,
+        /// The shared attribute.
+        attr: String,
+    },
+    /// An edge references relations that share no attribute.
+    EmptyEdge {
+        /// First relation name.
+        left: String,
+        /// Second relation name.
+        right: String,
+    },
+    /// An edge index is out of range.
+    BadRelationIndex(usize),
+    /// The operation requires an acyclic (tree-shaped) join.
+    NotATree(String),
+    /// Cycle breaking failed to produce an acyclic skeleton.
+    CannotBreakCycles(String),
+    /// A storage-layer error.
+    Storage(StorageError),
+    /// Generic invariant violation with context.
+    Invalid(String),
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinError::NoRelations => write!(f, "join must reference at least one relation"),
+            JoinError::Disconnected => write!(f, "join graph is not connected"),
+            JoinError::UncoveredSharedAttrs { left, right, attr } => write!(
+                f,
+                "relations `{left}` and `{right}` share attribute `{attr}` with no join edge"
+            ),
+            JoinError::EmptyEdge { left, right } => {
+                write!(f, "edge between `{left}` and `{right}` equates no attributes")
+            }
+            JoinError::BadRelationIndex(i) => write!(f, "relation index {i} out of range"),
+            JoinError::NotATree(name) => {
+                write!(f, "join `{name}` is not tree-shaped; break cycles first")
+            }
+            JoinError::CannotBreakCycles(name) => {
+                write!(f, "could not break cycles of join `{name}`")
+            }
+            JoinError::Storage(e) => write!(f, "storage error: {e}"),
+            JoinError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JoinError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for JoinError {
+    fn from(e: StorageError) -> Self {
+        JoinError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = JoinError::UncoveredSharedAttrs {
+            left: "a".into(),
+            right: "b".into(),
+            attr: "x".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("`a`") && s.contains("`b`") && s.contains("`x`"));
+    }
+
+    #[test]
+    fn storage_error_converts_and_sources() {
+        let e: JoinError = StorageError::EmptySchema.into();
+        assert!(matches!(e, JoinError::Storage(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,362 @@
+//! Full join materialization.
+//!
+//! The `FullJoinUnion` ground-truth baseline of §9 "performs the full
+//! join and computes the union". This module is its engine: a pipelined
+//! hash join that handles chain, acyclic, and cyclic specs uniformly by
+//! probing each new relation on every attribute already bound (extra
+//! shared attributes become additional equality conditions, which is
+//! exactly natural-join semantics for cyclic specs).
+
+use crate::spec::JoinSpec;
+use std::sync::Arc;
+use suj_storage::{FxHashSet, HashIndex, Schema, Tuple, Value};
+
+/// A materialized join result.
+#[derive(Debug, Clone)]
+pub struct JoinResult {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+}
+
+impl JoinResult {
+    /// Result schema (the spec's output schema).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Result tuples.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Number of result tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The distinct result tuples as a hash set (the paper assumes
+    /// duplicate-free joins; this is used to validate that and to take
+    /// set unions).
+    pub fn distinct_set(&self) -> FxHashSet<Tuple> {
+        self.tuples.iter().cloned().collect()
+    }
+
+    /// Re-orders every tuple to a canonical attribute order given by a
+    /// position mapping (`mapping[k]` = local position of canonical
+    /// attribute `k`).
+    pub fn reordered(&self, canonical: &Schema, mapping: &[usize]) -> JoinResult {
+        let tuples = self
+            .tuples
+            .iter()
+            .map(|t| t.project(mapping))
+            .collect();
+        JoinResult {
+            schema: canonical.clone(),
+            tuples,
+        }
+    }
+}
+
+/// Materializes the full join result.
+///
+/// Joins relations in BFS order over the join graph, probing each new
+/// relation on all already-bound shared attributes. Disconnected specs
+/// cannot occur (validated at construction); a relation sharing no bound
+/// attribute can only appear in residual materialization, where a nested
+/// -loop cross product is the correct semantics.
+pub fn execute(spec: &JoinSpec) -> JoinResult {
+    let out_schema = spec.output_schema().clone();
+    let arity = out_schema.arity();
+    let order = bfs_order(spec);
+
+    // Start with the first relation's rows expanded to output arity.
+    let first = order[0];
+    let mut bound = vec![false; arity];
+    for &p in spec.out_positions(first) {
+        bound[p] = true;
+    }
+    let mut partials: Vec<Vec<Value>> = spec
+        .relation(first)
+        .rows()
+        .iter()
+        .map(|row| {
+            let mut buf = vec![Value::Null; arity];
+            for (k, &p) in spec.out_positions(first).iter().enumerate() {
+                buf[p] = row.get(k).clone();
+            }
+            buf
+        })
+        .collect();
+
+    for &ri in &order[1..] {
+        let rel = spec.relation(ri);
+        let rel_out = spec.out_positions(ri);
+
+        // Attributes of `rel` that are already bound → probe key.
+        let probe_attr_names: Vec<Arc<str>> = rel
+            .schema()
+            .attrs()
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| bound[rel_out[*k]])
+            .map(|(_, a)| a.clone())
+            .collect();
+        let probe_out_positions: Vec<usize> = rel
+            .schema()
+            .attrs()
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| bound[rel_out[*k]])
+            .map(|(k, _)| rel_out[k])
+            .collect();
+        let fill_positions: Vec<(usize, usize)> = rel
+            .schema()
+            .attrs()
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| !bound[rel_out[*k]])
+            .map(|(k, _)| (k, rel_out[k]))
+            .collect();
+
+        let mut next: Vec<Vec<Value>> = Vec::new();
+        if probe_attr_names.is_empty() {
+            // Cross product (legal only during residual materialization).
+            for partial in &partials {
+                for row in rel.rows() {
+                    let mut buf = partial.clone();
+                    for &(k, p) in &fill_positions {
+                        buf[p] = row.get(k).clone();
+                    }
+                    next.push(buf);
+                }
+            }
+        } else {
+            let index = HashIndex::build(rel, &probe_attr_names);
+            let mut key: Vec<Value> = Vec::with_capacity(probe_out_positions.len());
+            for partial in &partials {
+                key.clear();
+                for &p in &probe_out_positions {
+                    key.push(partial[p].clone());
+                }
+                for &rid in index.rows_matching(&key) {
+                    let row = rel.row(rid as usize);
+                    let mut buf = partial.clone();
+                    for &(k, p) in &fill_positions {
+                        buf[p] = row.get(k).clone();
+                    }
+                    next.push(buf);
+                }
+            }
+        }
+        partials = next;
+        for &(_, p) in &fill_positions {
+            bound[p] = true;
+        }
+        if partials.is_empty() {
+            break;
+        }
+    }
+
+    JoinResult {
+        schema: out_schema,
+        tuples: partials.into_iter().map(Tuple::new).collect(),
+    }
+}
+
+/// BFS order over the join graph starting at relation 0.
+fn bfs_order(spec: &JoinSpec) -> Vec<usize> {
+    let n = spec.n_relations();
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(0usize);
+    visited[0] = true;
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for u in spec.neighbors(v) {
+            if !visited[u] {
+                visited[u] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    // Disconnected pieces (possible only in residual sub-specs) appended
+    // in index order → cross product semantics.
+    for (i, seen) in visited.iter().enumerate() {
+        if !seen {
+            order.push(i);
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::JoinSpec;
+    use std::sync::Arc;
+    use suj_storage::{tuple, Relation, Schema};
+
+    fn rel(name: &str, attrs: &[&str], rows: Vec<Vec<i64>>) -> Arc<Relation> {
+        let schema = Schema::new(attrs.iter().copied()).unwrap();
+        let tuples = rows
+            .into_iter()
+            .map(|vals| vals.into_iter().map(Value::int).collect())
+            .collect();
+        Arc::new(Relation::new(name, schema, tuples).unwrap())
+    }
+
+    #[test]
+    fn two_way_join() {
+        let spec = JoinSpec::natural(
+            "j",
+            vec![
+                rel("r", &["a", "b"], vec![vec![1, 10], vec![2, 20], vec![3, 10]]),
+                rel("s", &["b", "c"], vec![vec![10, 100], vec![10, 101], vec![30, 300]]),
+            ],
+        )
+        .unwrap();
+        let result = execute(&spec);
+        // b=10 matches rows {1,3} × {100,101} → 4 tuples; b=20,30 match none.
+        assert_eq!(result.len(), 4);
+        let set = result.distinct_set();
+        assert!(set.contains(&tuple![1i64, 10i64, 100i64]));
+        assert!(set.contains(&tuple![3i64, 10i64, 101i64]));
+        assert!(!set.contains(&tuple![2i64, 20i64, 100i64]));
+    }
+
+    #[test]
+    fn chain_join_of_three() {
+        let spec = JoinSpec::chain(
+            "j",
+            vec![
+                rel("r", &["a", "b"], vec![vec![1, 10], vec![2, 20]]),
+                rel("s", &["b", "c"], vec![vec![10, 100], vec![20, 200]]),
+                rel("t", &["c", "d"], vec![vec![100, 7], vec![100, 8]]),
+            ],
+        )
+        .unwrap();
+        let result = execute(&spec);
+        assert_eq!(result.len(), 2);
+        let set = result.distinct_set();
+        assert!(set.contains(&tuple![1i64, 10i64, 100i64, 7i64]));
+        assert!(set.contains(&tuple![1i64, 10i64, 100i64, 8i64]));
+    }
+
+    #[test]
+    fn empty_intermediate_short_circuits() {
+        let spec = JoinSpec::chain(
+            "j",
+            vec![
+                rel("r", &["a", "b"], vec![vec![1, 10]]),
+                rel("s", &["b", "c"], vec![vec![99, 100]]),
+                rel("t", &["c", "d"], vec![vec![100, 7]]),
+            ],
+        )
+        .unwrap();
+        assert!(execute(&spec).is_empty());
+    }
+
+    #[test]
+    fn cyclic_triangle_join() {
+        // Triangle query: edges (a,b), (b,c), (c,a).
+        // Data forms one valid triangle: a=1, b=2, c=3, plus decoys.
+        let spec = JoinSpec::natural(
+            "tri",
+            vec![
+                rel("x", &["a", "b"], vec![vec![1, 2], vec![1, 9]]),
+                rel("y", &["b", "c"], vec![vec![2, 3], vec![9, 4]]),
+                rel("z", &["c", "a"], vec![vec![3, 1], vec![4, 5]]),
+            ],
+        )
+        .unwrap();
+        let result = execute(&spec);
+        assert_eq!(result.len(), 1);
+        assert_eq!(result.tuples()[0], tuple![1i64, 2i64, 3i64]);
+    }
+
+    #[test]
+    fn self_join_via_renaming() {
+        // orders(orderkey, custkey) self-joined on custkey: pairs of
+        // orders by the same customer (paper's bundle-orders pattern).
+        let orders = rel(
+            "orders",
+            &["orderkey", "custkey"],
+            vec![vec![1, 7], vec![2, 7], vec![3, 8]],
+        );
+        let orders2 = Arc::new(
+            orders
+                .rename_attrs("orders2", |a| {
+                    if a == "orderkey" {
+                        "orderkey2".to_string()
+                    } else {
+                        a.to_string()
+                    }
+                })
+                .unwrap(),
+        );
+        let spec = JoinSpec::natural("pairs", vec![orders, orders2]).unwrap();
+        let result = execute(&spec);
+        // custkey=7 → 2×2 pairs; custkey=8 → 1 pair.
+        assert_eq!(result.len(), 5);
+    }
+
+    #[test]
+    fn star_join() {
+        let spec = JoinSpec::natural(
+            "star",
+            vec![
+                rel("c", &["a", "b"], vec![vec![1, 2]]),
+                rel("l1", &["a", "x"], vec![vec![1, 10], vec![1, 11]]),
+                rel("l2", &["b", "y"], vec![vec![2, 20], vec![2, 21], vec![2, 22]]),
+            ],
+        )
+        .unwrap();
+        let result = execute(&spec);
+        assert_eq!(result.len(), 6);
+        assert_eq!(result.schema().arity(), 4);
+    }
+
+    #[test]
+    fn single_relation_execution() {
+        let spec = JoinSpec::natural("one", vec![rel("r", &["a"], vec![vec![1], vec![2]])]).unwrap();
+        let result = execute(&spec);
+        assert_eq!(result.len(), 2);
+    }
+
+    #[test]
+    fn reordered_projects_to_canonical() {
+        let spec = JoinSpec::natural(
+            "j",
+            vec![
+                rel("r", &["a", "b"], vec![vec![1, 10]]),
+                rel("s", &["b", "c"], vec![vec![10, 100]]),
+            ],
+        )
+        .unwrap();
+        let result = execute(&spec);
+        let canonical = Schema::new(["c", "a", "b"]).unwrap();
+        let mapping = spec.projection_from(&canonical).unwrap();
+        let reordered = result.reordered(&canonical, &mapping);
+        assert_eq!(reordered.tuples()[0], tuple![100i64, 1i64, 10i64]);
+    }
+
+    #[test]
+    fn result_is_duplicate_free_for_set_relations() {
+        let spec = JoinSpec::natural(
+            "j",
+            vec![
+                rel("r", &["a", "b"], vec![vec![1, 10], vec![2, 10]]),
+                rel("s", &["b", "c"], vec![vec![10, 100], vec![10, 200]]),
+            ],
+        )
+        .unwrap();
+        let result = execute(&spec);
+        assert_eq!(result.len(), result.distinct_set().len());
+    }
+}

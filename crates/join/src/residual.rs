@@ -1,0 +1,391 @@
+//! Cyclic joins: skeleton + residual decomposition (§8.2).
+//!
+//! "We break all the cycles in the join hyper-graph by removing a subset
+//! of relations so that the join becomes a connected and acyclic join.
+//! The residual join S_R is the set of removed relations … We treat S_R
+//! as a single relation in the new acyclic join. We can even materialize
+//! S_R by performing joins in S_R."
+//!
+//! The decomposition produced here is *semantically equal* to the
+//! original cyclic join (natural-join semantics make the regrouping
+//! lossless) and supplies the residual's maximum degree `M(S_R)`, which
+//! the histogram-based estimator uses to treat the residual as one
+//! relation when splitting into the base chain structure (§8.1).
+
+use crate::error::JoinError;
+use crate::graph::has_graph_cycle;
+use crate::spec::JoinSpec;
+use std::sync::Arc;
+use suj_storage::{HashIndex, Relation, Tuple, Value};
+
+/// Result of breaking a cyclic join into skeleton + residual.
+#[derive(Debug, Clone)]
+pub struct CyclicDecomposition {
+    /// Indices (in the original spec) of the removed relations.
+    pub removed: Vec<usize>,
+    /// The materialized residual join (None when the input was already
+    /// acyclic).
+    pub residual: Option<Arc<Relation>>,
+    /// The equivalent join: skeleton relations plus the residual as a
+    /// single relation. Produces exactly the original join's result.
+    pub spec: JoinSpec,
+    /// `M(S_R)`: maximum multiplicity of any combination of values over
+    /// the attributes the residual shares with the skeleton (§8.2).
+    pub residual_max_degree: usize,
+}
+
+/// Breaks the cycles of `spec` by removing a minimal set of relations,
+/// materializing their join as a single residual relation, and
+/// rebuilding an equivalent spec. Acyclic inputs pass through untouched.
+///
+/// Removal sets are tried in increasing size; among same-size candidates
+/// the one with the fewest total removed rows is tried first (the
+/// cheapest residual to materialize — the practical heuristic §8.2
+/// attributes to Zhao et al.).
+pub fn decompose_cyclic(spec: &JoinSpec) -> Result<CyclicDecomposition, JoinError> {
+    if !has_graph_cycle(spec) {
+        return Ok(CyclicDecomposition {
+            removed: Vec::new(),
+            residual: None,
+            spec: spec.clone(),
+            residual_max_degree: 0,
+        });
+    }
+
+    let n = spec.n_relations();
+    for k in 1..n {
+        // All removal sets of size k, cheapest residual first.
+        let mut candidates: Vec<Vec<usize>> = subsets_of_size(n, k);
+        candidates.sort_by_key(|set| {
+            set.iter()
+                .map(|&i| spec.relation(i).len())
+                .product::<usize>()
+        });
+        for removed in candidates {
+            if let Some(dec) = try_removal(spec, &removed)? {
+                return Ok(dec);
+            }
+        }
+    }
+    Err(JoinError::CannotBreakCycles(spec.name().to_string()))
+}
+
+fn try_removal(
+    spec: &JoinSpec,
+    removed: &[usize],
+) -> Result<Option<CyclicDecomposition>, JoinError> {
+    let n = spec.n_relations();
+    let kept: Vec<usize> = (0..n).filter(|i| !removed.contains(i)).collect();
+    if kept.is_empty() {
+        return Ok(None);
+    }
+
+    // The skeleton (kept relations with their mutual edges) must be a
+    // connected tree.
+    if !skeleton_is_tree(spec, &kept) {
+        return Ok(None);
+    }
+
+    // Materialize the residual join.
+    let removed_rels: Vec<Arc<Relation>> =
+        removed.iter().map(|&i| spec.relation(i).clone()).collect();
+    let residual_name = format!("{}__residual", spec.name());
+    let residual = Arc::new(materialize_natural(&residual_name, &removed_rels)?);
+
+    // Rebuild the spec: skeleton relations + residual, natural edges.
+    let mut rels: Vec<Arc<Relation>> = kept.iter().map(|&i| spec.relation(i).clone()).collect();
+    rels.push(residual.clone());
+    let new_spec = match JoinSpec::natural(spec.name(), rels) {
+        Ok(s) => s,
+        Err(JoinError::Disconnected) => return Ok(None),
+        Err(e) => return Err(e),
+    };
+
+    // M(S_R) over the attributes shared with the skeleton.
+    let shared: Vec<Arc<str>> = residual
+        .schema()
+        .attrs()
+        .iter()
+        .filter(|a| {
+            kept.iter()
+                .any(|&i| spec.relation(i).schema().contains(a))
+        })
+        .cloned()
+        .collect();
+    let residual_max_degree = if shared.is_empty() || residual.is_empty() {
+        0
+    } else {
+        HashIndex::build(&residual, &shared).max_degree()
+    };
+
+    Ok(Some(CyclicDecomposition {
+        removed: removed.to_vec(),
+        residual: Some(residual),
+        spec: new_spec,
+        residual_max_degree,
+    }))
+}
+
+/// Whether the induced subgraph on `kept` is a connected tree.
+fn skeleton_is_tree(spec: &JoinSpec, kept: &[usize]) -> bool {
+    if kept.len() <= 1 {
+        return true;
+    }
+    let in_kept = |x: usize| kept.contains(&x);
+    // Distinct undirected edges within the kept set.
+    let mut edges: std::collections::BTreeSet<(usize, usize)> = Default::default();
+    for e in spec.edges() {
+        if e.left != e.right && in_kept(e.left) && in_kept(e.right) {
+            edges.insert((e.left.min(e.right), e.left.max(e.right)));
+        }
+    }
+    if edges.len() != kept.len() - 1 {
+        return false; // a tree on k nodes has exactly k−1 edges
+    }
+    // Connectivity.
+    let mut seen = std::collections::BTreeSet::new();
+    let mut stack = vec![kept[0]];
+    seen.insert(kept[0]);
+    while let Some(v) = stack.pop() {
+        for &(a, b) in &edges {
+            let other = if a == v {
+                Some(b)
+            } else if b == v {
+                Some(a)
+            } else {
+                None
+            };
+            if let Some(o) = other {
+                if seen.insert(o) {
+                    stack.push(o);
+                }
+            }
+        }
+    }
+    seen.len() == kept.len()
+}
+
+/// Natural join of a list of relations (cross product where no attribute
+/// is shared) — used only to materialize residuals, which may be
+/// internally disconnected.
+fn materialize_natural(name: &str, relations: &[Arc<Relation>]) -> Result<Relation, JoinError> {
+    assert!(!relations.is_empty(), "residual cannot be empty");
+    let mut schema = relations[0].schema().clone();
+    let mut rows: Vec<Tuple> = relations[0].rows().to_vec();
+
+    for rel in &relations[1..] {
+        let shared = schema.shared_with(rel.schema());
+        let new_attrs: Vec<Arc<str>> = rel
+            .schema()
+            .attrs()
+            .iter()
+            .filter(|a| !schema.contains(a))
+            .cloned()
+            .collect();
+        let next_schema = schema.union(rel.schema())?;
+        let new_positions_in_rel: Vec<usize> = new_attrs
+            .iter()
+            .map(|a| rel.schema().position(a).expect("own attr"))
+            .collect();
+
+        let mut next_rows = Vec::new();
+        if shared.is_empty() {
+            for acc in &rows {
+                for row in rel.rows() {
+                    let mut vals: Vec<Value> = acc.values().to_vec();
+                    vals.extend(new_positions_in_rel.iter().map(|&p| row.get(p).clone()));
+                    next_rows.push(Tuple::new(vals));
+                }
+            }
+        } else {
+            let index = HashIndex::build(rel, &shared);
+            let shared_positions_in_acc: Vec<usize> = shared
+                .iter()
+                .map(|a| schema.position(a).expect("shared attr"))
+                .collect();
+            let mut key: Vec<Value> = Vec::with_capacity(shared.len());
+            for acc in &rows {
+                key.clear();
+                key.extend(shared_positions_in_acc.iter().map(|&p| acc.get(p).clone()));
+                for &rid in index.rows_matching(&key) {
+                    let row = rel.row(rid as usize);
+                    let mut vals: Vec<Value> = acc.values().to_vec();
+                    vals.extend(new_positions_in_rel.iter().map(|&p| row.get(p).clone()));
+                    next_rows.push(Tuple::new(vals));
+                }
+            }
+        }
+        schema = next_schema;
+        rows = next_rows;
+    }
+
+    Relation::new(name, schema, rows).map_err(JoinError::from)
+}
+
+fn subsets_of_size(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(k);
+    fn recur(start: usize, n: usize, k: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if current.len() == k {
+            out.push(current.clone());
+            return;
+        }
+        for i in start..n {
+            current.push(i);
+            recur(i + 1, n, k, current, out);
+            current.pop();
+        }
+    }
+    recur(0, n, k, &mut current, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use crate::graph::classify;
+    use suj_storage::Schema;
+    use crate::graph::JoinShape;
+
+    fn rel(name: &str, attrs: &[&str], rows: Vec<Vec<i64>>) -> Arc<Relation> {
+        let schema = Schema::new(attrs.iter().copied()).unwrap();
+        let tuples = rows
+            .into_iter()
+            .map(|vals| vals.into_iter().map(Value::int).collect())
+            .collect();
+        Arc::new(Relation::new(name, schema, tuples).unwrap())
+    }
+
+    fn triangle() -> JoinSpec {
+        JoinSpec::natural(
+            "tri",
+            vec![
+                rel(
+                    "x",
+                    &["a", "b"],
+                    vec![vec![1, 2], vec![1, 9], vec![5, 2], vec![5, 6]],
+                ),
+                rel(
+                    "y",
+                    &["b", "c"],
+                    vec![vec![2, 3], vec![2, 4], vec![9, 4], vec![6, 3]],
+                ),
+                rel(
+                    "z",
+                    &["c", "a"],
+                    vec![vec![3, 1], vec![4, 5], vec![4, 1], vec![3, 5]],
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn acyclic_passes_through() {
+        let spec = JoinSpec::chain(
+            "c",
+            vec![
+                rel("r", &["a", "b"], vec![vec![1, 2]]),
+                rel("s", &["b", "c"], vec![vec![2, 3]]),
+            ],
+        )
+        .unwrap();
+        let dec = decompose_cyclic(&spec).unwrap();
+        assert!(dec.removed.is_empty());
+        assert!(dec.residual.is_none());
+        assert_eq!(dec.spec.n_relations(), 2);
+    }
+
+    #[test]
+    fn triangle_decomposition_preserves_semantics() {
+        let spec = triangle();
+        let dec = decompose_cyclic(&spec).unwrap();
+        assert_eq!(dec.removed.len(), 1);
+        assert!(dec.residual.is_some());
+        assert_eq!(dec.spec.n_relations(), 3);
+
+        let original = execute(&spec);
+        let decomposed = execute(&dec.spec);
+        // Same result set (attribute order may differ).
+        let mapping = dec.spec.projection_from(spec.output_schema()).unwrap();
+        let reordered = decomposed.reordered(spec.output_schema(), &mapping);
+        assert_eq!(original.distinct_set(), reordered.distinct_set());
+    }
+
+    #[test]
+    fn fig3b_removes_one_relation_for_tree_skeleton() {
+        // Fig. 3b/3c: AB, BCD, DE, CF, EF — removing EF leaves a tree.
+        let spec = JoinSpec::natural(
+            "fig3b",
+            vec![
+                rel("ab", &["a", "b"], vec![vec![1, 1]]),
+                rel("bcd", &["b", "c", "d"], vec![vec![1, 1, 1]]),
+                rel("de", &["d", "e"], vec![vec![1, 1]]),
+                rel("cf", &["c", "f"], vec![vec![1, 1]]),
+                rel("ef", &["e", "f"], vec![vec![1, 1]]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(classify(&spec), JoinShape::Cyclic);
+        let dec = decompose_cyclic(&spec).unwrap();
+        assert_eq!(dec.removed.len(), 1);
+        // The residual must reconnect on both its attributes.
+        let residual = dec.residual.as_ref().unwrap();
+        assert_eq!(residual.schema().arity(), 2);
+        assert_eq!(execute(&dec.spec).len(), execute(&spec).len());
+    }
+
+    #[test]
+    fn residual_max_degree_reflects_shared_attrs() {
+        let spec = triangle();
+        let dec = decompose_cyclic(&spec).unwrap();
+        // The removed relation's rows are distinct pairs on (shared
+        // attrs) = its full schema → max degree 1.
+        assert_eq!(dec.residual_max_degree, 1);
+    }
+
+    #[test]
+    fn four_cycle_decomposition() {
+        // Square: w(a,b), x(b,c), y(c,d), z(d,a).
+        let spec = JoinSpec::natural(
+            "square",
+            vec![
+                rel("w", &["a", "b"], vec![vec![1, 2], vec![5, 2]]),
+                rel("x", &["b", "c"], vec![vec![2, 3], vec![2, 7]]),
+                rel("y", &["c", "d"], vec![vec![3, 4], vec![7, 4]]),
+                rel("z", &["d", "a"], vec![vec![4, 1], vec![4, 5]]),
+            ],
+        )
+        .unwrap();
+        let dec = decompose_cyclic(&spec).unwrap();
+        let original = execute(&spec);
+        let decomposed = execute(&dec.spec);
+        let mapping = dec.spec.projection_from(spec.output_schema()).unwrap();
+        let reordered = decomposed.reordered(spec.output_schema(), &mapping);
+        assert_eq!(original.distinct_set(), reordered.distinct_set());
+    }
+
+    #[test]
+    fn cheapest_residual_tried_first() {
+        // Two valid single removals; the smaller relation must be chosen.
+        let spec = JoinSpec::natural(
+            "tri2",
+            vec![
+                rel("big", &["a", "b"], vec![vec![1, 2], vec![3, 4], vec![5, 6], vec![7, 8]]),
+                rel("mid", &["b", "c"], vec![vec![2, 3], vec![4, 5]]),
+                rel("small", &["c", "a"], vec![vec![3, 1]]),
+            ],
+        )
+        .unwrap();
+        let dec = decompose_cyclic(&spec).unwrap();
+        assert_eq!(dec.removed, vec![2], "smallest relation should be removed");
+    }
+
+    #[test]
+    fn subsets_enumeration() {
+        assert_eq!(subsets_of_size(3, 1), vec![vec![0], vec![1], vec![2]]);
+        assert_eq!(subsets_of_size(3, 2).len(), 3);
+        assert_eq!(subsets_of_size(5, 3).len(), 10);
+    }
+}

@@ -1,0 +1,288 @@
+//! Rooted join trees.
+//!
+//! Acyclic joins are organized "in a join tree, where each node refers to
+//! a relation and each edge denotes a join" (§8.1). The tree fixes the
+//! processing order for execution, exact-weight DP (bottom-up), and
+//! sampling (top-down root→leaves). Chains are trees with one branch.
+
+use crate::error::JoinError;
+use crate::graph::has_graph_cycle;
+use crate::spec::JoinSpec;
+use std::sync::Arc;
+
+/// A rooted tree over a join spec's relations.
+#[derive(Debug, Clone)]
+pub struct JoinTree {
+    root: usize,
+    order: Vec<usize>,
+    parent: Vec<Option<usize>>,
+    children: Vec<Vec<usize>>,
+    probe_attrs: Vec<Vec<Arc<str>>>,
+}
+
+impl JoinTree {
+    /// Builds a tree rooted at relation 0.
+    pub fn new(spec: &JoinSpec) -> Result<Self, JoinError> {
+        Self::with_root(spec, 0)
+    }
+
+    /// Builds a tree rooted at `root`. Fails if the join graph has a
+    /// cycle (decompose with [`crate::residual`] or use
+    /// [`JoinTree::spanning`] first).
+    pub fn with_root(spec: &JoinSpec, root: usize) -> Result<Self, JoinError> {
+        if has_graph_cycle(spec) {
+            return Err(JoinError::NotATree(spec.name().to_string()));
+        }
+        Self::spanning(spec, root)
+    }
+
+    /// Builds a BFS *spanning* tree rooted at `root`, silently dropping
+    /// cycle-closing edges. The dropped equality constraints must be
+    /// re-checked by the caller (the samplers do so via output-buffer
+    /// consistency rejection — the Zhao et al. cycle-breaking mechanism
+    /// referenced in §8.2).
+    pub fn spanning(spec: &JoinSpec, root: usize) -> Result<Self, JoinError> {
+        let n = spec.n_relations();
+        if root >= n {
+            return Err(JoinError::BadRelationIndex(root));
+        }
+
+        let mut parent = vec![None; n];
+        let mut children = vec![Vec::new(); n];
+        let mut probe_attrs = vec![Vec::new(); n];
+        let mut order = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(root);
+        visited[root] = true;
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for u in spec.neighbors(v) {
+                if !visited[u] {
+                    visited[u] = true;
+                    parent[u] = Some(v);
+                    children[v].push(u);
+                    let edge = spec
+                        .edge_between(v, u)
+                        .expect("neighbor implies edge exists");
+                    probe_attrs[u] = edge.attrs.clone();
+                    queue.push_back(u);
+                }
+            }
+        }
+        // Connectivity is validated by JoinSpec; a failed visit would be
+        // an internal inconsistency.
+        debug_assert!(visited.iter().all(|&v| v), "spec guaranteed connectivity");
+
+        Ok(Self {
+            root,
+            order,
+            parent,
+            children,
+            probe_attrs,
+        })
+    }
+
+    /// Root relation index.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// BFS order (parents before children).
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Reverse BFS order (children before parents) — the exact-weight DP
+    /// order.
+    pub fn bottom_up(&self) -> impl Iterator<Item = usize> + '_ {
+        self.order.iter().rev().copied()
+    }
+
+    /// Parent of relation `i` (None for the root).
+    pub fn parent(&self, i: usize) -> Option<usize> {
+        self.parent[i]
+    }
+
+    /// Children of relation `i`.
+    pub fn children(&self, i: usize) -> &[usize] {
+        &self.children[i]
+    }
+
+    /// Attributes on which relation `i` joins its parent (empty for the
+    /// root).
+    pub fn probe_attrs(&self, i: usize) -> &[Arc<str>] {
+        &self.probe_attrs[i]
+    }
+
+    /// Whether the tree is a path (the chain-join case).
+    pub fn is_path(&self) -> bool {
+        self.children.iter().all(|c| c.len() <= 1)
+    }
+
+    /// Tree distance (number of edges) between two relations.
+    pub fn distance(&self, a: usize, b: usize) -> usize {
+        if a == b {
+            return 0;
+        }
+        // Walk both nodes to the root, recording depths.
+        let depth = |mut x: usize| {
+            let mut d = 0;
+            while let Some(p) = self.parent[x] {
+                x = p;
+                d += 1;
+            }
+            d
+        };
+        let (mut x, mut y) = (a, b);
+        let (mut dx, mut dy) = (depth(a), depth(b));
+        let mut dist = 0;
+        while dx > dy {
+            x = self.parent[x].unwrap();
+            dx -= 1;
+            dist += 1;
+        }
+        while dy > dx {
+            y = self.parent[y].unwrap();
+            dy -= 1;
+            dist += 1;
+        }
+        while x != y {
+            x = self.parent[x].unwrap();
+            y = self.parent[y].unwrap();
+            dist += 2;
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use suj_storage::{Relation, Schema};
+
+    fn rel(name: &str, attrs: &[&str]) -> Arc<Relation> {
+        Arc::new(Relation::new(name, Schema::new(attrs.iter().copied()).unwrap(), vec![]).unwrap())
+    }
+
+    fn chain_spec() -> JoinSpec {
+        JoinSpec::natural(
+            "c",
+            vec![
+                rel("r1", &["a", "b"]),
+                rel("r2", &["b", "c"]),
+                rel("r3", &["c", "d"]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn star_spec() -> JoinSpec {
+        JoinSpec::natural(
+            "s",
+            vec![
+                rel("c", &["a", "b", "d"]),
+                rel("l1", &["a", "x"]),
+                rel("l2", &["b", "y"]),
+                rel("l3", &["d", "z"]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn chain_tree_structure() {
+        let spec = chain_spec();
+        let t = JoinTree::new(&spec).unwrap();
+        assert_eq!(t.root(), 0);
+        assert_eq!(t.order(), &[0, 1, 2]);
+        assert_eq!(t.parent(1), Some(0));
+        assert_eq!(t.parent(2), Some(1));
+        assert_eq!(t.children(0), &[1]);
+        assert!(t.is_path());
+        assert_eq!(t.probe_attrs(1)[0].as_ref(), "b");
+        assert_eq!(t.probe_attrs(2)[0].as_ref(), "c");
+        assert!(t.probe_attrs(0).is_empty());
+    }
+
+    #[test]
+    fn star_tree_structure() {
+        let spec = star_spec();
+        let t = JoinTree::new(&spec).unwrap();
+        assert_eq!(t.children(0).len(), 3);
+        assert!(!t.is_path());
+        for leaf in 1..4 {
+            assert_eq!(t.parent(leaf), Some(0));
+        }
+    }
+
+    #[test]
+    fn bottom_up_visits_children_first() {
+        let spec = star_spec();
+        let t = JoinTree::new(&spec).unwrap();
+        let order: Vec<usize> = t.bottom_up().collect();
+        assert_eq!(*order.last().unwrap(), 0);
+    }
+
+    #[test]
+    fn rerooting_changes_orientation() {
+        let spec = chain_spec();
+        let t = JoinTree::with_root(&spec, 2).unwrap();
+        assert_eq!(t.root(), 2);
+        assert_eq!(t.parent(0), Some(1));
+        assert_eq!(t.parent(1), Some(2));
+        assert_eq!(t.order(), &[2, 1, 0]);
+    }
+
+    #[test]
+    fn cyclic_spec_rejected() {
+        let tri = JoinSpec::natural(
+            "t",
+            vec![
+                rel("x", &["a", "b"]),
+                rel("y", &["b", "c"]),
+                rel("z", &["c", "a"]),
+            ],
+        )
+        .unwrap();
+        assert!(matches!(JoinTree::new(&tri), Err(JoinError::NotATree(_))));
+    }
+
+    #[test]
+    fn bad_root_rejected() {
+        let spec = chain_spec();
+        assert!(matches!(
+            JoinTree::with_root(&spec, 10),
+            Err(JoinError::BadRelationIndex(10))
+        ));
+    }
+
+    #[test]
+    fn distances() {
+        let spec = chain_spec();
+        let t = JoinTree::new(&spec).unwrap();
+        assert_eq!(t.distance(0, 0), 0);
+        assert_eq!(t.distance(0, 1), 1);
+        assert_eq!(t.distance(0, 2), 2);
+        assert_eq!(t.distance(2, 0), 2);
+
+        let star = star_spec();
+        let ts = JoinTree::new(&star).unwrap();
+        assert_eq!(ts.distance(1, 2), 2);
+        assert_eq!(ts.distance(1, 0), 1);
+
+        // Distance is invariant under rerooting.
+        let ts2 = JoinTree::with_root(&star, 3).unwrap();
+        assert_eq!(ts2.distance(1, 2), 2);
+    }
+
+    #[test]
+    fn single_relation_tree() {
+        let spec = JoinSpec::natural("one", vec![rel("r", &["a"])]).unwrap();
+        let t = JoinTree::new(&spec).unwrap();
+        assert_eq!(t.order(), &[0]);
+        assert!(t.is_path());
+        assert!(t.children(0).is_empty());
+    }
+}

@@ -1,0 +1,743 @@
+//! Random sampling over a single join (the Zhao et al. framework, §3.2).
+//!
+//! Each tuple of each relation carries a *weight*: an upper bound on the
+//! number of join results it can yield. Sampling walks the join tree
+//! root→leaves, choosing tuples proportionally to weights, and rejects
+//! to flatten any over-estimation — uniformity over the join result is
+//! guaranteed for any valid weight function. Two instantiations:
+//!
+//! * **Exact Weight (EW)** — bottom-up dynamic program computing every
+//!   tuple's exact result count. Zero rejections on acyclic joins; the
+//!   root's total weight is the exact join size (used as ground truth
+//!   throughout §9).
+//! * **Extended Olken (EO)** — weights from maximum degrees
+//!   (`M_{A_i}(R_{i+1})` products). Cheap to set up, rejects at rate
+//!   `1 − |J|/bound`. Following §3.2 we additionally zero the weights of
+//!   dangling tuples ("an extra linear search in the hash tables"):
+//!   root tuples with no match in some child are excluded up front.
+//!
+//! Cyclic joins are sampled over a BFS *spanning tree* of the join graph
+//! with the dropped cycle-closing equalities enforced by consistency
+//! rejection on the output buffer — the cycle-breaking mechanism of Zhao
+//! et al. that §8.2 adopts. Uniformity is preserved because each result
+//! tuple of the cyclic join corresponds to exactly one spanning-join row
+//! combination.
+
+use crate::error::JoinError;
+use crate::exec::execute;
+use crate::graph::has_graph_cycle;
+use crate::spec::JoinSpec;
+use crate::tree::JoinTree;
+use std::sync::Arc;
+use suj_stats::{AliasTable, SujRng};
+use suj_storage::{HashIndex, Tuple, Value};
+
+/// Weight instantiation for the join-sampling subroutine (§3.2 lists
+/// all three: "extended Olken's, exact, and Wander Join").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightKind {
+    /// Exact per-tuple result counts (ground-truth weights, no rejection
+    /// on acyclic joins).
+    Exact,
+    /// Extended Olken max-degree bounds (cheap setup, accept/reject).
+    ExtendedOlken,
+    /// Wander-join walks uniformized against the Olken bound (zero
+    /// setup beyond indexes; rejection rate `1 − |J|/bound`).
+    WanderJoin,
+}
+
+/// Outcome of one sampling attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SampleOutcome {
+    /// A uniform result tuple (in the spec's output schema order).
+    Accepted(Tuple),
+    /// The attempt was rejected (dead end, failed acceptance test, or a
+    /// cycle-consistency violation).
+    Rejected,
+}
+
+/// A uniform sampler over one join's result.
+pub trait JoinSampler: Send + Sync {
+    /// The join being sampled.
+    fn spec(&self) -> &JoinSpec;
+
+    /// One sampling attempt.
+    fn sample(&self, rng: &mut SujRng) -> SampleOutcome;
+
+    /// Size information implied by the weights: the exact join size for
+    /// EW on acyclic joins, an upper bound otherwise.
+    fn join_size_hint(&self) -> f64;
+
+    /// Draws until acceptance (or `max_tries`); returns the tuple and the
+    /// number of attempts consumed.
+    fn sample_until_accepted(&self, rng: &mut SujRng, max_tries: u64) -> (Option<Tuple>, u64) {
+        for attempt in 1..=max_tries {
+            if let SampleOutcome::Accepted(t) = self.sample(rng) {
+                return (Some(t), attempt);
+            }
+        }
+        (None, max_tries)
+    }
+}
+
+/// Shared prepared structure: spanning-tree order, child hash indexes,
+/// and the positions in each parent's schema supplying each child's
+/// probe key.
+#[derive(Debug)]
+pub(crate) struct Prepared {
+    pub(crate) spec: Arc<JoinSpec>,
+    pub(crate) tree: JoinTree,
+    /// Per relation: index on its probe attributes (None for the root).
+    pub(crate) indexes: Vec<Option<HashIndex>>,
+    /// Per relation: positions of its probe attributes in its parent's
+    /// schema (empty for the root).
+    pub(crate) parent_key_positions: Vec<Vec<usize>>,
+    /// Whether the join graph was already a tree (no consistency checks
+    /// needed during fill).
+    pub(crate) exact_tree: bool,
+}
+
+impl Prepared {
+    pub(crate) fn new(spec: Arc<JoinSpec>) -> Result<Self, JoinError> {
+        let exact_tree = !has_graph_cycle(&spec);
+        let tree = JoinTree::spanning(&spec, 0)?;
+        let n = spec.n_relations();
+        let mut indexes: Vec<Option<HashIndex>> = (0..n).map(|_| None).collect();
+        let mut parent_key_positions: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &v in tree.order() {
+            if let Some(p) = tree.parent(v) {
+                let attrs = tree.probe_attrs(v).to_vec();
+                indexes[v] = Some(HashIndex::build(spec.relation(v), &attrs));
+                parent_key_positions[v] = attrs
+                    .iter()
+                    .map(|a| {
+                        spec.relation(p)
+                            .schema()
+                            .position(a)
+                            .expect("probe attr shared with parent")
+                    })
+                    .collect();
+            }
+        }
+        Ok(Self {
+            spec,
+            tree,
+            indexes,
+            parent_key_positions,
+            exact_tree,
+        })
+    }
+
+    /// Fills an output buffer with one relation's row values, checking
+    /// consistency with already-filled positions (the re-check of the
+    /// equality constraints dropped by the spanning tree). Returns false
+    /// on conflict.
+    pub(crate) fn fill(
+        &self,
+        buf: &mut [Value],
+        filled: &mut [bool],
+        rel: usize,
+        row: &Tuple,
+    ) -> bool {
+        for (k, &p) in self.spec.out_positions(rel).iter().enumerate() {
+            let v = row.get(k);
+            if filled[p] {
+                if !self.exact_tree && &buf[p] != v {
+                    return false;
+                }
+            } else {
+                buf[p] = v.clone();
+                filled[p] = true;
+            }
+        }
+        true
+    }
+
+    /// Probe key for child `c` given its parent's chosen row.
+    pub(crate) fn child_key<'a>(
+        &self,
+        c: usize,
+        parent_row: &Tuple,
+        scratch: &'a mut Vec<Value>,
+    ) -> &'a [Value] {
+        scratch.clear();
+        for &p in &self.parent_key_positions[c] {
+            scratch.push(parent_row.get(p).clone());
+        }
+        scratch.as_slice()
+    }
+}
+
+/// Exact-weight sampler: zero rejections on acyclic joins, exact size.
+#[derive(Debug)]
+pub struct ExactWeightSampler {
+    prepared: Prepared,
+    /// Per relation: weight of each row (number of spanning-join results
+    /// through that row's subtree).
+    weights: Vec<Vec<f64>>,
+    root_alias: Option<AliasTable>,
+    total: f64,
+}
+
+impl ExactWeightSampler {
+    /// Builds the sampler for any join shape.
+    pub fn new(spec: Arc<JoinSpec>) -> Result<Self, JoinError> {
+        let prepared = Prepared::new(spec)?;
+        let spec = &prepared.spec;
+        let n = spec.n_relations();
+        let mut weights: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![1.0f64; spec.relation(i).len()])
+            .collect();
+
+        // Bottom-up DP: weight(row) = Π_child Σ_matching weight(child row).
+        let mut scratch: Vec<Value> = Vec::new();
+        for v in prepared.tree.bottom_up() {
+            let children: Vec<usize> = prepared.tree.children(v).to_vec();
+            if children.is_empty() {
+                continue;
+            }
+            let rel = spec.relation(v).clone();
+            for (ri, row) in rel.rows().iter().enumerate() {
+                let mut w = 1.0f64;
+                for &c in &children {
+                    let key = prepared.child_key(c, row, &mut scratch);
+                    let index = prepared.indexes[c].as_ref().expect("child has index");
+                    let s: f64 = index
+                        .rows_matching(key)
+                        .iter()
+                        .map(|&rid| weights[c][rid as usize])
+                        .sum();
+                    w *= s;
+                    if w == 0.0 {
+                        break;
+                    }
+                }
+                weights[v][ri] = w;
+            }
+        }
+
+        let root = prepared.tree.root();
+        let total: f64 = weights[root].iter().sum();
+        let root_alias = AliasTable::new(&weights[root]);
+        Ok(Self {
+            prepared,
+            weights,
+            root_alias,
+            total,
+        })
+    }
+
+    /// The exact join size for acyclic joins; for cyclic joins this is
+    /// the spanning-join size, an upper bound on the true size.
+    pub fn exact_size(&self) -> f64 {
+        self.total
+    }
+
+    /// Whether [`ExactWeightSampler::exact_size`] is the true join size
+    /// (acyclic specs) rather than a spanning-join upper bound.
+    pub fn size_is_exact(&self) -> bool {
+        self.prepared.exact_tree
+    }
+
+    /// Per-row weights of relation `i` (exposed for tests and the EO
+    /// comparison benches).
+    pub fn weights_of(&self, i: usize) -> &[f64] {
+        &self.weights[i]
+    }
+}
+
+impl JoinSampler for ExactWeightSampler {
+    fn spec(&self) -> &JoinSpec {
+        &self.prepared.spec
+    }
+
+    fn sample(&self, rng: &mut SujRng) -> SampleOutcome {
+        let Some(alias) = &self.root_alias else {
+            return SampleOutcome::Rejected; // empty join
+        };
+        if self.total <= 0.0 {
+            return SampleOutcome::Rejected;
+        }
+        let spec = &self.prepared.spec;
+        let root = self.prepared.tree.root();
+        let arity = spec.output_schema().arity();
+        let mut buf = vec![Value::Null; arity];
+        let mut filled = vec![false; arity];
+
+        let root_row = alias.draw(rng) as u32;
+        // Alias tables cannot express zero-probability rows exactly in
+        // the presence of FP residue; guard against picking a dead row.
+        if self.weights[root][root_row as usize] <= 0.0 {
+            return SampleOutcome::Rejected;
+        }
+
+        let mut scratch: Vec<Value> = Vec::new();
+        let mut frontier = vec![(root, root_row)];
+        while let Some((v, row_id)) = frontier.pop() {
+            let row = spec.relation(v).row(row_id as usize);
+            if !self.prepared.fill(&mut buf, &mut filled, v, row) {
+                return SampleOutcome::Rejected; // cycle-consistency violation
+            }
+            for &c in self.prepared.tree.children(v) {
+                let key = self.prepared.child_key(c, row, &mut scratch);
+                let index = self.prepared.indexes[c].as_ref().expect("child index");
+                let cands = index.rows_matching(key);
+                let total: f64 = cands
+                    .iter()
+                    .map(|&rid| self.weights[c][rid as usize])
+                    .sum();
+                if total <= 0.0 {
+                    // Impossible when weights are exact; defensive.
+                    return SampleOutcome::Rejected;
+                }
+                let mut x = rng.next_f64() * total;
+                let mut picked = None;
+                for &rid in cands {
+                    let w = self.weights[c][rid as usize];
+                    if w <= 0.0 {
+                        continue;
+                    }
+                    if x < w {
+                        picked = Some(rid);
+                        break;
+                    }
+                    x -= w;
+                }
+                let picked = match picked {
+                    Some(r) => r,
+                    None => {
+                        // FP rounding: take the last positive candidate.
+                        match cands
+                            .iter()
+                            .rev()
+                            .find(|&&rid| self.weights[c][rid as usize] > 0.0)
+                        {
+                            Some(&r) => r,
+                            None => return SampleOutcome::Rejected,
+                        }
+                    }
+                };
+                frontier.push((c, picked));
+            }
+        }
+        SampleOutcome::Accepted(Tuple::new(buf))
+    }
+
+    fn join_size_hint(&self) -> f64 {
+        self.total
+    }
+}
+
+/// Extended-Olken sampler: max-degree weights plus dangling elimination.
+#[derive(Debug)]
+pub struct OlkenSampler {
+    prepared: Prepared,
+    /// Per relation: `M(probe attrs)` (1 for the root).
+    max_degrees: Vec<f64>,
+    /// Root rows that survive the one-level dangling check.
+    live_roots: Vec<u32>,
+    /// `|live_roots| · Π M` — the sampler's size upper bound.
+    bound: f64,
+}
+
+impl OlkenSampler {
+    /// Builds the sampler for any join shape.
+    pub fn new(spec: Arc<JoinSpec>) -> Result<Self, JoinError> {
+        let prepared = Prepared::new(spec)?;
+        let spec = &prepared.spec;
+        let n = spec.n_relations();
+        let mut max_degrees = vec![1.0f64; n];
+        for (v, index) in prepared.indexes.iter().enumerate() {
+            if let Some(idx) = index.as_ref() {
+                max_degrees[v] = idx.max_degree() as f64;
+            }
+        }
+
+        // One-level dangling elimination at the root (§3.2's linear
+        // search): root rows with an empty candidate list in any child
+        // can never yield a result.
+        let root = prepared.tree.root();
+        let root_children: Vec<usize> = prepared.tree.children(root).to_vec();
+        let mut scratch: Vec<Value> = Vec::new();
+        let live_roots: Vec<u32> = spec
+            .relation(root)
+            .rows()
+            .iter()
+            .enumerate()
+            .filter(|(_, row)| {
+                root_children.iter().all(|&c| {
+                    let key = prepared.child_key(c, row, &mut scratch);
+                    let index = prepared.indexes[c].as_ref().expect("child index");
+                    index.degree(key) > 0
+                })
+            })
+            .map(|(i, _)| i as u32)
+            .collect();
+
+        let degree_product: f64 = (0..n)
+            .filter(|&v| v != root)
+            .map(|v| max_degrees[v])
+            .product();
+        let bound = live_roots.len() as f64 * degree_product;
+
+        Ok(Self {
+            prepared,
+            max_degrees,
+            live_roots,
+            bound,
+        })
+    }
+
+    /// The sampler's join-size upper bound (`|live roots| · Π M`).
+    pub fn bound(&self) -> f64 {
+        self.bound
+    }
+
+    /// Number of root rows surviving dangling elimination.
+    pub fn live_root_count(&self) -> usize {
+        self.live_roots.len()
+    }
+}
+
+impl JoinSampler for OlkenSampler {
+    fn spec(&self) -> &JoinSpec {
+        &self.prepared.spec
+    }
+
+    fn sample(&self, rng: &mut SujRng) -> SampleOutcome {
+        if self.live_roots.is_empty() || self.bound <= 0.0 {
+            return SampleOutcome::Rejected;
+        }
+        let spec = &self.prepared.spec;
+        let root = self.prepared.tree.root();
+        let arity = spec.output_schema().arity();
+        let mut buf = vec![Value::Null; arity];
+        let mut filled = vec![false; arity];
+
+        let root_row = self.live_roots[rng.index(self.live_roots.len())];
+        let mut scratch: Vec<Value> = Vec::new();
+        let mut frontier = vec![(root, root_row)];
+        while let Some((v, row_id)) = frontier.pop() {
+            let row = spec.relation(v).row(row_id as usize);
+            if !self.prepared.fill(&mut buf, &mut filled, v, row) {
+                return SampleOutcome::Rejected; // cycle-consistency violation
+            }
+            for &c in self.prepared.tree.children(v) {
+                let key = self.prepared.child_key(c, row, &mut scratch);
+                let index = self.prepared.indexes[c].as_ref().expect("child index");
+                let cands = index.rows_matching(key);
+                if cands.is_empty() {
+                    return SampleOutcome::Rejected; // dead end
+                }
+                // Uniform candidate + accept with d/M keeps the overall
+                // path probability constant: (1/d)·(d/M) = 1/M.
+                let d = cands.len() as f64;
+                if !rng.bernoulli(d / self.max_degrees[c]) {
+                    return SampleOutcome::Rejected;
+                }
+                let picked = cands[rng.index(cands.len())];
+                frontier.push((c, picked));
+            }
+        }
+        SampleOutcome::Accepted(Tuple::new(buf))
+    }
+
+    fn join_size_hint(&self) -> f64 {
+        self.bound
+    }
+}
+
+/// Builds a uniform sampler for any join shape with the requested weight
+/// instantiation.
+pub fn build_sampler(
+    spec: Arc<JoinSpec>,
+    kind: WeightKind,
+) -> Result<Box<dyn JoinSampler>, JoinError> {
+    Ok(match kind {
+        WeightKind::Exact => Box::new(ExactWeightSampler::new(spec)?),
+        WeightKind::ExtendedOlken => Box::new(OlkenSampler::new(spec)?),
+        WeightKind::WanderJoin => Box::new(crate::wander::WanderSampler::new(spec)?),
+    })
+}
+
+/// The exact size of any join: EW total weight for acyclic specs; full
+/// execution for cyclic specs (ground-truth path only).
+pub fn exact_join_size(spec: &JoinSpec) -> Result<f64, JoinError> {
+    if has_graph_cycle(spec) {
+        Ok(execute(spec).len() as f64)
+    } else {
+        Ok(ExactWeightSampler::new(Arc::new(spec.clone()))?.exact_size())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use suj_storage::{FxHashMap, Relation, Schema};
+
+    fn rel(name: &str, attrs: &[&str], rows: Vec<Vec<i64>>) -> Arc<Relation> {
+        let schema = Schema::new(attrs.iter().copied()).unwrap();
+        let tuples = rows
+            .into_iter()
+            .map(|vals| vals.into_iter().map(Value::int).collect())
+            .collect();
+        Arc::new(Relation::new(name, schema, tuples).unwrap())
+    }
+
+    fn skewed_chain() -> Arc<JoinSpec> {
+        // Skewed degrees so EO rejects and EW must weight properly.
+        let r = rel(
+            "r",
+            &["a", "b"],
+            vec![vec![1, 10], vec![2, 10], vec![3, 20], vec![4, 30]],
+        );
+        let s = rel(
+            "s",
+            &["b", "c"],
+            vec![
+                vec![10, 100],
+                vec![10, 101],
+                vec![10, 102],
+                vec![20, 200],
+                vec![40, 400],
+            ],
+        );
+        let t = rel(
+            "t",
+            &["c", "d"],
+            vec![vec![100, 1], vec![100, 2], vec![101, 3], vec![200, 4]],
+        );
+        Arc::new(JoinSpec::chain("skew", vec![r, s, t]).unwrap())
+    }
+
+    #[test]
+    fn ew_total_matches_execution() {
+        let spec = skewed_chain();
+        let sampler = ExactWeightSampler::new(spec.clone()).unwrap();
+        let actual = execute(&spec).len() as f64;
+        assert_eq!(sampler.exact_size(), actual);
+        assert_eq!(sampler.join_size_hint(), actual);
+        assert!(sampler.size_is_exact());
+    }
+
+    #[test]
+    fn ew_never_rejects_on_nonempty_acyclic_join() {
+        let spec = skewed_chain();
+        let sampler = ExactWeightSampler::new(spec).unwrap();
+        let mut rng = SujRng::seed_from_u64(1);
+        for _ in 0..200 {
+            assert!(matches!(
+                sampler.sample(&mut rng),
+                SampleOutcome::Accepted(_)
+            ));
+        }
+    }
+
+    fn empirical_counts(
+        sampler: &dyn JoinSampler,
+        draws: usize,
+        seed: u64,
+    ) -> FxHashMap<Tuple, u64> {
+        let mut rng = SujRng::seed_from_u64(seed);
+        let mut counts: FxHashMap<Tuple, u64> = FxHashMap::default();
+        let mut accepted = 0usize;
+        while accepted < draws {
+            if let SampleOutcome::Accepted(t) = sampler.sample(&mut rng) {
+                *counts.entry(t).or_insert(0) += 1;
+                accepted += 1;
+            }
+        }
+        counts
+    }
+
+    fn assert_uniform(sampler: &dyn JoinSampler, seed: u64) {
+        let result = execute(sampler.spec());
+        let universe = result.distinct_set();
+        let k = universe.len();
+        assert!(k >= 2, "need a multi-tuple join for the test");
+        let draws = 2_000 * k;
+        let counts = empirical_counts(sampler, draws, seed);
+        // Every sampled tuple must be a real result tuple.
+        for t in counts.keys() {
+            assert!(universe.contains(t), "sampled non-member {t}");
+        }
+        let observed: Vec<u64> = result
+            .tuples()
+            .iter()
+            .map(|t| counts.get(t).copied().unwrap_or(0))
+            .collect();
+        let outcome = suj_stats::chi_square_test(&observed).unwrap();
+        assert!(
+            outcome.p_value > 0.001,
+            "sampler not uniform: chi2={} p={}",
+            outcome.statistic,
+            outcome.p_value
+        );
+    }
+
+    #[test]
+    fn ew_samples_uniformly() {
+        let sampler = ExactWeightSampler::new(skewed_chain()).unwrap();
+        assert_uniform(&sampler, 42);
+    }
+
+    #[test]
+    fn eo_samples_uniformly() {
+        let sampler = OlkenSampler::new(skewed_chain()).unwrap();
+        assert_uniform(&sampler, 43);
+    }
+
+    #[test]
+    fn eo_bound_dominates_exact_size() {
+        let spec = skewed_chain();
+        let eo = OlkenSampler::new(spec.clone()).unwrap();
+        let ew = ExactWeightSampler::new(spec).unwrap();
+        assert!(eo.bound() >= ew.exact_size());
+    }
+
+    #[test]
+    fn eo_dangling_elimination_shrinks_bound() {
+        // Root row with b=30 has no match in s: live roots = 3 of 4.
+        let spec = skewed_chain();
+        let eo = OlkenSampler::new(spec).unwrap();
+        assert_eq!(eo.live_root_count(), 3);
+    }
+
+    #[test]
+    fn star_join_sampling_uniform() {
+        let spec = Arc::new(
+            JoinSpec::natural(
+                "star",
+                vec![
+                    rel("c", &["a", "b"], vec![vec![1, 2], vec![3, 2], vec![1, 4]]),
+                    rel("l1", &["a", "x"], vec![vec![1, 10], vec![1, 11], vec![3, 12]]),
+                    rel("l2", &["b", "y"], vec![vec![2, 20], vec![2, 21], vec![4, 22]]),
+                ],
+            )
+            .unwrap(),
+        );
+        let ew = ExactWeightSampler::new(spec.clone()).unwrap();
+        assert_uniform(&ew, 7);
+        let eo = OlkenSampler::new(spec).unwrap();
+        assert_uniform(&eo, 8);
+    }
+
+    fn triangle_spec() -> Arc<JoinSpec> {
+        Arc::new(
+            JoinSpec::natural(
+                "tri",
+                vec![
+                    rel(
+                        "x",
+                        &["a", "b"],
+                        vec![vec![1, 2], vec![1, 9], vec![5, 2], vec![5, 6]],
+                    ),
+                    rel(
+                        "y",
+                        &["b", "c"],
+                        vec![vec![2, 3], vec![2, 4], vec![9, 4], vec![6, 3]],
+                    ),
+                    rel(
+                        "z",
+                        &["c", "a"],
+                        vec![vec![3, 1], vec![4, 5], vec![4, 1], vec![3, 5]],
+                    ),
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn cyclic_join_sampling_uniform() {
+        let spec = triangle_spec();
+        assert!(execute(&spec).len() >= 2);
+        let ew = build_sampler(spec.clone(), WeightKind::Exact).unwrap();
+        assert_uniform(ew.as_ref(), 11);
+        let eo = build_sampler(spec.clone(), WeightKind::ExtendedOlken).unwrap();
+        assert_uniform(eo.as_ref(), 12);
+        let wj = build_sampler(spec.clone(), WeightKind::WanderJoin).unwrap();
+        assert_uniform(wj.as_ref(), 13);
+    }
+
+    #[test]
+    fn wander_kind_samples_uniformly_on_chains() {
+        let sampler = build_sampler(skewed_chain(), WeightKind::WanderJoin).unwrap();
+        assert_uniform(sampler.as_ref(), 14);
+    }
+
+    #[test]
+    fn cyclic_sizes_and_hints() {
+        let spec = triangle_spec();
+        let actual = execute(&spec).len() as f64;
+        assert_eq!(exact_join_size(&spec).unwrap(), actual);
+        // The EW hint on a cyclic spec is the spanning-join size — an
+        // upper bound, flagged as inexact.
+        let ew = ExactWeightSampler::new(spec).unwrap();
+        assert!(!ew.size_is_exact());
+        assert!(ew.join_size_hint() >= actual);
+    }
+
+    #[test]
+    fn cyclic_samples_satisfy_all_edges() {
+        let spec = triangle_spec();
+        let universe = execute(&spec).distinct_set();
+        let sampler = build_sampler(spec, WeightKind::Exact).unwrap();
+        let mut rng = SujRng::seed_from_u64(19);
+        let mut accepted = 0;
+        for _ in 0..2000 {
+            if let SampleOutcome::Accepted(t) = sampler.sample(&mut rng) {
+                assert!(universe.contains(&t), "inconsistent cyclic sample {t}");
+                accepted += 1;
+            }
+        }
+        assert!(accepted > 0, "sampler never accepted");
+    }
+
+    #[test]
+    fn empty_join_always_rejects() {
+        let spec = Arc::new(
+            JoinSpec::chain(
+                "empty",
+                vec![
+                    rel("r", &["a", "b"], vec![vec![1, 10]]),
+                    rel("s", &["b", "c"], vec![vec![99, 1]]),
+                ],
+            )
+            .unwrap(),
+        );
+        let ew = ExactWeightSampler::new(spec.clone()).unwrap();
+        let eo = OlkenSampler::new(spec).unwrap();
+        let mut rng = SujRng::seed_from_u64(3);
+        for _ in 0..50 {
+            assert_eq!(ew.sample(&mut rng), SampleOutcome::Rejected);
+            assert_eq!(eo.sample(&mut rng), SampleOutcome::Rejected);
+        }
+        let (t, tries) = ew.sample_until_accepted(&mut rng, 10);
+        assert!(t.is_none());
+        assert_eq!(tries, 10);
+    }
+
+    #[test]
+    fn single_relation_sampling() {
+        let spec = Arc::new(
+            JoinSpec::natural("one", vec![rel("r", &["a"], vec![vec![1], vec![2], vec![3]])])
+                .unwrap(),
+        );
+        let sampler = ExactWeightSampler::new(spec).unwrap();
+        assert_eq!(sampler.exact_size(), 3.0);
+        assert_uniform(&sampler, 5);
+    }
+
+    #[test]
+    fn weights_expose_per_row_counts() {
+        let spec = skewed_chain();
+        let sampler = ExactWeightSampler::new(spec.clone()).unwrap();
+        // Row (1,10) of r joins s-rows {100,101,102}; t matches:
+        // 100→2, 101→1, 102→0 → weight 3.
+        assert_eq!(sampler.weights_of(0)[0], 3.0);
+        // Row (4,30) is dangling → 0.
+        assert_eq!(sampler.weights_of(0)[3], 0.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Exact binomial coefficients.
+//!
+//! Theorem 3's k-overlap recurrence deducts `C(r−1, k−1) · |A_j^r|` for
+//! every higher order `r`; the number of joins `n` is small in practice
+//! (the paper's workloads have 3–5), so exact `u128` arithmetic never
+//! overflows in realistic use and saturates gracefully otherwise.
+
+/// `C(n, k)` with saturation at `u128::MAX`.
+///
+/// Returns `0` when `k > n`, `1` when `k == 0` or `k == n`.
+pub fn binomial(n: u64, k: u64) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result: u128 = 1;
+    for i in 0..k {
+        // result *= (n - i); result /= (i + 1); done carefully to stay exact:
+        // C(n, i+1) = C(n, i) * (n - i) / (i + 1) is always integral.
+        result = match result.checked_mul((n - i) as u128) {
+            Some(v) => v,
+            None => return u128::MAX,
+        };
+        result /= (i + 1) as u128;
+    }
+    result
+}
+
+/// `C(n, k)` as `f64` (convenient for probability expressions); loses
+/// precision only above 2^53, far beyond the framework's use.
+pub fn binomial_f64(n: u64, k: u64) -> f64 {
+    binomial(n, k) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values() {
+        assert_eq!(binomial(0, 0), 1);
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 5), 1);
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(6, 3), 20);
+        assert_eq!(binomial(10, 4), 210);
+        assert_eq!(binomial(3, 7), 0);
+    }
+
+    #[test]
+    fn pascal_identity() {
+        for n in 1..30u64 {
+            for k in 1..n {
+                assert_eq!(
+                    binomial(n, k),
+                    binomial(n - 1, k - 1) + binomial(n - 1, k),
+                    "Pascal fails at ({n},{k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn row_sums_are_powers_of_two() {
+        for n in 0..20u64 {
+            let sum: u128 = (0..=n).map(|k| binomial(n, k)).sum();
+            assert_eq!(sum, 1u128 << n);
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        for n in 0..25u64 {
+            for k in 0..=n {
+                assert_eq!(binomial(n, k), binomial(n, n - k));
+            }
+        }
+    }
+
+    #[test]
+    fn large_values_exact() {
+        assert_eq!(binomial(52, 5), 2_598_960);
+        assert_eq!(binomial(100, 2), 4950);
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        // C(200, 100) overflows u128; we saturate.
+        assert_eq!(binomial(200, 100), u128::MAX);
+    }
+}

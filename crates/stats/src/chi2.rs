@@ -1,0 +1,235 @@
+//! Chi-square goodness-of-fit testing.
+//!
+//! The paper's central guarantee (Theorem 1) is that every union-sampling
+//! instantiation returns tuples uniformly over the set union. The test
+//! suite verifies this empirically: materialize the union, bucket a large
+//! sample by tuple identity, and run a chi-square test against the uniform
+//! distribution. The p-value machinery (regularized incomplete gamma) is
+//! implemented here from scratch.
+
+/// Outcome of a chi-square test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquareOutcome {
+    /// The chi-square statistic Σ (obs − exp)² / exp.
+    pub statistic: f64,
+    /// Degrees of freedom (`categories − 1`).
+    pub dof: u64,
+    /// Upper-tail p-value `P(X² ≥ statistic)`.
+    pub p_value: f64,
+}
+
+impl ChiSquareOutcome {
+    /// Whether the uniformity hypothesis survives at significance `alpha`
+    /// (i.e. `p_value > alpha` — we fail to reject).
+    pub fn is_uniform_at(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+/// Chi-square statistic of observed counts against explicit expected
+/// counts. Panics if lengths differ or any expected count is `≤ 0`.
+pub fn chi_square_statistic(observed: &[u64], expected: &[f64]) -> f64 {
+    assert_eq!(observed.len(), expected.len(), "length mismatch");
+    observed
+        .iter()
+        .zip(expected)
+        .map(|(&o, &e)| {
+            assert!(e > 0.0, "expected counts must be positive");
+            let d = o as f64 - e;
+            d * d / e
+        })
+        .sum()
+}
+
+/// Chi-square test of observed counts against the uniform distribution
+/// over `observed.len()` categories.
+///
+/// Returns `None` when there are fewer than two categories or no
+/// observations (the test is undefined there).
+pub fn chi_square_test(observed: &[u64]) -> Option<ChiSquareOutcome> {
+    let k = observed.len();
+    if k < 2 {
+        return None;
+    }
+    let total: u64 = observed.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let expected = total as f64 / k as f64;
+    let statistic: f64 = observed
+        .iter()
+        .map(|&o| {
+            let d = o as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    let dof = (k - 1) as u64;
+    let p_value = chi_square_survival(statistic, dof);
+    Some(ChiSquareOutcome {
+        statistic,
+        dof,
+        p_value,
+    })
+}
+
+/// Upper-tail probability `P(X² ≥ x)` for a chi-square distribution with
+/// `dof` degrees of freedom: `Q(dof/2, x/2)` (regularized upper incomplete
+/// gamma).
+pub fn chi_square_survival(x: f64, dof: u64) -> f64 {
+    assert!(dof > 0, "degrees of freedom must be positive");
+    if x <= 0.0 {
+        return 1.0;
+    }
+    regularized_gamma_q(dof as f64 / 2.0, x / 2.0)
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma domain is positive reals");
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.5203681218851,
+        -1259.1392167224028,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.984_369_578_019_572e-6,
+        1.5056327351493116e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized lower incomplete gamma `P(a, x)` via series expansion
+/// (converges quickly for `x < a + 1`).
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut sum = 1.0 / a;
+    let mut term = sum;
+    let mut n = a;
+    for _ in 0..500 {
+        n += 1.0;
+        term *= x / n;
+        sum += term;
+        if term.abs() < sum.abs() * 1e-15 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Regularized upper incomplete gamma `Q(a, x)` via continued fraction
+/// (Lentz's method; converges quickly for `x ≥ a + 1`).
+fn gamma_q_cf(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+/// Regularized upper incomplete gamma `Q(a, x) = 1 − P(a, x)`.
+pub fn regularized_gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "invalid gamma arguments a={a} x={x}");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        (1.0 - gamma_p_series(a, x)).clamp(0.0, 1.0)
+    } else {
+        gamma_q_cf(a, x).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n−1)!
+        let facts = [1.0f64, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
+        for (i, &f) in facts.iter().enumerate() {
+            let lg = ln_gamma((i + 1) as f64);
+            assert!((lg - f.ln()).abs() < 1e-10, "Γ({}) mismatch", i + 1);
+        }
+        // Γ(1/2) = √π
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn survival_known_quantiles() {
+        // 95th percentile of chi²(1) ≈ 3.841; chi²(5) ≈ 11.070;
+        // chi²(10) ≈ 18.307.
+        assert!((chi_square_survival(3.841, 1) - 0.05).abs() < 1e-3);
+        assert!((chi_square_survival(11.070, 5) - 0.05).abs() < 1e-3);
+        assert!((chi_square_survival(18.307, 10) - 0.05).abs() < 1e-3);
+        // Median of chi²(2) is 2 ln 2 ≈ 1.386.
+        assert!((chi_square_survival(2.0 * 2f64.ln(), 2) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn survival_edges() {
+        assert_eq!(chi_square_survival(0.0, 3), 1.0);
+        assert!(chi_square_survival(1e6, 3) < 1e-12);
+    }
+
+    #[test]
+    fn uniform_counts_pass() {
+        let observed = [100u64, 101, 99, 103, 97, 100, 98, 102];
+        let outcome = chi_square_test(&observed).unwrap();
+        assert!(outcome.p_value > 0.5, "p = {}", outcome.p_value);
+        assert!(outcome.is_uniform_at(0.01));
+    }
+
+    #[test]
+    fn skewed_counts_fail() {
+        let observed = [500u64, 10, 10, 10, 10, 10, 10, 10];
+        let outcome = chi_square_test(&observed).unwrap();
+        assert!(outcome.p_value < 1e-10);
+        assert!(!outcome.is_uniform_at(0.01));
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(chi_square_test(&[]).is_none());
+        assert!(chi_square_test(&[5]).is_none());
+        assert!(chi_square_test(&[0, 0, 0]).is_none());
+    }
+
+    #[test]
+    fn statistic_with_explicit_expected() {
+        let s = chi_square_statistic(&[10, 20], &[15.0, 15.0]);
+        assert!((s - (25.0 / 15.0 + 25.0 / 15.0)).abs() < 1e-12);
+    }
+}

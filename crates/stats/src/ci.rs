@@ -1,0 +1,174 @@
+//! Normal-approximation confidence intervals.
+//!
+//! The random-walk warm-up (§6) terminates when the half-width
+//! `z_α · σ/√n` of the estimate's confidence interval falls below a
+//! threshold. This module supplies `z` values via an inverse standard
+//! normal CDF (Acklam's rational approximation, |rel err| < 1.15e-9),
+//! so arbitrary confidence levels work, not just a lookup table.
+
+/// A symmetric confidence interval `estimate ± half_width`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate at the interval center.
+    pub estimate: f64,
+    /// Half-width of the interval.
+    pub half_width: f64,
+    /// Confidence level in `(0, 1)`, e.g. `0.9`.
+    pub confidence: f64,
+}
+
+impl ConfidenceInterval {
+    /// Lower bound of the interval.
+    pub fn lo(&self) -> f64 {
+        self.estimate - self.half_width
+    }
+
+    /// Upper bound of the interval.
+    pub fn hi(&self) -> f64 {
+        self.estimate + self.half_width
+    }
+
+    /// Whether `x` falls inside the interval.
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo() && x <= self.hi()
+    }
+
+    /// Relative half-width; `∞` when the estimate is zero.
+    pub fn relative(&self) -> f64 {
+        if self.estimate == 0.0 {
+            f64::INFINITY
+        } else {
+            (self.half_width / self.estimate).abs()
+        }
+    }
+}
+
+/// Inverse standard normal CDF (probit), Acklam's algorithm.
+///
+/// Valid for `p ∈ (0, 1)`; panics outside.
+pub fn inverse_normal_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probit domain is (0,1), got {p}");
+
+    // Coefficients for the rational approximations.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// Two-sided z-value for a confidence level, e.g. `z_value(0.95) ≈ 1.96`.
+pub fn z_value(confidence: f64) -> f64 {
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence level must be in (0,1), got {confidence}"
+    );
+    inverse_normal_cdf(0.5 + confidence / 2.0)
+}
+
+/// Half-width `z · σ / √n` of a normal-approximation CI.
+pub fn half_width(confidence: f64, std_dev: f64, n: u64) -> f64 {
+    if n == 0 {
+        return f64::INFINITY;
+    }
+    z_value(confidence) * std_dev / (n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_z_values() {
+        assert!((z_value(0.90) - 1.6449).abs() < 1e-3);
+        assert!((z_value(0.95) - 1.9600).abs() < 1e-3);
+        assert!((z_value(0.99) - 2.5758).abs() < 1e-3);
+    }
+
+    #[test]
+    fn probit_symmetry() {
+        for &p in &[0.01, 0.1, 0.25, 0.4] {
+            let lo = inverse_normal_cdf(p);
+            let hi = inverse_normal_cdf(1.0 - p);
+            assert!((lo + hi).abs() < 1e-8, "probit not symmetric at {p}");
+        }
+        assert!(inverse_normal_cdf(0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probit_tail_values() {
+        // Φ⁻¹(0.001) ≈ -3.0902
+        assert!((inverse_normal_cdf(0.001) + 3.0902).abs() < 1e-3);
+        // Φ⁻¹(0.999) ≈ 3.0902
+        assert!((inverse_normal_cdf(0.999) - 3.0902).abs() < 1e-3);
+    }
+
+    #[test]
+    fn half_width_scales_inverse_sqrt_n() {
+        let w100 = half_width(0.95, 2.0, 100);
+        let w400 = half_width(0.95, 2.0, 400);
+        assert!((w100 / w400 - 2.0).abs() < 1e-9);
+        assert!(half_width(0.95, 2.0, 0).is_infinite());
+    }
+
+    #[test]
+    fn interval_accessors() {
+        let ci = ConfidenceInterval {
+            estimate: 10.0,
+            half_width: 2.0,
+            confidence: 0.9,
+        };
+        assert_eq!(ci.lo(), 8.0);
+        assert_eq!(ci.hi(), 12.0);
+        assert!(ci.contains(9.0));
+        assert!(!ci.contains(12.5));
+        assert!((ci.relative() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence level")]
+    fn rejects_bad_confidence() {
+        z_value(1.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Horvitz–Thompson estimation for wander join (§6.1).
+//!
+//! A random walk over the join data graph yields a join result tuple `t`
+//! with a known, data-dependent probability `p(t)`. The Horvitz–Thompson
+//! estimator of the join size based on `m` walks is
+//! `|J|_S = (1/m) Σ_k 1/p(t_k)`, where failed walks contribute `0`.
+//! The paper updates the estimate incrementally as each walk completes;
+//! this module provides exactly that, plus the variance terms `T_n(u)` and
+//! `T_{n,2}(u)` that feed the confidence interval of Eq. 3.
+
+use crate::ci::z_value;
+use crate::running::RunningMoments;
+
+/// Online Horvitz–Thompson size estimator.
+///
+/// Each successful random walk contributes `1/p(t)`; each failed walk
+/// contributes `0`. [`HorvitzThompson::estimate`] is the running mean of
+/// those contributions, an unbiased estimate of the join size.
+#[derive(Debug, Clone, Default)]
+pub struct HorvitzThompson {
+    moments: RunningMoments,
+    successes: u64,
+}
+
+impl HorvitzThompson {
+    /// Creates an empty estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a successful walk that produced a tuple with probability
+    /// `p` (`0 < p ≤ 1`).
+    pub fn push_success(&mut self, p: f64) {
+        assert!(p > 0.0 && p <= 1.0, "walk probability must be in (0,1], got {p}");
+        self.moments.push(1.0 / p);
+        self.successes += 1;
+    }
+
+    /// Records a failed walk (a dead end in the join graph); contributes
+    /// zero, which keeps the estimator unbiased.
+    pub fn push_failure(&mut self) {
+        self.moments.push(0.0);
+    }
+
+    /// Total number of walks recorded (successes + failures).
+    pub fn walks(&self) -> u64 {
+        self.moments.count()
+    }
+
+    /// Number of successful walks.
+    pub fn successes(&self) -> u64 {
+        self.successes
+    }
+
+    /// Current size estimate (`T_n(u)` in the paper's notation).
+    pub fn estimate(&self) -> f64 {
+        self.moments.mean()
+    }
+
+    /// Sample variance of the per-walk contributions (`T_{n,2}(u)`).
+    pub fn variance(&self) -> f64 {
+        self.moments.variance_sample()
+    }
+
+    /// Half-width of the normal-approximation confidence interval at the
+    /// given confidence level (e.g. `0.9`), i.e. `z · σ/√n`.
+    pub fn ci_half_width(&self, confidence: f64) -> f64 {
+        let n = self.moments.count();
+        if n < 2 {
+            return f64::INFINITY;
+        }
+        z_value(confidence) * self.moments.std_dev_sample() / (n as f64).sqrt()
+    }
+
+    /// Relative half-width (`half_width / estimate`); `∞` while the
+    /// estimate is zero or too few walks have been recorded.
+    pub fn relative_half_width(&self, confidence: f64) -> f64 {
+        let est = self.estimate();
+        if est <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.ci_half_width(confidence) / est
+    }
+
+    /// True once the relative CI half-width has shrunk below `threshold`
+    /// at the given confidence level — the paper's warm-up termination
+    /// criterion (§6.1).
+    pub fn converged(&self, confidence: f64, threshold: f64) -> bool {
+        self.relative_half_width(confidence) <= threshold
+    }
+
+    /// Merges walk statistics from another estimator.
+    pub fn merge(&mut self, other: &HorvitzThompson) {
+        self.moments.merge(&other.moments);
+        self.successes += other.successes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SujRng;
+
+    #[test]
+    fn uniform_probability_recovers_population_size() {
+        // If every element of a population of size 1000 is sampled with
+        // p = 1/1000, the estimate is exactly 1000 for any sample.
+        let mut ht = HorvitzThompson::new();
+        for _ in 0..50 {
+            ht.push_success(1.0 / 1000.0);
+        }
+        assert!((ht.estimate() - 1000.0).abs() < 1e-9);
+        assert!(ht.variance() < 1e-9);
+    }
+
+    #[test]
+    fn failures_shrink_the_estimate() {
+        let mut ht = HorvitzThompson::new();
+        ht.push_success(0.01); // contributes 100
+        ht.push_failure(); // contributes 0
+        assert!((ht.estimate() - 50.0).abs() < 1e-9);
+        assert_eq!(ht.walks(), 2);
+        assert_eq!(ht.successes(), 1);
+    }
+
+    #[test]
+    fn unbiased_under_nonuniform_probabilities() {
+        // Population of 100 items, item i sampled with probability p_i
+        // proportional to i+1. E[1/p] over the sampling distribution = 100.
+        let n = 100usize;
+        let weights: Vec<f64> = (0..n).map(|i| (i + 1) as f64).collect();
+        let total: f64 = weights.iter().sum();
+        let probs: Vec<f64> = weights.iter().map(|w| w / total).collect();
+
+        let mut rng = SujRng::seed_from_u64(99);
+        let mut ht = HorvitzThompson::new();
+        for _ in 0..200_000 {
+            // inverse-CDF draw
+            let u = rng.next_f64();
+            let mut acc = 0.0;
+            let mut idx = n - 1;
+            for (i, &p) in probs.iter().enumerate() {
+                acc += p;
+                if u < acc {
+                    idx = i;
+                    break;
+                }
+            }
+            ht.push_success(probs[idx]);
+        }
+        let rel_err = (ht.estimate() - n as f64).abs() / n as f64;
+        assert!(rel_err < 0.05, "estimate {} rel_err {}", ht.estimate(), rel_err);
+    }
+
+    #[test]
+    fn ci_shrinks_with_more_walks() {
+        let mut rng = SujRng::seed_from_u64(4);
+        let mut ht = HorvitzThompson::new();
+        for _ in 0..100 {
+            ht.push_success(if rng.bernoulli(0.5) { 0.01 } else { 0.02 });
+        }
+        let early = ht.ci_half_width(0.9);
+        for _ in 0..10_000 {
+            ht.push_success(if rng.bernoulli(0.5) { 0.01 } else { 0.02 });
+        }
+        let late = ht.ci_half_width(0.9);
+        assert!(late < early, "late {late} must be < early {early}");
+        assert!(ht.converged(0.9, 0.05));
+    }
+
+    #[test]
+    fn empty_estimator_is_unconverged() {
+        let ht = HorvitzThompson::new();
+        assert_eq!(ht.estimate(), 0.0);
+        assert!(!ht.converged(0.9, 0.1));
+        assert!(ht.ci_half_width(0.9).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "walk probability")]
+    fn rejects_invalid_probability() {
+        let mut ht = HorvitzThompson::new();
+        ht.push_success(0.0);
+    }
+
+    #[test]
+    fn merge_pools_walks() {
+        let mut a = HorvitzThompson::new();
+        let mut b = HorvitzThompson::new();
+        a.push_success(0.1);
+        b.push_success(0.2);
+        b.push_failure();
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.walks(), 3);
+        assert_eq!(merged.successes(), 2);
+        assert!((merged.estimate() - (10.0 + 5.0 + 0.0) / 3.0).abs() < 1e-12);
+    }
+}

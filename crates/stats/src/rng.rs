@@ -1,0 +1,275 @@
+//! Seedable pseudo-random number generation.
+//!
+//! All randomized components in the workspace draw from [`SujRng`] so that
+//! every experiment is reproducible from a single `u64` seed. The
+//! generator is xoshiro256++ (Blackman & Vigna) seeded through SplitMix64,
+//! implemented here directly: it is tiny, `Clone`, platform-stable, and
+//! keeps the workspace independent of external PRNG API churn.
+
+/// A seedable random number generator (xoshiro256++).
+///
+/// Construction from a seed is deterministic across runs and platforms,
+/// which the test suite and the benchmark harness rely on.
+#[derive(Debug, Clone)]
+pub struct SujRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SujRng {
+    /// Creates a generator from a fixed seed. Identical seeds yield
+    /// identical streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { s }
+    }
+
+    /// Derives an independent child generator. Useful for giving each
+    /// join/worker its own stream while keeping the experiment seeded.
+    pub fn fork(&mut self) -> Self {
+        Self::seed_from_u64(self.next_u64())
+    }
+
+    /// Returns the next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform double in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)` via Lemire's nearly-divisionless method.
+    #[inline]
+    fn bounded_u64(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform index in `[0, n)`. Panics if `n == 0`.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot sample an index from an empty range");
+        self.bounded_u64(n as u64) as usize
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.bounded_u64(hi - lo)
+    }
+
+    /// Uniform integer in `[lo, hi)` over `i64`. Panics if the range is empty.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range");
+        let span = (hi as i128 - lo as i128) as u64;
+        (lo as i128 + self.bounded_u64(span) as i128) as i64
+    }
+
+    /// Bernoulli draw: returns `true` with probability `p` (clamped to
+    /// `[0, 1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `[0, n)` (Floyd's algorithm when
+    /// `k << n`, shuffle otherwise). Returned order is unspecified.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct items out of {n}");
+        if k == 0 {
+            return Vec::new();
+        }
+        if k * 4 >= n {
+            let mut all: Vec<usize> = (0..n).collect();
+            self.shuffle(&mut all);
+            all.truncate(k);
+            all
+        } else {
+            // Floyd's algorithm: O(k) expected time.
+            let mut chosen = std::collections::HashSet::with_capacity(k * 2);
+            let mut out = Vec::with_capacity(k);
+            for j in (n - k)..n {
+                let t = self.index(j + 1);
+                let v = if chosen.contains(&t) { j } else { t };
+                chosen.insert(v);
+                out.push(v);
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = SujRng::seed_from_u64(42);
+        let mut b = SujRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SujRng::seed_from_u64(1);
+        let mut b = SujRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = SujRng::seed_from_u64(6);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_f64_mean_is_half() {
+        let mut rng = SujRng::seed_from_u64(17);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.next_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn index_stays_in_range() {
+        let mut rng = SujRng::seed_from_u64(7);
+        for n in 1..50usize {
+            for _ in 0..20 {
+                assert!(rng.index(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn index_is_roughly_uniform() {
+        let mut rng = SujRng::seed_from_u64(21);
+        let mut counts = [0u64; 10];
+        for _ in 0..100_000 {
+            counts[rng.index(10)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
+    fn range_i64_handles_negative_bounds() {
+        let mut rng = SujRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = rng.range_i64(-50, 50);
+            assert!((-50..50).contains(&v));
+        }
+        let v = rng.range_i64(i64::MIN, i64::MIN + 2);
+        assert!(v == i64::MIN || v == i64::MIN + 1);
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = SujRng::seed_from_u64(3);
+        assert!(!rng.bernoulli(0.0));
+        assert!(rng.bernoulli(1.0));
+        assert!(!rng.bernoulli(-0.5));
+        assert!(rng.bernoulli(1.5));
+    }
+
+    #[test]
+    fn bernoulli_rate_is_plausible() {
+        let mut rng = SujRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.bernoulli(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = SujRng::seed_from_u64(5);
+        for &(n, k) in &[(10usize, 10usize), (100, 3), (50, 25), (1, 1), (8, 0)] {
+            let got = rng.sample_indices(n, k);
+            assert_eq!(got.len(), k);
+            let set: std::collections::HashSet<_> = got.iter().collect();
+            assert_eq!(set.len(), k, "indices must be distinct");
+            assert!(got.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SujRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..64).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut parent = SujRng::seed_from_u64(13);
+        let mut child = parent.fork();
+        let same = (0..32)
+            .filter(|_| parent.next_u64() == child.next_u64())
+            .count();
+        assert!(same < 4);
+    }
+}

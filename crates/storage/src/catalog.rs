@@ -1,0 +1,124 @@
+//! Relation catalogs.
+//!
+//! A [`Catalog`] is the "database" handed to workload builders: a named
+//! collection of relations. The union workloads (UQ1–UQ3) register one
+//! catalog per regional database variant (Fig. 1's `_W`, `_E`, `_MW`
+//! schemas) and build joins over them.
+
+use crate::error::StorageError;
+use crate::hash::FxHashMap;
+use crate::relation::Relation;
+use std::sync::Arc;
+
+/// A named collection of relations.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    relations: FxHashMap<Arc<str>, Arc<Relation>>,
+    order: Vec<Arc<str>>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a relation under its own name. Fails on duplicates.
+    pub fn register(&mut self, relation: Relation) -> Result<Arc<Relation>, StorageError> {
+        let name: Arc<str> = Arc::from(relation.name());
+        if self.relations.contains_key(&name) {
+            return Err(StorageError::DuplicateRelation(name.to_string()));
+        }
+        let arc = Arc::new(relation);
+        self.relations.insert(name.clone(), arc.clone());
+        self.order.push(name);
+        Ok(arc)
+    }
+
+    /// Looks up a relation by name.
+    pub fn get(&self, name: &str) -> Result<Arc<Relation>, StorageError> {
+        self.relations
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
+    }
+
+    /// Whether a relation is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Registered relation names in registration order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.order.iter().map(|n| n.as_ref())
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Total number of rows across all relations.
+    pub fn total_rows(&self) -> usize {
+        self.relations.values().map(|r| r.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::tuple;
+
+    fn rel(name: &str, n: i64) -> Relation {
+        let schema = Schema::new(["x"]).unwrap();
+        let rows = (0..n).map(|i| tuple![i]).collect();
+        Relation::new(name, schema, rows).unwrap()
+    }
+
+    #[test]
+    fn register_and_get() {
+        let mut cat = Catalog::new();
+        cat.register(rel("a", 3)).unwrap();
+        cat.register(rel("b", 5)).unwrap();
+        assert_eq!(cat.get("a").unwrap().len(), 3);
+        assert!(cat.contains("b"));
+        assert!(!cat.contains("c"));
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.total_rows(), 8);
+    }
+
+    #[test]
+    fn duplicate_registration_fails() {
+        let mut cat = Catalog::new();
+        cat.register(rel("a", 1)).unwrap();
+        assert!(matches!(
+            cat.register(rel("a", 2)),
+            Err(StorageError::DuplicateRelation(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_lookup_fails() {
+        let cat = Catalog::new();
+        assert!(matches!(
+            cat.get("zzz"),
+            Err(StorageError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn names_preserve_registration_order() {
+        let mut cat = Catalog::new();
+        for n in ["z", "m", "a"] {
+            cat.register(rel(n, 1)).unwrap();
+        }
+        let names: Vec<&str> = cat.names().collect();
+        assert_eq!(names, vec!["z", "m", "a"]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Storage-layer errors.
+
+use std::fmt;
+
+/// Errors raised by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A schema was constructed with zero attributes.
+    EmptySchema,
+    /// A schema contained a duplicate attribute name.
+    DuplicateAttribute(String),
+    /// An attribute name was not found in a schema.
+    UnknownAttribute(String),
+    /// A row's arity did not match its relation's schema.
+    ArityMismatch {
+        /// Arity the schema expects.
+        expected: usize,
+        /// Arity the row had.
+        actual: usize,
+    },
+    /// A named relation was not found in a catalog.
+    UnknownRelation(String),
+    /// A relation name was registered twice in a catalog.
+    DuplicateRelation(String),
+    /// Generic invariant violation with context.
+    Invalid(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::EmptySchema => write!(f, "schema must have at least one attribute"),
+            StorageError::DuplicateAttribute(a) => write!(f, "duplicate attribute `{a}`"),
+            StorageError::UnknownAttribute(a) => write!(f, "unknown attribute `{a}`"),
+            StorageError::ArityMismatch { expected, actual } => {
+                write!(f, "row arity {actual} does not match schema arity {expected}")
+            }
+            StorageError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            StorageError::DuplicateRelation(r) => write!(f, "relation `{r}` already registered"),
+            StorageError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StorageError::ArityMismatch {
+            expected: 3,
+            actual: 2,
+        };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('2'));
+        assert!(StorageError::UnknownAttribute("x".into())
+            .to_string()
+            .contains("`x`"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&StorageError::EmptySchema);
+    }
+}

@@ -1,0 +1,263 @@
+//! Hash indexes.
+//!
+//! The paper replaces Zhao et al.'s B-tree index structures with "hash
+//! tables for relations to maintain tuples' joinability information"
+//! (§3.2). Two index shapes cover every access pattern in the framework:
+//!
+//! * [`HashIndex`] — join-attribute index: key (one or more attribute
+//!   values) → row ids. Supplies degrees for Olken bounds, candidate
+//!   lists for random walks, and per-value postings for exact weights.
+//! * [`RowMembership`] — whole-row existence index, the building block of
+//!   the join membership oracle (§6.2 checks "to see where t is contained
+//!   in J_i ... it just requires (N−1)×(M−1) queries with key").
+
+use crate::hash::FxHashMap;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::sync::Arc;
+
+/// Index on one or more attributes of a relation: key values → row ids.
+#[derive(Debug, Clone)]
+pub struct HashIndex {
+    attrs: Vec<Arc<str>>,
+    positions: Vec<usize>,
+    postings: FxHashMap<Box<[Value]>, Vec<u32>>,
+    max_degree: usize,
+}
+
+impl HashIndex {
+    /// Builds an index over `attrs` of `relation`.
+    ///
+    /// # Panics
+    /// Panics if any attribute is missing from the relation's schema
+    /// (callers validate schemas when constructing join specs).
+    pub fn build(relation: &Relation, attrs: &[Arc<str>]) -> Self {
+        let positions: Vec<usize> = attrs
+            .iter()
+            .map(|a| {
+                relation
+                    .schema()
+                    .position(a)
+                    .unwrap_or_else(|| panic!("attribute `{a}` not in {}", relation.schema()))
+            })
+            .collect();
+        let mut postings: FxHashMap<Box<[Value]>, Vec<u32>> = FxHashMap::default();
+        for (i, row) in relation.rows().iter().enumerate() {
+            let key: Box<[Value]> = positions.iter().map(|&p| row.get(p).clone()).collect();
+            postings.entry(key).or_default().push(i as u32);
+        }
+        let max_degree = postings.values().map(Vec::len).max().unwrap_or(0);
+        Self {
+            attrs: attrs.to_vec(),
+            positions,
+            postings,
+            max_degree,
+        }
+    }
+
+    /// Convenience: single-attribute index.
+    pub fn build_single(relation: &Relation, attr: &str) -> Self {
+        Self::build(relation, &[Arc::from(attr)])
+    }
+
+    /// Indexed attribute names.
+    pub fn attrs(&self) -> &[Arc<str>] {
+        &self.attrs
+    }
+
+    /// Positions of the indexed attributes in the base relation.
+    pub fn positions(&self) -> &[usize] {
+        &self.positions
+    }
+
+    /// Row ids matching a key, or an empty slice.
+    pub fn rows_matching(&self, key: &[Value]) -> &[u32] {
+        self.postings.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of rows matching a key — the degree `d_A(v, R)` of §5.
+    pub fn degree(&self, key: &[Value]) -> usize {
+        self.rows_matching(key).len()
+    }
+
+    /// Maximum degree over all keys — `M_A(R)` of §3.2/§5.
+    pub fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+
+    /// Average degree over distinct keys.
+    pub fn avg_degree(&self) -> f64 {
+        if self.postings.is_empty() {
+            0.0
+        } else {
+            let total: usize = self.postings.values().map(Vec::len).sum();
+            total as f64 / self.postings.len() as f64
+        }
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Iterates `(key, row ids)` pairs.
+    pub fn entries(&self) -> impl Iterator<Item = (&[Value], &[u32])> {
+        self.postings
+            .iter()
+            .map(|(k, v)| (k.as_ref(), v.as_slice()))
+    }
+
+    /// Extracts this index's key from a row of the base relation.
+    pub fn key_of<'a>(&self, row: &'a Tuple, scratch: &'a mut Vec<Value>) -> &'a [Value] {
+        scratch.clear();
+        for &p in &self.positions {
+            scratch.push(row.get(p).clone());
+        }
+        scratch.as_slice()
+    }
+}
+
+/// Whole-row existence index over a relation (set semantics), keyed by
+/// the row's full value sequence.
+#[derive(Debug, Clone, Default)]
+pub struct RowMembership {
+    rows: crate::hash::FxHashSet<Tuple>,
+}
+
+impl RowMembership {
+    /// Builds a membership index for all rows of a relation.
+    pub fn build(relation: &Relation) -> Self {
+        let mut rows = crate::hash::FxHashSet::default();
+        rows.reserve(relation.len());
+        for row in relation.rows() {
+            rows.insert(row.clone());
+        }
+        Self { rows }
+    }
+
+    /// Whether the exact row exists in the relation.
+    pub fn contains(&self, row: &Tuple) -> bool {
+        self.rows.contains(row)
+    }
+
+    /// Whether a row with exactly these values exists (no allocation).
+    pub fn contains_values(&self, values: &[Value]) -> bool {
+        self.rows.contains(values)
+    }
+
+    /// Number of distinct rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::tuple;
+
+    fn rel() -> Relation {
+        let schema = Schema::new(["k", "v"]).unwrap();
+        Relation::new(
+            "r",
+            schema,
+            vec![
+                tuple![1i64, 10i64],
+                tuple![1i64, 11i64],
+                tuple![2i64, 20i64],
+                tuple![1i64, 12i64],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn postings_and_degrees() {
+        let r = rel();
+        let idx = HashIndex::build_single(&r, "k");
+        assert_eq!(idx.degree(&[Value::int(1)]), 3);
+        assert_eq!(idx.degree(&[Value::int(2)]), 1);
+        assert_eq!(idx.degree(&[Value::int(9)]), 0);
+        assert_eq!(idx.max_degree(), 3);
+        assert_eq!(idx.distinct_keys(), 2);
+        assert!((idx.avg_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rows_matching_returns_ids_in_insertion_order() {
+        let r = rel();
+        let idx = HashIndex::build_single(&r, "k");
+        assert_eq!(idx.rows_matching(&[Value::int(1)]), &[0, 1, 3]);
+        assert!(idx.rows_matching(&[Value::int(42)]).is_empty());
+    }
+
+    #[test]
+    fn multi_attribute_keys() {
+        let schema = Schema::new(["a", "b", "c"]).unwrap();
+        let r = Relation::new(
+            "r",
+            schema,
+            vec![
+                tuple![1i64, 2i64, 100i64],
+                tuple![1i64, 2i64, 200i64],
+                tuple![1i64, 3i64, 300i64],
+            ],
+        )
+        .unwrap();
+        let idx = HashIndex::build(&r, &[Arc::from("a"), Arc::from("b")]);
+        assert_eq!(idx.degree(&[Value::int(1), Value::int(2)]), 2);
+        assert_eq!(idx.degree(&[Value::int(1), Value::int(3)]), 1);
+        assert_eq!(idx.max_degree(), 2);
+    }
+
+    #[test]
+    fn empty_relation_index() {
+        let r = Relation::new("e", Schema::new(["x"]).unwrap(), vec![]).unwrap();
+        let idx = HashIndex::build_single(&r, "x");
+        assert_eq!(idx.max_degree(), 0);
+        assert_eq!(idx.distinct_keys(), 0);
+        assert_eq!(idx.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn key_of_extracts_positions() {
+        let r = rel();
+        let idx = HashIndex::build_single(&r, "v");
+        let mut scratch = Vec::new();
+        let key = idx.key_of(r.row(2), &mut scratch);
+        assert_eq!(key, &[Value::int(20)]);
+    }
+
+    #[test]
+    fn membership_contains() {
+        let r = rel();
+        let m = RowMembership::build(&r);
+        assert!(m.contains(&tuple![1i64, 11i64]));
+        assert!(!m.contains(&tuple![1i64, 99i64]));
+        assert!(m.contains_values(&[Value::int(2), Value::int(20)]));
+        assert!(!m.contains_values(&[Value::int(2)]));
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn membership_deduplicates() {
+        let schema = Schema::new(["x"]).unwrap();
+        let r = Relation::new("d", schema, vec![tuple![1i64], tuple![1i64]]).unwrap();
+        let m = RowMembership::build(&r);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in")]
+    fn unknown_attribute_panics() {
+        let r = rel();
+        HashIndex::build_single(&r, "missing");
+    }
+}

@@ -1,0 +1,90 @@
+//! In-memory relational storage for the sampling-over-union-of-joins
+//! framework.
+//!
+//! The paper's implementation stores "relations in hash relations with a
+//! linear search" (§9); this crate is the Rust equivalent substrate:
+//!
+//! * [`value`] — dynamically typed attribute values with total ordering
+//!   and hashing (so tuples can key hash tables).
+//! * [`schema`] — attribute lists with O(1) name→position lookup.
+//! * [`mod@tuple`] — cheaply clonable rows (`Arc<[Value]>`).
+//! * [`relation`] — named relations with builders, filtering, projection,
+//!   and the vertical/horizontal splits used by the UQ3 workload.
+//! * [`index`] — hash indexes on join attributes (value → row ids) and
+//!   whole-row membership indexes, the backbone of the membership oracle.
+//! * [`histogram`] — value-frequency and equi-depth histograms plus
+//!   max/average degree statistics (§5's building blocks).
+//! * [`predicate`] — selection predicates with push-down evaluation
+//!   (§8.3).
+//! * [`catalog`] — a named collection of relations.
+//! * [`csv`] — CSV import/export for relations (header row, quoting,
+//!   type inference).
+//! * [`hash`] — a fast non-cryptographic hasher (Fx) used by all hot
+//!   hash maps, implemented locally.
+//!
+//! # Example
+//!
+//! ```
+//! use suj_storage::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let schema = Schema::new(["k", "v"])?;
+//! let rel = Relation::new("r", schema, vec![
+//!     Tuple::new(vec![Value::int(1), Value::str("x")]),
+//!     Tuple::new(vec![Value::int(1), Value::str("y")]),
+//!     Tuple::new(vec![Value::int(2), Value::str("z")]),
+//! ])?;
+//!
+//! // Hash index on the key attribute: degrees feed Olken bounds.
+//! let idx = HashIndex::build_single(&rel, "k");
+//! assert_eq!(idx.degree(&[Value::int(1)]), 2);
+//! assert_eq!(idx.max_degree(), 2);
+//!
+//! // Histograms: the statistics tier of §5.
+//! let hist = FrequencyHistogram::build(&rel, "k");
+//! assert_eq!(hist.distinct(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod csv;
+pub mod error;
+pub mod hash;
+pub mod histogram;
+pub mod index;
+pub mod predicate;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use catalog::Catalog;
+pub use csv::{read_csv, write_csv};
+pub use error::StorageError;
+pub use hash::{FxHashMap, FxHashSet};
+pub use histogram::{DegreeStats, EquiDepthHistogram, FrequencyHistogram};
+pub use index::{HashIndex, RowMembership};
+pub use predicate::{CompareOp, CompiledPredicate, Predicate};
+pub use relation::{Relation, RelationBuilder};
+pub use schema::Schema;
+pub use tuple::Tuple;
+pub use value::Value;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::catalog::Catalog;
+    pub use crate::csv::{read_csv, write_csv};
+    pub use crate::error::StorageError;
+    pub use crate::hash::{FxHashMap, FxHashSet};
+    pub use crate::histogram::{DegreeStats, EquiDepthHistogram, FrequencyHistogram};
+    pub use crate::index::{HashIndex, RowMembership};
+    pub use crate::predicate::{CompareOp, CompiledPredicate, Predicate};
+    pub use crate::relation::{Relation, RelationBuilder};
+    pub use crate::schema::Schema;
+    pub use crate::tuple::Tuple;
+    pub use crate::value::Value;
+}

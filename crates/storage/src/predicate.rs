@@ -1,0 +1,290 @@
+//! Selection predicates.
+//!
+//! §8.3 supports selections in two ways: push-down (filter base relations
+//! before sampling — works for both estimator families) and
+//! reject-during-sampling (an extra rejection factor — random-walk only).
+//! [`Predicate`] is the schema-independent AST; [`CompiledPredicate`]
+//! resolves attribute names to positions once so evaluation in sampling
+//! inner loops is allocation-free.
+
+use crate::error::StorageError;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CompareOp {
+    fn eval(self, lhs: &Value, rhs: &Value) -> bool {
+        match self {
+            CompareOp::Eq => lhs == rhs,
+            CompareOp::Ne => lhs != rhs,
+            CompareOp::Lt => lhs < rhs,
+            CompareOp::Le => lhs <= rhs,
+            CompareOp::Gt => lhs > rhs,
+            CompareOp::Ge => lhs >= rhs,
+        }
+    }
+}
+
+impl fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CompareOp::Eq => "=",
+            CompareOp::Ne => "!=",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A selection predicate over attribute names.
+#[derive(Debug, Clone)]
+pub enum Predicate {
+    /// Always true.
+    True,
+    /// `attr op constant`.
+    Compare {
+        /// Attribute name.
+        attr: Arc<str>,
+        /// Comparison operator.
+        op: CompareOp,
+        /// Constant to compare against.
+        value: Value,
+    },
+    /// Conjunction.
+    And(Vec<Predicate>),
+    /// Disjunction.
+    Or(Vec<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `attr op value` shorthand.
+    pub fn cmp(attr: impl AsRef<str>, op: CompareOp, value: Value) -> Self {
+        Predicate::Compare {
+            attr: Arc::from(attr.as_ref()),
+            op,
+            value,
+        }
+    }
+
+    /// `attr = value` shorthand.
+    pub fn eq(attr: impl AsRef<str>, value: Value) -> Self {
+        Self::cmp(attr, CompareOp::Eq, value)
+    }
+
+    /// `attr BETWEEN lo AND hi` (inclusive) shorthand.
+    pub fn between(attr: impl AsRef<str>, lo: Value, hi: Value) -> Self {
+        let attr = attr.as_ref();
+        Predicate::And(vec![
+            Self::cmp(attr, CompareOp::Ge, lo),
+            Self::cmp(attr, CompareOp::Le, hi),
+        ])
+    }
+
+    /// Resolves attribute names against a schema.
+    pub fn compile(&self, schema: &Schema) -> Result<CompiledPredicate, StorageError> {
+        Ok(CompiledPredicate {
+            node: self.compile_node(schema)?,
+        })
+    }
+
+    fn compile_node(&self, schema: &Schema) -> Result<Node, StorageError> {
+        Ok(match self {
+            Predicate::True => Node::True,
+            Predicate::Compare { attr, op, value } => Node::Compare {
+                pos: schema.require(attr)?,
+                op: *op,
+                value: value.clone(),
+            },
+            Predicate::And(children) => Node::And(
+                children
+                    .iter()
+                    .map(|c| c.compile_node(schema))
+                    .collect::<Result<_, _>>()?,
+            ),
+            Predicate::Or(children) => Node::Or(
+                children
+                    .iter()
+                    .map(|c| c.compile_node(schema))
+                    .collect::<Result<_, _>>()?,
+            ),
+            Predicate::Not(child) => Node::Not(Box::new(child.compile_node(schema)?)),
+        })
+    }
+
+    /// Attribute names referenced by this predicate.
+    pub fn referenced_attrs(&self) -> Vec<Arc<str>> {
+        let mut out = Vec::new();
+        self.collect_attrs(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_attrs(&self, out: &mut Vec<Arc<str>>) {
+        match self {
+            Predicate::True => {}
+            Predicate::Compare { attr, .. } => out.push(attr.clone()),
+            Predicate::And(cs) | Predicate::Or(cs) => {
+                for c in cs {
+                    c.collect_attrs(out);
+                }
+            }
+            Predicate::Not(c) => c.collect_attrs(out),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    True,
+    Compare {
+        pos: usize,
+        op: CompareOp,
+        value: Value,
+    },
+    And(Vec<Node>),
+    Or(Vec<Node>),
+    Not(Box<Node>),
+}
+
+impl Node {
+    fn eval(&self, tuple: &Tuple) -> bool {
+        match self {
+            Node::True => true,
+            Node::Compare { pos, op, value } => op.eval(tuple.get(*pos), value),
+            Node::And(cs) => cs.iter().all(|c| c.eval(tuple)),
+            Node::Or(cs) => cs.iter().any(|c| c.eval(tuple)),
+            Node::Not(c) => !c.eval(tuple),
+        }
+    }
+}
+
+/// A predicate with attribute positions resolved; evaluation allocates
+/// nothing.
+#[derive(Debug, Clone)]
+pub struct CompiledPredicate {
+    node: Node,
+}
+
+impl CompiledPredicate {
+    /// Evaluates against a tuple.
+    pub fn eval(&self, tuple: &Tuple) -> bool {
+        self.node.eval(tuple)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn schema() -> Schema {
+        Schema::new(["a", "b", "s"]).unwrap()
+    }
+
+    #[test]
+    fn comparisons() {
+        let s = schema();
+        let t = tuple![5i64, 10i64, "mid"];
+        for (op, expect) in [
+            (CompareOp::Eq, false),
+            (CompareOp::Ne, true),
+            (CompareOp::Lt, true),
+            (CompareOp::Le, true),
+            (CompareOp::Gt, false),
+            (CompareOp::Ge, false),
+        ] {
+            let p = Predicate::cmp("a", op, Value::int(7)).compile(&s).unwrap();
+            assert_eq!(p.eval(&t), expect, "op {op}");
+        }
+    }
+
+    #[test]
+    fn boolean_composition() {
+        let s = schema();
+        let t = tuple![5i64, 10i64, "mid"];
+        let p = Predicate::And(vec![
+            Predicate::cmp("a", CompareOp::Ge, Value::int(1)),
+            Predicate::Or(vec![
+                Predicate::eq("s", Value::str("mid")),
+                Predicate::eq("s", Value::str("high")),
+            ]),
+        ])
+        .compile(&s)
+        .unwrap();
+        assert!(p.eval(&t));
+
+        let n = Predicate::Not(Box::new(Predicate::True)).compile(&s).unwrap();
+        assert!(!n.eval(&t));
+    }
+
+    #[test]
+    fn between_is_inclusive() {
+        let s = schema();
+        let p = Predicate::between("b", Value::int(10), Value::int(20))
+            .compile(&s)
+            .unwrap();
+        assert!(p.eval(&tuple![0i64, 10i64, "x"]));
+        assert!(p.eval(&tuple![0i64, 20i64, "x"]));
+        assert!(!p.eval(&tuple![0i64, 21i64, "x"]));
+    }
+
+    #[test]
+    fn unknown_attribute_fails_compile() {
+        let s = schema();
+        assert!(Predicate::eq("zz", Value::int(1)).compile(&s).is_err());
+    }
+
+    #[test]
+    fn referenced_attrs_deduplicated() {
+        let p = Predicate::And(vec![
+            Predicate::eq("a", Value::int(1)),
+            Predicate::eq("b", Value::int(2)),
+            Predicate::eq("a", Value::int(3)),
+        ]);
+        let attrs = p.referenced_attrs();
+        assert_eq!(attrs.len(), 2);
+    }
+
+    #[test]
+    fn empty_and_or_edge_cases() {
+        let s = schema();
+        let t = tuple![1i64, 2i64, "x"];
+        assert!(Predicate::And(vec![]).compile(&s).unwrap().eval(&t));
+        assert!(!Predicate::Or(vec![]).compile(&s).unwrap().eval(&t));
+    }
+
+    #[test]
+    fn cross_type_comparison_uses_type_order() {
+        // Int < Str in the total order; predicates never panic.
+        let s = schema();
+        let p = Predicate::cmp("a", CompareOp::Lt, Value::str("zzz"))
+            .compile(&s)
+            .unwrap();
+        assert!(p.eval(&tuple![1i64, 2i64, "x"]));
+    }
+}

@@ -1,0 +1,449 @@
+//! Named relations.
+//!
+//! A [`Relation`] is an immutable bag of rows under a schema. Splitting
+//! helpers implement the UQ3 workload construction ("we split them
+//! vertically and horizontally to get relations with different schemas",
+//! §9) and the splitting method's bookkeeping: a relation derived from
+//! another records the original's cardinality, which the histogram-based
+//! estimator uses ("split relations keep a record of their original
+//! sizes", §5.2).
+
+use crate::error::StorageError;
+use crate::predicate::CompiledPredicate;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable named relation (bag semantics).
+#[derive(Debug, Clone)]
+pub struct Relation {
+    name: Arc<str>,
+    schema: Schema,
+    rows: Arc<[Tuple]>,
+    original_size: Option<usize>,
+}
+
+impl Relation {
+    /// Builds a relation, validating every row's arity.
+    pub fn new(
+        name: impl AsRef<str>,
+        schema: Schema,
+        rows: Vec<Tuple>,
+    ) -> Result<Self, StorageError> {
+        for row in &rows {
+            if row.arity() != schema.arity() {
+                return Err(StorageError::ArityMismatch {
+                    expected: schema.arity(),
+                    actual: row.arity(),
+                });
+            }
+        }
+        Ok(Self {
+            name: Arc::from(name.as_ref()),
+            schema,
+            rows: rows.into(),
+            original_size: None,
+        })
+    }
+
+    /// Starts a builder for incremental row insertion.
+    pub fn builder(name: impl AsRef<str>, schema: Schema) -> RelationBuilder {
+        RelationBuilder {
+            name: Arc::from(name.as_ref()),
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Relation schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Row at index `i`.
+    pub fn row(&self, i: usize) -> &Tuple {
+        &self.rows[i]
+    }
+
+    /// Cardinality of the relation this one was derived from, if any —
+    /// used by the splitting method's size bookkeeping (§5.2).
+    pub fn original_size(&self) -> usize {
+        self.original_size.unwrap_or(self.rows.len())
+    }
+
+    /// Returns a copy carrying `original` as the recorded original size.
+    pub fn with_original_size(mut self, original: usize) -> Self {
+        self.original_size = Some(original);
+        self
+    }
+
+    /// Value of attribute `name` in row `i`.
+    pub fn value(&self, i: usize, name: &str) -> Result<&Value, StorageError> {
+        let pos = self.schema.require(name)?;
+        Ok(self.rows[i].get(pos))
+    }
+
+    /// A new relation keeping only rows satisfying the predicate
+    /// (selection push-down, §8.3).
+    pub fn filter(&self, name: impl AsRef<str>, pred: &CompiledPredicate) -> Relation {
+        let rows: Vec<Tuple> = self
+            .rows
+            .iter()
+            .filter(|t| pred.eval(t))
+            .cloned()
+            .collect();
+        Relation {
+            name: Arc::from(name.as_ref()),
+            schema: self.schema.clone(),
+            rows: rows.into(),
+            original_size: Some(self.original_size()),
+        }
+    }
+
+    /// Projects onto `attrs` (keeping duplicates — bag projection). The
+    /// result records this relation's cardinality as its original size.
+    pub fn project(
+        &self,
+        name: impl AsRef<str>,
+        attrs: &[&str],
+    ) -> Result<Relation, StorageError> {
+        let positions: Vec<usize> = attrs
+            .iter()
+            .map(|a| self.schema.require(a))
+            .collect::<Result<_, _>>()?;
+        let schema = Schema::new(attrs.iter().copied())?;
+        let rows: Vec<Tuple> = self.rows.iter().map(|t| t.project(&positions)).collect();
+        Ok(Relation {
+            name: Arc::from(name.as_ref()),
+            schema,
+            rows: rows.into(),
+            original_size: Some(self.original_size()),
+        })
+    }
+
+    /// Projects onto `attrs` and removes duplicate rows.
+    pub fn project_distinct(
+        &self,
+        name: impl AsRef<str>,
+        attrs: &[&str],
+    ) -> Result<Relation, StorageError> {
+        let projected = self.project(name, attrs)?;
+        Ok(projected.distinct())
+    }
+
+    /// Removes duplicate rows (set semantics), preserving first-seen order.
+    pub fn distinct(&self) -> Relation {
+        let mut seen = crate::hash::FxHashSet::default();
+        let rows: Vec<Tuple> = self
+            .rows
+            .iter()
+            .filter(|t| seen.insert((*t).clone()))
+            .cloned()
+            .collect();
+        Relation {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            rows: rows.into(),
+            original_size: self.original_size,
+        }
+    }
+
+    /// Renames attributes through `f` (used to build self-join variants,
+    /// e.g. `orderkey` → `orderkey2`).
+    pub fn rename_attrs(
+        &self,
+        name: impl AsRef<str>,
+        f: impl FnMut(&str) -> String,
+    ) -> Result<Relation, StorageError> {
+        let schema = self.schema.rename(f)?;
+        Ok(Relation {
+            name: Arc::from(name.as_ref()),
+            schema,
+            rows: self.rows.clone(),
+            original_size: self.original_size,
+        })
+    }
+
+    /// Vertical split: returns two relations covering `left_attrs` and
+    /// `right_attrs` (each may repeat the linking attribute so the halves
+    /// can be re-joined). Duplicates are removed from each half so the
+    /// natural join of the halves is lossless when the shared attributes
+    /// functionally determine each half.
+    pub fn split_vertical(
+        &self,
+        left_name: impl AsRef<str>,
+        left_attrs: &[&str],
+        right_name: impl AsRef<str>,
+        right_attrs: &[&str],
+    ) -> Result<(Relation, Relation), StorageError> {
+        let left = self.project_distinct(left_name, left_attrs)?;
+        let right = self.project_distinct(right_name, right_attrs)?;
+        Ok((
+            left.with_original_size(self.len()),
+            right.with_original_size(self.len()),
+        ))
+    }
+
+    /// Horizontal split at `fraction` (0..=1): the first relation keeps
+    /// the leading `fraction` of rows, the second keeps the rest.
+    pub fn split_horizontal(
+        &self,
+        first_name: impl AsRef<str>,
+        second_name: impl AsRef<str>,
+        fraction: f64,
+    ) -> (Relation, Relation) {
+        let cut = ((self.rows.len() as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
+        let cut = cut.min(self.rows.len());
+        let first = Relation {
+            name: Arc::from(first_name.as_ref()),
+            schema: self.schema.clone(),
+            rows: self.rows[..cut].to_vec().into(),
+            original_size: Some(self.len()),
+        };
+        let second = Relation {
+            name: Arc::from(second_name.as_ref()),
+            schema: self.schema.clone(),
+            rows: self.rows[cut..].to_vec().into(),
+            original_size: Some(self.len()),
+        };
+        (first, second)
+    }
+
+    /// Concatenates rows of two same-schema relations (disjoint union of
+    /// bags).
+    pub fn concat(&self, other: &Relation) -> Result<Relation, StorageError> {
+        if !self.schema.same_as(&other.schema) {
+            return Err(StorageError::Invalid(format!(
+                "cannot concat relations with different schemas: {} vs {}",
+                self.schema, other.schema
+            )));
+        }
+        let mut rows = self.rows.to_vec();
+        rows.extend(other.rows.iter().cloned());
+        Ok(Relation {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            rows: rows.into(),
+            original_size: None,
+        })
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{} [{} rows]", self.name, self.schema, self.len())
+    }
+}
+
+/// Incremental relation builder.
+#[derive(Debug)]
+pub struct RelationBuilder {
+    name: Arc<str>,
+    schema: Schema,
+    rows: Vec<Tuple>,
+}
+
+impl RelationBuilder {
+    /// Appends a row, validating arity.
+    pub fn push_row(&mut self, values: Vec<Value>) -> Result<&mut Self, StorageError> {
+        if values.len() != self.schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.schema.arity(),
+                actual: values.len(),
+            });
+        }
+        self.rows.push(Tuple::new(values));
+        Ok(self)
+    }
+
+    /// Appends a pre-built tuple, validating arity.
+    pub fn push_tuple(&mut self, tuple: Tuple) -> Result<&mut Self, StorageError> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.schema.arity(),
+                actual: tuple.arity(),
+            });
+        }
+        self.rows.push(tuple);
+        Ok(self)
+    }
+
+    /// Number of rows accumulated so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Finalizes the relation.
+    pub fn build(self) -> Relation {
+        Relation {
+            name: self.name,
+            schema: self.schema,
+            rows: self.rows.into(),
+            original_size: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{CompareOp, Predicate};
+    use crate::tuple;
+
+    fn sample_relation() -> Relation {
+        let schema = Schema::new(["k", "v"]).unwrap();
+        Relation::new(
+            "r",
+            schema,
+            vec![
+                tuple![1i64, 10i64],
+                tuple![2i64, 20i64],
+                tuple![2i64, 20i64],
+                tuple![3i64, 30i64],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_arity() {
+        let schema = Schema::new(["a", "b"]).unwrap();
+        let err = Relation::new("bad", schema, vec![tuple![1i64]]);
+        assert!(matches!(err, Err(StorageError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn builder_accumulates_rows() {
+        let schema = Schema::new(["a"]).unwrap();
+        let mut b = Relation::builder("r", schema);
+        b.push_row(vec![Value::int(1)]).unwrap();
+        b.push_row(vec![Value::int(2)]).unwrap();
+        assert!(b.push_row(vec![]).is_err());
+        let r = b.build();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.name(), "r");
+    }
+
+    #[test]
+    fn filter_applies_predicate() {
+        let r = sample_relation();
+        let pred = Predicate::cmp("k", CompareOp::Ge, Value::int(2))
+            .compile(r.schema())
+            .unwrap();
+        let filtered = r.filter("r_f", &pred);
+        assert_eq!(filtered.len(), 3);
+        assert!(filtered.rows().iter().all(|t| t.get(0).as_int().unwrap() >= 2));
+        // Filtered relation remembers its origin's size.
+        assert_eq!(filtered.original_size(), 4);
+    }
+
+    #[test]
+    fn project_and_distinct() {
+        let r = sample_relation();
+        let p = r.project("p", &["v"]).unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.schema().arity(), 1);
+        let d = p.distinct();
+        assert_eq!(d.len(), 3);
+        let pd = r.project_distinct("pd", &["v"]).unwrap();
+        assert_eq!(pd.len(), 3);
+    }
+
+    #[test]
+    fn project_unknown_attr_fails() {
+        let r = sample_relation();
+        assert!(r.project("p", &["missing"]).is_err());
+    }
+
+    #[test]
+    fn vertical_split_preserves_link_attribute() {
+        let schema = Schema::new(["a", "b", "c"]).unwrap();
+        let r = Relation::new(
+            "r",
+            schema,
+            vec![tuple![1i64, 2i64, 3i64], tuple![4i64, 5i64, 6i64]],
+        )
+        .unwrap();
+        let (l, rr) = r
+            .split_vertical("l", &["a", "b"], "r2", &["b", "c"])
+            .unwrap();
+        assert!(l.schema().contains("b"));
+        assert!(rr.schema().contains("b"));
+        assert_eq!(l.original_size(), 2);
+    }
+
+    #[test]
+    fn horizontal_split_partitions_rows() {
+        let r = sample_relation();
+        let (a, b) = r.split_horizontal("a", "b", 0.5);
+        assert_eq!(a.len() + b.len(), r.len());
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.original_size(), 4);
+
+        let (all, none) = r.split_horizontal("x", "y", 1.0);
+        assert_eq!(all.len(), 4);
+        assert_eq!(none.len(), 0);
+    }
+
+    #[test]
+    fn concat_requires_same_schema() {
+        let r = sample_relation();
+        let (a, b) = r.split_horizontal("a", "b", 0.25);
+        let joined = a.concat(&b).unwrap();
+        assert_eq!(joined.len(), r.len());
+
+        let other = Relation::new("o", Schema::new(["z"]).unwrap(), vec![]).unwrap();
+        assert!(r.concat(&other).is_err());
+    }
+
+    #[test]
+    fn rename_attrs_builds_self_join_variant() {
+        let r = sample_relation();
+        let r2 = r.rename_attrs("r2", |a| format!("{a}_2")).unwrap();
+        assert!(r2.schema().contains("k_2"));
+        assert_eq!(r2.len(), r.len());
+        assert_eq!(r2.rows()[0], r.rows()[0]);
+    }
+
+    #[test]
+    fn value_accessor() {
+        let r = sample_relation();
+        assert_eq!(r.value(0, "v").unwrap(), &Value::int(10));
+        assert!(r.value(0, "nope").is_err());
+    }
+
+    #[test]
+    fn display_mentions_name_and_size() {
+        let r = sample_relation();
+        let s = r.to_string();
+        assert!(s.contains('r'));
+        assert!(s.contains("4 rows"));
+    }
+}

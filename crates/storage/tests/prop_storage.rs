@@ -1,0 +1,192 @@
+//! Property-based tests for the storage substrate.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use suj_storage::prelude::*;
+use suj_storage::{read_csv, write_csv};
+
+/// Strategy: a relation over schema (a, b, s) with small integer keys
+/// and short strings.
+fn relation_strategy() -> impl Strategy<Value = Relation> {
+    prop::collection::vec((0i64..20, -5i64..5, "[a-z]{0,6}"), 0..40).prop_map(|rows| {
+        let schema = Schema::new(["a", "b", "s"]).unwrap();
+        let tuples = rows
+            .into_iter()
+            .map(|(a, b, s)| Tuple::new(vec![Value::int(a), Value::int(b), Value::str(&s)]))
+            .collect();
+        Relation::new("r", schema, tuples).unwrap()
+    })
+}
+
+proptest! {
+    #[test]
+    fn schema_union_laws(
+        left in prop::collection::hash_set("[a-e]", 1..5),
+        right in prop::collection::hash_set("[c-h]", 1..5),
+    ) {
+        let l = Schema::new(left.iter().map(String::as_str)).unwrap();
+        let r = Schema::new(right.iter().map(String::as_str)).unwrap();
+        let u = l.union(&r).unwrap();
+        for a in l.attrs().iter().chain(r.attrs().iter()) {
+            prop_assert!(u.contains(a));
+        }
+        // Idempotent and no duplicates.
+        let uu = u.union(&u).unwrap();
+        prop_assert!(uu.same_as(&u));
+        prop_assert!(u.arity() <= l.arity() + r.arity());
+    }
+
+    #[test]
+    fn tuple_projection_identity(vals in prop::collection::vec(-100i64..100, 1..10)) {
+        let t: Tuple = vals.iter().map(|&v| Value::int(v)).collect();
+        let identity: Vec<usize> = (0..t.arity()).collect();
+        prop_assert_eq!(t.project(&identity), t.clone());
+        let reversed: Vec<usize> = (0..t.arity()).rev().collect();
+        let double_rev = t.project(&reversed).project(&reversed);
+        prop_assert_eq!(double_rev, t);
+    }
+
+    #[test]
+    fn tuple_concat_arity_and_order(
+        xs in prop::collection::vec(-9i64..9, 0..6),
+        ys in prop::collection::vec(-9i64..9, 0..6),
+    ) {
+        let a: Tuple = xs.iter().map(|&v| Value::int(v)).collect();
+        let b: Tuple = ys.iter().map(|&v| Value::int(v)).collect();
+        let c = a.concat(&b);
+        prop_assert_eq!(c.arity(), a.arity() + b.arity());
+        for (i, v) in xs.iter().enumerate() {
+            prop_assert_eq!(c.get(i), &Value::int(*v));
+        }
+        for (i, v) in ys.iter().enumerate() {
+            prop_assert_eq!(c.get(xs.len() + i), &Value::int(*v));
+        }
+    }
+
+    #[test]
+    fn predicate_complement_laws(r in relation_strategy(), threshold in -5i64..5) {
+        let p = Predicate::cmp("b", CompareOp::Lt, Value::int(threshold));
+        let not_p = Predicate::Not(Box::new(p.clone()));
+        let and = Predicate::And(vec![p.clone(), not_p.clone()])
+            .compile(r.schema())
+            .unwrap();
+        let or = Predicate::Or(vec![p, not_p]).compile(r.schema()).unwrap();
+        for row in r.rows() {
+            prop_assert!(!and.eval(row), "p ∧ ¬p must be false");
+            prop_assert!(or.eval(row), "p ∨ ¬p must be true");
+        }
+    }
+
+    #[test]
+    fn filter_partitions_relation(r in relation_strategy(), threshold in -5i64..5) {
+        let p = Predicate::cmp("b", CompareOp::Lt, Value::int(threshold));
+        let cp = p.compile(r.schema()).unwrap();
+        let yes = r.filter("yes", &cp);
+        let no = r.filter(
+            "no",
+            &Predicate::Not(Box::new(p)).compile(r.schema()).unwrap(),
+        );
+        prop_assert_eq!(yes.len() + no.len(), r.len());
+    }
+
+    #[test]
+    fn histogram_totals_and_bounds(r in relation_strategy()) {
+        let h = FrequencyHistogram::build(&r, "b");
+        let total: u64 = h.entries().map(|(_, c)| c).sum();
+        prop_assert_eq!(total, r.len() as u64);
+        prop_assert!(h.max_degree() as f64 >= h.avg_degree() - 1e-12);
+
+        // Equi-depth upper bounds dominate exact degrees.
+        for buckets in [1usize, 2, 4] {
+            let ed = EquiDepthHistogram::build(&r, "b", buckets);
+            for (v, c) in h.entries() {
+                prop_assert!(
+                    ed.degree_upper_bound(v) >= c,
+                    "bucketed bound below exact degree for {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn index_postings_cover_relation(r in relation_strategy()) {
+        let idx = HashIndex::build_single(&r, "b");
+        let total: usize = idx.entries().map(|(_, rows)| rows.len()).sum();
+        prop_assert_eq!(total, r.len());
+        // Every row is reachable through its own key.
+        for (i, row) in r.rows().iter().enumerate() {
+            let key = [row.get(1).clone()];
+            prop_assert!(idx.rows_matching(&key).contains(&(i as u32)));
+        }
+    }
+
+    #[test]
+    fn membership_matches_linear_scan(r in relation_strategy()) {
+        let m = RowMembership::build(&r);
+        for row in r.rows() {
+            prop_assert!(m.contains(row));
+        }
+        let absent = Tuple::new(vec![Value::int(999), Value::int(999), Value::str("zz")]);
+        prop_assert!(!m.contains(&absent));
+    }
+
+    #[test]
+    fn distinct_is_idempotent_and_set_sized(r in relation_strategy()) {
+        let d1 = r.distinct();
+        let d2 = d1.distinct();
+        prop_assert_eq!(d1.len(), d2.len());
+        let set: std::collections::HashSet<_> = r.rows().iter().cloned().collect();
+        prop_assert_eq!(d1.len(), set.len());
+    }
+
+    #[test]
+    fn horizontal_split_partitions(r in relation_strategy(), frac in 0.0f64..1.0) {
+        let (a, b) = r.split_horizontal("a", "b", frac);
+        prop_assert_eq!(a.len() + b.len(), r.len());
+        let mut rejoined: Vec<Tuple> = a.rows().to_vec();
+        rejoined.extend(b.rows().iter().cloned());
+        prop_assert_eq!(rejoined, r.rows().to_vec());
+    }
+
+    #[test]
+    fn csv_round_trip(r in relation_strategy()) {
+        let mut buf = Vec::new();
+        write_csv(&r, &mut buf).unwrap();
+        let back = read_csv("r", buf.as_slice()).unwrap();
+        prop_assert_eq!(back.schema().arity(), r.schema().arity());
+        prop_assert_eq!(back.len(), r.len());
+        for (a, b) in back.rows().iter().zip(r.rows()) {
+            // Empty strings become NULL through CSV; everything else
+            // must round-trip exactly.
+            for (x, y) in a.values().iter().zip(b.values()) {
+                match y {
+                    Value::Str(s) if s.is_empty() => prop_assert!(x.is_null()),
+                    other => prop_assert_eq!(x, other),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn value_ordering_is_total_and_consistent(
+        xs in prop::collection::vec(-50i64..50, 2..20),
+    ) {
+        let mut vals: Vec<Value> = xs.iter().map(|&x| Value::int(x)).collect();
+        vals.push(Value::Null);
+        vals.push(Value::str("zzz"));
+        vals.sort();
+        for w in vals.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        // Hash consistency with equality on a sample.
+        let mut groups: HashMap<Value, Vec<&Value>> = HashMap::new();
+        for v in &vals {
+            groups.entry(v.clone()).or_default().push(v);
+        }
+        for (k, members) in groups {
+            for m in members {
+                prop_assert_eq!(&k, m);
+            }
+        }
+    }
+}

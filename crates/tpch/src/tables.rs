@@ -1,0 +1,143 @@
+//! TPC-H table schemas and cardinality ratios.
+//!
+//! Join attributes use standardized names (§2: "join attributes are
+//! standardized to have the same names"): `regionkey`, `nationkey`,
+//! `suppkey`, `custkey`, `orderkey`, `partkey`. Payload attributes are
+//! table-prefixed so schemas never collide accidentally.
+//!
+//! Cardinalities scale linearly in "scale units" preserving the official
+//! TPC-H ratios (per SF-GB: supplier 10k, customer 150k, part 200k,
+//! partsupp 800k, orders 1.5M, lineitem ~6M → normalized here to
+//! 10 : 30 : 20 : 40 : 45 : 135 per unit, with fixed region=5 and
+//! nation=25).
+
+use suj_storage::Schema;
+
+/// Rows of each table per scale unit (region and nation are fixed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cardinalities {
+    /// Suppliers per unit.
+    pub supplier: usize,
+    /// Customers per unit.
+    pub customer: usize,
+    /// Parts per unit.
+    pub part: usize,
+    /// Partsupp rows per unit (2 suppliers per part).
+    pub partsupp: usize,
+    /// Orders per unit (1.5 per customer).
+    pub orders: usize,
+    /// Lineitems per unit (3 per order).
+    pub lineitem: usize,
+}
+
+/// The normalized TPC-H ratios used by the generator.
+pub const RATIOS: Cardinalities = Cardinalities {
+    supplier: 10,
+    customer: 30,
+    part: 20,
+    partsupp: 40,
+    orders: 45,
+    lineitem: 135,
+};
+
+/// Number of regions (fixed by TPC-H).
+pub const N_REGIONS: usize = 5;
+
+/// Number of nations (fixed by TPC-H).
+pub const N_NATIONS: usize = 25;
+
+/// `region(regionkey, rname)`.
+pub fn region_schema() -> Schema {
+    Schema::new(["regionkey", "rname"]).expect("static schema")
+}
+
+/// `nation(nationkey, nname, regionkey)`.
+pub fn nation_schema() -> Schema {
+    Schema::new(["nationkey", "nname", "regionkey"]).expect("static schema")
+}
+
+/// `supplier(suppkey, nationkey, sbal, sname)`.
+pub fn supplier_schema() -> Schema {
+    Schema::new(["suppkey", "nationkey", "sbal", "sname"]).expect("static schema")
+}
+
+/// `customer(custkey, nationkey, cbal, cname)`.
+pub fn customer_schema() -> Schema {
+    Schema::new(["custkey", "nationkey", "cbal", "cname"]).expect("static schema")
+}
+
+/// `orders(orderkey, custkey, oprice)`.
+pub fn orders_schema() -> Schema {
+    Schema::new(["orderkey", "custkey", "oprice"]).expect("static schema")
+}
+
+/// `lineitem(orderkey, linenumber, partkey, lquantity)`.
+pub fn lineitem_schema() -> Schema {
+    Schema::new(["orderkey", "linenumber", "partkey", "lquantity"]).expect("static schema")
+}
+
+/// `part(partkey, pname, ptype, psize)`.
+pub fn part_schema() -> Schema {
+    Schema::new(["partkey", "pname", "ptype", "psize"]).expect("static schema")
+}
+
+/// `partsupp(partkey, suppkey, pscost)`.
+pub fn partsupp_schema() -> Schema {
+    Schema::new(["partkey", "suppkey", "pscost"]).expect("static schema")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_follow_tpch_proportions() {
+        // lineitem : orders = 3 : 1, orders : customer = 1.5 : 1,
+        // partsupp : part = 2 : 1.
+        assert_eq!(RATIOS.lineitem, RATIOS.orders * 3);
+        assert_eq!(RATIOS.orders * 2, RATIOS.customer * 3);
+        assert_eq!(RATIOS.partsupp, RATIOS.part * 2);
+    }
+
+    #[test]
+    fn schemas_share_standardized_join_attrs() {
+        assert!(nation_schema().contains("regionkey"));
+        assert!(region_schema().contains("regionkey"));
+        assert!(supplier_schema().contains("nationkey"));
+        assert!(customer_schema().contains("nationkey"));
+        assert!(orders_schema().contains("custkey"));
+        assert!(lineitem_schema().contains("orderkey"));
+        assert!(partsupp_schema().contains("partkey"));
+        assert!(part_schema().contains("partkey"));
+    }
+
+    #[test]
+    fn payload_attrs_do_not_collide() {
+        let schemas = [
+            region_schema(),
+            nation_schema(),
+            supplier_schema(),
+            customer_schema(),
+            orders_schema(),
+            lineitem_schema(),
+            part_schema(),
+            partsupp_schema(),
+        ];
+        // The only shared names must be the six join keys.
+        let keys = [
+            "regionkey",
+            "nationkey",
+            "suppkey",
+            "custkey",
+            "orderkey",
+            "partkey",
+        ];
+        for i in 0..schemas.len() {
+            for j in (i + 1)..schemas.len() {
+                for a in schemas[i].shared_with(&schemas[j]) {
+                    assert!(keys.contains(&a.as_ref()), "unexpected shared attr {a}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Deterministic text generation for table payloads.
+//!
+//! TPC-H names and types are drawn from fixed vocabularies; this module
+//! reproduces that flavor deterministically from the generator's seed so
+//! relations are reproducible and payload columns carry realistic-looking
+//! low-cardinality string data (which matters for histogram statistics).
+
+use suj_stats::SujRng;
+
+/// The five TPC-H region names.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// The 25 TPC-H nation names.
+pub const NATIONS: [&str; 25] = [
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
+    "UNITED STATES",
+];
+
+/// TPC-H part type words (Type x Syllable 1–3 flavor).
+pub const PART_TYPES: [&str; 12] = [
+    "STANDARD ANODIZED TIN",
+    "STANDARD BURNISHED COPPER",
+    "SMALL PLATED BRASS",
+    "SMALL POLISHED STEEL",
+    "MEDIUM ANODIZED NICKEL",
+    "MEDIUM BRUSHED TIN",
+    "LARGE BURNISHED COPPER",
+    "LARGE PLATED STEEL",
+    "ECONOMY ANODIZED BRASS",
+    "ECONOMY POLISHED NICKEL",
+    "PROMO BRUSHED COPPER",
+    "PROMO PLATED TIN",
+];
+
+/// Mapping of nation index to region index (TPC-H's fixed assignment is
+/// approximated by a uniform spread).
+pub fn nation_region(nation: usize) -> usize {
+    nation % REGIONS.len()
+}
+
+/// Deterministic supplier name.
+pub fn supplier_name(key: i64) -> String {
+    format!("Supplier#{key:09}")
+}
+
+/// Deterministic customer name.
+pub fn customer_name(key: i64) -> String {
+    format!("Customer#{key:09}")
+}
+
+/// Deterministic part name from a small vocabulary.
+pub fn part_name(rng: &mut SujRng) -> String {
+    const COLORS: [&str; 8] = [
+        "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched",
+    ];
+    const MATERIALS: [&str; 6] = ["linen", "pink", "powder", "puff", "rose", "steel"];
+    format!(
+        "{} {}",
+        COLORS[rng.index(COLORS.len())],
+        MATERIALS[rng.index(MATERIALS.len())]
+    )
+}
+
+/// A random part type.
+pub fn part_type(rng: &mut SujRng) -> &'static str {
+    PART_TYPES[rng.index(PART_TYPES.len())]
+}
+
+/// Account balance in cents, as TPC-H's [-999.99, 9999.99] scaled to an
+/// integer value (integers keep tuple identity exact across variants).
+pub fn acctbal(rng: &mut SujRng) -> i64 {
+    rng.range_i64(-99_999, 1_000_000)
+}
+
+/// Order total price in cents.
+pub fn totalprice(rng: &mut SujRng) -> i64 {
+    rng.range_i64(10_000, 50_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabularies_have_expected_sizes() {
+        assert_eq!(REGIONS.len(), 5);
+        assert_eq!(NATIONS.len(), 25);
+        assert_eq!(PART_TYPES.len(), 12);
+    }
+
+    #[test]
+    fn nation_region_is_total() {
+        for n in 0..25 {
+            assert!(nation_region(n) < 5);
+        }
+    }
+
+    #[test]
+    fn names_are_deterministic() {
+        assert_eq!(supplier_name(7), "Supplier#000000007");
+        assert_eq!(customer_name(123), "Customer#000000123");
+    }
+
+    #[test]
+    fn generated_text_is_seed_stable() {
+        let mut a = SujRng::seed_from_u64(5);
+        let mut b = SujRng::seed_from_u64(5);
+        assert_eq!(part_name(&mut a), part_name(&mut b));
+        assert_eq!(part_type(&mut a), part_type(&mut b));
+        assert_eq!(acctbal(&mut a), acctbal(&mut b));
+    }
+
+    #[test]
+    fn balances_in_range() {
+        let mut rng = SujRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let b = acctbal(&mut rng);
+            assert!((-99_999..1_000_000).contains(&b));
+            let p = totalprice(&mut rng);
+            assert!((10_000..50_000_000).contains(&p));
+        }
+    }
+}

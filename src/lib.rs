@@ -1,0 +1,26 @@
+//! Facade crate for the `sample-union-joins` workspace.
+//!
+//! Re-exports the public API of every sub-crate so examples, integration
+//! tests, and downstream users can depend on a single package:
+//!
+//! ```
+//! use sample_union_joins::prelude::*;
+//! ```
+//!
+//! See the workspace `README.md` for the architecture overview and
+//! `DESIGN.md` for the paper-to-module map.
+
+pub use suj_core as core;
+pub use suj_join as join;
+pub use suj_stats as stats;
+pub use suj_storage as storage;
+pub use suj_tpch as tpch;
+
+/// Commonly used items across the workspace.
+pub mod prelude {
+    pub use suj_core::prelude::*;
+    pub use suj_join::prelude::*;
+    pub use suj_stats::{SujRng, RunningMoments};
+    pub use suj_storage::prelude::*;
+    pub use suj_tpch::prelude::*;
+}

@@ -1,0 +1,234 @@
+//! Cross-crate integration tests: estimator quality on the paper's
+//! workloads — Theorem 3/Eq. 1 identities, histogram bounds (Theorem 4),
+//! and random-walk convergence (§6).
+
+use sample_union_joins::prelude::*;
+use suj_core::walk_estimator::{walk_warmup, WalkEstimatorConfig};
+
+/// With exact overlaps, the three union-size views (Eq. 1 over
+/// k-overlaps, inclusion–exclusion, and cover sums) agree exactly on
+/// every workload and every cover order.
+#[test]
+fn union_size_identities_on_all_workloads() {
+    for (name, w) in [
+        ("uq1", uq1(&UqOptions::new(1, 31, 0.25)).unwrap()),
+        ("uq2", uq2(&UqOptions::new(1, 31, 0.25)).unwrap()),
+        ("uq3", uq3(&UqOptions::new(1, 31, 0.25)).unwrap()),
+    ] {
+        let exact = full_join_union(&w).unwrap();
+        let truth = exact.union_size() as f64;
+        let eq1 = exact.overlap.union_size();
+        let ie = exact.overlap.union_size_inclusion_exclusion();
+        assert!((eq1 - truth).abs() < 1e-6, "{name}: Eq.1 {eq1} vs {truth}");
+        assert!((ie - truth).abs() < 1e-6, "{name}: IE {ie} vs {truth}");
+
+        let n = w.n_joins();
+        let forward: Vec<usize> = (0..n).collect();
+        let backward: Vec<usize> = (0..n).rev().collect();
+        for order in [forward, backward] {
+            let total: f64 = exact.overlap.cover_sizes(&order).iter().sum();
+            assert!(
+                (total - truth).abs() < 1e-6,
+                "{name}: cover order {order:?} sums to {total}, want {truth}"
+            );
+        }
+    }
+}
+
+/// k-overlaps partition each join: Σ_k |A_j^k| = |J_j| exactly.
+#[test]
+fn k_overlaps_partition_each_join() {
+    for w in [
+        uq1(&UqOptions::new(1, 32, 0.3)).unwrap(),
+        uq3(&UqOptions::new(1, 32, 0.3)).unwrap(),
+    ] {
+        let exact = full_join_union(&w).unwrap();
+        for j in 0..w.n_joins() {
+            let total: f64 = exact.overlap.k_overlaps(j).iter().sum();
+            let size = exact.join_size(j) as f64;
+            assert!(
+                (total - size).abs() < 1e-6,
+                "join {j}: k-overlaps sum {total} vs |J| {size}"
+            );
+        }
+    }
+}
+
+/// The histogram estimator in Max mode yields true upper bounds on
+/// every pairwise and full overlap of every workload.
+#[test]
+fn histogram_bounds_dominate_truth() {
+    for (name, w) in [
+        ("uq1", uq1(&UqOptions::new(1, 33, 0.3)).unwrap()),
+        ("uq2", uq2(&UqOptions::new(1, 33, 0.3)).unwrap()),
+        ("uq3", uq3(&UqOptions::new(1, 33, 0.3)).unwrap()),
+    ] {
+        let exact = full_join_union(&w).unwrap();
+        let sizes = w.exact_join_sizes().unwrap();
+        let est = HistogramEstimator::new(&w, DegreeMode::Max, sizes, 0.0).unwrap();
+        let n = w.n_joins();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let bound = est.estimate_overlap(&[a, b]);
+                let truth = exact.overlap.overlap(&[a, b]);
+                assert!(
+                    bound >= truth - 1e-6,
+                    "{name}: O[{a},{b}] bound {bound} < truth {truth}"
+                );
+            }
+        }
+        let all: Vec<usize> = (0..n).collect();
+        assert!(est.estimate_overlap(&all) >= exact.overlap.overlap(&all) - 1e-6);
+    }
+}
+
+/// Random-walk estimation converges to the true sizes and overlaps on
+/// UQ1 (the paper's "extremely accurate and stable" claim, §9.1.2).
+#[test]
+fn random_walk_estimates_converge_on_uq1() {
+    let w = uq1(&UqOptions::new(1, 34, 0.3)).unwrap();
+    let exact = full_join_union(&w).unwrap();
+    let cfg = WalkEstimatorConfig {
+        max_walks_per_join: 60_000,
+        min_walks_per_join: 20_000,
+        rel_threshold: 0.005,
+        ..Default::default()
+    };
+    let mut rng = SujRng::seed_from_u64(77);
+    let est = walk_warmup(&w, &cfg, &mut rng).unwrap();
+
+    for j in 0..w.n_joins() {
+        let truth = exact.join_size(j) as f64;
+        let got = est.join_sizes[j];
+        assert!(
+            (got - truth).abs() / truth < 0.1,
+            "join {j}: HT {got} vs {truth}"
+        );
+    }
+    let est_u = est.overlap_map().unwrap().union_size();
+    let truth_u = exact.union_size() as f64;
+    assert!(
+        (est_u - truth_u).abs() / truth_u < 0.15,
+        "union: {est_u} vs {truth_u}"
+    );
+}
+
+/// The paper's §9.1 observation: histogram ratio error shrinks as the
+/// overlap scale grows ("the higher the overlap, the more accurate
+/// histogram-based becomes").
+#[test]
+fn histogram_ratio_error_improves_with_overlap() {
+    let err_at = |p: f64| -> f64 {
+        let w = uq1(&UqOptions::new(1, 35, p)).unwrap();
+        let exact = full_join_union(&w).unwrap();
+        let est = HistogramEstimator::with_olken(&w, DegreeMode::Max).unwrap();
+        let map = est.overlap_map().unwrap();
+        let est_u = map.union_size();
+        let truth_u = exact.union_size() as f64;
+        (0..w.n_joins())
+            .map(|j| {
+                let e = map.join_size(j) / est_u;
+                let t = exact.join_size(j) as f64 / truth_u;
+                (e - t).abs() / t
+            })
+            .sum::<f64>()
+            / w.n_joins() as f64
+    };
+    let low = err_at(0.1);
+    let high = err_at(0.9);
+    assert!(
+        high <= low * 1.5,
+        "error at P=0.9 ({high:.3}) should not exceed error at P=0.1 ({low:.3}) by much"
+    );
+}
+
+/// Eq. 3 confidence intervals are finite and positive once walks exist.
+#[test]
+fn walk_overlap_ci_is_well_formed() {
+    let w = uq2(&UqOptions::new(1, 36, 0.2)).unwrap();
+    let mut rng = SujRng::seed_from_u64(5);
+    let est = walk_warmup(&w, &WalkEstimatorConfig::default(), &mut rng).unwrap();
+    let ci = est.overlap_ci(&[0, 1], 0.9);
+    assert!(ci.estimate >= 0.0);
+    assert!(ci.half_width.is_finite());
+    assert!(ci.half_width >= 0.0);
+    let wider = est.overlap_ci(&[0, 1], 0.99);
+    assert!(wider.half_width >= ci.half_width);
+}
+
+/// Selection predicates: push-down (UQ2's construction) equals
+/// filter-after-join semantics end to end.
+#[test]
+fn uq2_pushdown_semantics() {
+    use suj_core::predicate_mode::push_down;
+    use suj_storage::{CompareOp, Predicate, Value};
+
+    let opts = UqOptions::new(1, 37, 0.2);
+    // Rebuild the unfiltered base chain exactly as workload::uq2 does.
+    let cfg = opts.config;
+    let region = std::sync::Arc::new(suj_tpch::gen::region());
+    let nation = std::sync::Arc::new(suj_tpch::gen::nation());
+    let supplier = std::sync::Arc::new(suj_tpch::gen::supplier(&cfg, "supplier", 0, 1.0));
+    let partsupp = std::sync::Arc::new(suj_tpch::gen::partsupp(&cfg, "partsupp", 0, 1.0));
+    let part = std::sync::Arc::new(suj_tpch::gen::part(&cfg, "part", 0, 1.0));
+    let base = JoinSpec::chain(
+        "base",
+        vec![region, nation, supplier, partsupp, part],
+    )
+    .unwrap();
+
+    let pred = Predicate::cmp("psize", CompareOp::Le, Value::int(30));
+    let pushed = push_down(&base, &pred, "filtered").unwrap();
+
+    let full = suj_join::exec::execute(&base);
+    let compiled = pred.compile(base.output_schema()).unwrap();
+    let expected: suj_storage::FxHashSet<Tuple> = full
+        .tuples()
+        .iter()
+        .filter(|t| compiled.eval(t))
+        .cloned()
+        .collect();
+    assert_eq!(suj_join::exec::execute(&pushed).distinct_set(), expected);
+    assert!(!expected.is_empty());
+}
+
+/// Cyclic joins: the histogram estimator decomposes into skeleton +
+/// residual (§8.2) and its Max-mode bounds still dominate truth.
+#[test]
+fn histogram_bounds_hold_on_cyclic_workload() {
+    let w = uq4_cyclic(&UqOptions::new(1, 38, 0.3)).unwrap();
+    let exact = full_join_union(&w).unwrap();
+    let sizes = w.exact_join_sizes().unwrap();
+    let est = HistogramEstimator::new(&w, DegreeMode::Max, sizes, 0.0).unwrap();
+    for a in 0..3 {
+        for b in (a + 1)..3 {
+            let bound = est.estimate_overlap(&[a, b]);
+            let truth = exact.overlap.overlap(&[a, b]);
+            assert!(bound >= truth - 1e-6, "O[{a},{b}]: {bound} < {truth}");
+        }
+    }
+}
+
+/// Cyclic joins: wander-join estimation (spanning walks + consistency
+/// failures) converges to the true cyclic sizes.
+#[test]
+fn random_walk_estimates_cyclic_sizes() {
+    let w = uq4_cyclic(&UqOptions::new(1, 39, 0.3)).unwrap();
+    let exact = full_join_union(&w).unwrap();
+    let cfg = WalkEstimatorConfig {
+        max_walks_per_join: 150_000,
+        min_walks_per_join: 50_000,
+        rel_threshold: 0.01,
+        ..Default::default()
+    };
+    let mut rng = SujRng::seed_from_u64(40);
+    let est = suj_core::walk_estimator::walk_warmup(&w, &cfg, &mut rng).unwrap();
+    for j in 0..3 {
+        let truth = exact.join_size(j) as f64;
+        let got = est.join_sizes[j];
+        assert!(
+            (got - truth).abs() / truth < 0.2,
+            "cyclic join {j}: HT {got} vs truth {truth}"
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! Cross-crate integration tests: Theorem 1's uniformity guarantee on
+//! the paper's actual workloads (UQ1/UQ2/UQ3), checked by chi-square
+//! against materialized ground truth.
+
+use sample_union_joins::prelude::*;
+use std::sync::Arc;
+use suj_core::algorithm1::UnionSamplerConfig;
+use suj_join::WeightKind;
+use suj_storage::FxHashMap;
+
+fn assert_uniform(
+    workload: &Arc<UnionWorkload>,
+    config: UnionSamplerConfig,
+    seed: u64,
+    draws_per_tuple: usize,
+    p_floor: f64,
+) {
+    let exact = full_join_union(workload).expect("ground truth");
+    let universe: Vec<Tuple> = exact.union_set.iter().cloned().collect();
+    assert!(universe.len() >= 4, "universe too small to test");
+
+    let sampler =
+        SetUnionSampler::new(workload.clone(), &exact.overlap, config).expect("sampler");
+    let mut rng = SujRng::seed_from_u64(seed);
+    let n = draws_per_tuple * universe.len();
+    let (samples, _) = sampler.sample(n, &mut rng).expect("sampling");
+    assert_eq!(samples.len(), n);
+
+    let mut counts: FxHashMap<Tuple, u64> = FxHashMap::default();
+    for t in &samples {
+        assert!(exact.union_set.contains(t), "sampled non-member {t}");
+        *counts.entry(t.clone()).or_insert(0) += 1;
+    }
+    let observed: Vec<u64> = universe
+        .iter()
+        .map(|t| counts.get(t).copied().unwrap_or(0))
+        .collect();
+    let outcome = suj_stats::chi_square_test(&observed).expect("chi2");
+    assert!(
+        outcome.p_value > p_floor,
+        "not uniform (chi2 = {:.1}, dof = {}, p = {:e})",
+        outcome.statistic,
+        outcome.dof,
+        outcome.p_value
+    );
+}
+
+#[test]
+fn uq1_uniform_with_oracle_policy_and_exact_weights() {
+    let w = Arc::new(uq1(&UqOptions::new(1, 21, 0.3)).expect("uq1"));
+    assert_uniform(
+        &w,
+        UnionSamplerConfig {
+            weights: WeightKind::Exact,
+            policy: CoverPolicy::MembershipOracle,
+            strategy: CoverStrategy::AsGiven,
+            ..Default::default()
+        },
+        1,
+        400,
+        1e-3,
+    );
+}
+
+#[test]
+fn uq1_uniform_with_record_policy() {
+    let w = Arc::new(uq1(&UqOptions::new(1, 21, 0.3)).expect("uq1"));
+    assert_uniform(
+        &w,
+        UnionSamplerConfig {
+            weights: WeightKind::Exact,
+            policy: CoverPolicy::Record,
+            strategy: CoverStrategy::AsGiven,
+            ..Default::default()
+        },
+        2,
+        400,
+        1e-4, // record policy converges to uniform; allow early drift
+    );
+}
+
+#[test]
+fn uq2_uniform_under_high_overlap() {
+    let w = Arc::new(uq2(&UqOptions::new(1, 22, 0.2)).expect("uq2"));
+    assert_uniform(
+        &w,
+        UnionSamplerConfig {
+            weights: WeightKind::Exact,
+            policy: CoverPolicy::MembershipOracle,
+            strategy: CoverStrategy::AsGiven,
+            ..Default::default()
+        },
+        3,
+        400,
+        1e-3,
+    );
+}
+
+#[test]
+fn uq2_uniform_with_extended_olken_subroutine() {
+    let w = Arc::new(uq2(&UqOptions::new(1, 22, 0.2)).expect("uq2"));
+    assert_uniform(
+        &w,
+        UnionSamplerConfig {
+            weights: WeightKind::ExtendedOlken,
+            policy: CoverPolicy::MembershipOracle,
+            strategy: CoverStrategy::AsGiven,
+            ..Default::default()
+        },
+        4,
+        400,
+        1e-3,
+    );
+}
+
+#[test]
+fn uq3_uniform_across_heterogeneous_schemas() {
+    let w = Arc::new(uq3(&UqOptions::new(1, 23, 0.4)).expect("uq3"));
+    assert_uniform(
+        &w,
+        UnionSamplerConfig {
+            weights: WeightKind::Exact,
+            policy: CoverPolicy::MembershipOracle,
+            strategy: CoverStrategy::AsGiven,
+            ..Default::default()
+        },
+        5,
+        400,
+        1e-3,
+    );
+}
+
+#[test]
+fn uq3_uniform_with_descending_cover() {
+    let w = Arc::new(uq3(&UqOptions::new(1, 23, 0.4)).expect("uq3"));
+    assert_uniform(
+        &w,
+        UnionSamplerConfig {
+            weights: WeightKind::Exact,
+            policy: CoverPolicy::MembershipOracle,
+            strategy: CoverStrategy::DescendingSize,
+            ..Default::default()
+        },
+        6,
+        400,
+        1e-3,
+    );
+}
+
+#[test]
+fn bernoulli_union_trick_uniform_on_uq3() {
+    let w = Arc::new(uq3(&UqOptions::new(1, 24, 0.4)).expect("uq3"));
+    let exact = full_join_union(&w).expect("ground truth");
+    let sizes: Vec<f64> = (0..w.n_joins()).map(|j| exact.join_size(j) as f64).collect();
+    let sampler = BernoulliUnionSampler::new(
+        w.clone(),
+        &sizes,
+        exact.union_size() as f64,
+        WeightKind::Exact,
+    )
+    .expect("sampler");
+
+    let universe: Vec<Tuple> = exact.union_set.iter().cloned().collect();
+    let mut rng = SujRng::seed_from_u64(9);
+    let n = 400 * universe.len();
+    let (samples, report) = sampler.sample(n, &mut rng).expect("sampling");
+    assert_eq!(samples.len(), n);
+    assert!(report.rejected_cover > 0, "overlap must cause rejections");
+
+    let mut counts: FxHashMap<Tuple, u64> = FxHashMap::default();
+    for t in &samples {
+        *counts.entry(t.clone()).or_insert(0) += 1;
+    }
+    let observed: Vec<u64> = universe
+        .iter()
+        .map(|t| counts.get(t).copied().unwrap_or(0))
+        .collect();
+    let outcome = suj_stats::chi_square_test(&observed).expect("chi2");
+    assert!(outcome.p_value > 1e-3, "p = {:e}", outcome.p_value);
+}
+
+#[test]
+fn disjoint_union_weights_tuples_by_multiplicity() {
+    let w = Arc::new(uq2(&UqOptions::new(1, 25, 0.2)).expect("uq2"));
+    let exact = full_join_union(&w).expect("ground truth");
+    let sampler = suj_core::disjoint::DisjointUnionSampler::with_exact_sizes(
+        w.clone(),
+        WeightKind::Exact,
+    )
+    .expect("sampler");
+
+    let mut rng = SujRng::seed_from_u64(11);
+    let n = 120_000;
+    let (samples, _) = sampler.sample(n, &mut rng);
+
+    // Expected frequency of tuple t ∝ number of joins containing it.
+    let mut counts: FxHashMap<Tuple, u64> = FxHashMap::default();
+    for t in &samples {
+        *counts.entry(t.clone()).or_insert(0) += 1;
+    }
+    let v = sampler.disjoint_size();
+    for t in exact.union_set.iter().take(50) {
+        let mult = (0..w.n_joins())
+            .filter(|&j| exact.join_results[j].contains(t))
+            .count() as f64;
+        let expected = mult / v;
+        let observed = counts.get(t).copied().unwrap_or(0) as f64 / n as f64;
+        assert!(
+            (observed - expected).abs() < 0.01 + 3.0 * (expected / n as f64).sqrt(),
+            "tuple {t}: observed {observed:.5}, expected {expected:.5}"
+        );
+    }
+}
+
+#[test]
+fn uq4_cyclic_joins_sample_uniformly() {
+    // The cyclic extension workload: spanning-tree sampling with
+    // consistency rejection must stay uniform over the union.
+    let w = Arc::new(uq4_cyclic(&UqOptions::new(1, 26, 0.3)).expect("uq4"));
+    assert_uniform(
+        &w,
+        UnionSamplerConfig {
+            weights: WeightKind::Exact,
+            policy: CoverPolicy::MembershipOracle,
+            strategy: CoverStrategy::AsGiven,
+            ..Default::default()
+        },
+        12,
+        400,
+        1e-3,
+    );
+}
+
+#[test]
+fn uq3_uniform_with_wander_join_subroutine() {
+    // The third §3.2 weight instantiation: wander-join walks
+    // uniformized against the Olken bound.
+    let w = Arc::new(uq3(&UqOptions::new(1, 27, 0.4)).expect("uq3"));
+    assert_uniform(
+        &w,
+        UnionSamplerConfig {
+            weights: WeightKind::WanderJoin,
+            policy: CoverPolicy::MembershipOracle,
+            strategy: CoverStrategy::AsGiven,
+            ..Default::default()
+        },
+        13,
+        400,
+        1e-3,
+    );
+}
