@@ -27,7 +27,7 @@ fn bench_cover_policies(c: &mut Criterion) {
         ("record", CoverPolicy::Record),
         ("oracle", CoverPolicy::MembershipOracle),
     ] {
-        let sampler = SetUnionSampler::new(
+        let mut sampler = SetUnionSampler::new(
             w.clone(),
             &exact.overlap,
             UnionSamplerConfig {
@@ -44,7 +44,7 @@ fn bench_cover_policies(c: &mut Criterion) {
         });
     }
 
-    let bernoulli = BernoulliUnionSampler::new(
+    let mut bernoulli = BernoulliUnionSampler::new(
         w.clone(),
         &sizes,
         exact.union_size() as f64,

@@ -1,12 +1,11 @@
 //! Criterion microbench: Algorithm 2 online sampling (Fig. 6 kernel) —
-//! sample reuse on vs off.
+//! sample reuse on vs off, assembled through `SamplerBuilder`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
 use suj_bench::{build_workload, UqOptions};
-use suj_core::algorithm2::{OnlineConfig, OnlineUnionSampler};
-use suj_core::cover::CoverStrategy;
+use suj_core::prelude::*;
 use suj_core::walk_estimator::WalkEstimatorConfig;
 use suj_stats::SujRng;
 
@@ -26,7 +25,10 @@ fn bench_online(c: &mut Criterion) {
             },
             ..Default::default()
         };
-        let sampler = OnlineUnionSampler::new(w.clone(), cfg, CoverStrategy::AsGiven);
+        let mut sampler = SamplerBuilder::for_workload(w.clone())
+            .strategy(Strategy::Online(cfg))
+            .build()
+            .expect("sampler");
         group.bench_function(format!("{label}/N=200"), |b| {
             let mut rng = SujRng::seed_from_u64(9);
             b.iter(|| black_box(sampler.sample(200, &mut rng).expect("run").0.len()))

@@ -1,11 +1,12 @@
 //! Criterion microbench: Algorithm 1 set-union sampling (Fig. 5
-//! kernel) — EW vs EO weight instantiations across the three workloads.
+//! kernel) — EW vs EO weight instantiations across the three workloads,
+//! plus batch-vs-stream consumption of the same builder-assembled
+//! sampler.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
 use suj_bench::{build_workload, UqOptions};
-use suj_core::algorithm1::UnionSamplerConfig;
 use suj_core::prelude::*;
 use suj_join::WeightKind;
 use suj_stats::SujRng;
@@ -17,25 +18,41 @@ fn bench_set_union(c: &mut Criterion) {
 
     for name in ["uq1", "uq2", "uq3"] {
         let w = Arc::new(build_workload(name, &opts).expect("workload"));
-        let exact = full_join_union(&w).expect("ground truth");
         for (label, weights) in [("EW", WeightKind::Exact), ("EO", WeightKind::ExtendedOlken)] {
-            let sampler = SetUnionSampler::new(
-                w.clone(),
-                &exact.overlap,
-                UnionSamplerConfig {
-                    weights,
-                    policy: CoverPolicy::Record,
-                    strategy: CoverStrategy::AsGiven,
-                    ..Default::default()
-                },
-            )
-            .expect("sampler");
+            let mut sampler = SamplerBuilder::for_workload(w.clone())
+                .estimator(Estimator::Exact)
+                .weights(weights)
+                .cover_policy(CoverPolicy::Record)
+                .build()
+                .expect("sampler");
             group.bench_function(format!("{name}/{label}/N=200"), |b| {
                 let mut rng = SujRng::seed_from_u64(5);
                 b.iter(|| black_box(sampler.sample(200, &mut rng).expect("run").0.len()))
             });
         }
     }
+
+    // Batch vs stream overhead on one configuration. Note: samplers
+    // are stateful now, so iterations beyond the first measure the
+    // steady-state (warmed-record) kernel — the regime persistent /
+    // streaming deployments run in.
+    let w = Arc::new(build_workload("uq2", &opts).expect("workload"));
+    let mut sampler = SamplerBuilder::for_workload(w)
+        .estimator(Estimator::Exact)
+        .cover_policy(CoverPolicy::MembershipOracle)
+        .build()
+        .expect("sampler");
+    group.bench_function("uq2/stream/N=200", |b| {
+        let mut rng = SujRng::seed_from_u64(5);
+        b.iter(|| {
+            let mut n = 0usize;
+            for item in SampleStream::over(&mut sampler, &mut rng).take(200) {
+                black_box(item.expect("stream draw"));
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
     group.finish();
 }
 

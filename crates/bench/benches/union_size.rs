@@ -27,8 +27,7 @@ fn bench_union_size(c: &mut Criterion) {
         group.bench_function(format!("{name}/random_walk"), |b| {
             let mut rng = SujRng::seed_from_u64(7);
             b.iter(|| {
-                let est =
-                    walk_warmup(w, &WalkEstimatorConfig::default(), &mut rng).expect("est");
+                let est = walk_warmup(w, &WalkEstimatorConfig::default(), &mut rng).expect("est");
                 black_box(est.overlap_map().expect("map").union_size())
             })
         });

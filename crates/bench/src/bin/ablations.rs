@@ -45,14 +45,20 @@ fn cover_policy_panel(scale: usize, seed: u64) {
 
     let mut table = FigureTable::new(
         "Ablation — cover policy (UQ2, exact parameters, N=2000)",
-        &["policy", "time_ms", "rejected_cover", "revised", "acceptance"],
+        &[
+            "policy",
+            "time_ms",
+            "rejected_cover",
+            "revised",
+            "acceptance",
+        ],
     );
 
     for (label, policy) in [
         ("record (paper)", CoverPolicy::Record),
         ("oracle", CoverPolicy::MembershipOracle),
     ] {
-        let sampler = SetUnionSampler::new(
+        let mut sampler = SetUnionSampler::new(
             w.clone(),
             &exact.overlap,
             UnionSamplerConfig {
@@ -72,8 +78,10 @@ fn cover_policy_panel(scale: usize, seed: u64) {
         ]);
     }
 
-    let sizes: Vec<f64> = (0..w.n_joins()).map(|j| exact.join_size(j) as f64).collect();
-    let bern = BernoulliUnionSampler::new(
+    let sizes: Vec<f64> = (0..w.n_joins())
+        .map(|j| exact.join_size(j) as f64)
+        .collect();
+    let mut bern = BernoulliUnionSampler::new(
         w.clone(),
         &sizes,
         exact.union_size() as f64,
@@ -140,14 +148,22 @@ fn skewed_workload(seed: u64) -> UnionWorkload {
 fn degree_mode_panel(scale: usize, seed: u64) {
     let mut table = FigureTable::new(
         "Ablation — K(i) degree mode: bound on the all-join overlap",
-        &["workload", "truth", "max_bound", "avg_bound", "max_infl", "avg_infl"],
+        &[
+            "workload",
+            "truth",
+            "max_bound",
+            "avg_bound",
+            "max_infl",
+            "avg_infl",
+        ],
     );
-    let mut cases: Vec<(String, UnionWorkload)> = vec![
-        ("SKEWED".into(), skewed_workload(seed)),
-    ];
+    let mut cases: Vec<(String, UnionWorkload)> = vec![("SKEWED".into(), skewed_workload(seed))];
     for name in ["uq1", "uq2", "uq3"] {
         let opts = UqOptions::new(scale, seed, 0.4);
-        cases.push((name.to_uppercase(), build_workload(name, &opts).expect("workload")));
+        cases.push((
+            name.to_uppercase(),
+            build_workload(name, &opts).expect("workload"),
+        ));
     }
     for (label, w) in cases {
         let exact = full_join_union(&w).expect("truth");
@@ -298,7 +314,7 @@ fn phi_panel(scale: usize, seed: u64) {
             ci_threshold: 0.02,
             ..Default::default()
         };
-        let sampler = OnlineUnionSampler::new(w.clone(), cfg, CoverStrategy::AsGiven);
+        let mut sampler = OnlineUnionSampler::new(w.clone(), cfg, CoverStrategy::AsGiven);
         let mut rng = SujRng::seed_from_u64(seed);
         let ((_, report), t) = timed(|| sampler.sample(500, &mut rng).expect("run"));
         table.push_row(vec![
@@ -339,7 +355,7 @@ fn cyclic_panel(scale: usize, seed: u64) {
     ]);
 
     // Sampling overhead from consistency rejection.
-    let sampler = SetUnionSampler::new(
+    let mut sampler = SetUnionSampler::new(
         w.clone(),
         &exact.overlap,
         UnionSamplerConfig {
@@ -366,7 +382,12 @@ fn cyclic_panel(scale: usize, seed: u64) {
 fn skew_panel(scale: usize, seed: u64) {
     let mut table = FigureTable::new(
         "Ablation — FK skew (Zipf exponent) on UQ1: estimation error and EO efficiency",
-        &["zipf_s", "hist_ratio_err", "walk_ratio_err", "eo_acceptance"],
+        &[
+            "zipf_s",
+            "hist_ratio_err",
+            "walk_ratio_err",
+            "eo_acceptance",
+        ],
     );
     for s in [0.0f64, 0.5, 1.0, 1.5] {
         let mut opts = UqOptions::new(scale, seed, 0.2);
@@ -381,7 +402,7 @@ fn skew_panel(scale: usize, seed: u64) {
         let hist_err = mean(&ratio_errors(&hist_map, &exact));
         let walk_err = mean(&ratio_errors(&walk_map, &exact));
 
-        let sampler = SetUnionSampler::new(
+        let mut sampler = SetUnionSampler::new(
             w.clone(),
             &exact.overlap,
             UnionSamplerConfig {
@@ -392,8 +413,8 @@ fn skew_panel(scale: usize, seed: u64) {
         )
         .expect("sampler");
         let (_, report) = sampler.sample(500, &mut rng).expect("run");
-        let subroutine_acceptance = report.accepted as f64
-            / (report.accepted + report.rejected_join).max(1) as f64;
+        let subroutine_acceptance =
+            report.accepted as f64 / (report.accepted + report.rejected_join).max(1) as f64;
         table.push_row(vec![
             format!("{s:.1}"),
             format!("{hist_err:.3}"),

@@ -30,10 +30,8 @@ fn ratio_error_panel(scale: usize, seed: u64) {
         &["join", "hist+EO", "rand-walk"],
     );
     let mut rng = SujRng::seed_from_u64(seed);
-    let (hist_map, _) =
-        estimate_overlaps(EstimatorKind::HistogramEo, &w, &mut rng).expect("hist");
-    let (walk_map, _) =
-        estimate_overlaps(EstimatorKind::RandomWalk, &w, &mut rng).expect("walk");
+    let (hist_map, _) = estimate_overlaps(EstimatorKind::HistogramEo, &w, &mut rng).expect("hist");
+    let (walk_map, _) = estimate_overlaps(EstimatorKind::RandomWalk, &w, &mut rng).expect("walk");
     let hist_errs = ratio_errors(&hist_map, &exact);
     let walk_errs = ratio_errors(&walk_map, &exact);
     for j in 0..w.n_joins() {

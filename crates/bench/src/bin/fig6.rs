@@ -48,11 +48,12 @@ fn reuse_panel(scale: usize, seed: u64) {
         );
         for n in [100usize, 200, 400, 800] {
             let mut rng_a = SujRng::seed_from_u64(seed);
-            let with = OnlineUnionSampler::new(w.clone(), online_config(true), CoverStrategy::AsGiven);
+            let mut with =
+                OnlineUnionSampler::new(w.clone(), online_config(true), CoverStrategy::AsGiven);
             let (_, ra) = with.sample(n, &mut rng_a).expect("run");
 
             let mut rng_b = SujRng::seed_from_u64(seed);
-            let without =
+            let mut without =
                 OnlineUnionSampler::new(w.clone(), online_config(false), CoverStrategy::AsGiven);
             let (_, rb) = without.sample(n, &mut rng_b).expect("run");
 
@@ -86,7 +87,7 @@ fn per_sample_panel(scale: usize, seed: u64) {
             },
             ..online_config(true)
         };
-        let sampler = OnlineUnionSampler::new(w, cfg, CoverStrategy::AsGiven);
+        let mut sampler = OnlineUnionSampler::new(w, cfg, CoverStrategy::AsGiven);
         let mut rng = SujRng::seed_from_u64(seed);
         let (_, report) = sampler.sample(2000, &mut rng).expect("run");
         let regular = report

@@ -186,7 +186,7 @@ pub fn run_set_union(
 ) -> Result<(RunReport, Duration), CoreError> {
     let mut rng = SujRng::seed_from_u64(seed);
     let (map, warmup) = estimate_overlaps(kind, workload, &mut rng)?;
-    let sampler = SetUnionSampler::new(
+    let mut sampler = SetUnionSampler::new(
         workload.clone(),
         &map,
         suj_core::algorithm1::UnionSamplerConfig {
@@ -199,6 +199,29 @@ pub fn run_set_union(
     let (_, mut report) = sampler.sample(n_samples, &mut rng)?;
     report.warmup_time = warmup;
     Ok((report, warmup))
+}
+
+/// Builds an Algorithm 1 sampler for a named workload through the
+/// fluent [`SamplerBuilder`] — the harness entry point Criterion
+/// benches share.
+pub fn build_set_union_sampler(
+    workload: Arc<UnionWorkload>,
+    kind: EstimatorKind,
+    seed: u64,
+) -> Result<Box<dyn suj_core::UnionSampler>, CoreError> {
+    let estimator = match kind {
+        EstimatorKind::HistogramEo => Estimator::Histogram(HistogramOptions::default()),
+        EstimatorKind::HistogramEw => Estimator::Histogram(HistogramOptions {
+            exact_size_hints: true,
+            ..Default::default()
+        }),
+        EstimatorKind::RandomWalk => Estimator::Walk(WalkEstimatorConfig::default()),
+    };
+    SamplerBuilder::for_workload(workload)
+        .estimator(estimator)
+        .weights(weight_kind_for(kind))
+        .estimation_seed(seed)
+        .build()
 }
 
 #[cfg(test)]
@@ -253,8 +276,7 @@ mod tests {
     fn run_set_union_produces_report() {
         let opts = UqOptions::new(1, 3, 0.3);
         let w = Arc::new(uq3(&opts).unwrap());
-        let (report, warmup) =
-            run_set_union(&w, EstimatorKind::HistogramEw, 50, 9).unwrap();
+        let (report, warmup) = run_set_union(&w, EstimatorKind::HistogramEw, 50, 9).unwrap();
         assert!(report.accepted >= 50);
         assert!(warmup > Duration::ZERO);
     }

@@ -1,0 +1,114 @@
+//! Deterministic case generation and the config / error types used by
+//! the `proptest!` macro.
+
+/// Per-test configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case budget.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` (does not count).
+    Reject(String),
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failed assertion.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected assumption.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// SplitMix64-based generator: tiny, deterministic, good enough for
+/// test-case generation.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Seeds deterministically from a test name so each property gets a
+    /// stable independent stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut seed = 0x9E37_79B9_7F4A_7C15u64;
+        for b in name.bytes() {
+            seed = (seed ^ b as u64).wrapping_mul(0x100_0000_01B3);
+        }
+        Self { state: seed }
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform u64 in `[lo, hi)`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi);
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// Uniform i64 in `[lo, hi)`.
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo < hi);
+        lo.wrapping_add((self.next_u64() % ((hi as i128 - lo as i128) as u64)) as i64)
+    }
+
+    /// Uniform i32 in `[lo, hi)`.
+    pub fn i32_in(&mut self, lo: i32, hi: i32) -> i32 {
+        self.i64_in(lo as i64, hi as i64) as i32
+    }
+
+    /// Uniform u32 in `[lo, hi)`.
+    pub fn u32_in(&mut self, lo: u32, hi: u32) -> u32 {
+        self.u64_in(lo as u64, hi as u64) as u32
+    }
+
+    /// Uniform u8 in `[lo, hi)`.
+    pub fn u8_in(&mut self, lo: u8, hi: u8) -> u8 {
+        self.u64_in(lo as u64, hi as u64) as u8
+    }
+
+    /// Uniform usize in `[lo, hi)`.
+    pub fn usize_between(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi);
+        self.u64_in(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform usize in a `Range`.
+    pub fn usize_in(&mut self, range: std::ops::Range<usize>) -> usize {
+        self.usize_between(range.start, range.end)
+    }
+}

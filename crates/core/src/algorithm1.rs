@@ -8,24 +8,34 @@
 //!   tracked in the `orig_join` record of *seen* tuples. Sampling a
 //!   tuple from an earlier-cover join than its recorded owner triggers
 //!   a **revision**: ownership moves to the earlier join and every copy
-//!   of the tuple is purged from the result (lines 10–12).
+//!   of the tuple is purged from the result (lines 10–12). In the
+//!   incremental API purges surface as [`Draw::Retract`] events.
 //! * [`CoverPolicy::MembershipOracle`] — enforces the cover exactly via
 //!   hash-index membership checks (`t` is rejected iff some
 //!   earlier-cover join contains it). No revisions are ever needed; this
-//!   is the ablation variant available in the centralized setting.
+//!   is the ablation variant available in the centralized setting, and
+//!   the one whose [`SampleStream`](crate::stream::SampleStream) output
+//!   is exactly i.i.d.
 //!
 //! Expected cost is `N + N log N` total join-sampling calls (Theorem 2).
+//!
+//! The sampler implements [`UnionSampler`]; construct it directly or —
+//! preferably — through
+//! [`SamplerBuilder`](crate::session::SamplerBuilder) with
+//! [`Strategy::Rejection`](crate::session::Strategy).
 
 use crate::cover::{Cover, CoverStrategy};
 use crate::error::CoreError;
 use crate::overlap::OverlapMap;
 use crate::report::RunReport;
+use crate::sampler::{Draw, UnionSampler};
 use crate::workload::UnionWorkload;
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
 use suj_join::weights::build_sampler;
 use suj_join::{JoinSampler, WeightKind};
-use suj_stats::SujRng;
+use suj_stats::{Categorical, SujRng};
 use suj_storage::{FxHashMap, Tuple};
 
 /// How cover ownership is decided.
@@ -74,8 +84,20 @@ impl Default for UnionSamplerConfig {
 pub struct SetUnionSampler {
     workload: Arc<UnionWorkload>,
     cover: Cover,
+    selection: Option<Categorical>,
     samplers: Vec<Box<dyn JoinSampler>>,
     config: UnionSamplerConfig,
+    report: RunReport,
+    /// `orig_join` record of seen tuples (paper line 4).
+    orig: FxHashMap<Tuple, usize>,
+    /// Live emission indices per tuple (Record policy), for revision
+    /// purges.
+    positions: FxHashMap<Tuple, Vec<u64>>,
+    /// Joins discovered to be unsampleable (estimate said nonempty,
+    /// data says empty).
+    dead: Vec<bool>,
+    emitted: u64,
+    pending: VecDeque<Draw>,
 }
 
 impl SetUnionSampler {
@@ -93,17 +115,26 @@ impl SetUnionSampler {
             )));
         }
         let cover = Cover::build(overlap, config.strategy);
+        let selection = cover.selection();
         let samplers = workload
             .joins()
             .iter()
             .map(|j| build_sampler(j.clone(), config.weights))
             .collect::<Result<Vec<_>, _>>()
             .map_err(CoreError::Join)?;
+        let n_joins = workload.n_joins();
         Ok(Self {
             workload,
             cover,
+            selection,
             samplers,
             config,
+            report: RunReport::new(n_joins),
+            orig: FxHashMap::default(),
+            positions: FxHashMap::default(),
+            dead: vec![false; n_joins],
+            emitted: 0,
+            pending: VecDeque::new(),
         })
     }
 
@@ -111,58 +142,45 @@ impl SetUnionSampler {
     pub fn cover(&self) -> &Cover {
         &self.cover
     }
+}
 
-    /// Draws `n` uniform samples (with replacement) from the set union.
-    pub fn sample(&self, n: usize, rng: &mut SujRng) -> Result<(Vec<Tuple>, RunReport), CoreError> {
+impl UnionSampler for SetUnionSampler {
+    fn draw(&mut self, rng: &mut SujRng) -> Result<Draw, CoreError> {
+        if let Some(event) = self.pending.pop_front() {
+            return Ok(event);
+        }
+        if self.selection.is_none() {
+            return Err(CoreError::Invalid(
+                "cannot sample a nonempty set from an empty union".into(),
+            ));
+        }
         let n_joins = self.workload.n_joins();
-        let mut report = RunReport::new(n_joins);
-        let Some(selection) = self.cover.selection() else {
-            return if n == 0 {
-                Ok((Vec::new(), report))
-            } else {
-                Err(CoreError::Invalid(
-                    "cannot sample a nonempty set from an empty union".into(),
-                ))
-            };
-        };
-
-        // Result with tombstones (revision removes all copies of a value).
-        let mut result: Vec<Tuple> = Vec::with_capacity(n);
-        let mut removed: Vec<bool> = Vec::with_capacity(n);
-        let mut positions: FxHashMap<Tuple, Vec<usize>> = FxHashMap::default();
-        let mut live = 0usize;
-        // orig_join record (paper line 4).
-        let mut orig: FxHashMap<Tuple, usize> = FxHashMap::default();
-        // Joins discovered to be unsampleable (estimate said nonempty,
-        // data says empty).
-        let mut dead = vec![false; n_joins];
-
-        while live < n {
-            let j = selection.draw(rng);
-            if dead[j] {
-                if dead.iter().all(|&d| d) {
+        loop {
+            let j = self.selection.as_ref().expect("checked above").draw(rng);
+            if self.dead[j] {
+                if self.dead.iter().all(|&d| d) {
                     return Err(CoreError::Invalid(
                         "all joins are empty but the union estimate is positive".into(),
                     ));
                 }
                 continue;
             }
-            report.join_draws[j] += 1;
+            self.report.join_draws[j] += 1;
 
             // Theorem 1 semantics: the tuple emitted for this selection
             // must be uniform over the cover region J'_j, so cover
             // rejections redraw from the SAME join.
             let mut retries = 0u64;
-            'selection: while retries < self.config.max_cover_retries {
+            while retries < self.config.max_cover_retries {
                 retries += 1;
                 let start = Instant::now();
                 let (t_local, tries) =
                     self.samplers[j].sample_until_accepted(rng, self.config.max_join_tries);
-                report.rejected_join += tries.saturating_sub(1);
+                self.report.rejected_join += tries.saturating_sub(1);
                 let Some(t_local) = t_local else {
-                    report.rejected_time += start.elapsed();
-                    dead[j] = true;
-                    break 'selection;
+                    self.report.rejected_time += start.elapsed();
+                    self.dead[j] = true;
+                    break;
                 };
                 let t = self.workload.to_canonical(j, &t_local);
 
@@ -170,78 +188,74 @@ impl SetUnionSampler {
                     CoverPolicy::MembershipOracle => {
                         // Reject iff an earlier-cover join contains t.
                         !(0..n_joins).any(|i| {
-                            i != j
-                                && self.cover.precedes(i, j)
-                                && self.workload.contains(i, &t)
+                            i != j && self.cover.precedes(i, j) && self.workload.contains(i, &t)
                         })
                     }
-                    CoverPolicy::Record => match orig.get(&t).copied() {
+                    CoverPolicy::Record => match self.orig.get(&t).copied() {
                         Some(i) if i == j => true,
                         Some(i) if self.cover.precedes(i, j) => false, // line 8
                         Some(i) => {
                             // Revision (lines 10–12): j precedes i. Move
-                            // ownership to j and purge every copy of t.
+                            // ownership to j and retract every live copy
+                            // of t.
                             debug_assert!(self.cover.precedes(j, i));
-                            orig.insert(t.clone(), j);
-                            if let Some(ps) = positions.get_mut(&t) {
+                            self.orig.insert(t.clone(), j);
+                            if let Some(ps) = self.positions.get_mut(&t) {
                                 for &p in ps.iter() {
-                                    if !removed[p] {
-                                        removed[p] = true;
-                                        live -= 1;
-                                        report.revision_removed += 1;
-                                    }
+                                    self.pending.push_back(Draw::Retract(p));
+                                    self.report.revision_removed += 1;
                                 }
                                 ps.clear();
                             }
-                            report.revised += 1;
+                            self.report.revised += 1;
                             true
                         }
                         None => {
-                            orig.insert(t.clone(), j);
+                            self.orig.insert(t.clone(), j);
                             true
                         }
                     },
                 };
 
                 if accept {
+                    let idx = self.emitted;
                     if self.config.policy == CoverPolicy::Record {
-                        positions.entry(t.clone()).or_default().push(result.len());
+                        self.positions.entry(t.clone()).or_default().push(idx);
                     }
-                    result.push(t);
-                    removed.push(false);
-                    live += 1;
-                    report.accepted += 1;
-                    report.accepted_time += start.elapsed();
-                    break 'selection;
+                    self.emitted += 1;
+                    self.report.accepted += 1;
+                    self.report.accepted_time += start.elapsed();
+                    if self.pending.is_empty() {
+                        return Ok(Draw::Tuple(idx, t));
+                    }
+                    // Revision retractions precede the accepted tuple.
+                    self.pending.push_back(Draw::Tuple(idx, t));
+                    return Ok(self.pending.pop_front().expect("nonempty queue"));
                 } else {
-                    report.rejected_cover += 1;
-                    report.rejected_time += start.elapsed();
+                    self.report.rejected_cover += 1;
+                    self.report.rejected_time += start.elapsed();
                 }
             }
+            // Retry budget exhausted (or the join just died): reselect.
         }
+    }
 
-        let final_result: Vec<Tuple> = result
-            .into_iter()
-            .zip(removed)
-            .filter(|(_, dead)| !dead)
-            .map(|(t, _)| t)
-            .collect();
-        // Revisions can leave us short; top up recursively (rare).
-        if final_result.len() < n {
-            let missing = n - final_result.len();
-            let (extra, extra_report) = self.sample(missing, rng)?;
-            let mut merged = final_result;
-            merged.extend(extra);
-            report.accepted += extra_report.accepted;
-            report.rejected_cover += extra_report.rejected_cover;
-            report.rejected_join += extra_report.rejected_join;
-            report.revised += extra_report.revised;
-            report.revision_removed += extra_report.revision_removed;
-            report.accepted_time += extra_report.accepted_time;
-            report.rejected_time += extra_report.rejected_time;
-            return Ok((merged, report));
-        }
-        Ok((final_result, report))
+    fn report(&self) -> &RunReport {
+        &self.report
+    }
+
+    fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    fn workload(&self) -> &Arc<UnionWorkload> {
+        &self.workload
+    }
+
+    fn may_retract(&self) -> bool {
+        // The membership oracle enforces the cover exactly; only the
+        // record policy revises (and hence retracts).
+        self.config.policy == CoverPolicy::Record
     }
 }
 
@@ -263,8 +277,12 @@ mod tests {
     /// Three overlapping joins over (a, b, c).
     fn workload() -> Arc<UnionWorkload> {
         let mk = |name: &str, extra_a: i64, extra_b: i64| {
-            let mut r_rows: Vec<Vec<i64>> =
-                vec![vec![1, 10], vec![2, 10], vec![3, 20], vec![extra_a, extra_b]];
+            let mut r_rows: Vec<Vec<i64>> = vec![
+                vec![1, 10],
+                vec![2, 10],
+                vec![3, 20],
+                vec![extra_a, extra_b],
+            ];
             r_rows.dedup();
             // b = 10 has degree 2 in s so Extended Olken must reject.
             let s_rows = vec![
@@ -292,7 +310,11 @@ mod tests {
         )
     }
 
-    fn assert_uniform_sample(samples: &[Tuple], universe: &suj_storage::FxHashSet<Tuple>, p_min: f64) {
+    fn assert_uniform_sample(
+        samples: &[Tuple],
+        universe: &suj_storage::FxHashSet<Tuple>,
+        p_min: f64,
+    ) {
         let mut counts: FxHashMap<Tuple, u64> = FxHashMap::default();
         for t in samples {
             assert!(universe.contains(t), "non-member sampled: {t}");
@@ -315,7 +337,7 @@ mod tests {
     fn oracle_policy_is_uniform() {
         let w = workload();
         let exact = full_join_union(&w).unwrap();
-        let sampler = SetUnionSampler::new(
+        let mut sampler = SetUnionSampler::new(
             w,
             &exact.overlap,
             UnionSamplerConfig {
@@ -336,7 +358,7 @@ mod tests {
     fn record_policy_is_uniform_and_revises() {
         let w = workload();
         let exact = full_join_union(&w).unwrap();
-        let sampler = SetUnionSampler::new(
+        let mut sampler = SetUnionSampler::new(
             w,
             &exact.overlap,
             UnionSamplerConfig {
@@ -362,7 +384,7 @@ mod tests {
     fn eo_weights_also_uniform() {
         let w = workload();
         let exact = full_join_union(&w).unwrap();
-        let sampler = SetUnionSampler::new(
+        let mut sampler = SetUnionSampler::new(
             w,
             &exact.overlap,
             UnionSamplerConfig {
@@ -384,7 +406,7 @@ mod tests {
         let w = workload();
         let exact = full_join_union(&w).unwrap();
         for strategy in [CoverStrategy::DescendingSize, CoverStrategy::AscendingSize] {
-            let sampler = SetUnionSampler::new(
+            let mut sampler = SetUnionSampler::new(
                 w.clone(),
                 &exact.overlap,
                 UnionSamplerConfig {
@@ -413,7 +435,7 @@ mod tests {
         )
         .unwrap();
         let map = est.overlap_map().unwrap();
-        let sampler = SetUnionSampler::new(
+        let mut sampler = SetUnionSampler::new(
             w.clone(),
             &map,
             UnionSamplerConfig {
@@ -435,7 +457,7 @@ mod tests {
     fn zero_requested_samples() {
         let w = workload();
         let exact = full_join_union(&w).unwrap();
-        let sampler =
+        let mut sampler =
             SetUnionSampler::new(w, &exact.overlap, UnionSamplerConfig::default()).unwrap();
         let mut rng = SujRng::seed_from_u64(6);
         let (samples, report) = sampler.sample(0, &mut rng).unwrap();
@@ -467,7 +489,7 @@ mod tests {
         let w = Arc::new(UnionWorkload::new(vec![Arc::new(live), Arc::new(empty)]).unwrap());
         // Deliberately wrong estimates giving the empty join mass.
         let map = OverlapMap::new(2, vec![0.0, 2.0, 5.0, 0.0]).unwrap();
-        let sampler = SetUnionSampler::new(w, &map, UnionSamplerConfig::default()).unwrap();
+        let mut sampler = SetUnionSampler::new(w, &map, UnionSamplerConfig::default()).unwrap();
         let mut rng = SujRng::seed_from_u64(8);
         let (samples, report) = sampler.sample(50, &mut rng).unwrap();
         assert_eq!(samples.len(), 50);
@@ -488,7 +510,7 @@ mod tests {
         // draws should sit well under the bound.
         let w = workload();
         let exact = full_join_union(&w).unwrap();
-        let sampler = SetUnionSampler::new(
+        let mut sampler = SetUnionSampler::new(
             w,
             &exact.overlap,
             UnionSamplerConfig {
@@ -506,5 +528,54 @@ mod tests {
             (draws as f64) < bound,
             "draws {draws} exceed N + N ln N = {bound}"
         );
+    }
+
+    #[test]
+    fn incremental_draws_match_batch() {
+        // draw()-by-draw consumption equals one batch call seed-for-seed
+        // (the oracle policy never retracts, so the streams align 1:1).
+        let w = workload();
+        let exact = full_join_union(&w).unwrap();
+        let cfg = UnionSamplerConfig {
+            policy: CoverPolicy::MembershipOracle,
+            ..Default::default()
+        };
+        let mut batch = SetUnionSampler::new(w.clone(), &exact.overlap, cfg).unwrap();
+        let mut incremental = SetUnionSampler::new(w, &exact.overlap, cfg).unwrap();
+        let mut rng_a = SujRng::seed_from_u64(17);
+        let mut rng_b = SujRng::seed_from_u64(17);
+        let (samples, _) = batch.sample(200, &mut rng_a).unwrap();
+        let mut one_by_one = Vec::new();
+        while one_by_one.len() < 200 {
+            if let Draw::Tuple(_, t) = incremental.draw(&mut rng_b).unwrap() {
+                one_by_one.push(t);
+            }
+        }
+        assert_eq!(samples, one_by_one);
+    }
+
+    #[test]
+    fn record_policy_retractions_reference_live_emissions() {
+        let w = workload();
+        let exact = full_join_union(&w).unwrap();
+        let mut sampler =
+            SetUnionSampler::new(w, &exact.overlap, UnionSamplerConfig::default()).unwrap();
+        let mut rng = SujRng::seed_from_u64(18);
+        let mut emitted = 0u64;
+        let mut retracted = 0u64;
+        for _ in 0..5_000 {
+            match sampler.draw(&mut rng).unwrap() {
+                Draw::Tuple(idx, _) => {
+                    assert_eq!(idx, emitted, "emission indices are sequential");
+                    emitted += 1;
+                }
+                Draw::Retract(idx) => {
+                    assert!(idx < emitted, "retraction of a future emission");
+                    retracted += 1;
+                }
+            }
+        }
+        assert_eq!(emitted, sampler.emitted());
+        assert_eq!(retracted, sampler.report().revision_removed);
     }
 }

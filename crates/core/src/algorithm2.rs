@@ -21,17 +21,27 @@
 //!   probability under a parameter set, so the retained sample follows
 //!   the refined distribution. Updates stop once the tracked confidence
 //!   level reaches `γ`.
+//!
+//! The sampler implements [`UnionSampler`]: warm-up runs lazily on the
+//! first [`draw`](UnionSampler::draw) (it consumes the caller's RNG),
+//! and both uniformity devices surface as
+//! [`Draw::Retract`](crate::sampler::Draw) events, which is what makes
+//! Algorithm 2's inherently incremental refinement expressible through
+//! the streaming API.
 
 use crate::cover::{Cover, CoverStrategy};
 use crate::error::CoreError;
 use crate::hist_estimator::{DegreeMode, HistogramEstimator};
+use crate::overlap::OverlapMap;
 use crate::report::RunReport;
+use crate::sampler::{Draw, UnionSampler};
 use crate::walk_estimator::{walk_warmup, WalkEstimate, WalkEstimatorConfig};
 use crate::workload::UnionWorkload;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
 use suj_join::{WalkOutcome, WanderJoin};
-use suj_stats::SujRng;
+use suj_stats::{Categorical, SujRng};
 use suj_storage::{FxHashMap, Tuple};
 
 /// Configuration of the online union sampler.
@@ -54,9 +64,13 @@ pub struct OnlineConfig {
     /// Upper bound on copies emitted per reuse acceptance. §7's rate
     /// `R = l/(p(t)·|J_j|)` legitimately exceeds 1 and the paper emits
     /// `R` instances; on small joins (`p·|J| ≈ 1`) that means
-    /// pool-sized bursts of one tuple. The default keeps the paper's
-    /// semantics (`u64::MAX`); harnesses that want to observe the
-    /// pool-exhaustion slope bound it.
+    /// pool-sized bursts of one tuple, and a pathological walk
+    /// probability can make `R` astronomically large. The batch
+    /// formulation implicitly capped bursts at the remaining demand
+    /// `n`; the incremental API has no `n`, so the default caps at
+    /// 4096 copies to bound queue memory. Raise it (up to `u64::MAX`
+    /// for the paper's literal semantics) or lower it to observe the
+    /// pool-exhaustion slope.
     pub reuse_burst_cap: u64,
     /// Enable backtracking (ablation toggle).
     pub backtrack: bool,
@@ -72,7 +86,7 @@ impl Default for OnlineConfig {
             ci_threshold: 0.05,
             warmup: WalkEstimatorConfig::default(),
             reuse: true,
-            reuse_burst_cap: u64::MAX,
+            reuse_burst_cap: 4096,
             backtrack: true,
             max_cover_retries: 100_000,
         }
@@ -84,66 +98,94 @@ pub struct OnlineUnionSampler {
     workload: Arc<UnionWorkload>,
     config: OnlineConfig,
     strategy: CoverStrategy,
+    report: RunReport,
+    emitted: u64,
+    pending: VecDeque<Draw>,
+    /// Estimation and record state, built lazily on the first draw
+    /// (warm-up consumes the caller's RNG, exactly like the batch
+    /// semantics where warm-up ran at the head of `sample`).
+    state: Option<OnlineState>,
 }
 
-/// Mutable per-run state: the record-policy result set with revision
-/// support plus per-tuple emission metadata for backtracking.
-struct RunState {
-    result: Vec<Tuple>,
-    removed: Vec<bool>,
-    /// (owning join, emission probability at acceptance time) per entry.
-    meta: Vec<(usize, f64)>,
-    positions: FxHashMap<Tuple, Vec<usize>>,
+/// Per-run online state: estimators, cover, and the record-policy
+/// emission history with retraction support.
+struct OnlineState {
+    fallback_sizes: Vec<f64>,
+    hist_map: OverlapMap,
+    est: WalkEstimate,
+    cover: Cover,
+    selection: Categorical,
+    wanders: Vec<WanderJoin>,
+    walks_at_last_update: u64,
+    converged: bool,
+    /// Live (unretracted) emissions still subject to backtracking:
+    /// emission index → (tuple, owning join, emission probability at
+    /// acceptance). Ordered so the thinning pass consumes RNG in
+    /// emission order, exactly like the batch formulation's sequential
+    /// scan. Cleared — and no longer fed — once estimates converge,
+    /// bounding memory by the number of live pre-convergence emissions
+    /// instead of the full stream length.
+    live_emissions: BTreeMap<u64, (Tuple, usize, f64)>,
+    /// Live emission indices per tuple value (revision purges).
+    positions: FxHashMap<Tuple, Vec<u64>>,
     orig: FxHashMap<Tuple, usize>,
-    live: usize,
+    /// In-progress join selection `(join, cover retries so far)`,
+    /// persisted so a draw returning a retraction event can resume the
+    /// selection loop exactly where it left off.
+    cur: Option<(usize, u64)>,
 }
 
-impl RunState {
-    fn new(n: usize) -> Self {
-        Self {
-            result: Vec::with_capacity(n),
-            removed: Vec::new(),
-            meta: Vec::new(),
-            positions: FxHashMap::default(),
-            orig: FxHashMap::default(),
-            live: 0,
-        }
-    }
+/// Emission probability of a tuple owned by join `j` under the current
+/// parameters.
+fn q_emit(cover: &Cover, est: &WalkEstimate, j: usize) -> f64 {
+    let sel = cover.sizes()[j] / cover.union_size().max(f64::MIN_POSITIVE);
+    sel / est.join_sizes[j].max(1.0)
+}
 
-    fn push(&mut self, t: Tuple, join: usize, q: f64) {
-        self.positions
-            .entry(t.clone())
-            .or_default()
-            .push(self.result.len());
-        self.result.push(t);
-        self.removed.push(false);
-        self.meta.push((join, q));
-        self.live += 1;
-    }
+fn init_state(
+    workload: &Arc<UnionWorkload>,
+    config: &OnlineConfig,
+    strategy: CoverStrategy,
+    rng: &mut SujRng,
+) -> Result<OnlineState, CoreError> {
+    let n_joins = workload.n_joins();
+    let hist = HistogramEstimator::with_olken(workload, DegreeMode::Max)?;
+    let hist_map = hist.overlap_map()?;
+    let fallback_sizes: Vec<f64> = (0..n_joins).map(|j| hist_map.join_size(j)).collect();
 
-    fn purge(&mut self, t: &Tuple) -> u64 {
-        let mut purged = 0;
-        if let Some(ps) = self.positions.get_mut(t) {
-            for &p in ps.iter() {
-                if !self.removed[p] {
-                    self.removed[p] = true;
-                    self.live -= 1;
-                    purged += 1;
-                }
-            }
-            ps.clear();
-        }
-        purged
-    }
-
-    fn finish(self) -> Vec<Tuple> {
-        self.result
-            .into_iter()
-            .zip(self.removed)
-            .filter(|(_, dead)| !dead)
-            .map(|(t, _)| t)
-            .collect()
-    }
+    let mut est = if config.warmup.max_walks_per_join > 0 {
+        walk_warmup(workload, &config.warmup, rng)?
+    } else {
+        WalkEstimate::empty(n_joins)
+    };
+    est.refresh_sizes(&fallback_sizes);
+    let map = est.overlap_map_with_fallback(&hist_map)?;
+    let cover = Cover::build(&map, strategy);
+    let selection = cover.selection().ok_or_else(|| {
+        CoreError::Invalid("union size estimate is zero; nothing to sample".into())
+    })?;
+    let wanders: Vec<WanderJoin> = workload
+        .joins()
+        .iter()
+        .map(|j| WanderJoin::new(j.clone()))
+        .collect::<Result<_, _>>()
+        .map_err(CoreError::Join)?;
+    let walks_at_last_update = est.total_walks();
+    let converged = est.worst_relative_half_width(config.gamma) <= config.ci_threshold;
+    Ok(OnlineState {
+        fallback_sizes,
+        hist_map,
+        est,
+        cover,
+        selection,
+        wanders,
+        walks_at_last_update,
+        converged,
+        live_emissions: BTreeMap::new(),
+        positions: FxHashMap::default(),
+        orig: FxHashMap::default(),
+        cur: None,
+    })
 }
 
 impl OnlineUnionSampler {
@@ -153,88 +195,76 @@ impl OnlineUnionSampler {
         config: OnlineConfig,
         strategy: CoverStrategy,
     ) -> Self {
+        let n_joins = workload.n_joins();
         Self {
             workload,
             config,
             strategy,
+            report: RunReport::new(n_joins),
+            emitted: 0,
+            pending: VecDeque::new(),
+            state: None,
         }
     }
+}
 
-    /// Draws `n` samples from the set union, estimating parameters
-    /// online.
-    pub fn sample(&self, n: usize, rng: &mut SujRng) -> Result<(Vec<Tuple>, RunReport), CoreError> {
-        let w = &self.workload;
-        let n_joins = w.n_joins();
-        let mut report = RunReport::new(n_joins);
+impl UnionSampler for OnlineUnionSampler {
+    fn draw(&mut self, rng: &mut SujRng) -> Result<Draw, CoreError> {
+        if let Some(event) = self.pending.pop_front() {
+            return Ok(event);
+        }
+        if self.state.is_none() {
+            // ---- Warm-up: histogram initialization + optional walks. ----
+            let warmup_start = Instant::now();
+            let st = init_state(&self.workload, &self.config, self.strategy, rng)?;
+            self.report.warmup_time += warmup_start.elapsed();
+            self.state = Some(st);
+        }
+        let Self {
+            workload,
+            config,
+            strategy,
+            report,
+            emitted,
+            pending,
+            state,
+        } = self;
+        let st = state.as_mut().expect("initialized above");
 
-        // ---- Warm-up: histogram initialization + optional walks. ----
-        let warmup_start = Instant::now();
-        let hist = HistogramEstimator::with_olken(w, DegreeMode::Max)?;
-        let hist_map = hist.overlap_map()?;
-        let fallback_sizes: Vec<f64> = (0..n_joins).map(|j| hist_map.join_size(j)).collect();
-
-        let mut est = if self.config.warmup.max_walks_per_join > 0 {
-            walk_warmup(w, &self.config.warmup, rng)?
-        } else {
-            WalkEstimate::empty(n_joins)
-        };
-        est.refresh_sizes(&fallback_sizes);
-        let mut map = est.overlap_map_with_fallback(&hist_map)?;
-        let mut cover = Cover::build(&map, self.strategy);
-        let mut selection = cover.selection().ok_or_else(|| {
-            CoreError::Invalid("union size estimate is zero; nothing to sample".into())
-        })?;
-        let wanders: Vec<WanderJoin> = w
-            .joins()
-            .iter()
-            .map(|j| WanderJoin::new(j.clone()))
-            .collect::<Result<_, _>>()
-            .map_err(CoreError::Join)?;
-        report.warmup_time = warmup_start.elapsed();
-
-        // Emission probability of a tuple owned by join j under the
-        // current parameters.
-        let q_emit = |cover: &Cover, est: &WalkEstimate, j: usize| -> f64 {
-            let sel = cover.sizes()[j] / cover.union_size().max(f64::MIN_POSITIVE);
-            sel / est.join_sizes[j].max(1.0)
-        };
-
-        let mut state = RunState::new(n);
-        let mut walks_at_last_update = est.total_walks();
-        let mut converged = est.worst_relative_half_width(self.config.gamma)
-            <= self.config.ci_threshold;
-
-        while state.live < n {
-            let j = selection.draw(rng);
-            report.join_draws[j] += 1;
+        loop {
+            if st.cur.is_none() {
+                let j = st.selection.draw(rng);
+                report.join_draws[j] += 1;
+                st.cur = Some((j, 0));
+            }
 
             // Sample one tuple uniform over the cover region J'_j
             // (cover rejections retry within the join).
-            let mut retries = 0u64;
-            'selection: while retries < self.config.max_cover_retries {
-                retries += 1;
+            loop {
+                let (j, retries) = st.cur.expect("set above");
+                if retries >= config.max_cover_retries {
+                    st.cur = None;
+                    break; // reselect a join
+                }
+                st.cur = Some((j, retries + 1));
 
                 // --- Obtain a uniform tuple from J_j (reuse or walk). ---
                 let mut obtained: Option<(Tuple, u64)> = None; // (tuple, copies)
-                if self.config.reuse && !est.pools[j].is_empty() {
+                if config.reuse && !st.est.pools[j].is_empty() {
                     let reuse_start = Instant::now();
-                    let idx = rng.index(est.pools[j].len());
-                    let l = est.pools[j].len() as f64;
-                    let (t, p) = est.pools[j][idx].clone();
-                    let rate = l / (p * est.join_sizes[j].max(1.0));
-                    // §7 allows R ≥ 1 (multiple instances per round). We
-                    // cap at the remaining demand: emitting past N would
-                    // be discarded anyway.
-                    let copies = (rate.floor() as u64
-                        + u64::from(rng.bernoulli(rate.fract())))
-                    .min(self.config.reuse_burst_cap)
-                    .min((n - state.live) as u64);
+                    let idx = rng.index(st.est.pools[j].len());
+                    let l = st.est.pools[j].len() as f64;
+                    let (t, p) = st.est.pools[j][idx].clone();
+                    let rate = l / (p * st.est.join_sizes[j].max(1.0));
+                    // §7 allows R ≥ 1 (multiple instances per round).
+                    let copies = (rate.floor() as u64 + u64::from(rng.bernoulli(rate.fract())))
+                        .min(config.reuse_burst_cap);
                     if copies == 0 {
                         report.reuse_rejected += 1;
                         report.reuse_time += reuse_start.elapsed();
                         // Fall through to a regular sample (line 9).
                     } else {
-                        est.pools[j].swap_remove(idx);
+                        st.est.pools[j].swap_remove(idx);
                         report.reuse_accepted += 1;
                         report.reuse_copies += copies;
                         report.reuse_time += reuse_start.elapsed();
@@ -243,13 +273,14 @@ impl OnlineUnionSampler {
                 }
                 if obtained.is_none() {
                     let start = Instant::now();
-                    match wanders[j].walk(rng) {
+                    match st.wanders[j].walk(rng) {
                         WalkOutcome::Success { tuple, probability } => {
                             let canonical =
-                                est.record_success(w, j, &tuple, probability, false);
+                                st.est
+                                    .record_success(workload, j, &tuple, probability, false);
                             // Uniformization: accept with (1/p)/B.
                             let accept =
-                                (1.0 / probability) / wanders[j].bound().max(f64::MIN_POSITIVE);
+                                (1.0 / probability) / st.wanders[j].bound().max(f64::MIN_POSITIVE);
                             if rng.bernoulli(accept) {
                                 obtained = Some((canonical, 1));
                                 report.accepted_time += start.elapsed();
@@ -259,7 +290,7 @@ impl OnlineUnionSampler {
                             }
                         }
                         WalkOutcome::Failure => {
-                            est.record_failure(j);
+                            st.est.record_failure(j);
                             report.rejected_join += 1;
                             report.rejected_time += start.elapsed();
                         }
@@ -268,75 +299,115 @@ impl OnlineUnionSampler {
 
                 // --- Cover / record logic (lines 11–17). ---
                 if let Some((t, copies)) = obtained {
-                    let accept = match state.orig.get(&t).copied() {
+                    let accept = match st.orig.get(&t).copied() {
                         Some(i) if i == j => true,
-                        Some(i) if cover.precedes(i, j) => false,
+                        Some(i) if st.cover.precedes(i, j) => false,
                         Some(_) => {
                             // Revision: ownership moves to the earlier
-                            // join j; purge existing copies.
-                            state.orig.insert(t.clone(), j);
-                            report.revision_removed += state.purge(&t);
+                            // join j; retract existing live copies.
+                            st.orig.insert(t.clone(), j);
+                            if let Some(ps) = st.positions.get_mut(&t) {
+                                for &p in ps.iter() {
+                                    st.live_emissions.remove(&p);
+                                    pending.push_back(Draw::Retract(p));
+                                    report.revision_removed += 1;
+                                }
+                                ps.clear();
+                            }
                             report.revised += 1;
                             true
                         }
                         None => {
-                            state.orig.insert(t.clone(), j);
+                            st.orig.insert(t.clone(), j);
                             true
                         }
                     };
                     if accept {
-                        let q = q_emit(&cover, &est, j);
+                        let q = q_emit(&st.cover, &st.est, j);
                         for _ in 0..copies {
-                            state.push(t.clone(), j, q);
+                            let idx = *emitted;
+                            st.positions.entry(t.clone()).or_default().push(idx);
+                            // Post-convergence emissions can never be
+                            // backtracked; keep the tracked set small.
+                            if !st.converged && config.backtrack {
+                                st.live_emissions.insert(idx, (t.clone(), j, q));
+                            }
+                            pending.push_back(Draw::Tuple(idx, t.clone()));
+                            *emitted += 1;
                             report.accepted += 1;
                         }
-                        break 'selection;
+                        st.cur = None;
+                        return Ok(pending.pop_front().expect("copies >= 1"));
                     } else {
                         report.rejected_cover += 1;
                     }
                 }
 
                 // --- Parameter update + backtracking (lines 18–20). ---
-                if !converged
-                    && est.total_walks().saturating_sub(walks_at_last_update) >= self.config.phi
+                if !st.converged
+                    && st.est.total_walks().saturating_sub(st.walks_at_last_update) >= config.phi
                 {
                     let update_start = Instant::now();
-                    walks_at_last_update = est.total_walks();
-                    est.refresh_sizes(&fallback_sizes);
-                    map = est.overlap_map_with_fallback(&hist_map)?;
-                    cover = Cover::build(&map, self.strategy);
-                    if let Some(sel) = cover.selection() {
-                        selection = sel;
+                    st.walks_at_last_update = st.est.total_walks();
+                    st.est.refresh_sizes(&st.fallback_sizes);
+                    let map = st.est.overlap_map_with_fallback(&st.hist_map)?;
+                    st.cover = Cover::build(&map, *strategy);
+                    if let Some(sel) = st.cover.selection() {
+                        st.selection = sel;
                     }
-                    if self.config.backtrack {
-                        for pos in 0..state.result.len() {
-                            if state.removed[pos] {
-                                continue;
-                            }
-                            let (owner, q_old) = state.meta[pos];
-                            let q_new = q_emit(&cover, &est, owner);
-                            let keep = (q_new / q_old.max(f64::MIN_POSITIVE)).min(1.0);
+                    if config.backtrack {
+                        // Thin live emissions in emission order (same
+                        // RNG consumption as a sequential scan of the
+                        // full history).
+                        let mut dropped: Vec<u64> = Vec::new();
+                        for (&pos, entry) in st.live_emissions.iter_mut() {
+                            let q_new = q_emit(&st.cover, &st.est, entry.1);
+                            let keep = (q_new / entry.2.max(f64::MIN_POSITIVE)).min(1.0);
                             if !rng.bernoulli(keep) {
-                                state.removed[pos] = true;
-                                state.live -= 1;
                                 report.backtrack_dropped += 1;
-                                if let Some(ps) = state.positions.get_mut(&state.result[pos]) {
+                                if let Some(ps) = st.positions.get_mut(&entry.0) {
                                     ps.retain(|&p| p != pos);
                                 }
+                                pending.push_back(Draw::Retract(pos));
+                                dropped.push(pos);
                             } else {
-                                state.meta[pos].1 = q_old.min(q_new);
+                                entry.2 = entry.2.min(q_new);
                             }
+                        }
+                        for pos in dropped {
+                            st.live_emissions.remove(&pos);
                         }
                     }
                     report.update_rounds += 1;
-                    converged = est.worst_relative_half_width(self.config.gamma)
-                        <= self.config.ci_threshold;
+                    st.converged =
+                        st.est.worst_relative_half_width(config.gamma) <= config.ci_threshold;
+                    if st.converged {
+                        // Terminal: updates can never fire again, so no
+                        // emission can ever be backtracked again.
+                        st.live_emissions.clear();
+                    }
                     report.update_time += update_start.elapsed();
+                    if let Some(event) = pending.pop_front() {
+                        // `cur` persists: the selection loop resumes on
+                        // the next draw, exactly where batch-mode
+                        // Algorithm 2 would continue.
+                        return Ok(event);
+                    }
                 }
             }
         }
+    }
 
-        Ok((state.finish(), report))
+    fn report(&self) -> &RunReport {
+        &self.report
+    }
+
+    fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    fn workload(&self) -> &Arc<UnionWorkload> {
+        &self.workload
     }
 }
 
@@ -394,7 +465,7 @@ mod tests {
     fn produces_requested_count_of_members() {
         let w = workload();
         let exact = full_join_union(&w).unwrap();
-        let sampler = OnlineUnionSampler::new(w, config_fast(), CoverStrategy::AsGiven);
+        let mut sampler = OnlineUnionSampler::new(w, config_fast(), CoverStrategy::AsGiven);
         let mut rng = SujRng::seed_from_u64(11);
         let (samples, report) = sampler.sample(300, &mut rng).unwrap();
         assert_eq!(samples.len(), 300);
@@ -407,7 +478,7 @@ mod tests {
     #[test]
     fn reuse_pool_is_consumed() {
         let w = workload();
-        let sampler = OnlineUnionSampler::new(w, config_fast(), CoverStrategy::AsGiven);
+        let mut sampler = OnlineUnionSampler::new(w, config_fast(), CoverStrategy::AsGiven);
         let mut rng = SujRng::seed_from_u64(12);
         let (_, report) = sampler.sample(200, &mut rng).unwrap();
         assert!(
@@ -421,8 +492,9 @@ mod tests {
         let w = workload();
         let mut rng_a = SujRng::seed_from_u64(13);
         let mut rng_b = SujRng::seed_from_u64(13);
-        let with_reuse = OnlineUnionSampler::new(w.clone(), config_fast(), CoverStrategy::AsGiven);
-        let without_reuse = OnlineUnionSampler::new(
+        let mut with_reuse =
+            OnlineUnionSampler::new(w.clone(), config_fast(), CoverStrategy::AsGiven);
+        let mut without_reuse = OnlineUnionSampler::new(
             w,
             OnlineConfig {
                 reuse: false,
@@ -452,7 +524,7 @@ mod tests {
             },
             ..Default::default()
         };
-        let sampler = OnlineUnionSampler::new(w, cfg, CoverStrategy::AsGiven);
+        let mut sampler = OnlineUnionSampler::new(w, cfg, CoverStrategy::AsGiven);
         let mut rng = SujRng::seed_from_u64(14);
         let (samples, report) = sampler.sample(150, &mut rng).unwrap();
         assert_eq!(samples.len(), 150);
@@ -483,7 +555,7 @@ mod tests {
             },
             ..config_fast()
         };
-        let sampler = OnlineUnionSampler::new(w, cfg, CoverStrategy::AsGiven);
+        let mut sampler = OnlineUnionSampler::new(w, cfg, CoverStrategy::AsGiven);
         let mut rng = SujRng::seed_from_u64(15);
         let n = 1_500 * exact.union_size();
         let (samples, _) = sampler.sample(n, &mut rng).unwrap();
@@ -520,7 +592,7 @@ mod tests {
             ci_threshold: 0.001, // keep updating for the whole run
             ..Default::default()
         };
-        let sampler = OnlineUnionSampler::new(w, cfg, CoverStrategy::AsGiven);
+        let mut sampler = OnlineUnionSampler::new(w, cfg, CoverStrategy::AsGiven);
         let mut rng = SujRng::seed_from_u64(16);
         let (samples, report) = sampler.sample(400, &mut rng).unwrap();
         assert_eq!(samples.len(), 400);
@@ -528,5 +600,44 @@ mod tests {
         // Backtracking may or may not drop depending on drift; the
         // counter must at least be consistent.
         assert!(report.backtrack_dropped <= report.accepted);
+    }
+
+    #[test]
+    fn incremental_draws_report_consistent_events() {
+        // Consume the online sampler event by event: retractions always
+        // reference live prior emissions, and the cumulative report
+        // matches the event stream.
+        let w = workload();
+        let cfg = OnlineConfig {
+            phi: 32,
+            warmup: WalkEstimatorConfig {
+                max_walks_per_join: 0,
+                ..Default::default()
+            },
+            ci_threshold: 0.001,
+            ..Default::default()
+        };
+        let mut sampler = OnlineUnionSampler::new(w, cfg, CoverStrategy::AsGiven);
+        let mut rng = SujRng::seed_from_u64(17);
+        let mut live = vec![];
+        let mut retractions = 0u64;
+        for _ in 0..2_000 {
+            match sampler.draw(&mut rng).unwrap() {
+                Draw::Tuple(_, t) => live.push(Some(t)),
+                Draw::Retract(idx) => {
+                    let slot = live
+                        .get_mut(idx as usize)
+                        .expect("retraction of a future emission");
+                    assert!(slot.is_some(), "double retraction of one emission");
+                    *slot = None;
+                    retractions += 1;
+                }
+            }
+        }
+        assert_eq!(live.len() as u64, sampler.emitted());
+        assert_eq!(
+            retractions,
+            sampler.report().backtrack_dropped + sampler.report().revision_removed
+        );
     }
 }

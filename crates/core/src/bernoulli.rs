@@ -10,14 +10,19 @@
 //! Two designation mechanisms are provided: the membership oracle
 //! computes `f(u)` exactly (first join in workload order containing
 //! `u`); the paper's record variant designates the first join `u` was
-//! *sampled from*, which converges to the oracle assignment as revision
-//! opportunities accrue (see Algorithm 1). This sampler exists as the
+//! *sampled from*, which converges to the oracle assignment as the
+//! record fills in (see Algorithm 1). This sampler exists as the
 //! simple baseline the non-Bernoulli cover selection improves upon —
 //! "this algorithm has a high rejection ratio for highly overlapping
 //! joins".
+//!
+//! The sampler implements [`UnionSampler`]; designation rejections are
+//! plain rejections (no sample is ever withdrawn), so both policies
+//! stream without retractions.
 
 use crate::error::CoreError;
 use crate::report::RunReport;
+use crate::sampler::{Draw, UnionSampler};
 use crate::workload::UnionWorkload;
 use std::sync::Arc;
 use std::time::Instant;
@@ -45,17 +50,44 @@ pub struct BernoulliUnionSampler {
     samplers: Vec<Box<dyn JoinSampler>>,
     /// Selection probability per join: `|J_j| / |U|`.
     probabilities: Vec<f64>,
+    policy: DesignationPolicy,
     max_join_tries: u64,
+    /// First join each value was SAMPLED from (Record policy).
+    record: suj_storage::FxHashMap<Tuple, usize>,
+    /// Round-robin cursor into the joins of the current round.
+    cursor: usize,
+    fired_this_round: bool,
+    stall_rounds: u64,
+    report: RunReport,
+    emitted: u64,
 }
 
 impl BernoulliUnionSampler {
-    /// Builds the sampler from size estimates (`join_sizes` and
-    /// `union_size` typically come from an estimator's `OverlapMap`).
+    /// Builds the sampler with the exact membership-oracle designation.
+    /// `join_sizes` and `union_size` typically come from an estimator's
+    /// `OverlapMap`.
     pub fn new(
         workload: Arc<UnionWorkload>,
         join_sizes: &[f64],
         union_size: f64,
         weights: WeightKind,
+    ) -> Result<Self, CoreError> {
+        Self::with_policy(
+            workload,
+            join_sizes,
+            union_size,
+            weights,
+            DesignationPolicy::Oracle,
+        )
+    }
+
+    /// Builds the sampler with an explicit designation policy.
+    pub fn with_policy(
+        workload: Arc<UnionWorkload>,
+        join_sizes: &[f64],
+        union_size: f64,
+        weights: WeightKind,
+        policy: DesignationPolicy,
     ) -> Result<Self, CoreError> {
         let n = workload.n_joins();
         if join_sizes.len() != n {
@@ -81,81 +113,103 @@ impl BernoulliUnionSampler {
             workload,
             samplers,
             probabilities,
+            policy,
             max_join_tries: 1_000_000,
+            record: Default::default(),
+            cursor: 0,
+            fired_this_round: false,
+            stall_rounds: 0,
+            report: RunReport::new(n),
+            emitted: 0,
         })
     }
 
-    /// Draws `n` samples using the exact membership-oracle designation.
-    pub fn sample(&self, n: usize, rng: &mut SujRng) -> Result<(Vec<Tuple>, RunReport), CoreError> {
-        self.sample_with_policy(n, DesignationPolicy::Oracle, rng)
+    /// The designation policy in use.
+    pub fn policy(&self) -> DesignationPolicy {
+        self.policy
     }
 
-    /// Draws `n` samples with an explicit designation policy.
-    pub fn sample_with_policy(
-        &self,
-        n: usize,
-        policy: DesignationPolicy,
-        rng: &mut SujRng,
-    ) -> Result<(Vec<Tuple>, RunReport), CoreError> {
-        let n_joins = self.workload.n_joins();
-        let oracles = self.workload.oracles();
-        let mut report = RunReport::new(n_joins);
-        let mut out = Vec::with_capacity(n);
-        // First join each value was SAMPLED from (Record policy).
-        let mut record: suj_storage::FxHashMap<Tuple, usize> = Default::default();
+    /// Overrides the per-draw attempt budget of the join-sampling
+    /// subroutine.
+    pub fn set_max_join_tries(&mut self, tries: u64) {
+        self.max_join_tries = tries;
+    }
+}
 
-        let mut stall_rounds = 0u64;
-        while out.len() < n {
-            let mut fired = false;
-            for j in 0..n_joins {
-                if out.len() >= n {
-                    break;
-                }
-                if !rng.bernoulli(self.probabilities[j]) {
-                    continue;
-                }
-                fired = true;
-                report.join_draws[j] += 1;
-                let start = Instant::now();
-                let (t_local, tries) =
-                    self.samplers[j].sample_until_accepted(rng, self.max_join_tries);
-                report.rejected_join += tries.saturating_sub(1);
-                let Some(t_local) = t_local else {
-                    report.rejected_time += start.elapsed();
-                    continue; // join empty or pathological
-                };
-                let t = self.workload.to_canonical(j, &t_local);
-                let accept = match policy {
-                    DesignationPolicy::Oracle => {
-                        // Designated join: first (workload order)
-                        // containing t.
-                        first_containing(oracles, &t)
-                            .expect("sampled tuple must belong somewhere")
-                            == j
-                    }
-                    DesignationPolicy::Record => {
-                        // "retained only if it is sampled from the
-                        // first join where u was observed" (§3).
-                        *record.entry(t.clone()).or_insert(j) == j
-                    }
-                };
-                if accept {
-                    out.push(t);
-                    report.accepted += 1;
-                    report.accepted_time += start.elapsed();
+impl UnionSampler for BernoulliUnionSampler {
+    fn draw(&mut self, rng: &mut SujRng) -> Result<Draw, CoreError> {
+        let n_joins = self.workload.n_joins();
+        loop {
+            if self.cursor >= n_joins {
+                self.stall_rounds = if self.fired_this_round {
+                    0
                 } else {
-                    report.rejected_cover += 1;
-                    report.rejected_time += start.elapsed();
+                    self.stall_rounds + 1
+                };
+                if self.stall_rounds > 1_000_000 {
+                    return Err(CoreError::Invalid(
+                        "Bernoulli sampler stalled: all selection probabilities ~ 0".into(),
+                    ));
                 }
+                self.cursor = 0;
+                self.fired_this_round = false;
             }
-            stall_rounds = if fired { 0 } else { stall_rounds + 1 };
-            if stall_rounds > 1_000_000 {
-                return Err(CoreError::Invalid(
-                    "Bernoulli sampler stalled: all selection probabilities ~ 0".into(),
-                ));
+            let j = self.cursor;
+            self.cursor += 1;
+            if !rng.bernoulli(self.probabilities[j]) {
+                continue;
+            }
+            self.fired_this_round = true;
+            self.report.join_draws[j] += 1;
+            let start = Instant::now();
+            let (t_local, tries) = self.samplers[j].sample_until_accepted(rng, self.max_join_tries);
+            self.report.rejected_join += tries.saturating_sub(1);
+            let Some(t_local) = t_local else {
+                self.report.rejected_time += start.elapsed();
+                continue; // join empty or pathological
+            };
+            let t = self.workload.to_canonical(j, &t_local);
+            let accept = match self.policy {
+                DesignationPolicy::Oracle => {
+                    // Designated join: first (workload order)
+                    // containing t.
+                    first_containing(self.workload.oracles(), &t)
+                        .expect("sampled tuple must belong somewhere")
+                        == j
+                }
+                DesignationPolicy::Record => {
+                    // "retained only if it is sampled from the
+                    // first join where u was observed" (§3).
+                    *self.record.entry(t.clone()).or_insert(j) == j
+                }
+            };
+            if accept {
+                let idx = self.emitted;
+                self.emitted += 1;
+                self.report.accepted += 1;
+                self.report.accepted_time += start.elapsed();
+                return Ok(Draw::Tuple(idx, t));
+            } else {
+                self.report.rejected_cover += 1;
+                self.report.rejected_time += start.elapsed();
             }
         }
-        Ok((out, report))
+    }
+
+    fn report(&self) -> &RunReport {
+        &self.report
+    }
+
+    fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    fn workload(&self) -> &Arc<UnionWorkload> {
+        &self.workload
+    }
+
+    fn may_retract(&self) -> bool {
+        false // designation rejects new draws, never withdraws old ones
     }
 }
 
@@ -190,7 +244,11 @@ mod tests {
         let j2 = suj_join::JoinSpec::chain(
             "j2",
             vec![
-                rel("r2", &["a", "b"], vec![vec![1, 10], vec![9, 90], vec![8, 90]]),
+                rel(
+                    "r2",
+                    &["a", "b"],
+                    vec![vec![1, 10], vec![9, 90], vec![8, 90]],
+                ),
                 rel("s2", &["b", "c"], vec![vec![10, 100], vec![90, 900]]),
             ],
         )
@@ -203,7 +261,7 @@ mod tests {
         let w = workload();
         let exact = full_join_union(&w).unwrap();
         let sizes: Vec<f64> = (0..2).map(|j| exact.join_size(j) as f64).collect();
-        let sampler = BernoulliUnionSampler::new(
+        let mut sampler = BernoulliUnionSampler::new(
             w.clone(),
             &sizes,
             exact.union_size() as f64,
@@ -238,7 +296,11 @@ mod tests {
                 suj_join::JoinSpec::chain(
                     n,
                     vec![
-                        rel(&format!("{n}_r"), &["a", "b"], vec![vec![1, 10], vec![2, 10]]),
+                        rel(
+                            &format!("{n}_r"),
+                            &["a", "b"],
+                            vec![vec![1, 10], vec![2, 10]],
+                        ),
                         rel(&format!("{n}_s"), &["b", "c"], vec![vec![10, 100]]),
                     ],
                 )
@@ -248,7 +310,7 @@ mod tests {
         };
         let exact = full_join_union(&w_overlap).unwrap();
         let sizes: Vec<f64> = (0..2).map(|j| exact.join_size(j) as f64).collect();
-        let sampler = BernoulliUnionSampler::new(
+        let mut sampler = BernoulliUnionSampler::new(
             w_overlap,
             &sizes,
             exact.union_size() as f64,
@@ -259,8 +321,7 @@ mod tests {
         let (_, report) = sampler.sample(2_000, &mut rng).unwrap();
         // Fully-overlapping joins: half of all selections hit the
         // non-designated join.
-        let ratio = report.rejected_cover as f64
-            / (report.rejected_cover + report.accepted) as f64;
+        let ratio = report.rejected_cover as f64 / (report.rejected_cover + report.accepted) as f64;
         assert!(ratio > 0.3, "expected heavy rejection, got {ratio}");
     }
 
@@ -269,17 +330,16 @@ mod tests {
         let w = workload();
         let exact = full_join_union(&w).unwrap();
         let sizes: Vec<f64> = (0..2).map(|j| exact.join_size(j) as f64).collect();
-        let sampler = BernoulliUnionSampler::new(
+        let mut sampler = BernoulliUnionSampler::with_policy(
             w,
             &sizes,
             exact.union_size() as f64,
             WeightKind::Exact,
+            DesignationPolicy::Record,
         )
         .unwrap();
         let mut rng = SujRng::seed_from_u64(77);
-        let (samples, report) = sampler
-            .sample_with_policy(5_000, DesignationPolicy::Record, &mut rng)
-            .unwrap();
+        let (samples, report) = sampler.sample(5_000, &mut rng).unwrap();
         assert_eq!(samples.len(), 5_000);
         for t in &samples {
             assert!(exact.union_set.contains(t));
@@ -293,8 +353,22 @@ mod tests {
     fn invalid_inputs_rejected() {
         let w = workload();
         assert!(BernoulliUnionSampler::new(w.clone(), &[1.0], 2.0, WeightKind::Exact).is_err());
-        assert!(
-            BernoulliUnionSampler::new(w, &[1.0, 1.0], 0.0, WeightKind::Exact).is_err()
-        );
+        assert!(BernoulliUnionSampler::new(w, &[1.0, 1.0], 0.0, WeightKind::Exact).is_err());
+    }
+
+    #[test]
+    fn per_call_reports_are_deltas() {
+        let w = workload();
+        let exact = full_join_union(&w).unwrap();
+        let sizes: Vec<f64> = (0..2).map(|j| exact.join_size(j) as f64).collect();
+        let mut sampler =
+            BernoulliUnionSampler::new(w, &sizes, exact.union_size() as f64, WeightKind::Exact)
+                .unwrap();
+        let mut rng = SujRng::seed_from_u64(88);
+        let (_, first) = sampler.sample(100, &mut rng).unwrap();
+        let (_, second) = sampler.sample(100, &mut rng).unwrap();
+        assert_eq!(first.accepted, 100);
+        assert_eq!(second.accepted, 100);
+        assert_eq!(sampler.report().accepted, 200);
     }
 }

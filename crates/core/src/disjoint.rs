@@ -5,16 +5,20 @@
 //! then a uniform tuple from `J_j`. Every sample lands with probability
 //! `1/|V|`; independence is immediate since draws never interact — the
 //! paper evaluates no baseline here because "it has no extra delays".
+//!
+//! The sampler implements [`UnionSampler`] and never emits
+//! [`Draw::Retract`](crate::sampler::Draw), so its
+//! [`SampleStream`](crate::stream::SampleStream) is exactly i.i.d.
 
 use crate::error::CoreError;
 use crate::report::RunReport;
+use crate::sampler::{Draw, UnionSampler};
 use crate::workload::UnionWorkload;
 use std::sync::Arc;
 use std::time::Instant;
 use suj_join::weights::build_sampler;
 use suj_join::{JoinSampler, SampleOutcome, WeightKind};
 use suj_stats::{Categorical, SujRng};
-use suj_storage::Tuple;
 
 /// Sampler over the disjoint union of a workload's joins.
 pub struct DisjointUnionSampler {
@@ -22,6 +26,8 @@ pub struct DisjointUnionSampler {
     samplers: Vec<Box<dyn JoinSampler>>,
     selection: Option<Categorical>,
     join_sizes: Vec<f64>,
+    report: RunReport,
+    emitted: u64,
 }
 
 impl DisjointUnionSampler {
@@ -46,11 +52,14 @@ impl DisjointUnionSampler {
             .collect::<Result<Vec<_>, _>>()
             .map_err(CoreError::Join)?;
         let selection = Categorical::new(&join_sizes);
+        let n_joins = workload.n_joins();
         Ok(Self {
             workload,
             samplers,
             selection,
             join_sizes,
+            report: RunReport::new(n_joins),
+            emitted: 0,
         })
     }
 
@@ -68,30 +77,50 @@ impl DisjointUnionSampler {
     pub fn disjoint_size(&self) -> f64 {
         self.join_sizes.iter().sum()
     }
+}
 
-    /// Draws `n` independent samples.
-    pub fn sample(&self, n: usize, rng: &mut SujRng) -> (Vec<Tuple>, RunReport) {
-        let mut report = RunReport::new(self.workload.n_joins());
-        let mut out = Vec::with_capacity(n);
-        let Some(selection) = &self.selection else {
-            return (out, report); // empty union
-        };
-        let start = Instant::now();
-        while out.len() < n {
-            let j = selection.draw(rng);
-            report.join_draws[j] += 1;
+impl UnionSampler for DisjointUnionSampler {
+    fn draw(&mut self, rng: &mut SujRng) -> Result<Draw, CoreError> {
+        if self.selection.is_none() {
+            return Err(CoreError::Invalid(
+                "cannot sample from an empty disjoint union".into(),
+            ));
+        }
+        loop {
+            let j = self.selection.as_ref().expect("checked above").draw(rng);
+            self.report.join_draws[j] += 1;
+            let start = Instant::now();
             match self.samplers[j].sample(rng) {
                 SampleOutcome::Accepted(local) => {
-                    out.push(self.workload.to_canonical(j, &local));
-                    report.accepted += 1;
+                    let t = self.workload.to_canonical(j, &local);
+                    let idx = self.emitted;
+                    self.emitted += 1;
+                    self.report.accepted += 1;
+                    self.report.accepted_time += start.elapsed();
+                    return Ok(Draw::Tuple(idx, t));
                 }
                 SampleOutcome::Rejected => {
-                    report.rejected_join += 1;
+                    self.report.rejected_join += 1;
+                    self.report.rejected_time += start.elapsed();
                 }
             }
         }
-        report.accepted_time = start.elapsed();
-        (out, report)
+    }
+
+    fn report(&self) -> &RunReport {
+        &self.report
+    }
+
+    fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    fn workload(&self) -> &Arc<UnionWorkload> {
+        &self.workload
+    }
+
+    fn may_retract(&self) -> bool {
+        false // draws never interact (Definition 1)
     }
 }
 
@@ -99,7 +128,7 @@ impl DisjointUnionSampler {
 mod tests {
     use super::*;
     use crate::exact::full_join_union;
-    use suj_storage::{FxHashMap, Relation, Schema, Value};
+    use suj_storage::{FxHashMap, Relation, Schema, Tuple, Value};
 
     fn rel(name: &str, attrs: &[&str], rows: Vec<Vec<i64>>) -> Arc<Relation> {
         let schema = Schema::new(attrs.iter().copied()).unwrap();
@@ -114,7 +143,11 @@ mod tests {
         let j1 = suj_join::JoinSpec::chain(
             "j1",
             vec![
-                rel("r1", &["a", "b"], vec![vec![1, 10], vec![2, 10], vec![3, 20]]),
+                rel(
+                    "r1",
+                    &["a", "b"],
+                    vec![vec![1, 10], vec![2, 10], vec![3, 20]],
+                ),
                 rel("s1", &["b", "c"], vec![vec![10, 100], vec![20, 200]]),
             ],
         )
@@ -134,14 +167,15 @@ mod tests {
     fn disjoint_distribution_counts_duplicates_twice() {
         let w = workload();
         let exact = full_join_union(&w).unwrap();
-        let sampler = DisjointUnionSampler::with_exact_sizes(w.clone(), WeightKind::Exact).unwrap();
+        let mut sampler =
+            DisjointUnionSampler::with_exact_sizes(w.clone(), WeightKind::Exact).unwrap();
         assert_eq!(
             sampler.disjoint_size(),
             (exact.join_size(0) + exact.join_size(1)) as f64
         );
 
         let mut rng = SujRng::seed_from_u64(7);
-        let (samples, report) = sampler.sample(25_000, &mut rng);
+        let (samples, report) = sampler.sample(25_000, &mut rng).unwrap();
         assert_eq!(samples.len(), 25_000);
         assert_eq!(report.accepted, 25_000);
 
@@ -163,9 +197,10 @@ mod tests {
     #[test]
     fn all_samples_are_members() {
         let w = workload();
-        let sampler = DisjointUnionSampler::with_exact_sizes(w.clone(), WeightKind::Exact).unwrap();
+        let mut sampler =
+            DisjointUnionSampler::with_exact_sizes(w.clone(), WeightKind::Exact).unwrap();
         let mut rng = SujRng::seed_from_u64(9);
-        let (samples, _) = sampler.sample(500, &mut rng);
+        let (samples, _) = sampler.sample(500, &mut rng).unwrap();
         for t in samples {
             assert!(w.contains(0, &t) || w.contains(1, &t));
         }
@@ -174,10 +209,10 @@ mod tests {
     #[test]
     fn works_with_olken_weights() {
         let w = workload();
-        let sampler =
+        let mut sampler =
             DisjointUnionSampler::with_exact_sizes(w, WeightKind::ExtendedOlken).unwrap();
         let mut rng = SujRng::seed_from_u64(10);
-        let (samples, report) = sampler.sample(200, &mut rng);
+        let (samples, report) = sampler.sample(200, &mut rng).unwrap();
         assert_eq!(samples.len(), 200);
         // EO must have rejected at least occasionally on this skew.
         assert!(report.attempts() >= 200);
@@ -187,5 +222,16 @@ mod tests {
     fn wrong_size_vector_rejected() {
         let w = workload();
         assert!(DisjointUnionSampler::new(w, vec![1.0], WeightKind::Exact).is_err());
+    }
+
+    #[test]
+    fn draw_never_retracts() {
+        let w = workload();
+        let mut sampler = DisjointUnionSampler::with_exact_sizes(w, WeightKind::Exact).unwrap();
+        let mut rng = SujRng::seed_from_u64(11);
+        for _ in 0..500 {
+            assert!(matches!(sampler.draw(&mut rng).unwrap(), Draw::Tuple(..)));
+        }
+        assert_eq!(sampler.emitted(), 500);
     }
 }

@@ -95,10 +95,7 @@ impl HistogramEstimator {
 
     /// Convenience: estimator with extended-Olken join size hints (the
     /// pure-histogram configuration of §9).
-    pub fn with_olken(
-        workload: &UnionWorkload,
-        mode: DegreeMode,
-    ) -> Result<Self, CoreError> {
+    pub fn with_olken(workload: &UnionWorkload, mode: DegreeMode) -> Result<Self, CoreError> {
         let hints = workload
             .joins()
             .iter()
@@ -274,12 +271,18 @@ mod tests {
 
         let j1 = suj_join::JoinSpec::chain(
             "j1",
-            vec![rel("r1", &["a", "b"], r1_rows), rel("s1", &["b", "c"], s1_rows)],
+            vec![
+                rel("r1", &["a", "b"], r1_rows),
+                rel("s1", &["b", "c"], s1_rows),
+            ],
         )
         .unwrap();
         let j2 = suj_join::JoinSpec::chain(
             "j2",
-            vec![rel("r2", &["a", "b"], r2_rows), rel("s2", &["b", "c"], s2_rows)],
+            vec![
+                rel("r2", &["a", "b"], r2_rows),
+                rel("s2", &["b", "c"], s2_rows),
+            ],
         )
         .unwrap();
         UnionWorkload::new(vec![Arc::new(j1), Arc::new(j2)]).unwrap()

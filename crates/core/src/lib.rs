@@ -25,13 +25,19 @@
 //!   reject-during-sampling (§8.3).
 //! * [`report`] — run reports: acceptance/rejection/revision counters
 //!   and phase timing breakdowns (Fig. 5f–h).
+//! * [`sampler`] — the unified [`UnionSampler`] trait and its
+//!   incremental [`Draw`] event model.
+//! * [`session`] — the fluent [`SamplerBuilder`]: estimator selection,
+//!   strategy selection, predicate push-down, all in one validated
+//!   place.
+//! * [`stream`] — [`SampleStream`], lazy iteration over any built
+//!   sampler.
 //!
 //! # Example
 //!
 //! ```
 //! use std::sync::Arc;
 //! use suj_core::prelude::*;
-//! use suj_core::algorithm1::UnionSamplerConfig;
 //! use suj_join::JoinSpec;
 //! use suj_stats::SujRng;
 //! use suj_storage::{Relation, Schema, Tuple, Value};
@@ -52,17 +58,23 @@
 //!     rel("r2", ["a", "b"], &[(1, 10), (3, 30)]),
 //!     rel("s2", ["b", "c"], &[(10, 100), (30, 300)]),
 //! ])?;
-//! let workload = Arc::new(UnionWorkload::new(vec![Arc::new(j1), Arc::new(j2)])?);
 //!
-//! // Ground-truth parameters here; estimators supply them in practice.
-//! let exact = full_join_union(&workload)?;
-//! assert_eq!(exact.union_size(), 3); // (1,10,100) is shared
-//!
-//! let sampler = SetUnionSampler::new(
-//!     workload, &exact.overlap, UnionSamplerConfig::default())?;
+//! // One validated pipeline: estimator → strategy → sampler.
+//! let mut sampler = SamplerBuilder::for_joins(vec![Arc::new(j1), Arc::new(j2)])?
+//!     .estimator(Estimator::Exact)
+//!     .strategy(Strategy::Rejection)
+//!     .build()?;
 //! let mut rng = SujRng::seed_from_u64(7);
+//!
+//! // Batch…
 //! let (samples, _report) = sampler.sample(5, &mut rng)?;
 //! assert_eq!(samples.len(), 5);
+//!
+//! // …or lazy streaming with early stop.
+//! let trickle: Vec<Tuple> = SampleStream::over(&mut sampler, &mut rng)
+//!     .take(2)
+//!     .collect::<Result<_, _>>()?;
+//! assert_eq!(trickle.len(), 2);
 //! # Ok(())
 //! # }
 //! ```
@@ -81,6 +93,9 @@ pub mod hist_estimator;
 pub mod overlap;
 pub mod predicate_mode;
 pub mod report;
+pub mod sampler;
+pub mod session;
+pub mod stream;
 pub mod walk_estimator;
 pub mod workload;
 
@@ -92,7 +107,11 @@ pub use error::CoreError;
 pub use exact::{full_join_union, ExactUnion};
 pub use hist_estimator::{DegreeMode, HistogramEstimator};
 pub use overlap::OverlapMap;
+pub use predicate_mode::{push_down, FilteredSampler, PredicateMode, PredicateSampler};
 pub use report::RunReport;
+pub use sampler::{Draw, UnionSampler};
+pub use session::{Estimator, HistogramOptions, SamplerBuilder, Strategy};
+pub use stream::SampleStream;
 pub use walk_estimator::{WalkEstimate, WalkEstimatorConfig};
 pub use workload::UnionWorkload;
 
@@ -107,7 +126,11 @@ pub mod prelude {
     pub use crate::exact::{full_join_union, ExactUnion};
     pub use crate::hist_estimator::{DegreeMode, HistogramEstimator};
     pub use crate::overlap::OverlapMap;
+    pub use crate::predicate_mode::{push_down, FilteredSampler, PredicateMode, PredicateSampler};
     pub use crate::report::RunReport;
+    pub use crate::sampler::{Draw, UnionSampler};
+    pub use crate::session::{Estimator, HistogramOptions, SamplerBuilder, Strategy};
+    pub use crate::stream::SampleStream;
     pub use crate::walk_estimator::{WalkEstimate, WalkEstimatorConfig};
     pub use crate::workload::UnionWorkload;
 }

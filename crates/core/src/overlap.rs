@@ -54,10 +54,7 @@ impl OverlapMap {
 
     /// Builds a map by evaluating `f` on every nonempty subset (given as
     /// a sorted index list).
-    pub fn from_fn(
-        n: usize,
-        mut f: impl FnMut(&[usize]) -> f64,
-    ) -> Result<Self, CoreError> {
+    pub fn from_fn(n: usize, mut f: impl FnMut(&[usize]) -> f64) -> Result<Self, CoreError> {
         if n == 0 || n >= 30 {
             return Err(CoreError::Invalid(format!(
                 "overlap map supports 1..=29 joins, got {n}"
@@ -110,7 +107,7 @@ impl OverlapMap {
         let n = self.n;
         assert!(j < n);
         let mut a = vec![0.0f64; n + 1]; // a[k], 1-based
-        // Base case k = n: |A_j^n| = |O_S|.
+                                         // Base case k = n: |A_j^n| = |O_S|.
         a[n] = self.sizes[(1usize << n) - 1];
         for k in (1..n).rev() {
             // Σ over Δ of size k containing j.
@@ -146,7 +143,11 @@ impl OverlapMap {
     pub fn union_size_inclusion_exclusion(&self) -> f64 {
         let mut total = 0.0;
         for mask in 1..(1u32 << self.n) {
-            let sign = if mask.count_ones() % 2 == 1 { 1.0 } else { -1.0 };
+            let sign = if mask.count_ones() % 2 == 1 {
+                1.0
+            } else {
+                -1.0
+            };
             total += sign * self.sizes[mask as usize];
         }
         total.max(0.0)
@@ -168,7 +169,11 @@ impl OverlapMap {
             let mut acc = 0.0;
             let mut sub = prior_mask;
             loop {
-                let sign = if sub.count_ones().is_multiple_of(2) { 1.0 } else { -1.0 };
+                let sign = if sub.count_ones().is_multiple_of(2) {
+                    1.0
+                } else {
+                    -1.0
+                };
                 acc += sign * self.sizes[(sub | (1 << i)) as usize];
                 if sub == 0 {
                     break;

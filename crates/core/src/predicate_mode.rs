@@ -1,22 +1,43 @@
 //! Selection predicates over joins (§8.3).
 //!
-//! Two execution modes:
+//! Two execution modes, selectable per sampler via [`PredicateMode`]:
 //!
-//! * **Push-down** ([`push_down`]): filter each base relation with the
-//!   conjuncts that mention only its attributes, then sample the
-//!   filtered join. Works for both estimator families and is how the
-//!   UQ2 workload applies its `Q2` predicates.
-//! * **Reject-during-sampling** ([`FilteredSampler`]): wrap any join
-//!   sampler and reject samples failing the predicate — "works with
-//!   only random-walk [style sampling] … most appropriate for selection
-//!   predicates that are not very selective" since it adds a rejection
-//!   factor equal to the selectivity.
+//! * **Push-down** ([`push_down`], [`PredicateMode::PushDown`]): filter
+//!   each base relation with the conjuncts that mention only its
+//!   attributes, then sample the filtered join. Works for both
+//!   estimator families and is how the UQ2 workload applies its `Q2`
+//!   predicates.
+//! * **Reject-during-sampling** ([`FilteredSampler`] for a single join,
+//!   [`PredicateSampler`] / [`PredicateMode::Reject`] for a whole
+//!   union): wrap any sampler and reject samples failing the predicate
+//!   — "works with only random-walk [style sampling] … most appropriate
+//!   for selection predicates that are not very selective" since it
+//!   adds a rejection factor equal to the selectivity.
+//!
+//! [`SamplerBuilder::predicate`](crate::session::SamplerBuilder::predicate)
+//! applies either mode to any strategy.
 
 use crate::error::CoreError;
+use crate::report::RunReport;
+use crate::sampler::{Draw, UnionSampler};
+use crate::workload::UnionWorkload;
 use std::sync::Arc;
 use suj_join::{JoinSampler, JoinSpec, SampleOutcome};
 use suj_stats::SujRng;
-use suj_storage::{CompiledPredicate, Predicate, Relation};
+use suj_storage::{CompiledPredicate, FxHashMap, Predicate, Relation};
+
+/// How a selection predicate is applied to a union sampler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredicateMode {
+    /// Rewrite every join's base relations before estimation and
+    /// sampling (§8.3 push-down). Requires a conjunction of
+    /// single-attribute comparisons.
+    PushDown,
+    /// Reject sampled tuples failing the predicate (§8.3
+    /// reject-during-sampling). Works for arbitrary predicates over the
+    /// output schema.
+    Reject,
+}
 
 /// Pushes a conjunctive predicate down to base relations, returning an
 /// equivalent filtered join.
@@ -56,11 +77,7 @@ pub fn push_down(
     // Every conjunct must have found at least one home.
     for c in &conjuncts {
         if let Predicate::Compare { attr, .. } = c {
-            if !spec
-                .relations()
-                .iter()
-                .any(|r| r.schema().contains(attr))
-            {
+            if !spec.relations().iter().any(|r| r.schema().contains(attr)) {
                 return Err(CoreError::Invalid(format!(
                     "predicate attribute `{attr}` not in any relation of `{}`",
                     spec.name()
@@ -135,6 +152,105 @@ impl JoinSampler for FilteredSampler {
     fn join_size_hint(&self) -> f64 {
         // The unfiltered hint remains a valid upper bound.
         self.inner.join_size_hint()
+    }
+}
+
+/// Reject-during-sampling over a whole union: wraps any
+/// [`UnionSampler`] and yields only tuples satisfying the predicate,
+/// making the output uniform over `σ_pred(J_1 ∪ … ∪ J_n)`.
+///
+/// Retraction events from the inner sampler are re-indexed into the
+/// filtered emission sequence; retractions of tuples the predicate had
+/// already rejected are swallowed.
+pub struct PredicateSampler {
+    inner: Box<dyn UnionSampler>,
+    predicate: CompiledPredicate,
+    /// Inner emission index → outer (filtered) emission index, for
+    /// translating retractions. Entries are dropped once retracted.
+    index_map: FxHashMap<u64, u64>,
+    report: RunReport,
+    rejected_predicate: u64,
+    emitted: u64,
+}
+
+impl PredicateSampler {
+    /// Wraps a built union sampler; the predicate is compiled against
+    /// the workload's canonical output schema.
+    pub fn new(inner: Box<dyn UnionSampler>, predicate: &Predicate) -> Result<Self, CoreError> {
+        let compiled = predicate
+            .compile(inner.workload().canonical_schema())
+            .map_err(CoreError::Storage)?;
+        let report = inner.report().clone();
+        Ok(Self {
+            inner,
+            predicate: compiled,
+            index_map: FxHashMap::default(),
+            report,
+            rejected_predicate: 0,
+            emitted: 0,
+        })
+    }
+
+    /// Samples rejected by the predicate so far.
+    pub fn predicate_rejections(&self) -> u64 {
+        self.rejected_predicate
+    }
+
+    fn sync_report(&mut self) {
+        self.report.copy_from(self.inner.report());
+        self.report.rejected_predicate = self.rejected_predicate;
+    }
+}
+
+impl UnionSampler for PredicateSampler {
+    fn draw(&mut self, rng: &mut SujRng) -> Result<Draw, CoreError> {
+        // Inner→outer index translation is only needed when the inner
+        // sampler can actually retract; skipping it keeps wrappers over
+        // never-retracting samplers O(1) in memory.
+        let track_indices = self.inner.may_retract();
+        loop {
+            match self.inner.draw(rng) {
+                Ok(Draw::Tuple(inner_idx, t)) => {
+                    if self.predicate.eval(&t) {
+                        let outer_idx = self.emitted;
+                        if track_indices {
+                            self.index_map.insert(inner_idx, outer_idx);
+                        }
+                        self.emitted += 1;
+                        self.sync_report();
+                        return Ok(Draw::Tuple(outer_idx, t));
+                    }
+                    self.rejected_predicate += 1;
+                }
+                Ok(Draw::Retract(inner_idx)) => {
+                    if let Some(outer) = self.index_map.remove(&inner_idx) {
+                        self.sync_report();
+                        return Ok(Draw::Retract(outer));
+                    }
+                    // The retracted tuple never passed the filter.
+                }
+                Err(e) => {
+                    self.sync_report();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    fn report(&self) -> &RunReport {
+        &self.report
+    }
+
+    fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    fn workload(&self) -> &Arc<UnionWorkload> {
+        self.inner.workload()
+    }
+
+    fn may_retract(&self) -> bool {
+        self.inner.may_retract()
     }
 }
 

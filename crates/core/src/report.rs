@@ -32,6 +32,9 @@ pub struct RunReport {
     pub reuse_rejected: u64,
     /// Tuples dropped by backtracking (Algorithm 2, §7).
     pub backtrack_dropped: u64,
+    /// Samples rejected by a selection predicate (§8.3
+    /// reject-during-sampling mode).
+    pub rejected_predicate: u64,
     /// Parameter-update rounds performed (Algorithm 2).
     pub update_rounds: u64,
     /// Per-join draw counts (how often each join was selected).
@@ -75,7 +78,10 @@ impl RunReport {
 
     /// Total wall time across phases.
     pub fn total_time(&self) -> Duration {
-        self.warmup_time + self.accepted_time + self.rejected_time + self.reuse_time
+        self.warmup_time
+            + self.accepted_time
+            + self.rejected_time
+            + self.reuse_time
             + self.update_time
     }
 
@@ -103,6 +109,86 @@ impl RunReport {
         } else {
             Some(self.reuse_time / self.reuse_copies.max(1) as u32)
         }
+    }
+
+    /// Counters and timings accrued since `baseline` (which must be an
+    /// earlier snapshot of the same report). Samplers accumulate one
+    /// cumulative report across their lifetime; batch APIs use this to
+    /// return per-call reports.
+    pub fn delta_since(&self, baseline: &RunReport) -> RunReport {
+        let dur = |a: Duration, b: Duration| a.checked_sub(b).unwrap_or_default();
+        RunReport {
+            accepted: self.accepted.saturating_sub(baseline.accepted),
+            rejected_cover: self.rejected_cover.saturating_sub(baseline.rejected_cover),
+            rejected_join: self.rejected_join.saturating_sub(baseline.rejected_join),
+            revised: self.revised.saturating_sub(baseline.revised),
+            revision_removed: self
+                .revision_removed
+                .saturating_sub(baseline.revision_removed),
+            reuse_accepted: self.reuse_accepted.saturating_sub(baseline.reuse_accepted),
+            reuse_copies: self.reuse_copies.saturating_sub(baseline.reuse_copies),
+            reuse_rejected: self.reuse_rejected.saturating_sub(baseline.reuse_rejected),
+            backtrack_dropped: self
+                .backtrack_dropped
+                .saturating_sub(baseline.backtrack_dropped),
+            rejected_predicate: self
+                .rejected_predicate
+                .saturating_sub(baseline.rejected_predicate),
+            update_rounds: self.update_rounds.saturating_sub(baseline.update_rounds),
+            join_draws: self
+                .join_draws
+                .iter()
+                .enumerate()
+                .map(|(j, &d)| d.saturating_sub(baseline.join_draws.get(j).copied().unwrap_or(0)))
+                .collect(),
+            warmup_time: dur(self.warmup_time, baseline.warmup_time),
+            accepted_time: dur(self.accepted_time, baseline.accepted_time),
+            rejected_time: dur(self.rejected_time, baseline.rejected_time),
+            reuse_time: dur(self.reuse_time, baseline.reuse_time),
+            update_time: dur(self.update_time, baseline.update_time),
+        }
+    }
+
+    /// Overwrites this report with `other`'s contents, reusing the
+    /// `join_draws` allocation (hot-path alternative to `clone`).
+    pub fn copy_from(&mut self, other: &RunReport) {
+        let RunReport {
+            accepted,
+            rejected_cover,
+            rejected_join,
+            revised,
+            revision_removed,
+            reuse_accepted,
+            reuse_copies,
+            reuse_rejected,
+            backtrack_dropped,
+            rejected_predicate,
+            update_rounds,
+            join_draws,
+            warmup_time,
+            accepted_time,
+            rejected_time,
+            reuse_time,
+            update_time,
+        } = other;
+        self.accepted = *accepted;
+        self.rejected_cover = *rejected_cover;
+        self.rejected_join = *rejected_join;
+        self.revised = *revised;
+        self.revision_removed = *revision_removed;
+        self.reuse_accepted = *reuse_accepted;
+        self.reuse_copies = *reuse_copies;
+        self.reuse_rejected = *reuse_rejected;
+        self.backtrack_dropped = *backtrack_dropped;
+        self.rejected_predicate = *rejected_predicate;
+        self.update_rounds = *update_rounds;
+        self.join_draws.clear();
+        self.join_draws.extend_from_slice(join_draws);
+        self.warmup_time = *warmup_time;
+        self.accepted_time = *accepted_time;
+        self.rejected_time = *rejected_time;
+        self.reuse_time = *reuse_time;
+        self.update_time = *update_time;
     }
 
     /// One-line human-readable summary.

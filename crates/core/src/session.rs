@@ -1,0 +1,691 @@
+//! One validated place to assemble a sampling pipeline.
+//!
+//! The framework has three orthogonal axes — *parameter estimation*
+//! (exact / histogram / random walk), *sampling strategy* (Algorithm 1
+//! rejection, Algorithm 2 online, Bernoulli union trick, disjoint
+//! union), and *predicate handling* (push-down / reject) — that every
+//! caller previously hand-wired. [`SamplerBuilder`] owns the whole
+//! pipeline:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use suj_core::prelude::*;
+//! use suj_stats::SujRng;
+//! use suj_storage::{Relation, Schema, Tuple, Value};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let rel = |name: &str, attrs: [&str; 2], rows: &[(i64, i64)]| {
+//! #     let tuples = rows.iter()
+//! #         .map(|&(x, y)| Tuple::new(vec![Value::int(x), Value::int(y)]))
+//! #         .collect();
+//! #     Arc::new(Relation::new(name, Schema::new(attrs).unwrap(), tuples).unwrap())
+//! # };
+//! # let j1 = suj_join::JoinSpec::chain("j1", vec![
+//! #     rel("r1", ["a", "b"], &[(1, 10), (2, 20)]),
+//! #     rel("s1", ["b", "c"], &[(10, 100), (20, 200)]),
+//! # ])?;
+//! # let j2 = suj_join::JoinSpec::chain("j2", vec![
+//! #     rel("r2", ["a", "b"], &[(1, 10), (3, 30)]),
+//! #     rel("s2", ["b", "c"], &[(10, 100), (30, 300)]),
+//! # ])?;
+//! # let workload = Arc::new(UnionWorkload::new(vec![Arc::new(j1), Arc::new(j2)])?);
+//! let mut sampler = SamplerBuilder::for_workload(workload)
+//!     .estimator(Estimator::Exact)
+//!     .strategy(Strategy::Rejection)
+//!     .cover_policy(CoverPolicy::MembershipOracle)
+//!     .build()?;
+//! let mut rng = SujRng::seed_from_u64(7);
+//! let (samples, _report) = sampler.sample(5, &mut rng)?;
+//! assert_eq!(samples.len(), 5);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! `build()` returns a `Box<dyn UnionSampler>`, so every strategy is
+//! interchangeable behind one type: batch via
+//! [`UnionSampler::sample`], incremental via
+//! [`SampleStream`](crate::stream::SampleStream).
+
+use crate::algorithm1::{CoverPolicy, SetUnionSampler, UnionSamplerConfig};
+use crate::algorithm2::{OnlineConfig, OnlineUnionSampler};
+use crate::bernoulli::{BernoulliUnionSampler, DesignationPolicy};
+use crate::cover::CoverStrategy;
+use crate::disjoint::DisjointUnionSampler;
+use crate::error::CoreError;
+use crate::exact::full_join_union;
+use crate::hist_estimator::{DegreeMode, HistogramEstimator};
+use crate::overlap::OverlapMap;
+use crate::predicate_mode::{push_down, PredicateMode, PredicateSampler};
+use crate::sampler::UnionSampler;
+use crate::walk_estimator::{walk_warmup, WalkEstimatorConfig};
+use crate::workload::UnionWorkload;
+use std::sync::Arc;
+use suj_join::{JoinSpec, WeightKind};
+use suj_stats::SujRng;
+use suj_storage::Predicate;
+
+/// Histogram-estimator options for the builder.
+#[derive(Debug, Clone, Copy)]
+pub struct HistogramOptions {
+    /// Degree statistic driving the Theorem 4 multipliers.
+    pub degree_mode: DegreeMode,
+    /// §8.1.2 alternating-score hyper-parameter (0.0 = plain scores).
+    pub zero_weight: f64,
+    /// Use exact (EW) join sizes as hints instead of extended-Olken
+    /// bounds (§9's hist+EW vs hist+EO configurations).
+    pub exact_size_hints: bool,
+}
+
+impl Default for HistogramOptions {
+    fn default() -> Self {
+        Self {
+            degree_mode: DegreeMode::Max,
+            zero_weight: 0.0,
+            exact_size_hints: false,
+        }
+    }
+}
+
+/// How union/overlap parameters are obtained before sampling.
+#[derive(Debug, Clone, Copy)]
+pub enum Estimator {
+    /// Ground truth via `FullJoinUnion` (§9 baseline — expensive but
+    /// exact; the right choice for tests and small data).
+    Exact,
+    /// Histogram-based bounds (§5, §8): statistics only, no data
+    /// access — the decentralized / data-market configuration.
+    Histogram(HistogramOptions),
+    /// Random-walk warm-up estimation (§6): centralized configuration.
+    /// Walks consume the builder's estimation RNG (see
+    /// [`SamplerBuilder::estimation_seed`]).
+    Walk(WalkEstimatorConfig),
+}
+
+/// Which sampling algorithm runs over the estimated parameters.
+#[derive(Debug, Clone, Copy)]
+pub enum Strategy {
+    /// Algorithm 1: non-Bernoulli cover selection with rejection and
+    /// revision. Tune with [`SamplerBuilder::cover_policy`],
+    /// [`SamplerBuilder::cover_strategy`], and
+    /// [`SamplerBuilder::weights`].
+    Rejection,
+    /// Algorithm 2: online estimation while sampling, with sample reuse
+    /// and backtracking. Pairs with [`Estimator::Walk`] (which then
+    /// configures the warm-up) or no explicit estimator.
+    Online(OnlineConfig),
+    /// The §3 Bernoulli union trick with the given designation policy.
+    Bernoulli(DesignationPolicy),
+    /// Disjoint-union sampling (Definition 1).
+    Disjoint,
+}
+
+/// Fluent assembly of a union sampling pipeline.
+///
+/// Defaults: histogram estimation with extended-Olken hints,
+/// [`Strategy::Rejection`] with the paper's record policy, exact
+/// weights, workload cover order, no predicate.
+pub struct SamplerBuilder {
+    workload: Arc<UnionWorkload>,
+    estimator: Option<Estimator>,
+    strategy: Strategy,
+    weights: Option<WeightKind>,
+    cover_policy: Option<CoverPolicy>,
+    cover_strategy: Option<CoverStrategy>,
+    predicate: Option<(Predicate, PredicateMode)>,
+    estimation_seed: u64,
+    max_join_tries: Option<u64>,
+    max_cover_retries: Option<u64>,
+}
+
+impl SamplerBuilder {
+    /// Starts a pipeline over a validated workload.
+    pub fn for_workload(workload: Arc<UnionWorkload>) -> Self {
+        Self {
+            workload,
+            estimator: None,
+            strategy: Strategy::Rejection,
+            weights: None,
+            cover_policy: None,
+            cover_strategy: None,
+            predicate: None,
+            estimation_seed: 0x5eed,
+            max_join_tries: None,
+            max_cover_retries: None,
+        }
+    }
+
+    /// Builds the workload from join specs first, then starts the
+    /// pipeline.
+    pub fn for_joins(joins: Vec<Arc<JoinSpec>>) -> Result<Self, CoreError> {
+        Ok(Self::for_workload(Arc::new(UnionWorkload::new(joins)?)))
+    }
+
+    /// Selects the parameter estimator (default:
+    /// `Estimator::Histogram(HistogramOptions::default())`).
+    pub fn estimator(mut self, estimator: Estimator) -> Self {
+        self.estimator = Some(estimator);
+        self
+    }
+
+    /// Selects the sampling strategy (default: `Strategy::Rejection`).
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Weight instantiation for the per-join subroutine (§3.2; default
+    /// exact weights).
+    pub fn weights(mut self, weights: WeightKind) -> Self {
+        self.weights = Some(weights);
+        self
+    }
+
+    /// Cover ownership policy for [`Strategy::Rejection`] (default: the
+    /// paper's record policy).
+    pub fn cover_policy(mut self, policy: CoverPolicy) -> Self {
+        self.cover_policy = Some(policy);
+        self
+    }
+
+    /// Cover ordering strategy (default: workload order).
+    pub fn cover_strategy(mut self, strategy: CoverStrategy) -> Self {
+        self.cover_strategy = Some(strategy);
+        self
+    }
+
+    /// Applies a selection predicate in the given mode.
+    pub fn predicate(mut self, predicate: Predicate, mode: PredicateMode) -> Self {
+        self.predicate = Some((predicate, mode));
+        self
+    }
+
+    /// Seed of the RNG used by build-time estimation
+    /// ([`Estimator::Walk`]); sampling itself always uses the RNG the
+    /// caller passes to `draw` / `sample`.
+    pub fn estimation_seed(mut self, seed: u64) -> Self {
+        self.estimation_seed = seed;
+        self
+    }
+
+    /// Attempt budget inside the join-sampling subroutine per draw
+    /// (defaults to the strategy config's own default when unset).
+    pub fn max_join_tries(mut self, tries: u64) -> Self {
+        self.max_join_tries = Some(tries);
+        self
+    }
+
+    /// Cover-rejection retry cap per join selection (defaults to the
+    /// strategy config's own default when unset).
+    pub fn max_cover_retries(mut self, retries: u64) -> Self {
+        self.max_cover_retries = Some(retries);
+        self
+    }
+
+    /// Estimates an overlap map with the configured estimator.
+    fn estimate(
+        workload: &Arc<UnionWorkload>,
+        estimator: &Estimator,
+        seed: u64,
+    ) -> Result<OverlapMap, CoreError> {
+        match estimator {
+            Estimator::Exact => Ok(full_join_union(workload)?.overlap),
+            Estimator::Histogram(opts) => {
+                let est = if opts.exact_size_hints {
+                    let sizes = workload.exact_join_sizes()?;
+                    HistogramEstimator::new(workload, opts.degree_mode, sizes, opts.zero_weight)?
+                } else if opts.zero_weight != 0.0 {
+                    let hints = workload
+                        .joins()
+                        .iter()
+                        .map(|j| suj_join::bounds::olken_bound(j))
+                        .collect::<Result<Vec<_>, _>>()
+                        .map_err(CoreError::Join)?;
+                    HistogramEstimator::new(workload, opts.degree_mode, hints, opts.zero_weight)?
+                } else {
+                    HistogramEstimator::with_olken(workload, opts.degree_mode)?
+                };
+                est.overlap_map()
+            }
+            Estimator::Walk(cfg) => {
+                let mut rng = SujRng::seed_from_u64(seed);
+                walk_warmup(workload, cfg, &mut rng)?.overlap_map()
+            }
+        }
+    }
+
+    /// Rejects a knob that the selected strategy cannot honor.
+    fn reject_knob(set: bool, knob: &str, strategy: &str) -> Result<(), CoreError> {
+        if set {
+            Err(CoreError::Invalid(format!(
+                "`{knob}` does not apply to {strategy}; remove the call or pick a \
+                 strategy that uses it"
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Validates the configuration and assembles the sampler.
+    pub fn build(self) -> Result<Box<dyn UnionSampler>, CoreError> {
+        // --- Predicate push-down rewrites the workload first. ---
+        let workload = match &self.predicate {
+            Some((p, PredicateMode::PushDown)) => {
+                let filtered: Vec<Arc<JoinSpec>> = self
+                    .workload
+                    .joins()
+                    .iter()
+                    .map(|j| push_down(j, p, &format!("{}__σ", j.name())).map(Arc::new))
+                    .collect::<Result<_, _>>()?;
+                Arc::new(UnionWorkload::new(filtered)?)
+            }
+            _ => self.workload.clone(),
+        };
+
+        let sampler: Box<dyn UnionSampler> = match self.strategy {
+            Strategy::Rejection => {
+                let estimator = self
+                    .estimator
+                    .unwrap_or(Estimator::Histogram(HistogramOptions::default()));
+                let map = Self::estimate(&workload, &estimator, self.estimation_seed)?;
+                let defaults = UnionSamplerConfig::default();
+                Box::new(SetUnionSampler::new(
+                    workload,
+                    &map,
+                    UnionSamplerConfig {
+                        weights: self.weights.unwrap_or(defaults.weights),
+                        policy: self.cover_policy.unwrap_or(defaults.policy),
+                        strategy: self.cover_strategy.unwrap_or(defaults.strategy),
+                        max_join_tries: self.max_join_tries.unwrap_or(defaults.max_join_tries),
+                        max_cover_retries: self
+                            .max_cover_retries
+                            .unwrap_or(defaults.max_cover_retries),
+                    },
+                )?)
+            }
+            Strategy::Online(mut config) => {
+                // Algorithm 2 always uses wander-join walks with the
+                // record policy; knobs it cannot honor are errors, not
+                // silent no-ops.
+                Self::reject_knob(self.weights.is_some(), "weights", "Strategy::Online")?;
+                Self::reject_knob(
+                    self.cover_policy.is_some(),
+                    "cover_policy",
+                    "Strategy::Online",
+                )?;
+                Self::reject_knob(
+                    self.max_join_tries.is_some(),
+                    "max_join_tries",
+                    "Strategy::Online",
+                )?;
+                // An explicit Walk estimator configures its warm-up,
+                // anything else is a contradiction worth surfacing.
+                match self.estimator {
+                    None => {}
+                    Some(Estimator::Walk(warmup)) => config.warmup = warmup,
+                    Some(_) => {
+                        return Err(CoreError::Invalid(
+                            "Strategy::Online estimates parameters online; combine it \
+                             with Estimator::Walk (warm-up configuration) or no \
+                             estimator"
+                                .into(),
+                        ));
+                    }
+                }
+                // Only an explicit builder-level override touches the
+                // caller's OnlineConfig.
+                if let Some(retries) = self.max_cover_retries {
+                    config.max_cover_retries = retries;
+                }
+                Box::new(OnlineUnionSampler::new(
+                    workload,
+                    config,
+                    self.cover_strategy.unwrap_or(CoverStrategy::AsGiven),
+                ))
+            }
+            Strategy::Bernoulli(policy) => {
+                Self::reject_knob(
+                    self.cover_policy.is_some(),
+                    "cover_policy",
+                    "Strategy::Bernoulli",
+                )?;
+                Self::reject_knob(
+                    self.cover_strategy.is_some(),
+                    "cover_strategy",
+                    "Strategy::Bernoulli",
+                )?;
+                Self::reject_knob(
+                    self.max_cover_retries.is_some(),
+                    "max_cover_retries",
+                    "Strategy::Bernoulli",
+                )?;
+                let estimator = self
+                    .estimator
+                    .unwrap_or(Estimator::Histogram(HistogramOptions::default()));
+                let map = Self::estimate(&workload, &estimator, self.estimation_seed)?;
+                let sizes: Vec<f64> = (0..workload.n_joins()).map(|j| map.join_size(j)).collect();
+                let mut sampler = BernoulliUnionSampler::with_policy(
+                    workload,
+                    &sizes,
+                    map.union_size(),
+                    self.weights.unwrap_or(WeightKind::Exact),
+                    policy,
+                )?;
+                if let Some(tries) = self.max_join_tries {
+                    sampler.set_max_join_tries(tries);
+                }
+                Box::new(sampler)
+            }
+            Strategy::Disjoint => {
+                Self::reject_knob(
+                    self.cover_policy.is_some(),
+                    "cover_policy",
+                    "Strategy::Disjoint",
+                )?;
+                Self::reject_knob(
+                    self.cover_strategy.is_some(),
+                    "cover_strategy",
+                    "Strategy::Disjoint",
+                )?;
+                Self::reject_knob(
+                    self.max_join_tries.is_some(),
+                    "max_join_tries",
+                    "Strategy::Disjoint",
+                )?;
+                Self::reject_knob(
+                    self.max_cover_retries.is_some(),
+                    "max_cover_retries",
+                    "Strategy::Disjoint",
+                )?;
+                let sizes = match self
+                    .estimator
+                    .unwrap_or(Estimator::Histogram(HistogramOptions::default()))
+                {
+                    Estimator::Exact => workload.exact_join_sizes()?,
+                    other => {
+                        let map = Self::estimate(&workload, &other, self.estimation_seed)?;
+                        (0..workload.n_joins()).map(|j| map.join_size(j)).collect()
+                    }
+                };
+                Box::new(DisjointUnionSampler::new(
+                    workload,
+                    sizes,
+                    self.weights.unwrap_or(WeightKind::Exact),
+                )?)
+            }
+        };
+
+        // --- Reject-mode predicates wrap the finished sampler. ---
+        match self.predicate {
+            Some((p, PredicateMode::Reject)) => Ok(Box::new(PredicateSampler::new(sampler, &p)?)),
+            _ => Ok(sampler),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::Draw;
+    use suj_storage::{CompareOp, Relation, Schema, Value};
+
+    fn rel(name: &str, attrs: &[&str], rows: Vec<Vec<i64>>) -> Arc<Relation> {
+        let schema = Schema::new(attrs.iter().copied()).unwrap();
+        let tuples = rows
+            .into_iter()
+            .map(|vals| vals.into_iter().map(Value::int).collect())
+            .collect();
+        Arc::new(Relation::new(name, schema, tuples).unwrap())
+    }
+
+    fn workload() -> Arc<UnionWorkload> {
+        let j1 = suj_join::JoinSpec::chain(
+            "j1",
+            vec![
+                rel(
+                    "r1",
+                    &["a", "b"],
+                    vec![vec![1, 10], vec![2, 10], vec![3, 20]],
+                ),
+                rel("s1", &["b", "c"], vec![vec![10, 100], vec![20, 200]]),
+            ],
+        )
+        .unwrap();
+        let j2 = suj_join::JoinSpec::chain(
+            "j2",
+            vec![
+                rel("r2", &["a", "b"], vec![vec![1, 10], vec![9, 90]]),
+                rel("s2", &["b", "c"], vec![vec![10, 100], vec![90, 900]]),
+            ],
+        )
+        .unwrap();
+        Arc::new(UnionWorkload::new(vec![Arc::new(j1), Arc::new(j2)]).unwrap())
+    }
+
+    #[test]
+    fn every_strategy_builds_and_samples() {
+        let w = workload();
+        let exact = crate::exact::full_join_union(&w).unwrap();
+        let strategies = [
+            Strategy::Rejection,
+            Strategy::Online(OnlineConfig {
+                warmup: WalkEstimatorConfig {
+                    max_walks_per_join: 100,
+                    min_walks_per_join: 32,
+                    ..Default::default()
+                },
+                ..Default::default()
+            }),
+            Strategy::Bernoulli(DesignationPolicy::Oracle),
+            Strategy::Disjoint,
+        ];
+        for (i, strategy) in strategies.into_iter().enumerate() {
+            let builder = SamplerBuilder::for_workload(w.clone()).strategy(strategy);
+            let builder = match strategy {
+                Strategy::Online(_) => builder,
+                _ => builder.estimator(Estimator::Exact),
+            };
+            let mut sampler = builder.build().unwrap();
+            let mut rng = SujRng::seed_from_u64(100 + i as u64);
+            let (samples, report) = sampler.sample(40, &mut rng).unwrap();
+            assert_eq!(samples.len(), 40, "strategy #{i}");
+            assert!(report.accepted >= 40);
+            for t in &samples {
+                assert!(exact.union_set.contains(t), "strategy #{i}: non-member");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_and_walk_estimators_build() {
+        let w = workload();
+        for estimator in [
+            Estimator::Histogram(HistogramOptions::default()),
+            Estimator::Histogram(HistogramOptions {
+                exact_size_hints: true,
+                ..Default::default()
+            }),
+            Estimator::Walk(WalkEstimatorConfig {
+                max_walks_per_join: 200,
+                ..Default::default()
+            }),
+        ] {
+            let mut sampler = SamplerBuilder::for_workload(w.clone())
+                .estimator(estimator)
+                .cover_policy(CoverPolicy::MembershipOracle)
+                .build()
+                .unwrap();
+            let mut rng = SujRng::seed_from_u64(5);
+            let (samples, _) = sampler.sample(25, &mut rng).unwrap();
+            assert_eq!(samples.len(), 25);
+        }
+    }
+
+    #[test]
+    fn online_rejects_incompatible_estimator() {
+        let w = workload();
+        let err = SamplerBuilder::for_workload(w)
+            .estimator(Estimator::Exact)
+            .strategy(Strategy::Online(OnlineConfig::default()))
+            .build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn inapplicable_knobs_are_rejected_not_ignored() {
+        let w = workload();
+        // Online honors neither per-join weights nor a cover policy.
+        assert!(SamplerBuilder::for_workload(w.clone())
+            .strategy(Strategy::Online(OnlineConfig::default()))
+            .weights(WeightKind::ExtendedOlken)
+            .build()
+            .is_err());
+        assert!(SamplerBuilder::for_workload(w.clone())
+            .strategy(Strategy::Online(OnlineConfig::default()))
+            .cover_policy(CoverPolicy::MembershipOracle)
+            .build()
+            .is_err());
+        // Bernoulli and Disjoint have no cover.
+        assert!(SamplerBuilder::for_workload(w.clone())
+            .estimator(Estimator::Exact)
+            .strategy(Strategy::Bernoulli(DesignationPolicy::Oracle))
+            .cover_strategy(CoverStrategy::DescendingSize)
+            .build()
+            .is_err());
+        assert!(SamplerBuilder::for_workload(w.clone())
+            .estimator(Estimator::Exact)
+            .strategy(Strategy::Disjoint)
+            .max_cover_retries(5)
+            .build()
+            .is_err());
+        // Applicable knobs still work.
+        assert!(SamplerBuilder::for_workload(w)
+            .estimator(Estimator::Exact)
+            .strategy(Strategy::Bernoulli(DesignationPolicy::Oracle))
+            .weights(WeightKind::Exact)
+            .max_join_tries(500_000)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn predicate_reject_mode_filters_output() {
+        let w = workload();
+        let p = Predicate::cmp("c", CompareOp::Le, Value::int(200));
+        let mut sampler = SamplerBuilder::for_workload(w)
+            .estimator(Estimator::Exact)
+            .predicate(p.clone(), PredicateMode::Reject)
+            .build()
+            .unwrap();
+        let compiled = p.compile(sampler.workload().canonical_schema()).unwrap();
+        let mut rng = SujRng::seed_from_u64(6);
+        let (samples, report) = sampler.sample(60, &mut rng).unwrap();
+        assert_eq!(samples.len(), 60);
+        for t in &samples {
+            assert!(compiled.eval(t));
+        }
+        // (9, 90, 900) fails the predicate and must have been rejected
+        // at least once in 60 accepted draws.
+        assert!(report.rejected_predicate > 0);
+    }
+
+    #[test]
+    fn predicate_pushdown_mode_rewrites_workload() {
+        let w = workload();
+        let p = Predicate::cmp("c", CompareOp::Le, Value::int(200));
+        let mut sampler = SamplerBuilder::for_workload(w)
+            .estimator(Estimator::Exact)
+            .predicate(p.clone(), PredicateMode::PushDown)
+            .build()
+            .unwrap();
+        let compiled = p.compile(sampler.workload().canonical_schema()).unwrap();
+        let mut rng = SujRng::seed_from_u64(7);
+        let (samples, report) = sampler.sample(60, &mut rng).unwrap();
+        for t in &samples {
+            assert!(compiled.eval(t));
+        }
+        // Push-down filters at the base relations: no predicate-phase
+        // rejections.
+        assert_eq!(report.rejected_predicate, 0);
+    }
+
+    #[test]
+    fn built_samplers_are_trait_objects() {
+        let w = workload();
+        let mut samplers: Vec<Box<dyn UnionSampler>> = vec![
+            SamplerBuilder::for_workload(w.clone())
+                .estimator(Estimator::Exact)
+                .build()
+                .unwrap(),
+            SamplerBuilder::for_workload(w.clone())
+                .estimator(Estimator::Exact)
+                .strategy(Strategy::Disjoint)
+                .build()
+                .unwrap(),
+            SamplerBuilder::for_workload(w)
+                .estimator(Estimator::Exact)
+                .strategy(Strategy::Bernoulli(DesignationPolicy::Record))
+                .build()
+                .unwrap(),
+        ];
+        let mut rng = SujRng::seed_from_u64(8);
+        for sampler in &mut samplers {
+            let mut seen = 0;
+            while seen < 10 {
+                if let Draw::Tuple(..) = sampler.draw(&mut rng).unwrap() {
+                    seen += 1;
+                }
+            }
+            assert!(sampler.emitted() >= 10);
+        }
+    }
+
+    #[test]
+    fn for_joins_validates_schemas() {
+        let j1 = suj_join::JoinSpec::chain(
+            "j1",
+            vec![
+                rel("r", &["a", "b"], vec![vec![1, 10]]),
+                rel("s", &["b", "c"], vec![vec![10, 100]]),
+            ],
+        )
+        .unwrap();
+        let j_bad = suj_join::JoinSpec::chain(
+            "bad",
+            vec![
+                rel("x", &["a", "d"], vec![vec![1, 10]]),
+                rel("y", &["d", "e"], vec![vec![10, 100]]),
+            ],
+        )
+        .unwrap();
+        assert!(SamplerBuilder::for_joins(vec![Arc::new(j1), Arc::new(j_bad)]).is_err());
+    }
+
+    /// The builder path must be byte-identical to the legacy
+    /// direct-constructor path (same seed, same estimator inputs).
+    #[test]
+    fn builder_matches_direct_construction() {
+        let w = workload();
+        let exact = crate::exact::full_join_union(&w).unwrap();
+        let mut direct =
+            SetUnionSampler::new(w.clone(), &exact.overlap, UnionSamplerConfig::default()).unwrap();
+        let mut built = SamplerBuilder::for_workload(w)
+            .estimator(Estimator::Exact)
+            .build()
+            .unwrap();
+        let mut rng_a = SujRng::seed_from_u64(9);
+        let mut rng_b = SujRng::seed_from_u64(9);
+        let (a, _) = direct.sample(120, &mut rng_a).unwrap();
+        let (b, _) = built.sample(120, &mut rng_b).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn workload_accessor_exposes_schema() {
+        let w = workload();
+        let sampler = SamplerBuilder::for_workload(w.clone())
+            .estimator(Estimator::Exact)
+            .build()
+            .unwrap();
+        assert_eq!(sampler.workload().canonical_schema(), w.canonical_schema());
+    }
+}

@@ -2,6 +2,7 @@
 //! two-join workloads.
 
 use proptest::prelude::*;
+use proptest::strategy::Strategy;
 use std::sync::Arc;
 use suj_core::algorithm1::UnionSamplerConfig;
 use suj_core::prelude::*;
@@ -74,7 +75,7 @@ proptest! {
         prop_assume!(!exact.union_set.is_empty());
         let w = Arc::new(w);
         for policy in [CoverPolicy::Record, CoverPolicy::MembershipOracle] {
-            let sampler = SetUnionSampler::new(
+            let mut sampler = SetUnionSampler::new(
                 w.clone(),
                 &exact.overlap,
                 UnionSamplerConfig {
@@ -115,10 +116,10 @@ proptest! {
         let exact = full_join_union(&w).unwrap();
         prop_assume!(exact.join_size(0) + exact.join_size(1) > 0);
         let w = Arc::new(w);
-        let sampler =
+        let mut sampler =
             DisjointUnionSampler::with_exact_sizes(w.clone(), WeightKind::Exact).unwrap();
         let mut rng = SujRng::seed_from_u64(seed);
-        let (samples, _) = sampler.sample(20, &mut rng);
+        let (samples, _) = sampler.sample(20, &mut rng).unwrap();
         prop_assert_eq!(samples.len(), 20);
         for t in &samples {
             prop_assert!(w.contains(0, t) || w.contains(1, t));

@@ -74,13 +74,21 @@ mod tests {
         let spec = JoinSpec::chain(
             "j",
             vec![
-                rel("r", &["a", "b"], vec![vec![1, 10], vec![2, 10], vec![3, 20]]),
+                rel(
+                    "r",
+                    &["a", "b"],
+                    vec![vec![1, 10], vec![2, 10], vec![3, 20]],
+                ),
                 rel(
                     "s",
                     &["b", "c"],
                     vec![vec![10, 100], vec![10, 101], vec![20, 200]],
                 ),
-                rel("t", &["c", "d"], vec![vec![100, 1], vec![200, 2], vec![200, 3]]),
+                rel(
+                    "t",
+                    &["c", "d"],
+                    vec![vec![100, 1], vec![200, 2], vec![200, 3]],
+                ),
             ],
         )
         .unwrap();
@@ -100,7 +108,11 @@ mod tests {
         let spec = JoinSpec::chain(
             "j",
             vec![
-                rel("fact", &["k", "x"], vec![vec![1, 0], vec![2, 0], vec![3, 0]]),
+                rel(
+                    "fact",
+                    &["k", "x"],
+                    vec![vec![1, 0], vec![2, 0], vec![3, 0]],
+                ),
                 rel("dim", &["k", "y"], vec![vec![1, 5], vec![2, 6]]),
             ],
         )
@@ -145,7 +157,11 @@ mod tests {
             "star",
             vec![
                 rel("c", &["a", "b"], vec![vec![1, 2], vec![3, 2]]),
-                rel("l1", &["a", "x"], vec![vec![1, 10], vec![1, 11], vec![3, 12]]),
+                rel(
+                    "l1",
+                    &["a", "x"],
+                    vec![vec![1, 10], vec![1, 11], vec![3, 12]],
+                ),
                 rel("l2", &["b", "y"], vec![vec![2, 20], vec![2, 21]]),
             ],
         )

@@ -49,7 +49,10 @@ impl fmt::Display for JoinError {
                 "relations `{left}` and `{right}` share attribute `{attr}` with no join edge"
             ),
             JoinError::EmptyEdge { left, right } => {
-                write!(f, "edge between `{left}` and `{right}` equates no attributes")
+                write!(
+                    f,
+                    "edge between `{left}` and `{right}` equates no attributes"
+                )
             }
             JoinError::BadRelationIndex(i) => write!(f, "relation index {i} out of range"),
             JoinError::NotATree(name) => {

@@ -50,11 +50,7 @@ impl JoinResult {
     /// position mapping (`mapping[k]` = local position of canonical
     /// attribute `k`).
     pub fn reordered(&self, canonical: &Schema, mapping: &[usize]) -> JoinResult {
-        let tuples = self
-            .tuples
-            .iter()
-            .map(|t| t.project(mapping))
-            .collect();
+        let tuples = self.tuples.iter().map(|t| t.project(mapping)).collect();
         JoinResult {
             schema: canonical.clone(),
             tuples,
@@ -216,8 +212,16 @@ mod tests {
         let spec = JoinSpec::natural(
             "j",
             vec![
-                rel("r", &["a", "b"], vec![vec![1, 10], vec![2, 20], vec![3, 10]]),
-                rel("s", &["b", "c"], vec![vec![10, 100], vec![10, 101], vec![30, 300]]),
+                rel(
+                    "r",
+                    &["a", "b"],
+                    vec![vec![1, 10], vec![2, 20], vec![3, 10]],
+                ),
+                rel(
+                    "s",
+                    &["b", "c"],
+                    vec![vec![10, 100], vec![10, 101], vec![30, 300]],
+                ),
             ],
         )
         .unwrap();
@@ -313,7 +317,11 @@ mod tests {
             vec![
                 rel("c", &["a", "b"], vec![vec![1, 2]]),
                 rel("l1", &["a", "x"], vec![vec![1, 10], vec![1, 11]]),
-                rel("l2", &["b", "y"], vec![vec![2, 20], vec![2, 21], vec![2, 22]]),
+                rel(
+                    "l2",
+                    &["b", "y"],
+                    vec![vec![2, 20], vec![2, 21], vec![2, 22]],
+                ),
             ],
         )
         .unwrap();
@@ -324,7 +332,8 @@ mod tests {
 
     #[test]
     fn single_relation_execution() {
-        let spec = JoinSpec::natural("one", vec![rel("r", &["a"], vec![vec![1], vec![2]])]).unwrap();
+        let spec =
+            JoinSpec::natural("one", vec![rel("r", &["a"], vec![vec![1], vec![2]])]).unwrap();
         let result = execute(&spec);
         assert_eq!(result.len(), 2);
     }

@@ -106,7 +106,11 @@ mod tests {
         JoinSpec::chain(
             "j",
             vec![
-                rel("r", &["a", "b"], vec![vec![1, 10], vec![2, 20], vec![3, 10]]),
+                rel(
+                    "r",
+                    &["a", "b"],
+                    vec![vec![1, 10], vec![2, 20], vec![3, 10]],
+                ),
                 rel("s", &["b", "c"], vec![vec![10, 100], vec![20, 200]]),
             ],
         )
@@ -201,9 +205,15 @@ mod tests {
             Arc::new(MembershipOracle::for_spec(&spec2)),
         ];
         // In both joins → index 0.
-        assert_eq!(first_containing(&oracles, &tuple![1i64, 10i64, 100i64]), Some(0));
+        assert_eq!(
+            first_containing(&oracles, &tuple![1i64, 10i64, 100i64]),
+            Some(0)
+        );
         // Only in join 1 (3,10,100).
-        assert_eq!(first_containing(&oracles, &tuple![3i64, 10i64, 100i64]), Some(0));
+        assert_eq!(
+            first_containing(&oracles, &tuple![3i64, 10i64, 100i64]),
+            Some(0)
+        );
         // In neither.
         assert_eq!(first_containing(&oracles, &tuple![8i64, 8i64, 8i64]), None);
     }

@@ -106,10 +106,7 @@ fn try_removal(
         .schema()
         .attrs()
         .iter()
-        .filter(|a| {
-            kept.iter()
-                .any(|&i| spec.relation(i).schema().contains(a))
-        })
+        .filter(|a| kept.iter().any(|&i| spec.relation(i).schema().contains(a)))
         .cloned()
         .collect();
     let residual_max_degree = if shared.is_empty() || residual.is_empty() {
@@ -225,7 +222,13 @@ fn materialize_natural(name: &str, relations: &[Arc<Relation>]) -> Result<Relati
 fn subsets_of_size(n: usize, k: usize) -> Vec<Vec<usize>> {
     let mut out = Vec::new();
     let mut current = Vec::with_capacity(k);
-    fn recur(start: usize, n: usize, k: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    fn recur(
+        start: usize,
+        n: usize,
+        k: usize,
+        current: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
         if current.len() == k {
             out.push(current.clone());
             return;
@@ -245,8 +248,8 @@ mod tests {
     use super::*;
     use crate::exec::execute;
     use crate::graph::classify;
-    use suj_storage::Schema;
     use crate::graph::JoinShape;
+    use suj_storage::Schema;
 
     fn rel(name: &str, attrs: &[&str], rows: Vec<Vec<i64>>) -> Arc<Relation> {
         let schema = Schema::new(attrs.iter().copied()).unwrap();
@@ -372,7 +375,11 @@ mod tests {
         let spec = JoinSpec::natural(
             "tri2",
             vec![
-                rel("big", &["a", "b"], vec![vec![1, 2], vec![3, 4], vec![5, 6], vec![7, 8]]),
+                rel(
+                    "big",
+                    &["a", "b"],
+                    vec![vec![1, 2], vec![3, 4], vec![5, 6], vec![7, 8]],
+                ),
                 rel("mid", &["b", "c"], vec![vec![2, 3], vec![4, 5]]),
                 rel("small", &["c", "a"], vec![vec![3, 1]]),
             ],

@@ -233,9 +233,9 @@ impl JoinSpec {
 
     /// The edge between relations `i` and `j`, if any.
     pub fn edge_between(&self, i: usize, j: usize) -> Option<&JoinEdge> {
-        self.edges.iter().find(|e| {
-            (e.left == i && e.right == j) || (e.left == j && e.right == i)
-        })
+        self.edges
+            .iter()
+            .find(|e| (e.left == i && e.right == j) || (e.left == j && e.right == i))
     }
 
     /// Neighbors of relation `i` in the join graph.
@@ -402,10 +402,7 @@ mod tests {
 
     #[test]
     fn disconnected_join_rejected() {
-        let rels = vec![
-            rel("p", &["a", "b"], vec![]),
-            rel("q", &["x", "y"], vec![]),
-        ];
+        let rels = vec![rel("p", &["a", "b"], vec![]), rel("q", &["x", "y"], vec![])];
         assert!(matches!(
             JoinSpec::natural("d", rels),
             Err(JoinError::Disconnected)

@@ -132,7 +132,9 @@ pub struct Template {
 /// hyper-parameter substituted for same-relation (distance 0) pairs.
 pub fn build_template(specs: &[&JoinSpec], zero_weight: f64) -> Result<Template, JoinError> {
     if specs.is_empty() {
-        return Err(JoinError::Invalid("no joins given to build_template".into()));
+        return Err(JoinError::Invalid(
+            "no joins given to build_template".into(),
+        ));
     }
     let attrs: Vec<Arc<str>> = specs[0].output_schema().attrs().to_vec();
     for s in specs {
@@ -272,9 +274,7 @@ fn greedy_two_opt_path(score: &[Vec<f64>]) -> (Vec<usize>, f64) {
         used[next] = true;
         order.push(next);
     }
-    let path_cost = |ord: &[usize]| -> f64 {
-        ord.windows(2).map(|w| score[w[0]][w[1]]).sum()
-    };
+    let path_cost = |ord: &[usize]| -> f64 { ord.windows(2).map(|w| score[w[0]][w[1]]).sum() };
     // 2-opt until no improvement.
     let mut improved = true;
     while improved {
@@ -311,9 +311,7 @@ impl<'a> HistCache<'a> {
     fn get(&mut self, rel: usize, attr: &Arc<str>) -> Arc<FrequencyHistogram> {
         self.cache
             .entry((rel, attr.clone()))
-            .or_insert_with(|| {
-                Arc::new(FrequencyHistogram::build(self.spec.relation(rel), attr))
-            })
+            .or_insert_with(|| Arc::new(FrequencyHistogram::build(self.spec.relation(rel), attr)))
             .clone()
     }
 }
@@ -470,13 +468,7 @@ mod tests {
         assert_eq!(template.order.len(), 6);
         // Adjacent same-relation pairs cost 0; a & b must be adjacent
         // somewhere in the optimal order since score(a,b) = 0.
-        let pos = |n: &str| {
-            template
-                .order
-                .iter()
-                .position(|x| x.as_ref() == n)
-                .unwrap()
-        };
+        let pos = |n: &str| template.order.iter().position(|x| x.as_ref() == n).unwrap();
         assert_eq!(pos("a").abs_diff(pos("b")), 1, "order {:?}", template.order);
         // The chain a-b-c-d-e plus f near c has total cost 0 achievable?
         // (a,b)=0,(b,c)=0,(c,d)=0,(d,e)=0 — f costs ≥... check the DP

@@ -255,7 +255,14 @@ mod tests {
         let r2 = rel(
             "r2",
             &["b", "c"],
-            vec![vec![1, 7], vec![1, 8], vec![2, 7], vec![3, 9], vec![4, 9], vec![5, 9]],
+            vec![
+                vec![1, 7],
+                vec![1, 8],
+                vec![2, 7],
+                vec![3, 9],
+                vec![4, 9],
+                vec![5, 9],
+            ],
         );
         // c=7 joins three rows of r3.
         let r3 = rel(

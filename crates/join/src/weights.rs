@@ -282,10 +282,7 @@ impl JoinSampler for ExactWeightSampler {
                 let key = self.prepared.child_key(c, row, &mut scratch);
                 let index = self.prepared.indexes[c].as_ref().expect("child index");
                 let cands = index.rows_matching(key);
-                let total: f64 = cands
-                    .iter()
-                    .map(|&rid| self.weights[c][rid as usize])
-                    .sum();
+                let total: f64 = cands.iter().map(|&rid| self.weights[c][rid as usize]).sum();
                 if total <= 0.0 {
                     // Impossible when weights are exact; defensive.
                     return SampleOutcome::Rejected;
@@ -611,8 +608,16 @@ mod tests {
                 "star",
                 vec![
                     rel("c", &["a", "b"], vec![vec![1, 2], vec![3, 2], vec![1, 4]]),
-                    rel("l1", &["a", "x"], vec![vec![1, 10], vec![1, 11], vec![3, 12]]),
-                    rel("l2", &["b", "y"], vec![vec![2, 20], vec![2, 21], vec![4, 22]]),
+                    rel(
+                        "l1",
+                        &["a", "x"],
+                        vec![vec![1, 10], vec![1, 11], vec![3, 12]],
+                    ),
+                    rel(
+                        "l2",
+                        &["b", "y"],
+                        vec![vec![2, 20], vec![2, 21], vec![4, 22]],
+                    ),
                 ],
             )
             .unwrap(),
@@ -722,8 +727,11 @@ mod tests {
     #[test]
     fn single_relation_sampling() {
         let spec = Arc::new(
-            JoinSpec::natural("one", vec![rel("r", &["a"], vec![vec![1], vec![2], vec![3]])])
-                .unwrap(),
+            JoinSpec::natural(
+                "one",
+                vec![rel("r", &["a"], vec![vec![1], vec![2], vec![3]])],
+            )
+            .unwrap(),
         );
         let sampler = ExactWeightSampler::new(spec).unwrap();
         assert_eq!(sampler.exact_size(), 3.0);

@@ -31,7 +31,10 @@ impl HorvitzThompson {
     /// Records a successful walk that produced a tuple with probability
     /// `p` (`0 < p ≤ 1`).
     pub fn push_success(&mut self, p: f64) {
-        assert!(p > 0.0 && p <= 1.0, "walk probability must be in (0,1], got {p}");
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "walk probability must be in (0,1], got {p}"
+        );
         self.moments.push(1.0 / p);
         self.successes += 1;
     }
@@ -149,7 +152,12 @@ mod tests {
             ht.push_success(probs[idx]);
         }
         let rel_err = (ht.estimate() - n as f64).abs() / n as f64;
-        assert!(rel_err < 0.05, "estimate {} rel_err {}", ht.estimate(), rel_err);
+        assert!(
+            rel_err < 0.05,
+            "estimate {} rel_err {}",
+            ht.estimate(),
+            rel_err
+        );
     }
 
     #[test]

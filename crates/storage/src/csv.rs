@@ -18,7 +18,10 @@ use std::io::{BufRead, BufReader, Read, Write};
 
 /// Parses one CSV record (handles quotes); returns fields and consumes
 /// the record's lines from `lines`.
-fn parse_record(first_line: &str, lines: &mut impl Iterator<Item = std::io::Result<String>>) -> Result<Vec<String>, StorageError> {
+fn parse_record(
+    first_line: &str,
+    lines: &mut impl Iterator<Item = std::io::Result<String>>,
+) -> Result<Vec<String>, StorageError> {
     let mut fields = Vec::new();
     let mut field = String::new();
     let mut in_quotes = false;

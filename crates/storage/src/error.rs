@@ -33,7 +33,10 @@ impl fmt::Display for StorageError {
             StorageError::DuplicateAttribute(a) => write!(f, "duplicate attribute `{a}`"),
             StorageError::UnknownAttribute(a) => write!(f, "unknown attribute `{a}`"),
             StorageError::ArityMismatch { expected, actual } => {
-                write!(f, "row arity {actual} does not match schema arity {expected}")
+                write!(
+                    f,
+                    "row arity {actual} does not match schema arity {expected}"
+                )
             }
             StorageError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
             StorageError::DuplicateRelation(r) => write!(f, "relation `{r}` already registered"),

@@ -207,9 +207,7 @@ impl EquiDepthHistogram {
     /// Upper bound on the degree of `v`: the max degree of its bucket,
     /// or 0 when `v` lies outside every bucket range.
     pub fn degree_upper_bound(&self, v: &Value) -> u64 {
-        self.bucket_of(v)
-            .map(|i| self.max_degrees[i])
-            .unwrap_or(0)
+        self.bucket_of(v).map(|i| self.max_degrees[i]).unwrap_or(0)
     }
 
     /// Global max degree across buckets — an upper bound on `M_A(R)`

@@ -238,7 +238,9 @@ mod tests {
         .unwrap();
         assert!(p.eval(&t));
 
-        let n = Predicate::Not(Box::new(Predicate::True)).compile(&s).unwrap();
+        let n = Predicate::Not(Box::new(Predicate::True))
+            .compile(&s)
+            .unwrap();
         assert!(!n.eval(&t));
     }
 

@@ -108,12 +108,7 @@ impl Relation {
     /// A new relation keeping only rows satisfying the predicate
     /// (selection push-down, §8.3).
     pub fn filter(&self, name: impl AsRef<str>, pred: &CompiledPredicate) -> Relation {
-        let rows: Vec<Tuple> = self
-            .rows
-            .iter()
-            .filter(|t| pred.eval(t))
-            .cloned()
-            .collect();
+        let rows: Vec<Tuple> = self.rows.iter().filter(|t| pred.eval(t)).cloned().collect();
         Relation {
             name: Arc::from(name.as_ref()),
             schema: self.schema.clone(),
@@ -124,11 +119,7 @@ impl Relation {
 
     /// Projects onto `attrs` (keeping duplicates — bag projection). The
     /// result records this relation's cardinality as its original size.
-    pub fn project(
-        &self,
-        name: impl AsRef<str>,
-        attrs: &[&str],
-    ) -> Result<Relation, StorageError> {
+    pub fn project(&self, name: impl AsRef<str>, attrs: &[&str]) -> Result<Relation, StorageError> {
         let positions: Vec<usize> = attrs
             .iter()
             .map(|a| self.schema.require(a))
@@ -359,7 +350,10 @@ mod tests {
             .unwrap();
         let filtered = r.filter("r_f", &pred);
         assert_eq!(filtered.len(), 3);
-        assert!(filtered.rows().iter().all(|t| t.get(0).as_int().unwrap() >= 2));
+        assert!(filtered
+            .rows()
+            .iter()
+            .all(|t| t.get(0).as_int().unwrap() >= 2));
         // Filtered relation remembers its origin's size.
         assert_eq!(filtered.original_size(), 4);
     }

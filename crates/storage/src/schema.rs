@@ -27,10 +27,7 @@ impl Schema {
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
-        let attrs: Vec<Arc<str>> = names
-            .into_iter()
-            .map(|s| Arc::from(s.as_ref()))
-            .collect();
+        let attrs: Vec<Arc<str>> = names.into_iter().map(|s| Arc::from(s.as_ref())).collect();
         if attrs.is_empty() {
             return Err(StorageError::EmptySchema);
         }

@@ -251,7 +251,10 @@ pub fn lineitem(cfg: &TpchConfig, name: &str, variant: u64, overlap: f64) -> Rel
             cfg.fk(&mut base, n_part, zipf.as_ref()),
             base.range_i64(1, 51),
         );
-        let var_draw = (cfg.fk(&mut var, n_part, zipf.as_ref()), var.range_i64(1, 51));
+        let var_draw = (
+            cfg.fk(&mut var, n_part, zipf.as_ref()),
+            var.range_i64(1, 51),
+        );
         let (partkey, qty) = if (i as usize) < shared_rows {
             base_draw
         } else {
@@ -410,7 +413,9 @@ mod tests {
     fn generation_is_deterministic() {
         let a = generate_catalog(&cfg());
         let b = generate_catalog(&cfg());
-        for name in ["supplier", "customer", "orders", "lineitem", "part", "partsupp"] {
+        for name in [
+            "supplier", "customer", "orders", "lineitem", "part", "partsupp",
+        ] {
             let ra = a.get(name).unwrap();
             let rb = b.get(name).unwrap();
             assert_eq!(ra.rows(), rb.rows(), "table {name} not deterministic");
@@ -421,7 +426,10 @@ mod tests {
     fn different_seeds_differ() {
         let a = generate_catalog(&TpchConfig::new(2, 1));
         let b = generate_catalog(&TpchConfig::new(2, 2));
-        assert_ne!(a.get("supplier").unwrap().rows(), b.get("supplier").unwrap().rows());
+        assert_ne!(
+            a.get("supplier").unwrap().rows(),
+            b.get("supplier").unwrap().rows()
+        );
     }
 
     #[test]
@@ -511,7 +519,9 @@ mod tests {
         // needs duplicate-free base relations).
         let c = cfg();
         let cat = generate_catalog(&c);
-        for name in ["supplier", "customer", "orders", "lineitem", "part", "partsupp"] {
+        for name in [
+            "supplier", "customer", "orders", "lineitem", "part", "partsupp",
+        ] {
             let r = cat.get(name).unwrap();
             assert_eq!(
                 r.distinct().len(),

@@ -74,7 +74,14 @@ pub fn customer_name(key: i64) -> String {
 /// Deterministic part name from a small vocabulary.
 pub fn part_name(rng: &mut SujRng) -> String {
     const COLORS: [&str; 8] = [
-        "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched",
+        "almond",
+        "antique",
+        "aquamarine",
+        "azure",
+        "beige",
+        "bisque",
+        "black",
+        "blanched",
     ];
     const MATERIALS: [&str; 6] = ["linen", "pink", "powder", "puff", "rose", "steel"];
     format!(

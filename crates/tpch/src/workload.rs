@@ -91,11 +91,8 @@ pub fn uq2(opts: &UqOptions) -> Result<UnionWorkload, CoreError> {
     let supplier = Arc::new(gen::supplier(cfg, "supplier", 0, 1.0));
     let partsupp = Arc::new(gen::partsupp(cfg, "partsupp", 0, 1.0));
     let part = Arc::new(gen::part(cfg, "part", 0, 1.0));
-    let base = JoinSpec::chain(
-        "uq2_base",
-        vec![region, nation, supplier, partsupp, part],
-    )
-    .map_err(CoreError::Join)?;
+    let base = JoinSpec::chain("uq2_base", vec![region, nation, supplier, partsupp, part])
+        .map_err(CoreError::Join)?;
 
     let mut joins = Vec::with_capacity(3);
     for (i, pred) in uq2_predicates().iter().enumerate() {
@@ -120,7 +117,10 @@ fn uq3_variant(cfg: &TpchConfig, v: u64, p: f64) -> Result<Uq3Variant, CoreError
     let orders = Arc::new(gen::orders(cfg, &format!("orders_w{v}"), v, p));
     let customer_core = Arc::new(
         customer
-            .project_distinct(format!("customer_core_w{v}"), &["custkey", "nationkey", "cname"])
+            .project_distinct(
+                format!("customer_core_w{v}"),
+                &["custkey", "nationkey", "cname"],
+            )
             .map_err(CoreError::Storage)?,
     );
     let cust_bal = Arc::new(
@@ -181,7 +181,11 @@ pub fn uq3(opts: &UqOptions) -> Result<UnionWorkload, CoreError> {
     let v1 = uq3_variant(cfg, 1, p)?;
     let chain3 = JoinSpec::chain(
         "uq3_chain3",
-        vec![v1.supplier.clone(), v1.customer_full.clone(), v1.orders.clone()],
+        vec![
+            v1.supplier.clone(),
+            v1.customer_full.clone(),
+            v1.orders.clone(),
+        ],
     )
     .map_err(CoreError::Join)?;
 
@@ -313,7 +317,10 @@ mod tests {
             "union at P=0.9 ({u_high}) must be below P=0.1 ({u_low})"
         );
         // And the all-joins overlap must be larger at high P.
-        let o_low = full_join_union(&low).unwrap().overlap.overlap(&[0, 1, 2, 3, 4]);
+        let o_low = full_join_union(&low)
+            .unwrap()
+            .overlap
+            .overlap(&[0, 1, 2, 3, 4]);
         let o_high = full_join_union(&high)
             .unwrap()
             .overlap
@@ -349,7 +356,10 @@ mod tests {
         // region chain).
         let unfiltered = o.config.n_part() * 2;
         for j in 0..3 {
-            assert!(exact.join_size(j) < unfiltered, "predicate {j} must cut rows");
+            assert!(
+                exact.join_size(j) < unfiltered,
+                "predicate {j} must cut rows"
+            );
             assert!(exact.join_size(j) > 0);
         }
     }
@@ -392,7 +402,11 @@ mod tests {
         let v = uq3_variant(&cfg, 0, 1.0).unwrap();
         let chain3 = JoinSpec::chain(
             "c3",
-            vec![v.supplier.clone(), v.customer_full.clone(), v.orders.clone()],
+            vec![
+                v.supplier.clone(),
+                v.customer_full.clone(),
+                v.orders.clone(),
+            ],
         )
         .unwrap();
         let chain4 = JoinSpec::chain(

@@ -3,13 +3,14 @@
 //! The decentralized setting (§4's data-market scenario) usually means
 //! delimited files rather than indexed databases. This example loads
 //! two normalized "shops" from CSV, builds the union workload, and
-//! samples it — end to end with no hand-built relations.
+//! samples it — end to end with no hand-built relations and no ground
+//! truth consulted: the builder's histogram estimator supplies the
+//! parameters.
 //!
 //! Run with: `cargo run --release --example csv_union`
 
-use std::sync::Arc;
 use sample_union_joins::prelude::*;
-use suj_core::algorithm1::UnionSamplerConfig;
+use std::sync::Arc;
 use suj_storage::read_csv;
 
 const SHOP_A_ITEMS: &str = "\
@@ -52,20 +53,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One join per shop: items ⋈ sales on sku.
     let shop_a = Arc::new(JoinSpec::chain("shop_a", vec![a_items, a_sales])?);
     let shop_b = Arc::new(JoinSpec::chain("shop_b", vec![b_items, b_sales])?);
-    let workload = Arc::new(UnionWorkload::new(vec![shop_a, shop_b])?);
+
+    // Histogram estimation (no full join) + Algorithm 1, in one place.
+    let mut sampler = SamplerBuilder::for_joins(vec![shop_a, shop_b])?
+        .estimator(Estimator::Histogram(HistogramOptions::default()))
+        .strategy(Strategy::Rejection)
+        .build()?;
+    let workload = sampler.workload().clone();
     println!("canonical schema: {}", workload.canonical_schema());
 
-    // Estimate parameters from histograms only (no full join).
-    let est = HistogramEstimator::with_olken(&workload, DegreeMode::Max)?;
-    let map = est.overlap_map()?;
-    println!("estimated |U| ≈ {:.0}", map.union_size());
-
-    // Sample.
-    let sampler = SetUnionSampler::new(
-        workload.clone(),
-        &map,
-        UnionSamplerConfig::default(),
-    )?;
     let mut rng = SujRng::seed_from_u64(5);
     let (samples, report) = sampler.sample(8, &mut rng)?;
     println!("\n8 uniform samples from shop_a ∪ shop_b:");

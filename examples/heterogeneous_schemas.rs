@@ -6,8 +6,8 @@
 //!
 //! Run with: `cargo run --release --example heterogeneous_schemas`
 
-use std::sync::Arc;
 use sample_union_joins::prelude::*;
+use std::sync::Arc;
 use suj_join::graph::classify;
 use suj_join::template::{build_template, split_join};
 
@@ -74,5 +74,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         est.overlap_map()?.union_size(),
         exact.union_size()
     );
+
+    // --- Sample across the heterogeneous schemas through the builder:
+    // the hist+EW configuration in one fluent pipeline. ---
+    let mut sampler = SamplerBuilder::for_workload(workload.clone())
+        .estimator(Estimator::Histogram(HistogramOptions {
+            exact_size_hints: true,
+            ..Default::default()
+        }))
+        .strategy(Strategy::Rejection)
+        .build()?;
+    let mut rng = SujRng::seed_from_u64(3);
+    let (samples, report) = sampler.sample(12, &mut rng)?;
+    println!("\n12 uniform samples across the three schemas:");
+    for t in &samples {
+        println!("  {t}");
+    }
+    println!("\n{}", report.summary());
     Ok(())
 }

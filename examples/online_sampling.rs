@@ -4,9 +4,8 @@
 //!
 //! Run with: `cargo run --release --example online_sampling`
 
-use std::sync::Arc;
 use sample_union_joins::prelude::*;
-use suj_core::algorithm2::{OnlineConfig, OnlineUnionSampler};
+use std::sync::Arc;
 use suj_core::walk_estimator::WalkEstimatorConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -20,8 +19,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let config = OnlineConfig {
-        phi: 256,      // re-estimate every 256 recorded walks
-        gamma: 0.9,    // stop updating at 90% confidence
+        phi: 256,   // re-estimate every 256 recorded walks
+        gamma: 0.9, // stop updating at 90% confidence
         warmup: WalkEstimatorConfig {
             max_walks_per_join: 500,
             ..Default::default()
@@ -30,16 +29,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     for (label, reuse) in [("with sample reuse", true), ("without reuse", false)] {
-        let sampler = OnlineUnionSampler::new(
-            workload.clone(),
-            OnlineConfig { reuse, ..config },
-            CoverStrategy::AsGiven,
-        );
+        let mut sampler = SamplerBuilder::for_workload(workload.clone())
+            .strategy(Strategy::Online(OnlineConfig { reuse, ..config }))
+            .build()?;
         let mut rng = SujRng::seed_from_u64(99);
         let (samples, report) = sampler.sample(2000, &mut rng)?;
         println!("\n--- {label} ---");
         println!("returned {} samples", samples.len());
-        println!("reuse hits: {}, walks rejected: {}", report.reuse_accepted, report.rejected_join);
+        println!(
+            "reuse hits: {}, walks rejected: {}",
+            report.reuse_accepted, report.rejected_join
+        );
         println!(
             "parameter updates: {}, backtrack drops: {}",
             report.update_rounds, report.backtrack_dropped

@@ -3,13 +3,13 @@
 //!
 //! Two regional databases store customer orders under different
 //! normalizations; we draw 10 i.i.d. samples from the set union of the
-//! two join results.
+//! two join results, assembling the whole pipeline with the fluent
+//! `SamplerBuilder`.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use std::sync::Arc;
 use sample_union_joins::prelude::*;
-use suj_core::algorithm1::UnionSamplerConfig;
+use std::sync::Arc;
 
 fn relation(name: &str, attrs: &[&str], rows: &[&[i64]]) -> Arc<Relation> {
     let schema = Schema::new(attrs.iter().copied()).expect("schema");
@@ -61,12 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         exact.union_size()
     );
 
-    // --- Algorithm 1: non-Bernoulli union sampling over a cover. ---
-    let sampler = SetUnionSampler::new(
-        workload.clone(),
-        &exact.overlap,
-        UnionSamplerConfig::default(),
-    )?;
+    // --- One pipeline: estimator → strategy → sampler (Algorithm 1). ---
+    let mut sampler = SamplerBuilder::for_workload(workload)
+        .estimator(Estimator::Exact)
+        .strategy(Strategy::Rejection)
+        .build()?;
     let mut rng = SujRng::seed_from_u64(7);
     let (samples, report) = sampler.sample(10, &mut rng)?;
 

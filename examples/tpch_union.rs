@@ -1,12 +1,12 @@
 //! End-to-end run on the paper's UQ1 workload: five overlapping TPC-H
 //! chain joins, parameters estimated (no ground truth consulted), then
-//! uniform union sampling with both estimator families.
+//! uniform union sampling with both estimator families — each pipeline
+//! assembled by the `SamplerBuilder`.
 //!
 //! Run with: `cargo run --release --example tpch_union`
 
-use std::sync::Arc;
 use sample_union_joins::prelude::*;
-use suj_core::algorithm1::UnionSamplerConfig;
+use std::sync::Arc;
 use suj_core::walk_estimator::{walk_warmup, WalkEstimatorConfig};
 use suj_join::WeightKind;
 
@@ -43,20 +43,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let exact = full_join_union(&workload)?;
     println!("FullJoinUnion truth:      |U| = {}", exact.union_size());
 
-    // --- Sample with the random-walk parameters (EW subroutine). ---
-    let sampler = SetUnionSampler::new(
-        workload.clone(),
-        &walk_map,
-        UnionSamplerConfig {
-            weights: WeightKind::Exact,
-            ..Default::default()
-        },
-    )?;
+    // --- Sample with random-walk parameters (EW subroutine): the
+    // builder owns estimation, cover construction, and sampling. ---
+    let mut sampler = SamplerBuilder::for_workload(workload.clone())
+        .estimator(Estimator::Walk(WalkEstimatorConfig::default()))
+        .estimation_seed(1)
+        .weights(WeightKind::Exact)
+        .build()?;
     let (samples, report) = sampler.sample(1000, &mut rng)?;
     println!("\nsampled {} tuples; {}", samples.len(), report.summary());
 
     // Sanity: every sample is a member of the true union.
-    let members = samples.iter().filter(|t| exact.union_set.contains(*t)).count();
-    println!("membership check: {members}/{} samples in the true union", samples.len());
+    let members = samples
+        .iter()
+        .filter(|t| exact.union_set.contains(*t))
+        .count();
+    println!(
+        "membership check: {members}/{} samples in the true union",
+        samples.len()
+    );
     Ok(())
 }

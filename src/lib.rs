@@ -20,7 +20,7 @@ pub use suj_tpch as tpch;
 pub mod prelude {
     pub use suj_core::prelude::*;
     pub use suj_join::prelude::*;
-    pub use suj_stats::{SujRng, RunningMoments};
+    pub use suj_stats::{RunningMoments, SujRng};
     pub use suj_storage::prelude::*;
     pub use suj_tpch::prelude::*;
 }

@@ -1,12 +1,11 @@
 //! Cross-crate integration tests: the full pipeline (estimate → cover →
 //! sample → verify) in both the decentralized (histogram) and
-//! centralized (random-walk / online) configurations.
+//! centralized (random-walk / online) configurations, assembled through
+//! the fluent `SamplerBuilder`.
 
 use sample_union_joins::prelude::*;
 use std::sync::Arc;
-use suj_core::algorithm1::UnionSamplerConfig;
-use suj_core::algorithm2::{OnlineConfig, OnlineUnionSampler};
-use suj_core::walk_estimator::{walk_warmup, WalkEstimatorConfig};
+use suj_core::walk_estimator::WalkEstimatorConfig;
 use suj_join::WeightKind;
 
 /// Decentralized pipeline: histogram parameters only (no data access
@@ -14,19 +13,12 @@ use suj_join::WeightKind;
 #[test]
 fn decentralized_pipeline_histogram_eo() {
     let w = Arc::new(uq1(&UqOptions::new(1, 41, 0.2)).unwrap());
-    let est = HistogramEstimator::with_olken(&w, DegreeMode::Max).unwrap();
-    let map = est.overlap_map().unwrap();
-    let sampler = SetUnionSampler::new(
-        w.clone(),
-        &map,
-        UnionSamplerConfig {
-            weights: WeightKind::ExtendedOlken,
-            policy: CoverPolicy::Record,
-            strategy: CoverStrategy::AsGiven,
-            ..Default::default()
-        },
-    )
-    .unwrap();
+    let mut sampler = SamplerBuilder::for_workload(w.clone())
+        .estimator(Estimator::Histogram(HistogramOptions::default()))
+        .weights(WeightKind::ExtendedOlken)
+        .cover_policy(CoverPolicy::Record)
+        .build()
+        .unwrap();
     let mut rng = SujRng::seed_from_u64(1);
     let (samples, report) = sampler.sample(400, &mut rng).unwrap();
     assert_eq!(samples.len(), 400);
@@ -43,18 +35,13 @@ fn decentralized_pipeline_histogram_eo() {
 #[test]
 fn centralized_pipeline_random_walk_ew() {
     let w = Arc::new(uq3(&UqOptions::new(1, 42, 0.3)).unwrap());
+    let mut sampler = SamplerBuilder::for_workload(w.clone())
+        .estimator(Estimator::Walk(WalkEstimatorConfig::default()))
+        .estimation_seed(2)
+        .weights(WeightKind::Exact)
+        .build()
+        .unwrap();
     let mut rng = SujRng::seed_from_u64(2);
-    let est = walk_warmup(&w, &WalkEstimatorConfig::default(), &mut rng).unwrap();
-    let map = est.overlap_map().unwrap();
-    let sampler = SetUnionSampler::new(
-        w.clone(),
-        &map,
-        UnionSamplerConfig {
-            weights: WeightKind::Exact,
-            ..Default::default()
-        },
-    )
-    .unwrap();
     let (samples, _) = sampler.sample(400, &mut rng).unwrap();
     let exact = full_join_union(&w).unwrap();
     for t in &samples {
@@ -82,7 +69,10 @@ fn online_pipeline_all_workloads() {
                 },
                 ..Default::default()
             };
-            let sampler = OnlineUnionSampler::new(w.clone(), cfg, CoverStrategy::AsGiven);
+            let mut sampler = SamplerBuilder::for_workload(w.clone())
+                .strategy(Strategy::Online(cfg))
+                .build()
+                .unwrap();
             let mut rng = SujRng::seed_from_u64(3);
             let (samples, report) = sampler.sample(200, &mut rng).unwrap();
             assert_eq!(samples.len(), 200, "{name} reuse={reuse}");
@@ -103,16 +93,11 @@ fn online_pipeline_all_workloads() {
 #[test]
 fn sampling_cost_within_theorem2_bound() {
     let w = Arc::new(uq2(&UqOptions::new(1, 44, 0.2)).unwrap());
-    let exact = full_join_union(&w).unwrap();
-    let sampler = SetUnionSampler::new(
-        w.clone(),
-        &exact.overlap,
-        UnionSamplerConfig {
-            policy: CoverPolicy::MembershipOracle,
-            ..Default::default()
-        },
-    )
-    .unwrap();
+    let mut sampler = SamplerBuilder::for_workload(w)
+        .estimator(Estimator::Exact)
+        .cover_policy(CoverPolicy::MembershipOracle)
+        .build()
+        .unwrap();
     let mut rng = SujRng::seed_from_u64(4);
     let n = 5_000usize;
     let (_, report) = sampler.sample(n, &mut rng).unwrap();
@@ -131,12 +116,10 @@ fn sampling_is_with_replacement() {
     let w = Arc::new(uq3(&UqOptions::new(1, 45, 0.5)).unwrap());
     let exact = full_join_union(&w).unwrap();
     let u = exact.union_size();
-    let sampler = SetUnionSampler::new(
-        w.clone(),
-        &exact.overlap,
-        UnionSamplerConfig::default(),
-    )
-    .unwrap();
+    let mut sampler = SamplerBuilder::for_workload(w)
+        .estimator(Estimator::Exact)
+        .build()
+        .unwrap();
     let mut rng = SujRng::seed_from_u64(5);
     let n = 4 * u;
     let (samples, _) = sampler.sample(n, &mut rng).unwrap();
@@ -151,15 +134,42 @@ fn sampling_is_with_replacement() {
 #[test]
 fn runs_are_reproducible() {
     let w = Arc::new(uq1(&UqOptions::new(1, 46, 0.2)).unwrap());
-    let exact = full_join_union(&w).unwrap();
-    let sampler =
-        SetUnionSampler::new(w.clone(), &exact.overlap, UnionSamplerConfig::default()).unwrap();
     let run = |seed: u64| {
+        let mut sampler = SamplerBuilder::for_workload(w.clone())
+            .estimator(Estimator::Exact)
+            .build()
+            .unwrap();
         let mut rng = SujRng::seed_from_u64(seed);
         sampler.sample(100, &mut rng).unwrap().0
     };
     assert_eq!(run(99), run(99));
     assert_ne!(run(99), run(100));
+}
+
+/// Incremental consumption with early stop: the stream produces valid
+/// members lazily and stops exactly where the caller stops.
+#[test]
+fn streaming_supports_early_stop() {
+    let w = Arc::new(uq1(&UqOptions::new(1, 48, 0.2)).unwrap());
+    let exact = full_join_union(&w).unwrap();
+    let mut sampler = SamplerBuilder::for_workload(w)
+        .estimator(Estimator::Exact)
+        .cover_policy(CoverPolicy::MembershipOracle)
+        .build()
+        .unwrap();
+    let mut rng = SujRng::seed_from_u64(6);
+    let mut stream = SampleStream::over(&mut sampler, &mut rng);
+    let mut taken = 0;
+    for item in stream.by_ref() {
+        let t = item.unwrap();
+        assert!(exact.union_set.contains(&t));
+        taken += 1;
+        if taken == 17 {
+            break; // stop mid-stream, no batch size declared anywhere
+        }
+    }
+    assert_eq!(stream.yielded(), 17);
+    assert_eq!(sampler.emitted(), 17);
 }
 
 /// The facade crate re-exports a working prelude.

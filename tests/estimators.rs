@@ -171,11 +171,7 @@ fn uq2_pushdown_semantics() {
     let supplier = std::sync::Arc::new(suj_tpch::gen::supplier(&cfg, "supplier", 0, 1.0));
     let partsupp = std::sync::Arc::new(suj_tpch::gen::partsupp(&cfg, "partsupp", 0, 1.0));
     let part = std::sync::Arc::new(suj_tpch::gen::part(&cfg, "part", 0, 1.0));
-    let base = JoinSpec::chain(
-        "base",
-        vec![region, nation, supplier, partsupp, part],
-    )
-    .unwrap();
+    let base = JoinSpec::chain("base", vec![region, nation, supplier, partsupp, part]).unwrap();
 
     let pred = Predicate::cmp("psize", CompareOp::Le, Value::int(30));
     let pushed = push_down(&base, &pred, "filtered").unwrap();

@@ -4,6 +4,7 @@
 //! generated set systems and join instances.
 
 use proptest::prelude::*;
+use proptest::strategy::Strategy;
 use sample_union_joins::prelude::*;
 use std::sync::Arc;
 use suj_core::overlap::OverlapMap;
@@ -120,11 +121,7 @@ fn random_chain() -> impl Strategy<Value = JoinSpec> {
                 .collect();
             Arc::new(Relation::new(name, schema, tuples).unwrap())
         };
-        JoinSpec::chain(
-            "prop",
-            vec![mk("r", ["a", "b"], r), mk("s", ["b", "c"], s)],
-        )
-        .unwrap()
+        JoinSpec::chain("prop", vec![mk("r", ["a", "b"], r), mk("s", ["b", "c"], s)]).unwrap()
     })
 }
 

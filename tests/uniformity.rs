@@ -1,16 +1,16 @@
 //! Cross-crate integration tests: Theorem 1's uniformity guarantee on
 //! the paper's actual workloads (UQ1/UQ2/UQ3), checked by chi-square
-//! against materialized ground truth.
+//! against materialized ground truth. All samplers are assembled
+//! through the fluent `SamplerBuilder`.
 
 use sample_union_joins::prelude::*;
 use std::sync::Arc;
-use suj_core::algorithm1::UnionSamplerConfig;
 use suj_join::WeightKind;
 use suj_storage::FxHashMap;
 
 fn assert_uniform(
     workload: &Arc<UnionWorkload>,
-    config: UnionSamplerConfig,
+    configure: impl FnOnce(SamplerBuilder) -> SamplerBuilder,
     seed: u64,
     draws_per_tuple: usize,
     p_floor: f64,
@@ -19,8 +19,10 @@ fn assert_uniform(
     let universe: Vec<Tuple> = exact.union_set.iter().cloned().collect();
     assert!(universe.len() >= 4, "universe too small to test");
 
-    let sampler =
-        SetUnionSampler::new(workload.clone(), &exact.overlap, config).expect("sampler");
+    let mut sampler =
+        configure(SamplerBuilder::for_workload(workload.clone()).estimator(Estimator::Exact))
+            .build()
+            .expect("build");
     let mut rng = SujRng::seed_from_u64(seed);
     let n = draws_per_tuple * universe.len();
     let (samples, _) = sampler.sample(n, &mut rng).expect("sampling");
@@ -50,11 +52,9 @@ fn uq1_uniform_with_oracle_policy_and_exact_weights() {
     let w = Arc::new(uq1(&UqOptions::new(1, 21, 0.3)).expect("uq1"));
     assert_uniform(
         &w,
-        UnionSamplerConfig {
-            weights: WeightKind::Exact,
-            policy: CoverPolicy::MembershipOracle,
-            strategy: CoverStrategy::AsGiven,
-            ..Default::default()
+        |b| {
+            b.weights(WeightKind::Exact)
+                .cover_policy(CoverPolicy::MembershipOracle)
         },
         1,
         400,
@@ -67,11 +67,9 @@ fn uq1_uniform_with_record_policy() {
     let w = Arc::new(uq1(&UqOptions::new(1, 21, 0.3)).expect("uq1"));
     assert_uniform(
         &w,
-        UnionSamplerConfig {
-            weights: WeightKind::Exact,
-            policy: CoverPolicy::Record,
-            strategy: CoverStrategy::AsGiven,
-            ..Default::default()
+        |b| {
+            b.weights(WeightKind::Exact)
+                .cover_policy(CoverPolicy::Record)
         },
         2,
         400,
@@ -84,12 +82,7 @@ fn uq2_uniform_under_high_overlap() {
     let w = Arc::new(uq2(&UqOptions::new(1, 22, 0.2)).expect("uq2"));
     assert_uniform(
         &w,
-        UnionSamplerConfig {
-            weights: WeightKind::Exact,
-            policy: CoverPolicy::MembershipOracle,
-            strategy: CoverStrategy::AsGiven,
-            ..Default::default()
-        },
+        |b| b.cover_policy(CoverPolicy::MembershipOracle),
         3,
         400,
         1e-3,
@@ -101,11 +94,9 @@ fn uq2_uniform_with_extended_olken_subroutine() {
     let w = Arc::new(uq2(&UqOptions::new(1, 22, 0.2)).expect("uq2"));
     assert_uniform(
         &w,
-        UnionSamplerConfig {
-            weights: WeightKind::ExtendedOlken,
-            policy: CoverPolicy::MembershipOracle,
-            strategy: CoverStrategy::AsGiven,
-            ..Default::default()
+        |b| {
+            b.weights(WeightKind::ExtendedOlken)
+                .cover_policy(CoverPolicy::MembershipOracle)
         },
         4,
         400,
@@ -118,12 +109,7 @@ fn uq3_uniform_across_heterogeneous_schemas() {
     let w = Arc::new(uq3(&UqOptions::new(1, 23, 0.4)).expect("uq3"));
     assert_uniform(
         &w,
-        UnionSamplerConfig {
-            weights: WeightKind::Exact,
-            policy: CoverPolicy::MembershipOracle,
-            strategy: CoverStrategy::AsGiven,
-            ..Default::default()
-        },
+        |b| b.cover_policy(CoverPolicy::MembershipOracle),
         5,
         400,
         1e-3,
@@ -135,11 +121,9 @@ fn uq3_uniform_with_descending_cover() {
     let w = Arc::new(uq3(&UqOptions::new(1, 23, 0.4)).expect("uq3"));
     assert_uniform(
         &w,
-        UnionSamplerConfig {
-            weights: WeightKind::Exact,
-            policy: CoverPolicy::MembershipOracle,
-            strategy: CoverStrategy::DescendingSize,
-            ..Default::default()
+        |b| {
+            b.cover_policy(CoverPolicy::MembershipOracle)
+                .cover_strategy(CoverStrategy::DescendingSize)
         },
         6,
         400,
@@ -151,14 +135,11 @@ fn uq3_uniform_with_descending_cover() {
 fn bernoulli_union_trick_uniform_on_uq3() {
     let w = Arc::new(uq3(&UqOptions::new(1, 24, 0.4)).expect("uq3"));
     let exact = full_join_union(&w).expect("ground truth");
-    let sizes: Vec<f64> = (0..w.n_joins()).map(|j| exact.join_size(j) as f64).collect();
-    let sampler = BernoulliUnionSampler::new(
-        w.clone(),
-        &sizes,
-        exact.union_size() as f64,
-        WeightKind::Exact,
-    )
-    .expect("sampler");
+    let mut sampler = SamplerBuilder::for_workload(w)
+        .estimator(Estimator::Exact)
+        .strategy(Strategy::Bernoulli(DesignationPolicy::Oracle))
+        .build()
+        .expect("sampler");
 
     let universe: Vec<Tuple> = exact.union_set.iter().cloned().collect();
     let mut rng = SujRng::seed_from_u64(9);
@@ -183,22 +164,22 @@ fn bernoulli_union_trick_uniform_on_uq3() {
 fn disjoint_union_weights_tuples_by_multiplicity() {
     let w = Arc::new(uq2(&UqOptions::new(1, 25, 0.2)).expect("uq2"));
     let exact = full_join_union(&w).expect("ground truth");
-    let sampler = suj_core::disjoint::DisjointUnionSampler::with_exact_sizes(
-        w.clone(),
-        WeightKind::Exact,
-    )
-    .expect("sampler");
+    let mut sampler = SamplerBuilder::for_workload(w.clone())
+        .estimator(Estimator::Exact)
+        .strategy(Strategy::Disjoint)
+        .build()
+        .expect("sampler");
 
     let mut rng = SujRng::seed_from_u64(11);
     let n = 120_000;
-    let (samples, _) = sampler.sample(n, &mut rng);
+    let (samples, _) = sampler.sample(n, &mut rng).expect("sampling");
 
     // Expected frequency of tuple t ∝ number of joins containing it.
     let mut counts: FxHashMap<Tuple, u64> = FxHashMap::default();
     for t in &samples {
         *counts.entry(t.clone()).or_insert(0) += 1;
     }
-    let v = sampler.disjoint_size();
+    let v: f64 = (0..w.n_joins()).map(|j| exact.join_size(j) as f64).sum();
     for t in exact.union_set.iter().take(50) {
         let mult = (0..w.n_joins())
             .filter(|&j| exact.join_results[j].contains(t))
@@ -219,12 +200,7 @@ fn uq4_cyclic_joins_sample_uniformly() {
     let w = Arc::new(uq4_cyclic(&UqOptions::new(1, 26, 0.3)).expect("uq4"));
     assert_uniform(
         &w,
-        UnionSamplerConfig {
-            weights: WeightKind::Exact,
-            policy: CoverPolicy::MembershipOracle,
-            strategy: CoverStrategy::AsGiven,
-            ..Default::default()
-        },
+        |b| b.cover_policy(CoverPolicy::MembershipOracle),
         12,
         400,
         1e-3,
@@ -238,14 +214,44 @@ fn uq3_uniform_with_wander_join_subroutine() {
     let w = Arc::new(uq3(&UqOptions::new(1, 27, 0.4)).expect("uq3"));
     assert_uniform(
         &w,
-        UnionSamplerConfig {
-            weights: WeightKind::WanderJoin,
-            policy: CoverPolicy::MembershipOracle,
-            strategy: CoverStrategy::AsGiven,
-            ..Default::default()
+        |b| {
+            b.weights(WeightKind::WanderJoin)
+                .cover_policy(CoverPolicy::MembershipOracle)
         },
         13,
         400,
         1e-3,
     );
+}
+
+#[test]
+fn streamed_samples_are_uniform_through_trait_object() {
+    // Chi-squared uniformity through `SampleStream` over a
+    // `Box<dyn UnionSampler>` — the oracle policy stream is exactly
+    // i.i.d.
+    let w = Arc::new(uq3(&UqOptions::new(1, 28, 0.4)).expect("uq3"));
+    let exact = full_join_union(&w).expect("ground truth");
+    let universe: Vec<Tuple> = exact.union_set.iter().cloned().collect();
+    let mut sampler: Box<dyn UnionSampler> = SamplerBuilder::for_workload(w)
+        .estimator(Estimator::Exact)
+        .cover_policy(CoverPolicy::MembershipOracle)
+        .build()
+        .expect("sampler");
+    let mut rng = SujRng::seed_from_u64(29);
+    let n = 400 * universe.len();
+    let samples: Vec<Tuple> = SampleStream::over(&mut sampler, &mut rng)
+        .take(n)
+        .collect::<Result<_, _>>()
+        .expect("stream");
+    let mut counts: FxHashMap<Tuple, u64> = FxHashMap::default();
+    for t in &samples {
+        assert!(exact.union_set.contains(t));
+        *counts.entry(t.clone()).or_insert(0) += 1;
+    }
+    let observed: Vec<u64> = universe
+        .iter()
+        .map(|t| counts.get(t).copied().unwrap_or(0))
+        .collect();
+    let outcome = suj_stats::chi_square_test(&observed).expect("chi2");
+    assert!(outcome.p_value > 1e-3, "p = {:e}", outcome.p_value);
 }
