@@ -1,0 +1,61 @@
+//! Criterion microbench: `Strategy::Auto` against the manual §9
+//! configurations on the set-union workloads — the measurement behind
+//! the planner's "within 2× of the best manual configuration"
+//! guarantee, plus the planning probe itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use suj_bench::{build_auto_sampler, build_workload, manual_set_union_candidates, UqOptions};
+use suj_core::prelude::*;
+use suj_stats::SujRng;
+
+fn bench_auto_vs_manual(c: &mut Criterion) {
+    let opts = UqOptions::new(2, 42, 0.2);
+    let mut group = c.benchmark_group("auto_planner");
+    group.sample_size(10);
+
+    for name in ["uq1", "uq2", "uq3"] {
+        let w = Arc::new(build_workload(name, &opts).expect("workload"));
+
+        let mut auto = build_auto_sampler(w.clone(), 42).expect("auto sampler");
+        let label = auto
+            .report()
+            .config
+            .as_ref()
+            .map(|cfg| cfg.to_string())
+            .unwrap_or_default();
+        eprintln!("auto_planner/{name}: {label}");
+        group.bench_function(format!("{name}/auto/N=200"), |b| {
+            let mut rng = SujRng::seed_from_u64(5);
+            b.iter(|| black_box(auto.sample(200, &mut rng).expect("run").0.len()))
+        });
+
+        for (manual_label, mut sampler) in manual_set_union_candidates(&w, 42) {
+            group.bench_function(format!("{name}/{manual_label}/N=200"), |b| {
+                let mut rng = SujRng::seed_from_u64(5);
+                b.iter(|| black_box(sampler.sample(200, &mut rng).expect("run").0.len()))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_planning_probe(c: &mut Criterion) {
+    let opts = UqOptions::new(2, 42, 0.2);
+    let mut group = c.benchmark_group("planning_probe");
+    group.sample_size(10);
+    for name in ["uq1", "uq2", "uq3"] {
+        let w = Arc::new(build_workload(name, &opts).expect("workload"));
+        group.bench_function(format!("{name}/plan"), |b| {
+            b.iter(|| {
+                let plan = Planner::default().plan(&w, UnionSemantics::Set);
+                black_box(plan.rule)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_auto_vs_manual, bench_planning_probe);
+criterion_main!(benches);

@@ -124,8 +124,15 @@ fn breakdown_panel(scale: usize, seed: u64) {
             EstimatorKind::RandomWalk,
         ] {
             let (report, warmup) = run_set_union(&w, kind, 1000, seed).expect("run");
+            // The report itself records the resolved configuration, so
+            // every row names what produced it.
+            let config = report
+                .config
+                .as_ref()
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| kind.label().into());
             table.push_row(vec![
-                kind.label().into(),
+                config,
                 ms(warmup),
                 ms(report.accepted_time),
                 ms(report.rejected_time),

@@ -244,6 +244,10 @@ impl UnionSampler for SetUnionSampler {
         &self.report
     }
 
+    fn report_mut(&mut self) -> &mut RunReport {
+        &mut self.report
+    }
+
     fn emitted(&self) -> u64 {
         self.emitted
     }

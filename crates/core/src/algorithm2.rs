@@ -402,6 +402,10 @@ impl UnionSampler for OnlineUnionSampler {
         &self.report
     }
 
+    fn report_mut(&mut self) -> &mut RunReport {
+        &mut self.report
+    }
+
     fn emitted(&self) -> u64 {
         self.emitted
     }

@@ -200,6 +200,10 @@ impl UnionSampler for BernoulliUnionSampler {
         &self.report
     }
 
+    fn report_mut(&mut self) -> &mut RunReport {
+        &mut self.report
+    }
+
     fn emitted(&self) -> u64 {
         self.emitted
     }

@@ -1,0 +1,443 @@
+//! The serving entry point: a relation [`Catalog`], the planning
+//! [`Engine`], and reusable [`PreparedQuery`] handles.
+//!
+//! This is the declarative counterpart to
+//! [`SamplerBuilder`]: register
+//! relations once (in memory, from CSV, or imported from a generated
+//! [`suj_storage::Catalog`]), describe a
+//! [`UnionQuery`] by relation *name*, and
+//! let the engine's [`Planner`] pick the
+//! estimator × strategy × cover × predicate-mode configuration.
+//! Preparing a query pays parameter estimation once; every subsequent
+//! [`PreparedQuery::run`] reuses the cached overlap/estimator state,
+//! which is what a served workload wants.
+//!
+//! ```
+//! use suj_core::catalog::{Catalog, Engine};
+//! use suj_core::query::UnionQuery;
+//! use suj_stats::SujRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut catalog = Catalog::new();
+//! catalog.register_csv("items", "sku,cat\n1,7\n2,9\n".as_bytes())?;
+//! catalog.register_csv("sales", "sale,sku\n100,1\n101,2\n".as_bytes())?;
+//!
+//! let query = UnionQuery::set_union().chain("shop", ["items", "sales"])?;
+//! let engine = Engine::new(catalog);
+//! let mut prepared = engine.prepare(&query)?;   // plans + estimates once
+//! println!("{}", prepared.plan().explain());
+//!
+//! let mut rng = SujRng::seed_from_u64(7);
+//! let (samples, _report) = prepared.run(2, &mut rng)?; // reuses state
+//! assert_eq!(samples.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::CoreError;
+use crate::planner::{Plan, Planner};
+use crate::query::UnionQuery;
+use crate::report::RunReport;
+use crate::sampler::UnionSampler;
+use crate::session::SamplerBuilder;
+use crate::workload::UnionWorkload;
+use std::io::Read;
+use std::sync::Arc;
+use suj_stats::SujRng;
+use suj_storage::{read_csv, FxHashMap, Relation, StorageError, Tuple};
+
+/// A named collection of relations — the "database" union queries are
+/// resolved against. Relations are shared (`Arc`), so registering a
+/// relation in several catalogs or joins copies nothing.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    relations: FxHashMap<Arc<str>, Arc<Relation>>,
+    order: Vec<Arc<str>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a relation under its own name. Fails on duplicates.
+    pub fn register(&mut self, relation: Relation) -> Result<Arc<Relation>, CoreError> {
+        self.register_arc(Arc::new(relation))
+    }
+
+    /// Registers an already-shared relation under its own name.
+    pub fn register_arc(&mut self, relation: Arc<Relation>) -> Result<Arc<Relation>, CoreError> {
+        let name: Arc<str> = Arc::from(relation.name());
+        if self.relations.contains_key(&name) {
+            return Err(CoreError::Storage(StorageError::DuplicateRelation(
+                name.to_string(),
+            )));
+        }
+        self.relations.insert(name.clone(), relation.clone());
+        self.order.push(name);
+        Ok(relation)
+    }
+
+    /// Loads a relation from CSV (header row = schema; §4's
+    /// decentralized data-market setting usually means delimited files)
+    /// and registers it under `name`.
+    pub fn register_csv(
+        &mut self,
+        name: impl AsRef<str>,
+        reader: impl Read,
+    ) -> Result<Arc<Relation>, CoreError> {
+        let relation = read_csv(name, reader).map_err(CoreError::Storage)?;
+        self.register(relation)
+    }
+
+    /// Imports every relation of a storage-layer catalog (e.g. the
+    /// TPC-H generator's output); names must not collide with existing
+    /// registrations. Returns how many relations were added.
+    pub fn import(&mut self, source: &suj_storage::Catalog) -> Result<usize, CoreError> {
+        let names: Vec<String> = source.names().map(String::from).collect();
+        for name in &names {
+            if self.contains(name) {
+                return Err(CoreError::Storage(StorageError::DuplicateRelation(
+                    name.clone(),
+                )));
+            }
+        }
+        for name in &names {
+            let rel = source.get(name).map_err(CoreError::Storage)?;
+            self.register_arc(rel)?;
+        }
+        Ok(names.len())
+    }
+
+    /// Looks up a relation by name.
+    pub fn get(&self, name: &str) -> Result<Arc<Relation>, CoreError> {
+        self.relations
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CoreError::Storage(StorageError::UnknownRelation(name.to_string())))
+    }
+
+    /// Whether a relation is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.order.iter().map(|n| n.as_ref())
+    }
+
+    /// Number of registered relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Total rows across all relations.
+    pub fn total_rows(&self) -> usize {
+        self.relations.values().map(|r| r.len()).sum()
+    }
+}
+
+/// Catalog + planner: resolves declarative queries, plans their
+/// configuration, and builds ready-to-serve samplers.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    catalog: Catalog,
+    planner: Planner,
+}
+
+impl Engine {
+    /// An engine over a catalog, with default planner thresholds.
+    pub fn new(catalog: Catalog) -> Self {
+        Self {
+            catalog,
+            planner: Planner::default(),
+        }
+    }
+
+    /// An engine with explicit planner thresholds.
+    pub fn with_planner(catalog: Catalog, planner: Planner) -> Self {
+        Self { catalog, planner }
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable catalog access (register more relations).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// The planner.
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// Resolves and plans a query without building a sampler — the
+    /// `EXPLAIN` path: cheap statistics only, no parameter estimation.
+    pub fn plan(&self, query: &UnionQuery) -> Result<Plan, CoreError> {
+        Ok(self.planner.plan_query(&query.resolve(&self.catalog)?))
+    }
+
+    /// Resolves, plans, estimates, and assembles a sampler; the
+    /// returned [`PreparedQuery`] serves repeated
+    /// [`run`](PreparedQuery::run) calls from the estimator state paid
+    /// for here.
+    pub fn prepare(&self, query: &UnionQuery) -> Result<PreparedQuery, CoreError> {
+        let resolved = query.resolve(&self.catalog)?;
+        let plan = self.planner.plan_query(&resolved);
+        let mut builder = plan.apply(SamplerBuilder::for_workload(resolved.workload));
+        if let (Some(p), Some(mode)) = (resolved.predicate, plan.predicate_mode) {
+            builder = builder.predicate(p, mode);
+        }
+        let mut sampler = builder.build()?;
+        sampler.report_mut().config = Some(plan.summary());
+        Ok(PreparedQuery { plan, sampler })
+    }
+
+    /// One-shot convenience: prepare, then draw `n` samples.
+    pub fn run(
+        &self,
+        query: &UnionQuery,
+        n: usize,
+        rng: &mut SujRng,
+    ) -> Result<(Vec<Tuple>, RunReport), CoreError> {
+        self.prepare(query)?.run(n, rng)
+    }
+}
+
+/// A planned, estimated, ready-to-serve query: overlap maps, covers,
+/// and estimator state were computed once at
+/// [`Engine::prepare`] time and are reused by every `run`.
+pub struct PreparedQuery {
+    plan: Plan,
+    sampler: Box<dyn UnionSampler>,
+}
+
+impl PreparedQuery {
+    /// The configuration the planner selected.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// [`Plan::explain`] for this query.
+    pub fn explain(&self) -> String {
+        self.plan.explain()
+    }
+
+    /// The workload being sampled.
+    pub fn workload(&self) -> &Arc<UnionWorkload> {
+        self.sampler.workload()
+    }
+
+    /// Cumulative counters across all runs (including the stamped
+    /// configuration).
+    pub fn report(&self) -> &RunReport {
+        self.sampler.report()
+    }
+
+    /// Draws `n` i.i.d. samples, reusing the cached estimator state;
+    /// the returned report covers this call only.
+    pub fn run(
+        &mut self,
+        n: usize,
+        rng: &mut SujRng,
+    ) -> Result<(Vec<Tuple>, RunReport), CoreError> {
+        self.sampler.sample(n, rng)
+    }
+
+    /// The underlying sampler, for incremental consumption via
+    /// [`SampleStream`](crate::stream::SampleStream) or raw
+    /// [`draw`](UnionSampler::draw) events.
+    pub fn sampler_mut(&mut self) -> &mut dyn UnionSampler {
+        &mut *self.sampler
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::PlanRule;
+    use crate::predicate_mode::PredicateMode;
+    use suj_storage::{CompareOp, Predicate, Schema, Value};
+
+    fn rel(name: &str, attrs: &[&str], rows: Vec<Vec<i64>>) -> Relation {
+        let schema = Schema::new(attrs.iter().copied()).unwrap();
+        let tuples = rows
+            .into_iter()
+            .map(|vals| vals.into_iter().map(Value::int).collect())
+            .collect();
+        Relation::new(name, schema, tuples).unwrap()
+    }
+
+    fn shop_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(rel(
+            "a_items",
+            &["sku", "cat"],
+            vec![vec![1, 7], vec![2, 7], vec![3, 9]],
+        ))
+        .unwrap();
+        c.register(rel(
+            "a_sales",
+            &["sale", "sku"],
+            vec![vec![100, 1], vec![101, 1], vec![102, 2]],
+        ))
+        .unwrap();
+        c.register(rel(
+            "b_items",
+            &["sku", "cat"],
+            vec![vec![1, 7], vec![5, 9]],
+        ))
+        .unwrap();
+        c.register(rel(
+            "b_sales",
+            &["sale", "sku"],
+            vec![vec![100, 1], vec![200, 5]],
+        ))
+        .unwrap();
+        c
+    }
+
+    fn shop_query() -> UnionQuery {
+        UnionQuery::set_union()
+            .chain("shop_a", ["a_items", "a_sales"])
+            .unwrap()
+            .chain("shop_b", ["b_items", "b_sales"])
+            .unwrap()
+    }
+
+    #[test]
+    fn catalog_registration_and_lookup() {
+        let mut c = Catalog::new();
+        assert!(c.is_empty());
+        c.register(rel("r", &["x"], vec![vec![1]])).unwrap();
+        assert!(c.contains("r"));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.total_rows(), 1);
+        assert_eq!(c.get("r").unwrap().name(), "r");
+        assert!(c.get("missing").is_err());
+        // Duplicate name rejected.
+        assert!(c.register(rel("r", &["x"], vec![])).is_err());
+    }
+
+    #[test]
+    fn catalog_loads_csv() {
+        let mut c = Catalog::new();
+        let r = c
+            .register_csv("items", "sku,cat\n1,coffee\n2,tea\n".as_bytes())
+            .unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(c.contains("items"));
+    }
+
+    #[test]
+    fn catalog_imports_storage_catalogs() {
+        let mut source = suj_storage::Catalog::new();
+        source.register(rel("x", &["a"], vec![vec![1]])).unwrap();
+        source.register(rel("y", &["a"], vec![vec![2]])).unwrap();
+        let mut c = Catalog::new();
+        assert_eq!(c.import(&source).unwrap(), 2);
+        assert!(c.contains("x") && c.contains("y"));
+        // A second import collides and changes nothing.
+        assert!(c.import(&source).is_err());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn engine_plans_without_building() {
+        let engine = Engine::new(shop_catalog());
+        let plan = engine.plan(&shop_query()).unwrap();
+        // Tiny data: exact estimation; overlapping shops: some
+        // set-union strategy. The point: planning succeeds and
+        // explains itself.
+        assert!(plan.explain().contains("rule:"));
+    }
+
+    #[test]
+    fn prepared_query_runs_and_reuses_state() {
+        let engine = Engine::new(shop_catalog());
+        let mut prepared = engine.prepare(&shop_query()).unwrap();
+        let exact = crate::exact::full_join_union(prepared.workload()).unwrap();
+        let mut rng = SujRng::seed_from_u64(3);
+        let (first, report) = prepared.run(10, &mut rng).unwrap();
+        assert_eq!(first.len(), 10);
+        assert!(report.config.is_some(), "plan summary must be stamped");
+        for t in &first {
+            assert!(exact.union_set.contains(t));
+        }
+        // Second run reuses the sampler (no re-estimation): cumulative
+        // report keeps growing, per-run report stays per-run.
+        let (second, report2) = prepared.run(5, &mut rng).unwrap();
+        assert_eq!(second.len(), 5);
+        assert_eq!(report2.accepted, 5);
+        assert!(prepared.report().accepted >= 15);
+        assert_eq!(report2.config, report.config);
+    }
+
+    #[test]
+    fn engine_one_shot_run() {
+        let engine = Engine::new(shop_catalog());
+        let mut rng = SujRng::seed_from_u64(4);
+        let (samples, report) = engine.run(&shop_query(), 6, &mut rng).unwrap();
+        assert_eq!(samples.len(), 6);
+        assert!(report.config.is_some());
+    }
+
+    #[test]
+    fn disjoint_query_plans_disjoint_sampling() {
+        let query = UnionQuery::disjoint_union()
+            .chain("shop_a", ["a_items", "a_sales"])
+            .unwrap()
+            .chain("shop_b", ["b_items", "b_sales"])
+            .unwrap();
+        let engine = Engine::new(shop_catalog());
+        let plan = engine.plan(&query).unwrap();
+        assert_eq!(plan.rule, PlanRule::DisjointSemantics);
+        let mut rng = SujRng::seed_from_u64(5);
+        let (samples, _) = engine.run(&query, 8, &mut rng).unwrap();
+        assert_eq!(samples.len(), 8);
+    }
+
+    #[test]
+    fn predicate_mode_planned_and_applied() {
+        // Conjunctive comparison → push-down.
+        let q = shop_query().predicate(Predicate::cmp("cat", CompareOp::Le, Value::int(7)));
+        let engine = Engine::new(shop_catalog());
+        let plan = engine.plan(&q).unwrap();
+        assert_eq!(plan.predicate_mode, Some(PredicateMode::PushDown));
+        let mut rng = SujRng::seed_from_u64(6);
+        let (samples, _) = engine.run(&q, 12, &mut rng).unwrap();
+        let prepared = engine.prepare(&q).unwrap();
+        let compiled = Predicate::cmp("cat", CompareOp::Le, Value::int(7))
+            .compile(prepared.workload().canonical_schema())
+            .unwrap();
+        for t in &samples {
+            assert!(compiled.eval(t));
+        }
+
+        // Non-decomposable predicate → reject-during-sampling.
+        let q = shop_query().predicate(Predicate::Not(Box::new(Predicate::cmp(
+            "cat",
+            CompareOp::Gt,
+            Value::int(7),
+        ))));
+        let plan = engine.plan(&q).unwrap();
+        assert_eq!(plan.predicate_mode, Some(PredicateMode::Reject));
+
+        // A pinned mode wins over the planner.
+        let q = shop_query()
+            .predicate(Predicate::cmp("cat", CompareOp::Le, Value::int(7)))
+            .predicate_mode(PredicateMode::Reject);
+        let plan = engine.plan(&q).unwrap();
+        assert_eq!(plan.predicate_mode, Some(PredicateMode::Reject));
+    }
+}

@@ -111,6 +111,10 @@ impl UnionSampler for DisjointUnionSampler {
         &self.report
     }
 
+    fn report_mut(&mut self) -> &mut RunReport {
+        &mut self.report
+    }
+
     fn emitted(&self) -> u64 {
         self.emitted
     }

@@ -14,6 +14,14 @@ pub enum CoreError {
         /// Name of the offending join.
         join: String,
     },
+    /// A workload exceeds the supported join count (membership masks
+    /// pack into `u32` and overlap tables allocate `2^n` entries).
+    TooManyJoins {
+        /// Number of joins requested.
+        got: usize,
+        /// Maximum supported ([`crate::workload::MAX_JOINS`]).
+        max: usize,
+    },
     /// A join-layer error.
     Join(JoinError),
     /// A storage-layer error.
@@ -30,6 +38,9 @@ impl fmt::Display for CoreError {
                 f,
                 "join `{join}` does not produce the workload's common output schema"
             ),
+            CoreError::TooManyJoins { got, max } => {
+                write!(f, "union workload supports at most {max} joins, got {got}")
+            }
             CoreError::Join(e) => write!(f, "join error: {e}"),
             CoreError::Storage(e) => write!(f, "storage error: {e}"),
             CoreError::Invalid(msg) => write!(f, "{msg}"),

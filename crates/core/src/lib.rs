@@ -85,13 +85,16 @@
 pub mod algorithm1;
 pub mod algorithm2;
 pub mod bernoulli;
+pub mod catalog;
 pub mod cover;
 pub mod disjoint;
 pub mod error;
 pub mod exact;
 pub mod hist_estimator;
 pub mod overlap;
+pub mod planner;
 pub mod predicate_mode;
+pub mod query;
 pub mod report;
 pub mod sampler;
 pub mod session;
@@ -102,35 +105,45 @@ pub mod workload;
 pub use algorithm1::{CoverPolicy, SetUnionSampler, UnionSamplerConfig};
 pub use algorithm2::{OnlineConfig, OnlineUnionSampler};
 pub use bernoulli::{BernoulliUnionSampler, DesignationPolicy};
+pub use catalog::{Catalog, Engine, PreparedQuery};
 pub use cover::{Cover, CoverStrategy};
 pub use error::CoreError;
 pub use exact::{full_join_union, ExactUnion};
 pub use hist_estimator::{DegreeMode, HistogramEstimator};
 pub use overlap::OverlapMap;
-pub use predicate_mode::{push_down, FilteredSampler, PredicateMode, PredicateSampler};
-pub use report::RunReport;
+pub use planner::{Plan, PlanRule, Planner, PlannerConfig, WorkloadStats};
+pub use predicate_mode::{
+    can_push_down, push_down, FilteredSampler, PredicateMode, PredicateSampler,
+};
+pub use query::{JoinDef, ResolvedQuery, UnionQuery, UnionSemantics};
+pub use report::{PlanSummary, RunReport};
 pub use sampler::{Draw, UnionSampler};
 pub use session::{Estimator, HistogramOptions, SamplerBuilder, Strategy};
 pub use stream::SampleStream;
 pub use walk_estimator::{WalkEstimate, WalkEstimatorConfig};
-pub use workload::UnionWorkload;
+pub use workload::{UnionWorkload, MAX_JOINS};
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::algorithm1::{CoverPolicy, SetUnionSampler, UnionSamplerConfig};
     pub use crate::algorithm2::{OnlineConfig, OnlineUnionSampler};
     pub use crate::bernoulli::{BernoulliUnionSampler, DesignationPolicy};
+    pub use crate::catalog::{Catalog, Engine, PreparedQuery};
     pub use crate::cover::{Cover, CoverStrategy};
     pub use crate::disjoint::DisjointUnionSampler;
     pub use crate::error::CoreError;
     pub use crate::exact::{full_join_union, ExactUnion};
     pub use crate::hist_estimator::{DegreeMode, HistogramEstimator};
     pub use crate::overlap::OverlapMap;
-    pub use crate::predicate_mode::{push_down, FilteredSampler, PredicateMode, PredicateSampler};
-    pub use crate::report::RunReport;
+    pub use crate::planner::{Plan, PlanRule, Planner, PlannerConfig, WorkloadStats};
+    pub use crate::predicate_mode::{
+        can_push_down, push_down, FilteredSampler, PredicateMode, PredicateSampler,
+    };
+    pub use crate::query::{JoinDef, ResolvedQuery, UnionQuery, UnionSemantics};
+    pub use crate::report::{PlanSummary, RunReport};
     pub use crate::sampler::{Draw, UnionSampler};
     pub use crate::session::{Estimator, HistogramOptions, SamplerBuilder, Strategy};
     pub use crate::stream::SampleStream;
     pub use crate::walk_estimator::{WalkEstimate, WalkEstimatorConfig};
-    pub use crate::workload::UnionWorkload;
+    pub use crate::workload::{UnionWorkload, MAX_JOINS};
 }

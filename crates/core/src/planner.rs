@@ -1,0 +1,632 @@
+//! Cost-based planning of the estimator × algorithm configuration.
+//!
+//! §9's evaluation is a matrix of estimator × algorithm configurations
+//! whose winner flips with overlap ratio, join-size skew, and
+//! statistics availability. The [`Planner`] encodes those findings as
+//! explicit rules so callers can say *what* to sample (a
+//! [`UnionQuery`](crate::query::UnionQuery) or
+//! [`Strategy::Auto`](crate::session::Strategy)) and let the system
+//! decide *how*:
+//!
+//! | Rule | Condition | Configuration | Paper |
+//! |---|---|---|---|
+//! | `DisjointSemantics` | query asks for `⊎` | disjoint-union sampling | Definition 1 |
+//! | `SingleJoin` | one join | per-join sampling, no union machinery | §2, §3.2 |
+//! | `NoStatistics` | no catalog statistics | Algorithm 2 (online estimation) | §6–§7 |
+//! | `LowOverlap` | `Σ|Jᵢ|/|∪Jᵢ|` near 1 | Bernoulli union trick | §3 |
+//! | `HighOverlap` | otherwise | Algorithm 1 (cover selection) | §4–§5 |
+//!
+//! Every [`Plan`] carries the statistics that drove the decision and an
+//! [`explain`](Plan::explain) rendering that cites the rule, so served
+//! configurations stay auditable.
+
+use crate::algorithm2::OnlineConfig;
+use crate::bernoulli::DesignationPolicy;
+use crate::cover::CoverStrategy;
+use crate::error::CoreError;
+use crate::hist_estimator::{DegreeMode, HistogramEstimator};
+use crate::overlap::OverlapMap;
+use crate::predicate_mode::{can_push_down, PredicateMode};
+use crate::query::{ResolvedQuery, UnionSemantics};
+use crate::report::PlanSummary;
+use crate::session::{Estimator, HistogramOptions, Strategy};
+use crate::walk_estimator::WalkEstimatorConfig;
+use crate::workload::UnionWorkload;
+use suj_join::WeightKind;
+
+/// Cheap statistics the planner gathers before choosing a
+/// configuration: histogram-derived join-size hints and an
+/// overlap-ratio probe (§5's statistics-only estimates — no data is
+/// scanned beyond per-attribute frequency histograms).
+#[derive(Debug, Clone)]
+pub struct WorkloadStats {
+    /// Estimated `|J_j|` per join, when statistics are available.
+    pub join_size_hints: Option<Vec<f64>>,
+    /// Estimated `|∪ J_j|`, when statistics are available.
+    pub union_size_hint: Option<f64>,
+    /// Total rows across all distinct base relations (relations shared
+    /// by several joins count once; used to spot workloads small enough
+    /// for exact estimation).
+    pub total_base_rows: usize,
+    /// Number of joins.
+    pub n_joins: usize,
+    /// The overlap map the probe computed, kept so a plan that selects
+    /// the same histogram estimator can hand it to the builder instead
+    /// of re-estimating.
+    pub(crate) probed_map: Option<OverlapMap>,
+}
+
+impl WorkloadStats {
+    /// Probes the workload with the §5 histogram estimator. Statistics
+    /// failures (e.g. shapes the estimator cannot bound) degrade to
+    /// [`WorkloadStats::unavailable`] rather than erroring: planning
+    /// must always succeed.
+    pub fn probe(workload: &UnionWorkload) -> Self {
+        let mut stats = Self::unavailable(workload);
+        if let Ok(map) = HistogramEstimator::with_olken(workload, DegreeMode::Max)
+            .and_then(|est| est.overlap_map())
+        {
+            stats.join_size_hints =
+                Some((0..workload.n_joins()).map(|j| map.join_size(j)).collect());
+            stats.union_size_hint = Some(map.union_size());
+            stats.probed_map = Some(map);
+        }
+        stats
+    }
+
+    /// Statistics-free stats (the decentralized cold start): only row
+    /// and join counts, which are always known.
+    pub fn unavailable(workload: &UnionWorkload) -> Self {
+        // Count each relation once, even when several joins share it
+        // (the common union-of-joins shape): `Arc` identity
+        // deduplicates.
+        let mut seen = suj_storage::FxHashSet::default();
+        let total_base_rows = workload
+            .joins()
+            .iter()
+            .flat_map(|j| j.relations())
+            .filter(|r| seen.insert(std::sync::Arc::as_ptr(r) as usize))
+            .map(|r| r.len())
+            .sum();
+        Self {
+            join_size_hints: None,
+            union_size_hint: None,
+            total_base_rows,
+            n_joins: workload.n_joins(),
+            probed_map: None,
+        }
+    }
+
+    /// Whether the probe produced size estimates.
+    pub fn available(&self) -> bool {
+        self.join_size_hints.is_some() && self.union_size_hint.is_some()
+    }
+
+    /// `Σ |Jᵢ|` over the hints.
+    pub fn sum_join_sizes(&self) -> Option<f64> {
+        self.join_size_hints.as_ref().map(|h| h.iter().sum())
+    }
+
+    /// The §3 overlap ratio `Σ|Jᵢ| / |∪Jᵢ|`, clamped to `≥ 1` (exact
+    /// values cannot go below 1; estimates may). An estimated-empty
+    /// union with empty joins is trivially overlap-free (ratio 1);
+    /// `None` only when statistics are unavailable or inconsistent
+    /// (zero union under non-zero joins).
+    pub fn overlap_ratio(&self) -> Option<f64> {
+        let sum = self.sum_join_sizes()?;
+        let union = self.union_size_hint?;
+        if union <= 0.0 {
+            if sum <= 0.0 {
+                Some(1.0)
+            } else {
+                None
+            }
+        } else {
+            Some((sum / union).max(1.0))
+        }
+    }
+
+    /// Join-size skew: largest hint over smallest non-zero hint.
+    /// `None` without statistics or with all-empty joins.
+    pub fn size_skew(&self) -> Option<f64> {
+        let hints = self.join_size_hints.as_ref()?;
+        let max = hints.iter().cloned().fold(0.0f64, f64::max);
+        let min = hints
+            .iter()
+            .cloned()
+            .filter(|&h| h > 0.0)
+            .fold(f64::INFINITY, f64::min);
+        if max <= 0.0 || !min.is_finite() {
+            None
+        } else {
+            Some(max / min)
+        }
+    }
+}
+
+/// Which paper-derived rule selected the configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanRule {
+    /// The query asked for disjoint-union semantics.
+    DisjointSemantics,
+    /// A single join needs no union machinery.
+    SingleJoin,
+    /// No statistics: estimate online, while sampling.
+    NoStatistics,
+    /// Overlap ratio near 1: the Bernoulli union trick rarely rejects.
+    LowOverlap,
+    /// Overlapping joins: non-Bernoulli cover selection wastes nothing.
+    HighOverlap,
+}
+
+impl PlanRule {
+    /// Stable rule name (used in summaries and assertions).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlanRule::DisjointSemantics => "disjoint-semantics",
+            PlanRule::SingleJoin => "single-join",
+            PlanRule::NoStatistics => "no-statistics",
+            PlanRule::LowOverlap => "low-overlap",
+            PlanRule::HighOverlap => "high-overlap",
+        }
+    }
+
+    /// The paper section(s) justifying the rule.
+    pub fn citation(&self) -> &'static str {
+        match self {
+            PlanRule::DisjointSemantics => "Definition 1, §2",
+            PlanRule::SingleJoin => "§2, §3.2",
+            PlanRule::NoStatistics => "§6–§7 (Algorithm 2)",
+            PlanRule::LowOverlap => "§3 (Bernoulli union trick)",
+            PlanRule::HighOverlap => "§4–§5 (Algorithm 1, cover selection)",
+        }
+    }
+}
+
+/// Planner thresholds. Defaults follow the §9 evaluation's crossover
+/// points; every threshold is overridable for ablation.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannerConfig {
+    /// Pick Bernoulli when `Σ|Jᵢ|/|∪Jᵢ|` is at most this (§3: the
+    /// expected rejection fraction is `1 − 1/ratio`, so 1.25 caps it
+    /// at 20%).
+    pub bernoulli_max_overlap_ratio: f64,
+    /// Use exact (full-join) estimation when the base data has at most
+    /// this many rows — the §9 ground-truth configuration, affordable
+    /// at toy scale and the most accurate.
+    pub exact_max_base_rows: usize,
+    /// Order the cover by descending size when the largest join hint
+    /// exceeds the smallest by this factor (claiming overlaps early
+    /// leaves later joins small residuals, §3.1).
+    pub skewed_cover_ratio: f64,
+    /// Probe catalog statistics at all; `false` models the
+    /// decentralized cold start and always plans Algorithm 2.
+    pub use_statistics: bool,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        Self {
+            bernoulli_max_overlap_ratio: 1.25,
+            exact_max_base_rows: 512,
+            skewed_cover_ratio: 8.0,
+            use_statistics: true,
+        }
+    }
+}
+
+/// The planner: consumes a workload (or resolved query) plus cheap
+/// statistics, emits an explainable [`Plan`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Planner {
+    config: PlannerConfig,
+}
+
+impl Planner {
+    /// A planner with explicit thresholds.
+    pub fn new(config: PlannerConfig) -> Self {
+        Self { config }
+    }
+
+    /// A planner that never consults catalog statistics (the
+    /// decentralized / cold-start setting): every set-union plan is
+    /// Algorithm 2, which estimates parameters while sampling.
+    pub fn without_statistics() -> Self {
+        Self::new(PlannerConfig {
+            use_statistics: false,
+            ..PlannerConfig::default()
+        })
+    }
+
+    /// The active thresholds.
+    pub fn config(&self) -> &PlannerConfig {
+        &self.config
+    }
+
+    /// Plans a workload under the given union semantics.
+    pub fn plan(&self, workload: &UnionWorkload, semantics: UnionSemantics) -> Plan {
+        let stats = if self.config.use_statistics {
+            WorkloadStats::probe(workload)
+        } else {
+            WorkloadStats::unavailable(workload)
+        };
+        let estimator = self.pick_estimator(&stats);
+
+        let (rule, strategy) = if semantics == UnionSemantics::Disjoint {
+            (PlanRule::DisjointSemantics, Strategy::Disjoint)
+        } else if stats.n_joins == 1 {
+            // One join: the disjoint sampler degenerates to plain
+            // per-join sampling — no oracles, no cover, no rejection.
+            (PlanRule::SingleJoin, Strategy::Disjoint)
+        } else if !stats.available() {
+            (
+                PlanRule::NoStatistics,
+                Strategy::Online(OnlineConfig::default()),
+            )
+        } else {
+            // Inconsistent estimates (zero union under non-zero joins,
+            // a shape upper-bound estimators cannot produce but that
+            // guards against future estimators) default to the
+            // conservative high-overlap path.
+            match stats.overlap_ratio() {
+                Some(r) if r <= self.config.bernoulli_max_overlap_ratio => (
+                    PlanRule::LowOverlap,
+                    Strategy::Bernoulli(DesignationPolicy::Record),
+                ),
+                _ => (PlanRule::HighOverlap, Strategy::Rejection),
+            }
+        };
+
+        // Online estimates its own parameters; every other strategy
+        // consumes the picked estimator. Weights are always the exact
+        // (EW) instantiation: extended-Olken weights exist for the
+        // decentralized setting where base data cannot be scanned
+        // (§5, §9), but an engine that holds the relations can afford
+        // exact per-tuple weights, and they cut the join-subroutine
+        // rejection rate by an order of magnitude on skewed data.
+        let (estimator, weights) = match strategy {
+            Strategy::Online(_) => (None, None),
+            _ => (Some(estimator), Some(WeightKind::Exact)),
+        };
+
+        let cover_strategy = match strategy {
+            Strategy::Rejection => Some(match stats.size_skew() {
+                Some(skew) if skew >= self.config.skewed_cover_ratio => {
+                    CoverStrategy::DescendingSize
+                }
+                _ => CoverStrategy::AsGiven,
+            }),
+            // Algorithm 2 also orders its cover; record the default so
+            // the plan summary matches what the builder reports.
+            Strategy::Online(_) => Some(CoverStrategy::AsGiven),
+            _ => None,
+        };
+
+        Plan {
+            strategy,
+            estimator,
+            weights,
+            cover_strategy,
+            predicate_mode: None,
+            rule,
+            stats,
+        }
+    }
+
+    /// Plans a resolved declarative query: [`plan`](Self::plan) plus
+    /// predicate-mode selection (§8.3: push down conjunctive
+    /// comparisons; reject-during-sampling for everything else).
+    pub fn plan_query(&self, resolved: &ResolvedQuery) -> Plan {
+        let mut plan = self.plan(&resolved.workload, resolved.semantics);
+        if let Some(p) = &resolved.predicate {
+            plan.predicate_mode = Some(resolved.predicate_mode.unwrap_or({
+                if can_push_down(p) {
+                    PredicateMode::PushDown
+                } else {
+                    PredicateMode::Reject
+                }
+            }));
+        }
+        plan
+    }
+
+    /// Estimator for strategies that need parameters up front.
+    fn pick_estimator(&self, stats: &WorkloadStats) -> Estimator {
+        if stats.total_base_rows <= self.config.exact_max_base_rows {
+            Estimator::Exact
+        } else if stats.available() {
+            Estimator::Histogram(HistogramOptions::default())
+        } else {
+            Estimator::Walk(WalkEstimatorConfig::default())
+        }
+    }
+}
+
+/// An executable configuration: strategy, estimator, weights, cover,
+/// predicate mode — plus the statistics and rule that produced it.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The sampling strategy.
+    pub strategy: Strategy,
+    /// Parameter estimator; `None` when the strategy estimates online.
+    pub estimator: Option<Estimator>,
+    /// Per-join weight instantiation; `None` when the strategy picks
+    /// its own.
+    pub weights: Option<WeightKind>,
+    /// Cover ordering, for strategies that build a cover.
+    pub cover_strategy: Option<CoverStrategy>,
+    /// Predicate execution mode, when the query carries a predicate.
+    pub predicate_mode: Option<PredicateMode>,
+    /// The rule that fired.
+    pub rule: PlanRule,
+    /// The statistics that drove the decision.
+    pub stats: WorkloadStats,
+}
+
+impl Plan {
+    /// Applies the planned knobs to a builder (only where the caller
+    /// left them unset, so explicit choices always win). When the plan
+    /// keeps the histogram estimator the probe already ran, the probed
+    /// overlap map rides along so the build does not re-estimate.
+    pub fn apply(&self, builder: crate::session::SamplerBuilder) -> crate::session::SamplerBuilder {
+        builder.apply_plan(self)
+    }
+
+    /// The compact configuration record stamped into
+    /// [`RunReport::config`](crate::report::RunReport::config).
+    pub fn summary(&self) -> PlanSummary {
+        PlanSummary {
+            strategy: self.strategy.to_string(),
+            estimator: match &self.estimator {
+                Some(est) => est.to_string(),
+                None => "online".to_string(),
+            },
+            cover: self.cover_strategy.map(cover_label),
+            predicate: self.predicate_mode.map(|m| {
+                match m {
+                    PredicateMode::PushDown => "push-down",
+                    PredicateMode::Reject => "reject",
+                }
+                .to_string()
+            }),
+            rule: Some(self.rule.name().to_string()),
+        }
+    }
+
+    /// A human-readable account of the decision, citing the
+    /// paper-derived rule that fired.
+    pub fn explain(&self) -> String {
+        let mut out = format!("plan: {}\n", self.summary());
+        let detail = match self.rule {
+            PlanRule::DisjointSemantics => {
+                "query asks for the disjoint union: each join contributes its full \
+                 result, so sample joins proportionally to |Jᵢ| with no overlap \
+                 correction"
+                    .to_string()
+            }
+            PlanRule::SingleJoin => {
+                "one join: the union equals the join, so per-join sampling applies \
+                 with no cover, oracle, or rejection overhead"
+                    .to_string()
+            }
+            PlanRule::NoStatistics => {
+                "no catalog statistics available: Algorithm 2 estimates overlap \
+                 parameters online, while sampling, with sample reuse and \
+                 backtracking"
+                    .to_string()
+            }
+            PlanRule::LowOverlap => format!(
+                "Σ|Jᵢ|/|∪Jᵢ| ≈ {:.3} is near 1: joins barely overlap, so the \
+                 Bernoulli union trick rarely rejects",
+                self.stats.overlap_ratio().unwrap_or(f64::NAN),
+            ),
+            PlanRule::HighOverlap => format!(
+                "Σ|Jᵢ|/|∪Jᵢ| ≈ {:.3}: overlapping joins make Bernoulli \
+                 rejection-heavy, so use Algorithm 1's non-Bernoulli cover \
+                 selection, which wastes no samples",
+                self.stats.overlap_ratio().unwrap_or(f64::NAN),
+            ),
+        };
+        out.push_str(&format!(
+            "rule: {} — {} [{}]\n",
+            self.rule.name(),
+            detail,
+            self.rule.citation()
+        ));
+        out.push_str(&format!(
+            "stats: joins={} base_rows={} Σ|Jᵢ|≈{} |∪Jᵢ|≈{} skew≈{}",
+            self.stats.n_joins,
+            self.stats.total_base_rows,
+            fmt_opt(self.stats.sum_join_sizes()),
+            fmt_opt(self.stats.union_size_hint),
+            fmt_opt(self.stats.size_skew()),
+        ));
+        out
+    }
+
+    /// Builds the planned sampler over a workload (the
+    /// explicit-builder equivalent of this plan).
+    pub fn build(
+        &self,
+        workload: std::sync::Arc<UnionWorkload>,
+    ) -> Result<Box<dyn crate::sampler::UnionSampler>, CoreError> {
+        let builder = crate::session::SamplerBuilder::for_workload(workload);
+        let mut sampler = self.apply(builder).build()?;
+        sampler.report_mut().config = Some(self.summary());
+        Ok(sampler)
+    }
+}
+
+/// Stable label for a cover strategy.
+pub(crate) fn cover_label(cs: CoverStrategy) -> String {
+    match cs {
+        CoverStrategy::AsGiven => "as-given",
+        CoverStrategy::DescendingSize => "descending-size",
+        CoverStrategy::AscendingSize => "ascending-size",
+    }
+    .to_string()
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.1}"),
+        None => "?".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use suj_storage::{Relation, Schema, Value};
+
+    fn rel(name: &str, attrs: &[&str], rows: Vec<Vec<i64>>) -> Arc<Relation> {
+        let schema = Schema::new(attrs.iter().copied()).unwrap();
+        let tuples = rows
+            .into_iter()
+            .map(|vals| vals.into_iter().map(Value::int).collect())
+            .collect();
+        Arc::new(Relation::new(name, schema, tuples).unwrap())
+    }
+
+    fn chain(name: &str, a: Vec<Vec<i64>>, b: Vec<Vec<i64>>) -> Arc<suj_join::JoinSpec> {
+        Arc::new(
+            suj_join::JoinSpec::chain(
+                name,
+                vec![
+                    rel(&format!("{name}_r"), &["a", "b"], a),
+                    rel(&format!("{name}_s"), &["b", "c"], b),
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    /// Two joins with zero value overlap.
+    fn disjoint_data_workload() -> Arc<UnionWorkload> {
+        let j1 = chain(
+            "j1",
+            vec![vec![1, 10], vec![2, 20]],
+            vec![vec![10, 100], vec![20, 200]],
+        );
+        let j2 = chain(
+            "j2",
+            vec![vec![7, 70], vec![8, 80]],
+            vec![vec![70, 700], vec![80, 800]],
+        );
+        Arc::new(UnionWorkload::new(vec![j1, j2]).unwrap())
+    }
+
+    /// Two identical joins (total overlap).
+    fn identical_workload() -> Arc<UnionWorkload> {
+        let rows_r = vec![vec![1, 10], vec![2, 20], vec![3, 20]];
+        let rows_s = vec![vec![10, 100], vec![20, 200]];
+        let j1 = chain("j1", rows_r.clone(), rows_s.clone());
+        let j2 = chain("j2", rows_r, rows_s);
+        Arc::new(UnionWorkload::new(vec![j1, j2]).unwrap())
+    }
+
+    #[test]
+    fn low_overlap_picks_bernoulli() {
+        let w = disjoint_data_workload();
+        let plan = Planner::default().plan(&w, UnionSemantics::Set);
+        assert_eq!(plan.rule, PlanRule::LowOverlap);
+        assert!(matches!(plan.strategy, Strategy::Bernoulli(_)));
+        let explain = plan.explain();
+        assert!(explain.contains("§3"), "{explain}");
+        assert!(explain.contains("Bernoulli"), "{explain}");
+    }
+
+    #[test]
+    fn high_overlap_picks_rejection() {
+        let w = identical_workload();
+        let plan = Planner::default().plan(&w, UnionSemantics::Set);
+        assert_eq!(plan.rule, PlanRule::HighOverlap);
+        assert!(matches!(plan.strategy, Strategy::Rejection));
+        assert!(plan.cover_strategy.is_some());
+        let explain = plan.explain();
+        assert!(explain.contains("§4"), "{explain}");
+        assert!(explain.contains("cover"), "{explain}");
+    }
+
+    #[test]
+    fn disjoint_semantics_always_wins() {
+        let w = identical_workload();
+        let plan = Planner::default().plan(&w, UnionSemantics::Disjoint);
+        assert_eq!(plan.rule, PlanRule::DisjointSemantics);
+        assert!(matches!(plan.strategy, Strategy::Disjoint));
+        assert!(plan.explain().contains("Definition 1"));
+    }
+
+    #[test]
+    fn single_join_needs_no_union_machinery() {
+        let j = chain("only", vec![vec![1, 10]], vec![vec![10, 100]]);
+        let w = Arc::new(UnionWorkload::new(vec![j]).unwrap());
+        let plan = Planner::default().plan(&w, UnionSemantics::Set);
+        assert_eq!(plan.rule, PlanRule::SingleJoin);
+        assert!(matches!(plan.strategy, Strategy::Disjoint));
+    }
+
+    #[test]
+    fn no_statistics_plans_online() {
+        let w = identical_workload();
+        let plan = Planner::without_statistics().plan(&w, UnionSemantics::Set);
+        assert_eq!(plan.rule, PlanRule::NoStatistics);
+        assert!(matches!(plan.strategy, Strategy::Online(_)));
+        assert!(plan.estimator.is_none());
+        assert!(plan.weights.is_none());
+        let explain = plan.explain();
+        assert!(explain.contains("§6–§7"), "{explain}");
+    }
+
+    #[test]
+    fn tiny_workloads_get_exact_estimation() {
+        let w = identical_workload();
+        let plan = Planner::default().plan(&w, UnionSemantics::Set);
+        assert!(matches!(plan.estimator, Some(Estimator::Exact)));
+    }
+
+    #[test]
+    fn big_workloads_get_histogram_estimation() {
+        let planner = Planner::new(PlannerConfig {
+            exact_max_base_rows: 0,
+            ..PlannerConfig::default()
+        });
+        let w = identical_workload();
+        let plan = planner.plan(&w, UnionSemantics::Set);
+        assert!(matches!(plan.estimator, Some(Estimator::Histogram(_))));
+        assert!(matches!(plan.weights, Some(WeightKind::Exact)));
+    }
+
+    #[test]
+    fn empty_join_workload_still_plans() {
+        let j1 = chain("full", vec![vec![1, 10]], vec![vec![10, 100]]);
+        let j2 = chain("empty", vec![], vec![]);
+        let w = Arc::new(UnionWorkload::new(vec![j1, j2]).unwrap());
+        let plan = Planner::default().plan(&w, UnionSemantics::Set);
+        // The empty join adds nothing to either Σ|Jᵢ| or |∪|: ratio 1.
+        assert_eq!(plan.rule, PlanRule::LowOverlap);
+    }
+
+    #[test]
+    fn stats_expose_ratio_and_skew() {
+        let stats = WorkloadStats::probe(&identical_workload());
+        assert!(stats.available());
+        let ratio = stats.overlap_ratio().unwrap();
+        assert!(
+            ratio > 1.5,
+            "two identical joins must look overlapping: {ratio}"
+        );
+        assert!(stats.size_skew().unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn summary_records_rule_and_config() {
+        let w = identical_workload();
+        let plan = Planner::default().plan(&w, UnionSemantics::Set);
+        let summary = plan.summary();
+        assert_eq!(summary.strategy, "rejection");
+        assert_eq!(summary.rule.as_deref(), Some("high-overlap"));
+        assert!(summary.cover.is_some());
+    }
+}

@@ -89,6 +89,14 @@ pub fn push_down(
     JoinSpec::with_edges(name, new_relations, spec.edges().to_vec()).map_err(CoreError::Join)
 }
 
+/// Whether a predicate is push-down-eligible: a conjunction of
+/// single-attribute comparisons (`Or` / `Not` must fall back to
+/// reject-during-sampling). The planner consults this when choosing a
+/// [`PredicateMode`] for a declarative query.
+pub fn can_push_down(predicate: &Predicate) -> bool {
+    flatten_conjuncts(predicate).is_ok()
+}
+
 /// Flattens a predicate into single-attribute conjuncts; fails on `Or` /
 /// `Not` (those cannot be pushed down independently).
 fn flatten_conjuncts(p: &Predicate) -> Result<Vec<&Predicate>, CoreError> {
@@ -197,7 +205,14 @@ impl PredicateSampler {
     }
 
     fn sync_report(&mut self) {
+        // The builder stamps the resolved configuration on the outer
+        // report; don't let a sync from the (unstamped) inner sampler
+        // erase it.
+        let config = self.report.config.take();
         self.report.copy_from(self.inner.report());
+        if self.report.config.is_none() {
+            self.report.config = config;
+        }
         self.report.rejected_predicate = self.rejected_predicate;
     }
 }
@@ -239,6 +254,10 @@ impl UnionSampler for PredicateSampler {
 
     fn report(&self) -> &RunReport {
         &self.report
+    }
+
+    fn report_mut(&mut self) -> &mut RunReport {
+        &mut self.report
     }
 
     fn emitted(&self) -> u64 {

@@ -1,0 +1,377 @@
+//! Declarative union queries.
+//!
+//! A [`UnionQuery`] describes *what* to sample — joins named by
+//! relation, chain/edge topology, set or disjoint semantics, an
+//! optional selection predicate — without committing to *how*: no
+//! estimator, strategy, cover, or predicate mode appears here. The
+//! query is validated and resolved against a
+//! [`Catalog`], and the resulting
+//! [`ResolvedQuery`] is what the [`Planner`](crate::planner::Planner)
+//! consumes to pick the execution configuration (§9's estimator ×
+//! algorithm matrix) on the caller's behalf.
+//!
+//! ```
+//! use suj_core::catalog::Catalog;
+//! use suj_core::query::{JoinDef, UnionQuery};
+//! use suj_storage::{Relation, Schema, Value};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut catalog = Catalog::new();
+//! # let rel = |name: &str, attrs: [&str; 2], rows: &[(i64, i64)]| {
+//! #     let tuples = rows.iter()
+//! #         .map(|&(x, y)| vec![Value::int(x), Value::int(y)].into_iter().collect())
+//! #         .collect();
+//! #     Relation::new(name, Schema::new(attrs).unwrap(), tuples).unwrap()
+//! # };
+//! catalog.register(rel("items", ["sku", "cat"], &[(1, 7)]))?;
+//! catalog.register(rel("sales", ["sale", "sku"], &[(100, 1)]))?;
+//! let query = UnionQuery::set_union()
+//!     .join(JoinDef::chain("shop", ["items", "sales"]))?;
+//! let resolved = query.resolve(&catalog)?;
+//! assert_eq!(resolved.workload.n_joins(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::catalog::Catalog;
+use crate::error::CoreError;
+use crate::predicate_mode::PredicateMode;
+use crate::workload::UnionWorkload;
+use std::sync::Arc;
+use suj_join::{JoinEdge, JoinSpec};
+use suj_storage::Predicate;
+
+/// Whether the query samples the set union (`J_1 ∪ … ∪ J_n`, §2) or
+/// the disjoint union (`J_1 ⊎ … ⊎ J_n`, Definition 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnionSemantics {
+    /// Set union: duplicates across joins count once.
+    Set,
+    /// Disjoint union (bag): each join contributes its full result.
+    Disjoint,
+}
+
+/// How a declared join connects its relations.
+#[derive(Debug, Clone)]
+enum Topology {
+    /// Equality edges between consecutive relations only.
+    Chain,
+    /// Edges derived from every shared attribute pair.
+    Natural,
+    /// Explicit equality edges (star / cyclic shapes).
+    Edges(Vec<JoinEdge>),
+}
+
+/// One join of a union query: a name plus relation *names* — data is
+/// bound at [`UnionQuery::resolve`] time, against a catalog.
+#[derive(Debug, Clone)]
+pub struct JoinDef {
+    name: String,
+    relations: Vec<String>,
+    topology: Topology,
+}
+
+impl JoinDef {
+    fn new(
+        name: impl Into<String>,
+        relations: impl IntoIterator<Item = impl Into<String>>,
+        topology: Topology,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            relations: relations.into_iter().map(Into::into).collect(),
+            topology,
+        }
+    }
+
+    /// A chain join: consecutive relations joined on their shared
+    /// attributes (the paper's chain class).
+    pub fn chain(
+        name: impl Into<String>,
+        relations: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        Self::new(name, relations, Topology::Chain)
+    }
+
+    /// A natural join: every pair of relations joined on all shared
+    /// attributes.
+    pub fn natural(
+        name: impl Into<String>,
+        relations: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        Self::new(name, relations, Topology::Natural)
+    }
+
+    /// A join with explicit equality edges (acyclic stars, cyclic
+    /// shapes); edge indices refer to positions in `relations`.
+    pub fn with_edges(
+        name: impl Into<String>,
+        relations: impl IntoIterator<Item = impl Into<String>>,
+        edges: Vec<JoinEdge>,
+    ) -> Self {
+        Self::new(name, relations, Topology::Edges(edges))
+    }
+
+    /// The join's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The referenced relation names, in join order.
+    pub fn relations(&self) -> &[String] {
+        &self.relations
+    }
+
+    /// Binds relation names against the catalog and builds the spec.
+    fn resolve(&self, catalog: &Catalog) -> Result<JoinSpec, CoreError> {
+        let relations = self
+            .relations
+            .iter()
+            .map(|name| {
+                catalog.get(name).map_err(|_| {
+                    CoreError::Invalid(format!(
+                        "join `{}` references unknown relation `{name}`; catalog has [{}]",
+                        self.name,
+                        catalog.names().collect::<Vec<_>>().join(", ")
+                    ))
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let spec = match &self.topology {
+            Topology::Chain => JoinSpec::chain(&self.name, relations),
+            Topology::Natural => JoinSpec::natural(&self.name, relations),
+            Topology::Edges(edges) => JoinSpec::with_edges(&self.name, relations, edges.clone()),
+        };
+        spec.map_err(CoreError::Join)
+    }
+}
+
+/// A declarative query over a union of joins.
+///
+/// Built fluently, validated against a catalog, and executed by the
+/// [`Engine`](crate::catalog::Engine), which plans the estimator /
+/// strategy / cover / predicate-mode configuration automatically. The
+/// explicit-configuration path remains
+/// [`SamplerBuilder`](crate::session::SamplerBuilder).
+#[derive(Debug, Clone)]
+pub struct UnionQuery {
+    semantics: UnionSemantics,
+    joins: Vec<JoinDef>,
+    predicate: Option<Predicate>,
+    predicate_mode: Option<PredicateMode>,
+}
+
+impl UnionQuery {
+    fn new(semantics: UnionSemantics) -> Self {
+        Self {
+            semantics,
+            joins: Vec::new(),
+            predicate: None,
+            predicate_mode: None,
+        }
+    }
+
+    /// A set-union query (`J_1 ∪ … ∪ J_n`).
+    pub fn set_union() -> Self {
+        Self::new(UnionSemantics::Set)
+    }
+
+    /// A disjoint-union query (`J_1 ⊎ … ⊎ J_n`).
+    pub fn disjoint_union() -> Self {
+        Self::new(UnionSemantics::Disjoint)
+    }
+
+    /// Adds a join; names must be unique within the query.
+    pub fn join(mut self, def: JoinDef) -> Result<Self, CoreError> {
+        if self.joins.iter().any(|j| j.name == def.name) {
+            return Err(CoreError::Invalid(format!(
+                "duplicate join name `{}` in union query",
+                def.name
+            )));
+        }
+        self.joins.push(def);
+        Ok(self)
+    }
+
+    /// Shorthand for `join(JoinDef::chain(name, relations))`.
+    pub fn chain(
+        self,
+        name: impl Into<String>,
+        relations: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Result<Self, CoreError> {
+        self.join(JoinDef::chain(name, relations))
+    }
+
+    /// Attaches a selection predicate (§8.3) over the output schema.
+    /// The execution mode is chosen by the planner unless
+    /// [`predicate_mode`](Self::predicate_mode) pins it.
+    pub fn predicate(mut self, predicate: Predicate) -> Self {
+        self.predicate = Some(predicate);
+        self
+    }
+
+    /// Pins the predicate execution mode instead of letting the
+    /// planner choose.
+    pub fn predicate_mode(mut self, mode: PredicateMode) -> Self {
+        self.predicate_mode = Some(mode);
+        self
+    }
+
+    /// The query's union semantics.
+    pub fn semantics(&self) -> UnionSemantics {
+        self.semantics
+    }
+
+    /// The declared joins.
+    pub fn joins(&self) -> &[JoinDef] {
+        &self.joins
+    }
+
+    /// Validates the query against a catalog without keeping the
+    /// resolved workload.
+    pub fn validate(&self, catalog: &Catalog) -> Result<(), CoreError> {
+        self.resolve(catalog).map(|_| ())
+    }
+
+    /// Binds every relation name, validates the common output schema,
+    /// and returns the executable form.
+    pub fn resolve(&self, catalog: &Catalog) -> Result<ResolvedQuery, CoreError> {
+        if self.joins.is_empty() {
+            return Err(CoreError::NoJoins);
+        }
+        let specs = self
+            .joins
+            .iter()
+            .map(|def| def.resolve(catalog).map(Arc::new))
+            .collect::<Result<Vec<_>, _>>()?;
+        let workload = Arc::new(UnionWorkload::new(specs)?);
+        if let Some(p) = &self.predicate {
+            // Surface un-compilable predicates at resolve time, not
+            // mid-plan: every referenced attribute must exist in the
+            // canonical output schema.
+            p.compile(workload.canonical_schema())
+                .map_err(CoreError::Storage)?;
+        }
+        Ok(ResolvedQuery {
+            workload,
+            semantics: self.semantics,
+            predicate: self.predicate.clone(),
+            predicate_mode: self.predicate_mode,
+        })
+    }
+}
+
+/// A query bound to catalog data: the validated workload plus the
+/// declarative knobs the planner still has to decide on.
+#[derive(Debug, Clone)]
+pub struct ResolvedQuery {
+    /// The validated, canonicalized workload.
+    pub workload: Arc<UnionWorkload>,
+    /// Set or disjoint union.
+    pub semantics: UnionSemantics,
+    /// Selection predicate, if any.
+    pub predicate: Option<Predicate>,
+    /// Pinned predicate mode; `None` lets the planner choose.
+    pub predicate_mode: Option<PredicateMode>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suj_storage::{CompareOp, Relation, Schema, Value};
+
+    fn rel(name: &str, attrs: &[&str], rows: Vec<Vec<i64>>) -> Relation {
+        let schema = Schema::new(attrs.iter().copied()).unwrap();
+        let tuples = rows
+            .into_iter()
+            .map(|vals| vals.into_iter().map(Value::int).collect())
+            .collect();
+        Relation::new(name, schema, tuples).unwrap()
+    }
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(rel("r1", &["a", "b"], vec![vec![1, 10], vec![2, 20]]))
+            .unwrap();
+        c.register(rel("s1", &["b", "c"], vec![vec![10, 100], vec![20, 200]]))
+            .unwrap();
+        c.register(rel("r2", &["a", "b"], vec![vec![1, 10]]))
+            .unwrap();
+        c.register(rel("s2", &["b", "c"], vec![vec![10, 100]]))
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn resolves_chains_against_catalog() {
+        let q = UnionQuery::set_union()
+            .chain("j1", ["r1", "s1"])
+            .unwrap()
+            .chain("j2", ["r2", "s2"])
+            .unwrap();
+        let resolved = q.resolve(&catalog()).unwrap();
+        assert_eq!(resolved.workload.n_joins(), 2);
+        assert_eq!(resolved.semantics, UnionSemantics::Set);
+        assert_eq!(resolved.workload.join(0).name(), "j1");
+    }
+
+    #[test]
+    fn unknown_relation_is_a_named_error() {
+        let q = UnionQuery::set_union().chain("j1", ["r1", "nope"]).unwrap();
+        let err = q.resolve(&catalog()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("nope"), "{msg}");
+        assert!(msg.contains("j1"), "{msg}");
+        assert!(msg.contains("r1"), "available names listed: {msg}");
+    }
+
+    #[test]
+    fn duplicate_join_names_rejected() {
+        let err = UnionQuery::set_union()
+            .chain("j", ["r1", "s1"])
+            .unwrap()
+            .chain("j", ["r2", "s2"]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn empty_query_rejected() {
+        assert!(matches!(
+            UnionQuery::set_union().resolve(&catalog()),
+            Err(CoreError::NoJoins)
+        ));
+    }
+
+    #[test]
+    fn schema_mismatch_surfaces_from_resolution() {
+        let mut c = catalog();
+        c.register(rel("t", &["x", "y"], vec![vec![1, 2]])).unwrap();
+        let q = UnionQuery::set_union()
+            .chain("j1", ["r1", "s1"])
+            .unwrap()
+            .join(JoinDef::natural("j2", ["t"]))
+            .unwrap();
+        assert!(matches!(
+            q.resolve(&c),
+            Err(CoreError::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_predicate_attribute_rejected_at_resolve() {
+        let q = UnionQuery::set_union()
+            .chain("j1", ["r1", "s1"])
+            .unwrap()
+            .predicate(Predicate::cmp("zz", CompareOp::Le, Value::int(1)));
+        assert!(q.resolve(&catalog()).is_err());
+    }
+
+    #[test]
+    fn disjoint_semantics_carried_through() {
+        let q = UnionQuery::disjoint_union()
+            .chain("j1", ["r1", "s1"])
+            .unwrap();
+        let resolved = q.resolve(&catalog()).unwrap();
+        assert_eq!(resolved.semantics, UnionSemantics::Disjoint);
+    }
+}

@@ -6,7 +6,50 @@
 //! and backtracking — the quantities the paper's time-breakdown and
 //! per-phase figures plot.
 
+use std::fmt;
 use std::time::Duration;
+
+/// The resolved configuration that produced a run — strategy,
+/// estimator, cover, predicate mode — as recorded in
+/// [`RunReport::config`].
+///
+/// Fig. 5-style benchmark output compares many estimator × algorithm
+/// configurations; carrying the resolved configuration inside the
+/// report means every table row can identify which configuration
+/// produced it, including configurations the planner picked on the
+/// caller's behalf ([`Strategy::Auto`](crate::session::Strategy)).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlanSummary {
+    /// Sampling strategy, e.g. `rejection` or `bernoulli(record)`.
+    pub strategy: String,
+    /// Parameter estimator, e.g. `exact` or `histogram(EO)`; `online`
+    /// when the strategy estimates while sampling.
+    pub estimator: String,
+    /// Cover ordering, for strategies that build a cover.
+    pub cover: Option<String>,
+    /// Predicate mode, when a selection predicate is attached.
+    pub predicate: Option<String>,
+    /// The planner rule that selected this configuration, when it came
+    /// from [`Strategy::Auto`](crate::session::Strategy) or the
+    /// [`Engine`](crate::catalog::Engine) rather than explicit calls.
+    pub rule: Option<String>,
+}
+
+impl fmt::Display for PlanSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "strategy={} estimator={}", self.strategy, self.estimator)?;
+        if let Some(cover) = &self.cover {
+            write!(f, " cover={cover}")?;
+        }
+        if let Some(predicate) = &self.predicate {
+            write!(f, " predicate={predicate}")?;
+        }
+        if let Some(rule) = &self.rule {
+            write!(f, " rule={rule}")?;
+        }
+        Ok(())
+    }
+}
 
 /// Counters and timings for one sampling run.
 #[derive(Debug, Clone, Default)]
@@ -39,6 +82,9 @@ pub struct RunReport {
     pub update_rounds: u64,
     /// Per-join draw counts (how often each join was selected).
     pub join_draws: Vec<u64>,
+    /// The resolved configuration that produced this run (stamped by
+    /// [`SamplerBuilder::build`](crate::session::SamplerBuilder::build)).
+    pub config: Option<PlanSummary>,
     /// Warm-up / parameter-estimation wall time.
     pub warmup_time: Duration,
     /// Wall time spent producing accepted answers.
@@ -141,6 +187,7 @@ impl RunReport {
                 .enumerate()
                 .map(|(j, &d)| d.saturating_sub(baseline.join_draws.get(j).copied().unwrap_or(0)))
                 .collect(),
+            config: self.config.clone(),
             warmup_time: dur(self.warmup_time, baseline.warmup_time),
             accepted_time: dur(self.accepted_time, baseline.accepted_time),
             rejected_time: dur(self.rejected_time, baseline.rejected_time),
@@ -165,6 +212,7 @@ impl RunReport {
             rejected_predicate,
             update_rounds,
             join_draws,
+            config,
             warmup_time,
             accepted_time,
             rejected_time,
@@ -184,6 +232,7 @@ impl RunReport {
         self.update_rounds = *update_rounds;
         self.join_draws.clear();
         self.join_draws.extend_from_slice(join_draws);
+        self.config.clone_from(config);
         self.warmup_time = *warmup_time;
         self.accepted_time = *accepted_time;
         self.rejected_time = *rejected_time;
@@ -191,9 +240,10 @@ impl RunReport {
         self.update_time = *update_time;
     }
 
-    /// One-line human-readable summary.
+    /// One-line human-readable summary; includes the resolved
+    /// configuration when one was recorded.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "accepted={} rejected_cover={} rejected_join={} revised={} reuse={}({} rej) backtrack_dropped={} acceptance={:.3} total={:?}",
             self.accepted,
             self.rejected_cover,
@@ -204,7 +254,11 @@ impl RunReport {
             self.backtrack_dropped,
             self.acceptance_ratio(),
             self.total_time(),
-        )
+        );
+        if let Some(config) = &self.config {
+            s.push_str(&format!(" [{config}]"));
+        }
+        s
     }
 }
 
@@ -246,6 +300,29 @@ mod tests {
         r.accepted += 2;
         assert_eq!(r.regular_accepted(), 4);
         assert_eq!(r.time_per_accepted(), Some(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn config_survives_delta_copy_and_summary() {
+        let mut r = RunReport::new(1);
+        r.config = Some(PlanSummary {
+            strategy: "rejection".into(),
+            estimator: "histogram(EO)".into(),
+            cover: Some("as-given".into()),
+            predicate: None,
+            rule: None,
+        });
+        r.accepted = 3;
+        let baseline = RunReport::new(1);
+        let delta = r.delta_since(&baseline);
+        assert_eq!(delta.config, r.config);
+        let mut copy = RunReport::new(1);
+        copy.copy_from(&r);
+        assert_eq!(copy.config, r.config);
+        let s = r.summary();
+        assert!(s.contains("strategy=rejection"), "{s}");
+        assert!(s.contains("estimator=histogram(EO)"), "{s}");
+        assert!(s.contains("cover=as-given"), "{s}");
     }
 
     #[test]

@@ -74,6 +74,12 @@ pub trait UnionSampler {
     /// Cumulative counters and timings since construction.
     fn report(&self) -> &RunReport;
 
+    /// Mutable access to the cumulative report. Exists so the builder
+    /// and engine can stamp the resolved configuration
+    /// ([`RunReport::config`]) into the sampler they assembled; not
+    /// intended for mutating counters.
+    fn report_mut(&mut self) -> &mut RunReport;
+
     /// Total `Draw::Tuple` events emitted so far (the next tuple's
     /// emission index).
     fn emitted(&self) -> u64;
@@ -145,6 +151,10 @@ impl<S: UnionSampler + ?Sized> UnionSampler for Box<S> {
         (**self).report()
     }
 
+    fn report_mut(&mut self) -> &mut RunReport {
+        (**self).report_mut()
+    }
+
     fn emitted(&self) -> u64 {
         (**self).emitted()
     }
@@ -213,6 +223,10 @@ mod tests {
 
         fn report(&self) -> &RunReport {
             &self.report
+        }
+
+        fn report_mut(&mut self) -> &mut RunReport {
+            &mut self.report
         }
 
         fn emitted(&self) -> u64 {

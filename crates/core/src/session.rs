@@ -55,10 +55,14 @@ use crate::error::CoreError;
 use crate::exact::full_join_union;
 use crate::hist_estimator::{DegreeMode, HistogramEstimator};
 use crate::overlap::OverlapMap;
+use crate::planner::{cover_label, Planner};
 use crate::predicate_mode::{push_down, PredicateMode, PredicateSampler};
+use crate::query::UnionSemantics;
+use crate::report::PlanSummary;
 use crate::sampler::UnionSampler;
 use crate::walk_estimator::{walk_warmup, WalkEstimatorConfig};
 use crate::workload::UnionWorkload;
+use std::fmt;
 use std::sync::Arc;
 use suj_join::{JoinSpec, WeightKind};
 use suj_stats::SujRng;
@@ -117,6 +121,36 @@ pub enum Strategy {
     Bernoulli(DesignationPolicy),
     /// Disjoint-union sampling (Definition 1).
     Disjoint,
+    /// Let the [`Planner`] pick the strategy
+    /// (and any estimator / weights / cover left unset) from cheap
+    /// workload statistics. The planned configuration — including the
+    /// rule that fired — is recorded in the sampler's
+    /// [`RunReport::config`](crate::report::RunReport::config).
+    Auto,
+}
+
+impl fmt::Display for Estimator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Estimator::Exact => write!(f, "exact"),
+            Estimator::Histogram(opts) if opts.exact_size_hints => write!(f, "histogram(EW)"),
+            Estimator::Histogram(_) => write!(f, "histogram(EO)"),
+            Estimator::Walk(_) => write!(f, "walk"),
+        }
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Strategy::Rejection => write!(f, "rejection"),
+            Strategy::Online(_) => write!(f, "online"),
+            Strategy::Bernoulli(DesignationPolicy::Oracle) => write!(f, "bernoulli(oracle)"),
+            Strategy::Bernoulli(DesignationPolicy::Record) => write!(f, "bernoulli(record)"),
+            Strategy::Disjoint => write!(f, "disjoint"),
+            Strategy::Auto => write!(f, "auto"),
+        }
+    }
 }
 
 /// Fluent assembly of a union sampling pipeline.
@@ -135,6 +169,11 @@ pub struct SamplerBuilder {
     estimation_seed: u64,
     max_join_tries: Option<u64>,
     max_cover_retries: Option<u64>,
+    /// An overlap map the planner already computed for this workload
+    /// and estimator; consumed by `build()` instead of re-estimating.
+    /// Only set by [`apply_plan`](Self::apply_plan), and discarded
+    /// when a push-down predicate rewrites the workload.
+    prebuilt_overlap: Option<OverlapMap>,
 }
 
 impl SamplerBuilder {
@@ -151,6 +190,7 @@ impl SamplerBuilder {
             estimation_seed: 0x5eed,
             max_join_tries: None,
             max_cover_retries: None,
+            prebuilt_overlap: None,
         }
     }
 
@@ -167,6 +207,14 @@ impl SamplerBuilder {
         self
     }
 
+    /// Sets the estimator only if no explicit choice was made — how
+    /// [`Plan::apply`](crate::planner::Plan::apply) fills planned
+    /// values without overriding the caller.
+    pub fn estimator_if_unset(mut self, estimator: Estimator) -> Self {
+        self.estimator.get_or_insert(estimator);
+        self
+    }
+
     /// Selects the sampling strategy (default: `Strategy::Rejection`).
     pub fn strategy(mut self, strategy: Strategy) -> Self {
         self.strategy = strategy;
@@ -180,6 +228,13 @@ impl SamplerBuilder {
         self
     }
 
+    /// Sets weights only if no explicit choice was made (see
+    /// [`estimator_if_unset`](Self::estimator_if_unset)).
+    pub fn weights_if_unset(mut self, weights: WeightKind) -> Self {
+        self.weights.get_or_insert(weights);
+        self
+    }
+
     /// Cover ownership policy for [`Strategy::Rejection`] (default: the
     /// paper's record policy).
     pub fn cover_policy(mut self, policy: CoverPolicy) -> Self {
@@ -190,6 +245,13 @@ impl SamplerBuilder {
     /// Cover ordering strategy (default: workload order).
     pub fn cover_strategy(mut self, strategy: CoverStrategy) -> Self {
         self.cover_strategy = Some(strategy);
+        self
+    }
+
+    /// Sets the cover ordering only if no explicit choice was made
+    /// (see [`estimator_if_unset`](Self::estimator_if_unset)).
+    pub fn cover_strategy_if_unset(mut self, strategy: CoverStrategy) -> Self {
+        self.cover_strategy.get_or_insert(strategy);
         self
     }
 
@@ -218,6 +280,37 @@ impl SamplerBuilder {
     /// strategy config's own default when unset).
     pub fn max_cover_retries(mut self, retries: u64) -> Self {
         self.max_cover_retries = Some(retries);
+        self
+    }
+
+    /// Fills every knob a [`Plan`](crate::planner::Plan) names that the
+    /// caller left unset (explicit choices always win). When the plan
+    /// keeps the probe's histogram estimator, the probed overlap map is
+    /// attached so `build()` skips the second estimation pass.
+    pub(crate) fn apply_plan(mut self, plan: &crate::planner::Plan) -> Self {
+        self.strategy = plan.strategy;
+        if let Some(est) = plan.estimator {
+            if self.estimator.is_none() {
+                self.estimator = Some(est);
+                if let (Estimator::Histogram(opts), Some(map)) = (est, &plan.stats.probed_map) {
+                    // The probe ran `with_olken` under `DegreeMode::Max`
+                    // with default options; only that exact
+                    // configuration may reuse its map.
+                    if !opts.exact_size_hints
+                        && opts.zero_weight == 0.0
+                        && opts.degree_mode == DegreeMode::Max
+                    {
+                        self.prebuilt_overlap = Some(map.clone());
+                    }
+                }
+            }
+        }
+        if let Some(w) = plan.weights {
+            self = self.weights_if_unset(w);
+        }
+        if let Some(cs) = plan.cover_strategy {
+            self = self.cover_strategy_if_unset(cs);
+        }
         self
     }
 
@@ -265,8 +358,89 @@ impl SamplerBuilder {
         }
     }
 
+    /// The [`PlanSummary`] of the resolved (non-`Auto`) configuration.
+    fn config_summary(&self, rule: Option<String>) -> PlanSummary {
+        let estimator = match self.strategy {
+            Strategy::Online(_) => "online".to_string(),
+            _ => self
+                .estimator
+                .unwrap_or(Estimator::Histogram(HistogramOptions::default()))
+                .to_string(),
+        };
+        let cover = match self.strategy {
+            Strategy::Rejection | Strategy::Online(_) => Some(cover_label(
+                self.cover_strategy.unwrap_or(CoverStrategy::AsGiven),
+            )),
+            _ => None,
+        };
+        let predicate = self.predicate.as_ref().map(|(_, m)| {
+            match m {
+                PredicateMode::PushDown => "push-down",
+                PredicateMode::Reject => "reject",
+            }
+            .to_string()
+        });
+        PlanSummary {
+            strategy: self.strategy.to_string(),
+            estimator,
+            cover,
+            predicate,
+            rule,
+        }
+    }
+
+    /// [`Strategy::Auto`]: plan the configuration, fill every knob the
+    /// caller left unset, and build through the ordinary explicit path
+    /// (so an `Auto` build is seed-for-seed identical to the explicit
+    /// configuration the planner selected).
+    fn build_auto(self) -> Result<Box<dyn UnionSampler>, CoreError> {
+        let plan = Planner::default().plan(&self.workload, UnionSemantics::Set);
+        let rule = plan.rule.name();
+        let planned = plan.strategy.to_string();
+        let mut sampler = self.apply_plan(&plan).build().map_err(|e| match e {
+            // A knob the caller pinned can be incompatible with the
+            // strategy the planner picked for *this data*; say so
+            // instead of blaming a strategy the caller never chose.
+            CoreError::Invalid(msg) => CoreError::Invalid(format!(
+                "Strategy::Auto planned `{planned}` (rule {rule}): {msg}"
+            )),
+            other => other,
+        })?;
+        if let Some(config) = sampler.report_mut().config.as_mut() {
+            config.rule = Some(rule.to_string());
+        }
+        Ok(sampler)
+    }
+
+    /// Uses a planner-probed overlap map when present (identical by
+    /// construction to what [`estimate`](Self::estimate) would
+    /// recompute for the same estimator), else estimates.
+    fn resolve_map(
+        prebuilt: Option<OverlapMap>,
+        workload: &Arc<UnionWorkload>,
+        estimator: &Estimator,
+        seed: u64,
+    ) -> Result<OverlapMap, CoreError> {
+        match prebuilt {
+            Some(map) => Ok(map),
+            None => Self::estimate(workload, estimator, seed),
+        }
+    }
+
     /// Validates the configuration and assembles the sampler.
-    pub fn build(self) -> Result<Box<dyn UnionSampler>, CoreError> {
+    pub fn build(mut self) -> Result<Box<dyn UnionSampler>, CoreError> {
+        if let Strategy::Auto = self.strategy {
+            return self.build_auto();
+        }
+        let summary = self.config_summary(None);
+
+        // A push-down predicate rewrites the workload below, which
+        // invalidates any overlap map probed on the original.
+        let mut prebuilt = match &self.predicate {
+            Some((_, PredicateMode::PushDown)) => None,
+            _ => self.prebuilt_overlap.take(),
+        };
+
         // --- Predicate push-down rewrites the workload first. ---
         let workload = match &self.predicate {
             Some((p, PredicateMode::PushDown)) => {
@@ -286,7 +460,12 @@ impl SamplerBuilder {
                 let estimator = self
                     .estimator
                     .unwrap_or(Estimator::Histogram(HistogramOptions::default()));
-                let map = Self::estimate(&workload, &estimator, self.estimation_seed)?;
+                let map = Self::resolve_map(
+                    prebuilt.take(),
+                    &workload,
+                    &estimator,
+                    self.estimation_seed,
+                )?;
                 let defaults = UnionSamplerConfig::default();
                 Box::new(SetUnionSampler::new(
                     workload,
@@ -361,7 +540,12 @@ impl SamplerBuilder {
                 let estimator = self
                     .estimator
                     .unwrap_or(Estimator::Histogram(HistogramOptions::default()));
-                let map = Self::estimate(&workload, &estimator, self.estimation_seed)?;
+                let map = Self::resolve_map(
+                    prebuilt.take(),
+                    &workload,
+                    &estimator,
+                    self.estimation_seed,
+                )?;
                 let sizes: Vec<f64> = (0..workload.n_joins()).map(|j| map.join_size(j)).collect();
                 let mut sampler = BernoulliUnionSampler::with_policy(
                     workload,
@@ -402,7 +586,12 @@ impl SamplerBuilder {
                 {
                     Estimator::Exact => workload.exact_join_sizes()?,
                     other => {
-                        let map = Self::estimate(&workload, &other, self.estimation_seed)?;
+                        let map = Self::resolve_map(
+                            prebuilt.take(),
+                            &workload,
+                            &other,
+                            self.estimation_seed,
+                        )?;
                         (0..workload.n_joins()).map(|j| map.join_size(j)).collect()
                     }
                 };
@@ -412,13 +601,19 @@ impl SamplerBuilder {
                     self.weights.unwrap_or(WeightKind::Exact),
                 )?)
             }
+            Strategy::Auto => unreachable!("Auto is resolved in build_auto"),
         };
 
         // --- Reject-mode predicates wrap the finished sampler. ---
-        match self.predicate {
-            Some((p, PredicateMode::Reject)) => Ok(Box::new(PredicateSampler::new(sampler, &p)?)),
-            _ => Ok(sampler),
-        }
+        let mut sampler: Box<dyn UnionSampler> = match self.predicate {
+            Some((p, PredicateMode::Reject)) => Box::new(PredicateSampler::new(sampler, &p)?),
+            _ => sampler,
+        };
+        // Record the resolved configuration so every report (and any
+        // Fig. 5-style table built from it) identifies what produced
+        // the run.
+        sampler.report_mut().config = Some(summary);
+        Ok(sampler)
     }
 }
 

@@ -1,6 +1,6 @@
 //! Lazy, incremental consumption of any [`UnionSampler`].
 //!
-//! [`SampleStream`] adapts a sampler's [`Draw`](crate::sampler::Draw)
+//! [`SampleStream`] adapts a sampler's [`Draw`]
 //! event stream into an `Iterator<Item = Result<Tuple, CoreError>>`, so
 //! Algorithm 2's backtracking/refinement runs *while* the caller
 //! consumes samples, and the caller can stop at any point — no batch

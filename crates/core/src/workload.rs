@@ -12,6 +12,15 @@ use std::sync::Arc;
 use suj_join::{JoinSpec, MembershipOracle};
 use suj_storage::{Schema, Tuple};
 
+/// Maximum number of joins in one workload.
+///
+/// [`UnionWorkload::membership_mask`] packs membership into a `u32`
+/// and [`OverlapMap`](crate::overlap::OverlapMap) allocates `2^n`
+/// subset entries; beyond this cap masks would silently truncate and
+/// the allocation would overflow, so construction rejects larger
+/// workloads with [`CoreError::TooManyJoins`].
+pub const MAX_JOINS: usize = 29;
+
 /// A set of joins with a common output schema, canonicalized.
 #[derive(Debug, Clone)]
 pub struct UnionWorkload {
@@ -29,6 +38,12 @@ impl UnionWorkload {
     pub fn new(joins: Vec<Arc<JoinSpec>>) -> Result<Self, CoreError> {
         if joins.is_empty() {
             return Err(CoreError::NoJoins);
+        }
+        if joins.len() > MAX_JOINS {
+            return Err(CoreError::TooManyJoins {
+                got: joins.len(),
+                max: MAX_JOINS,
+            });
         }
         let canonical = joins[0].output_schema().clone();
         let mut projections = Vec::with_capacity(joins.len());
@@ -94,7 +109,9 @@ impl UnionWorkload {
         self.oracles[j].contains(t)
     }
 
-    /// Membership bitmask of a canonical tuple over all joins.
+    /// Membership bitmask of a canonical tuple over all joins. Sound
+    /// for every constructible workload: `new` caps join counts at
+    /// [`MAX_JOINS`], so bit `j` never leaves the `u32`.
     pub fn membership_mask(&self, t: &Tuple) -> u32 {
         let mut mask = 0u32;
         for (j, oracle) in self.oracles.iter().enumerate() {
@@ -201,6 +218,26 @@ mod tests {
         let j2 = JoinSpec::natural("b", vec![rel("s", &["x", "z"], vec![])]).unwrap();
         let err = UnionWorkload::new(vec![Arc::new(j1), Arc::new(j2)]);
         assert!(matches!(err, Err(CoreError::SchemaMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_more_than_max_joins() {
+        // One shared relation, MAX_JOINS + 1 single-relation joins:
+        // legal schemas, illegal cardinality.
+        let r = rel("r", &["a"], vec![vec![1]]);
+        let joins: Vec<Arc<JoinSpec>> = (0..=MAX_JOINS)
+            .map(|i| Arc::new(JoinSpec::natural(format!("j{i}"), vec![r.clone()]).unwrap()))
+            .collect();
+        assert!(matches!(
+            UnionWorkload::new(joins.clone()),
+            Err(CoreError::TooManyJoins {
+                got,
+                max: MAX_JOINS,
+            }) if got == MAX_JOINS + 1
+        ));
+        // Exactly MAX_JOINS still builds, and masks stay sound.
+        let w = UnionWorkload::new(joins[..MAX_JOINS].to_vec()).unwrap();
+        assert_eq!(w.membership_mask(&tuple![1i64]), (1u32 << MAX_JOINS) - 1);
     }
 
     #[test]

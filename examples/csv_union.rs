@@ -2,16 +2,14 @@
 //!
 //! The decentralized setting (§4's data-market scenario) usually means
 //! delimited files rather than indexed databases. This example loads
-//! two normalized "shops" from CSV, builds the union workload, and
-//! samples it — end to end with no hand-built relations and no ground
-//! truth consulted: the builder's histogram estimator supplies the
-//! parameters.
+//! two normalized "shops" from CSV straight into a `Catalog`, declares
+//! the union with `UnionQuery`, and lets the `Engine` plan estimation
+//! and sampling — end to end with no hand-built relations, no manual
+//! strategy, and no ground truth consulted.
 //!
 //! Run with: `cargo run --release --example csv_union`
 
 use sample_union_joins::prelude::*;
-use std::sync::Arc;
-use suj_storage::read_csv;
 
 const SHOP_A_ITEMS: &str = "\
 sku,category
@@ -44,26 +42,28 @@ sale,sku,amount
 ";
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Load the four relations straight from CSV.
-    let a_items = Arc::new(read_csv("a_items", SHOP_A_ITEMS.as_bytes())?);
-    let a_sales = Arc::new(read_csv("a_sales", SHOP_A_SALES.as_bytes())?);
-    let b_items = Arc::new(read_csv("b_items", SHOP_B_ITEMS.as_bytes())?);
-    let b_sales = Arc::new(read_csv("b_sales", SHOP_B_SALES.as_bytes())?);
+    // Load the four relations straight from CSV into the catalog.
+    let mut catalog = Catalog::new();
+    catalog.register_csv("a_items", SHOP_A_ITEMS.as_bytes())?;
+    catalog.register_csv("a_sales", SHOP_A_SALES.as_bytes())?;
+    catalog.register_csv("b_items", SHOP_B_ITEMS.as_bytes())?;
+    catalog.register_csv("b_sales", SHOP_B_SALES.as_bytes())?;
 
-    // One join per shop: items ⋈ sales on sku.
-    let shop_a = Arc::new(JoinSpec::chain("shop_a", vec![a_items, a_sales])?);
-    let shop_b = Arc::new(JoinSpec::chain("shop_b", vec![b_items, b_sales])?);
+    // One join per shop: items ⋈ sales on sku — by relation name.
+    let query = UnionQuery::set_union()
+        .chain("shop_a", ["a_items", "a_sales"])?
+        .chain("shop_b", ["b_items", "b_sales"])?;
 
-    // Histogram estimation (no full join) + Algorithm 1, in one place.
-    let mut sampler = SamplerBuilder::for_joins(vec![shop_a, shop_b])?
-        .estimator(Estimator::Histogram(HistogramOptions::default()))
-        .strategy(Strategy::Rejection)
-        .build()?;
-    let workload = sampler.workload().clone();
-    println!("canonical schema: {}", workload.canonical_schema());
+    let engine = Engine::new(catalog);
+    let mut prepared = engine.prepare(&query)?;
+    println!("{}\n", prepared.explain());
+    println!(
+        "canonical schema: {}",
+        prepared.workload().canonical_schema()
+    );
 
     let mut rng = SujRng::seed_from_u64(5);
-    let (samples, report) = sampler.sample(8, &mut rng)?;
+    let (samples, report) = prepared.run(8, &mut rng)?;
     println!("\n8 uniform samples from shop_a ∪ shop_b:");
     for t in &samples {
         println!("  {t}");
@@ -71,6 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n{}", report.summary());
 
     // Cross-check against ground truth.
+    let workload = prepared.workload().clone();
     let exact = full_join_union(&workload)?;
     println!(
         "\ntruth: |shop_a| = {}, |shop_b| = {}, |union| = {} (sale 100 of sku 1 appears in both)",

@@ -1,78 +1,74 @@
 //! Quickstart: sample uniformly from the union of two joins without
-//! materializing either join.
+//! materializing either join — and without picking an estimator or a
+//! sampling algorithm.
 //!
 //! Two regional databases store customer orders under different
-//! normalizations; we draw 10 i.i.d. samples from the set union of the
-//! two join results, assembling the whole pipeline with the fluent
-//! `SamplerBuilder`.
+//! normalizations. We register the relations in a `Catalog`, describe
+//! the union declaratively with `UnionQuery`, and let the `Engine`'s
+//! planner choose the configuration (§9's estimator × algorithm
+//! matrix) from cheap statistics.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use sample_union_joins::prelude::*;
-use std::sync::Arc;
 
-fn relation(name: &str, attrs: &[&str], rows: &[&[i64]]) -> Arc<Relation> {
+fn relation(name: &str, attrs: &[&str], rows: &[&[i64]]) -> Relation {
     let schema = Schema::new(attrs.iter().copied()).expect("schema");
     let tuples = rows
         .iter()
         .map(|r| r.iter().map(|&v| Value::int(v)).collect())
         .collect();
-    Arc::new(Relation::new(name, schema, tuples).expect("relation"))
+    Relation::new(name, schema, tuples).expect("relation")
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // --- Region "West": customers ⋈ orders, normalized classically. ---
-    let customers_w = relation(
+    // --- Register every relation once, by name. ---
+    let mut catalog = Catalog::new();
+    catalog.register(relation(
         "customers_w",
         &["custkey", "nationkey"],
         &[&[1, 10], &[2, 10], &[3, 20]],
-    );
-    let orders_w = relation(
+    ))?;
+    catalog.register(relation(
         "orders_w",
         &["orderkey", "custkey", "price"],
         &[&[100, 1, 99], &[101, 1, 25], &[102, 2, 42], &[103, 3, 7]],
-    );
-    let join_west = Arc::new(JoinSpec::chain("west", vec![customers_w, orders_w])?);
-
-    // --- Region "East": same schema, partially overlapping data. ---
-    let customers_e = relation(
+    ))?;
+    catalog.register(relation(
         "customers_e",
         &["custkey", "nationkey"],
         &[&[1, 10], &[4, 30]],
-    );
-    let orders_e = relation(
+    ))?;
+    catalog.register(relation(
         "orders_e",
         &["orderkey", "custkey", "price"],
         &[&[100, 1, 99], &[200, 4, 55]],
-    );
-    let join_east = Arc::new(JoinSpec::chain("east", vec![customers_e, orders_e])?);
+    ))?;
 
-    // --- The union workload: same output schema, canonicalized. ---
-    let workload = Arc::new(UnionWorkload::new(vec![join_west, join_east])?);
-    println!("canonical schema: {}", workload.canonical_schema());
+    // --- Describe the union: what to sample, not how. ---
+    let query = UnionQuery::set_union()
+        .chain("west", ["customers_w", "orders_w"])?
+        .chain("east", ["customers_e", "orders_e"])?;
 
-    // Ground truth for this tiny example (the real framework estimates
-    // these; see the `tpch_union` example).
-    let exact = full_join_union(&workload)?;
+    // --- The engine plans estimator, strategy, and cover itself. ---
+    let engine = Engine::new(catalog);
+    let mut prepared = engine.prepare(&query)?;
+    println!("{}\n", prepared.explain());
     println!(
-        "|J_west| = {}, |J_east| = {}, |J_west ∪ J_east| = {}",
-        exact.join_size(0),
-        exact.join_size(1),
-        exact.union_size()
+        "canonical schema: {}",
+        prepared.workload().canonical_schema()
     );
 
-    // --- One pipeline: estimator → strategy → sampler (Algorithm 1). ---
-    let mut sampler = SamplerBuilder::for_workload(workload)
-        .estimator(Estimator::Exact)
-        .strategy(Strategy::Rejection)
-        .build()?;
     let mut rng = SujRng::seed_from_u64(7);
-    let (samples, report) = sampler.sample(10, &mut rng)?;
-
-    println!("\n10 uniform samples from the union:");
+    let (samples, report) = prepared.run(10, &mut rng)?;
+    println!("\n10 uniform samples from west ∪ east:");
     for t in &samples {
         println!("  {t}");
     }
     println!("\nrun report: {}", report.summary());
+
+    // Repeated runs reuse the estimator state paid at prepare() time.
+    let (more, _) = prepared.run(5, &mut rng)?;
+    println!("\n5 more (no re-estimation): {} tuples", more.len());
     Ok(())
 }
