@@ -1,0 +1,73 @@
+//! Concurrent serving: throughput scaling across worker counts, with
+//! the cross-worker determinism contract asserted before timing.
+//!
+//! For each set-union workload (uq1–uq3), the bench first proves that a
+//! 4-worker [`SamplingService`] run is bit-identical per request id to
+//! a 1-worker run under the same root seed, then times the same request
+//! batch at 1 / 2 / 4 workers. On hosts with ≥4 cores the 4-worker
+//! configuration must reach ≥2× single-worker throughput (hardware-
+//! gated: a 1-core host cannot exhibit thread speedup on a CPU-bound
+//! load, and the gate prints why it skipped).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use suj_bench::*;
+use suj_core::PreparedQuery;
+
+const REQUESTS: u64 = 48;
+const SAMPLES_PER_REQUEST: usize = 128;
+
+fn prepared_for(name: &str) -> Arc<PreparedQuery> {
+    let opts = UqOptions::new(1, 42, 0.2);
+    let workload = Arc::new(build_workload(name, &opts).expect("workload"));
+    Arc::new(PreparedQuery::auto(workload).expect("prepare"))
+}
+
+fn bench_concurrent_serve(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut group = c.benchmark_group("concurrent_serve");
+    group.sample_size(10);
+    for name in ["uq1", "uq2", "uq3"] {
+        let prepared = prepared_for(name);
+
+        // --- Determinism gate (always enforced). ---
+        let (one, _, _) = serve_prepared(&prepared, 1, REQUESTS, SAMPLES_PER_REQUEST, 42);
+        let (four, _, stats) = serve_prepared(&prepared, 4, REQUESTS, SAMPLES_PER_REQUEST, 42);
+        assert_eq!(one.len(), four.len());
+        for (a, b) in one.iter().zip(&four) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(
+                a.tuples, b.tuples,
+                "{name}: request {} diverged between 1 and 4 workers",
+                a.id
+            );
+        }
+        println!("  {name}: determinism ok across worker counts ({stats})");
+
+        // --- Scaling gate (hardware-permitting). ---
+        let t1 = best_serve_time(&prepared, 1, REQUESTS, SAMPLES_PER_REQUEST, 3);
+        let t4 = best_serve_time(&prepared, 4, REQUESTS, SAMPLES_PER_REQUEST, 3);
+        let speedup = t1.as_secs_f64() / t4.as_secs_f64().max(f64::EPSILON);
+        println!("  {name}: 1 worker {t1:?}, 4 workers {t4:?} → {speedup:.2}x");
+        if cores >= 4 {
+            assert!(
+                speedup >= 2.0,
+                "{name}: 4-worker speedup {speedup:.2}x stayed below 2x on a {cores}-core host"
+            );
+        } else {
+            println!("  {name}: scaling assertion skipped ({cores} core(s) available)");
+        }
+
+        // --- Timed panels. ---
+        for workers in [1usize, 2, 4] {
+            let prepared = prepared.clone();
+            group.bench_function(format!("{name}/workers={workers}"), move |b| {
+                b.iter(|| serve_prepared(&prepared, workers, REQUESTS, SAMPLES_PER_REQUEST, 7))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_concurrent_serve);
+criterion_main!(benches);

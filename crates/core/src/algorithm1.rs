@@ -85,7 +85,12 @@ pub struct SetUnionSampler {
     workload: Arc<UnionWorkload>,
     cover: Cover,
     selection: Option<Categorical>,
-    samplers: Vec<Box<dyn JoinSampler>>,
+    /// Per-join samplers. Shared (`Arc`) so a frozen
+    /// [`PreparedSampler`](crate::session::PreparedSampler) can mint
+    /// many independent handles without re-running the per-join weight
+    /// precomputation; sampling goes through `&self`, so sharing is
+    /// free.
+    samplers: Vec<Arc<dyn JoinSampler>>,
     config: UnionSamplerConfig,
     report: RunReport,
     /// `orig_join` record of seen tuples (paper line 4).
@@ -107,6 +112,25 @@ impl SetUnionSampler {
         overlap: &OverlapMap,
         config: UnionSamplerConfig,
     ) -> Result<Self, CoreError> {
+        let samplers = workload
+            .joins()
+            .iter()
+            .map(|j| build_sampler(j.clone(), config.weights).map(Arc::from))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(CoreError::Join)?;
+        Self::with_shared(workload, overlap, config, samplers)
+    }
+
+    /// Builds the sampler over pre-built per-join samplers (shared with
+    /// other handles of the same prepared query). All mutable record /
+    /// report state starts fresh, so handles built over the same shared
+    /// parts are fully independent sampling processes.
+    pub fn with_shared(
+        workload: Arc<UnionWorkload>,
+        overlap: &OverlapMap,
+        config: UnionSamplerConfig,
+        samplers: Vec<Arc<dyn JoinSampler>>,
+    ) -> Result<Self, CoreError> {
         if overlap.n() != workload.n_joins() {
             return Err(CoreError::Invalid(format!(
                 "overlap map covers {} joins, workload has {}",
@@ -114,14 +138,15 @@ impl SetUnionSampler {
                 workload.n_joins()
             )));
         }
+        if samplers.len() != workload.n_joins() {
+            return Err(CoreError::Invalid(format!(
+                "{} join samplers for {} joins",
+                samplers.len(),
+                workload.n_joins()
+            )));
+        }
         let cover = Cover::build(overlap, config.strategy);
         let selection = cover.selection();
-        let samplers = workload
-            .joins()
-            .iter()
-            .map(|j| build_sampler(j.clone(), config.weights))
-            .collect::<Result<Vec<_>, _>>()
-            .map_err(CoreError::Join)?;
         let n_joins = workload.n_joins();
         Ok(Self {
             workload,

@@ -47,7 +47,9 @@ pub enum DesignationPolicy {
 /// Bernoulli union-trick sampler.
 pub struct BernoulliUnionSampler {
     workload: Arc<UnionWorkload>,
-    samplers: Vec<Box<dyn JoinSampler>>,
+    /// Shared per-join samplers (see
+    /// [`SetUnionSampler::with_shared`](crate::algorithm1::SetUnionSampler::with_shared)).
+    samplers: Vec<Arc<dyn JoinSampler>>,
     /// Selection probability per join: `|J_j| / |U|`.
     probabilities: Vec<f64>,
     policy: DesignationPolicy,
@@ -89,6 +91,25 @@ impl BernoulliUnionSampler {
         weights: WeightKind,
         policy: DesignationPolicy,
     ) -> Result<Self, CoreError> {
+        let samplers = workload
+            .joins()
+            .iter()
+            .map(|j| build_sampler(j.clone(), weights).map(Arc::from))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(CoreError::Join)?;
+        Self::with_shared(workload, join_sizes, union_size, samplers, policy)
+    }
+
+    /// Builds the sampler over pre-built per-join samplers (shared with
+    /// other handles of the same prepared query); record state starts
+    /// fresh per handle.
+    pub fn with_shared(
+        workload: Arc<UnionWorkload>,
+        join_sizes: &[f64],
+        union_size: f64,
+        samplers: Vec<Arc<dyn JoinSampler>>,
+        policy: DesignationPolicy,
+    ) -> Result<Self, CoreError> {
         let n = workload.n_joins();
         if join_sizes.len() != n {
             return Err(CoreError::Invalid(format!(
@@ -99,12 +120,12 @@ impl BernoulliUnionSampler {
         if union_size <= 0.0 {
             return Err(CoreError::Invalid("union size must be positive".into()));
         }
-        let samplers = workload
-            .joins()
-            .iter()
-            .map(|j| build_sampler(j.clone(), weights))
-            .collect::<Result<Vec<_>, _>>()
-            .map_err(CoreError::Join)?;
+        if samplers.len() != n {
+            return Err(CoreError::Invalid(format!(
+                "{} join samplers for {n} joins",
+                samplers.len()
+            )));
+        }
         let probabilities = join_sizes
             .iter()
             .map(|&s| (s / union_size).clamp(0.0, 1.0))

@@ -1,5 +1,5 @@
 //! The serving entry point: a relation [`Catalog`], the planning
-//! [`Engine`], and reusable [`PreparedQuery`] handles.
+//! [`Engine`], and shareable [`PreparedQuery`] plans.
 //!
 //! This is the declarative counterpart to
 //! [`SamplerBuilder`]: register
@@ -8,9 +8,25 @@
 //! [`UnionQuery`] by relation *name*, and
 //! let the engine's [`Planner`] pick the
 //! estimator × strategy × cover × predicate-mode configuration.
-//! Preparing a query pays parameter estimation once; every subsequent
-//! [`PreparedQuery::run`] reuses the cached overlap/estimator state,
-//! which is what a served workload wants.
+//!
+//! # Concurrency model
+//!
+//! `Engine` and `PreparedQuery` are `Send + Sync` and designed for
+//! serving:
+//!
+//! * [`Engine::prepare`] returns an `Arc<PreparedQuery>` from a
+//!   fingerprint-keyed cache — concurrent `prepare` calls for the same
+//!   query against the same catalog snapshot pay planning + parameter
+//!   estimation exactly once and share the result.
+//! * A `PreparedQuery` is an immutable plan: frozen estimator state and
+//!   shared per-join samplers. It mints any number of independent
+//!   `Send` sampler handles via [`PreparedQuery::sampler`]; each handle
+//!   is its own i.i.d. sampling process, so threads never contend.
+//! * Determinism: a handle's output depends only on the frozen state
+//!   and the RNG stream it is driven with. [`PreparedQuery::sample`]
+//!   derives that stream from `(root seed, request seed)` via
+//!   [`SujRng::derive`], so the same request seed reproduces the same
+//!   sample on any thread, under any interleaving.
 //!
 //! ```
 //! use suj_core::catalog::{Catalog, Engine};
@@ -24,11 +40,17 @@
 //!
 //! let query = UnionQuery::set_union().chain("shop", ["items", "sales"])?;
 //! let engine = Engine::new(catalog);
-//! let mut prepared = engine.prepare(&query)?;   // plans + estimates once
+//! let prepared = engine.prepare(&query)?;   // plans + estimates once
 //! println!("{}", prepared.plan().explain());
 //!
+//! // Seed-addressed serving: same seed, same sample, any thread.
+//! let (samples, _report) = prepared.sample(2, 7)?;
+//! assert_eq!(samples, prepared.sample(2, 7)?.0);
+//!
+//! // Or drive a minted handle with your own RNG.
+//! let mut handle = prepared.sampler(7)?;
 //! let mut rng = SujRng::seed_from_u64(7);
-//! let (samples, _report) = prepared.run(2, &mut rng)?; // reuses state
+//! let (samples, _report) = handle.sample(2, &mut rng)?;
 //! assert_eq!(samples.len(), 2);
 //! # Ok(())
 //! # }
@@ -39,12 +61,18 @@ use crate::planner::{Plan, Planner};
 use crate::query::UnionQuery;
 use crate::report::RunReport;
 use crate::sampler::UnionSampler;
-use crate::session::SamplerBuilder;
+use crate::session::{PreparedSampler, SamplerBuilder};
 use crate::workload::UnionWorkload;
 use std::io::Read;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use suj_stats::SujRng;
 use suj_storage::{read_csv, FxHashMap, Relation, StorageError, Tuple};
+
+/// Locks a mutex, recovering from poisoning (a panicked sampling
+/// request must not wedge the whole engine).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// A named collection of relations — the "database" union queries are
 /// resolved against. Relations are shared (`Arc`), so registering a
@@ -144,12 +172,65 @@ impl Catalog {
     }
 }
 
+/// One cache slot: filled by the first successful prepare of its
+/// fingerprint, then shared.
+type CacheSlot = Arc<Mutex<Option<Arc<PreparedQuery>>>>;
+
+/// The fingerprint-keyed prepared-query cache. The key is the full
+/// canonical fingerprint string (not its hash), so distinct queries can
+/// never collide into one slot. Slots are two-level so concurrent
+/// `prepare` calls for the *same* query serialize on their slot (the
+/// second caller waits and receives the first caller's result —
+/// estimation is paid once) while different queries prepare in
+/// parallel. Cloned engines share the cache.
+#[derive(Debug, Clone, Default)]
+struct PreparedCache {
+    slots: Arc<Mutex<FxHashMap<String, CacheSlot>>>,
+}
+
+impl PreparedCache {
+    fn slot(&self, fingerprint: &str) -> CacheSlot {
+        lock(&self.slots)
+            .entry(fingerprint.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Drops a slot that was created for a prepare that failed, so an
+    /// ongoing stream of invalid queries cannot grow the map. Only
+    /// removes the entry while it is still empty (a concurrent
+    /// successful fill of the same query keeps its slot).
+    fn discard_if_empty(&self, fingerprint: &str) {
+        let mut slots = lock(&self.slots);
+        if let Some(slot) = slots.get(fingerprint) {
+            if lock(slot).is_none() {
+                slots.remove(fingerprint);
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        lock(&self.slots)
+            .values()
+            .filter(|slot| lock(slot).is_some())
+            .count()
+    }
+}
+
 /// Catalog + planner: resolves declarative queries, plans their
 /// configuration, and builds ready-to-serve samplers.
+///
+/// `Engine` is `Send + Sync`: all serving entry points take `&self`, so
+/// one engine (or clones of it, which share the prepared-query cache)
+/// can serve every worker thread. The catalog behaves as a snapshot:
+/// relations are append-only and shared by `Arc`, so a prepared query
+/// stays valid for the data it was planned against even while new
+/// relations are registered.
 #[derive(Debug, Clone, Default)]
 pub struct Engine {
     catalog: Catalog,
     planner: Planner,
+    cache: PreparedCache,
 }
 
 impl Engine {
@@ -158,12 +239,17 @@ impl Engine {
         Self {
             catalog,
             planner: Planner::default(),
+            cache: PreparedCache::default(),
         }
     }
 
     /// An engine with explicit planner thresholds.
     pub fn with_planner(catalog: Catalog, planner: Planner) -> Self {
-        Self { catalog, planner }
+        Self {
+            catalog,
+            planner,
+            cache: PreparedCache::default(),
+        }
     }
 
     /// The catalog.
@@ -171,7 +257,9 @@ impl Engine {
         &self.catalog
     }
 
-    /// Mutable catalog access (register more relations).
+    /// Mutable catalog access (register more relations). Requires
+    /// exclusive access; already-prepared queries keep serving their
+    /// snapshot of the data.
     pub fn catalog_mut(&mut self) -> &mut Catalog {
         &mut self.catalog
     }
@@ -187,23 +275,79 @@ impl Engine {
         Ok(self.planner.plan_query(&query.resolve(&self.catalog)?))
     }
 
-    /// Resolves, plans, estimates, and assembles a sampler; the
-    /// returned [`PreparedQuery`] serves repeated
-    /// [`run`](PreparedQuery::run) calls from the estimator state paid
-    /// for here.
-    pub fn prepare(&self, query: &UnionQuery) -> Result<PreparedQuery, CoreError> {
+    /// Identity of a query against this engine: the declarative shape
+    /// plus the *data* it resolves to (relation `Arc` pointers — two
+    /// queries naming the same relations of the same catalog snapshot
+    /// coincide; re-registered data does not) plus the planner
+    /// thresholds. The full string is the cache key, so distinct
+    /// queries can never alias.
+    fn fingerprint(&self, query: &UnionQuery) -> String {
+        use std::fmt::Write;
+        let mut key = format!("{query:?}|{:?}|", self.planner);
+        for def in query.joins() {
+            for name in def.relations() {
+                match self.catalog.get(name) {
+                    Ok(rel) => {
+                        let _ = write!(key, "{:p},", Arc::as_ptr(&rel));
+                    }
+                    // Unknown relation: mark it; the actual prepare
+                    // reports the real error (and errors are never
+                    // cached).
+                    Err(_) => key.push_str("?,"),
+                }
+            }
+        }
+        key
+    }
+
+    /// Resolves, plans, and estimates a query, returning a shareable
+    /// [`PreparedQuery`] from the engine's fingerprint-keyed cache.
+    ///
+    /// Concurrent calls for the same query serialize on the query's
+    /// cache slot: the first pays planning + estimation, the rest
+    /// receive the same `Arc`. Errors are not cached — a failed prepare
+    /// is retried by the next caller, and its slot is reclaimed.
+    pub fn prepare(&self, query: &UnionQuery) -> Result<Arc<PreparedQuery>, CoreError> {
+        let fingerprint = self.fingerprint(query);
+        let slot = self.cache.slot(&fingerprint);
+        let result = {
+            let mut guard = lock(&slot);
+            if let Some(prepared) = guard.as_ref() {
+                return Ok(prepared.clone());
+            }
+            self.prepare_uncached(query).map(|prepared| {
+                let prepared = Arc::new(prepared);
+                *guard = Some(prepared.clone());
+                prepared
+            })
+        };
+        if result.is_err() {
+            // Reclaim the empty slot so streams of invalid queries
+            // cannot grow the cache (the guard is released above).
+            self.cache.discard_if_empty(&fingerprint);
+        }
+        result
+    }
+
+    /// [`prepare`](Self::prepare) without consulting or filling the
+    /// cache — pays planning and estimation unconditionally.
+    pub fn prepare_uncached(&self, query: &UnionQuery) -> Result<PreparedQuery, CoreError> {
         let resolved = query.resolve(&self.catalog)?;
         let plan = self.planner.plan_query(&resolved);
         let mut builder = plan.apply(SamplerBuilder::for_workload(resolved.workload));
         if let (Some(p), Some(mode)) = (resolved.predicate, plan.predicate_mode) {
             builder = builder.predicate(p, mode);
         }
-        let mut sampler = builder.build()?;
-        sampler.report_mut().config = Some(plan.summary());
-        Ok(PreparedQuery { plan, sampler })
+        let prepared = builder.freeze()?.with_summary(plan.summary());
+        Ok(PreparedQuery::from_parts(plan, prepared))
     }
 
-    /// One-shot convenience: prepare, then draw `n` samples.
+    /// Prepared queries currently cached.
+    pub fn cached_queries(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// One-shot convenience: prepare (cached), then draw `n` samples.
     pub fn run(
         &self,
         query: &UnionQuery,
@@ -214,15 +358,59 @@ impl Engine {
     }
 }
 
-/// A planned, estimated, ready-to-serve query: overlap maps, covers,
-/// and estimator state were computed once at
-/// [`Engine::prepare`] time and are reused by every `run`.
+/// A planned, estimated, ready-to-serve query.
+///
+/// Overlap maps, covers, estimator state, and the per-join weight
+/// precomputation were paid once at [`Engine::prepare`] time and are
+/// frozen — `PreparedQuery` is `Send + Sync` and meant to be shared as
+/// `Arc<PreparedQuery>` across every serving thread. Threads draw by
+/// minting independent handles ([`sampler`](Self::sampler)) or through
+/// the seed-addressed conveniences ([`sample`](Self::sample),
+/// [`run`](Self::run)); per-handle reports fold into a cumulative
+/// aggregate readable via [`report`](Self::report).
 pub struct PreparedQuery {
     plan: Plan,
-    sampler: Box<dyn UnionSampler>,
+    prepared: PreparedSampler,
+    aggregate: Mutex<RunReport>,
+}
+
+impl std::fmt::Debug for PreparedQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedQuery")
+            .field("plan", &self.plan.summary())
+            .field("estimations", &self.estimations())
+            .field("handles", &self.handles())
+            .finish_non_exhaustive()
+    }
 }
 
 impl PreparedQuery {
+    /// Assembles a prepared query from a plan and a frozen pipeline
+    /// (the engine's path; [`auto`](Self::auto) is the catalog-free
+    /// one).
+    pub fn from_parts(plan: Plan, prepared: PreparedSampler) -> Self {
+        let mut aggregate = RunReport::new(prepared.workload().n_joins());
+        aggregate.config = Some(prepared.summary().clone());
+        Self {
+            plan,
+            prepared,
+            aggregate: Mutex::new(aggregate),
+        }
+    }
+
+    /// Plans and freezes a set-union workload with the default planner
+    /// — the catalog-free entry point benches and embedded callers use
+    /// to get a shareable `PreparedQuery` straight from a
+    /// [`UnionWorkload`].
+    pub fn auto(workload: Arc<UnionWorkload>) -> Result<Self, CoreError> {
+        let plan = Planner::default().plan(&workload, crate::query::UnionSemantics::Set);
+        let prepared = plan
+            .apply(SamplerBuilder::for_workload(workload))
+            .freeze()?
+            .with_summary(plan.summary());
+        Ok(Self::from_parts(plan, prepared))
+    }
+
     /// The configuration the planner selected.
     pub fn plan(&self) -> &Plan {
         &self.plan
@@ -233,32 +421,91 @@ impl PreparedQuery {
         self.plan.explain()
     }
 
-    /// The workload being sampled.
+    /// The workload being sampled (after any predicate push-down).
     pub fn workload(&self) -> &Arc<UnionWorkload> {
-        self.sampler.workload()
+        self.prepared.workload()
     }
 
-    /// Cumulative counters across all runs (including the stamped
-    /// configuration).
-    pub fn report(&self) -> &RunReport {
-        self.sampler.report()
+    /// Mints an independent `Send` sampler handle over the frozen
+    /// state; `seed` names the handle's RNG stream. Minting is cheap
+    /// and re-estimates nothing (exception: an online plan estimates
+    /// per handle *by design* — see [`estimations`](Self::estimations));
+    /// every handle is a fresh i.i.d. sampling process, safe to use
+    /// concurrently with any number of sibling handles.
+    ///
+    /// The handle itself carries no mint-time randomness: two handles
+    /// minted with different seeds are identical until driven. The seed
+    /// realizes its stream through the paired [`rng(seed)`](Self::rng)
+    /// — drive the handle with that RNG (as [`sample`](Self::sample)
+    /// and the [`SamplingService`](crate::serve::SamplingService)
+    /// workers do) to get the deterministic per-seed output; driving it
+    /// with any other RNG is equally valid but keyed by that RNG
+    /// instead.
+    pub fn sampler(&self, seed: u64) -> Result<Box<dyn UnionSampler + Send>, CoreError> {
+        let _ = seed; // stream identity lives in `rng(seed)`; eager strategies carry no mint-time randomness
+        self.prepared.instantiate()
     }
 
-    /// Draws `n` i.i.d. samples, reusing the cached estimator state;
-    /// the returned report covers this call only.
-    pub fn run(
-        &mut self,
-        n: usize,
-        rng: &mut SujRng,
-    ) -> Result<(Vec<Tuple>, RunReport), CoreError> {
-        self.sampler.sample(n, rng)
+    /// The deterministic RNG stream for handle/request `seed`, derived
+    /// from the prepared root seed by
+    /// [`SujRng::derive`] — independent of
+    /// threads, interleaving, and mint order.
+    pub fn rng(&self, seed: u64) -> SujRng {
+        SujRng::derive(self.prepared.root_seed(), seed)
     }
 
-    /// The underlying sampler, for incremental consumption via
-    /// [`SampleStream`](crate::stream::SampleStream) or raw
-    /// [`draw`](UnionSampler::draw) events.
-    pub fn sampler_mut(&mut self) -> &mut dyn UnionSampler {
-        &mut *self.sampler
+    /// Seed-addressed sampling: mints a handle, drives it with
+    /// [`rng(seed)`](Self::rng), and folds the per-request report into
+    /// the cumulative aggregate. Same `(prepared state, n, seed)` →
+    /// bit-identical samples, on any thread — the serving determinism
+    /// contract.
+    pub fn sample(&self, n: usize, seed: u64) -> Result<(Vec<Tuple>, RunReport), CoreError> {
+        let mut handle = self.sampler(seed)?;
+        let mut rng = self.rng(seed);
+        let (tuples, report) = handle.sample(n, &mut rng)?;
+        lock(&self.aggregate).merge(&report);
+        Ok((tuples, report))
+    }
+
+    /// Draws `n` i.i.d. samples with a caller-supplied RNG — the thin
+    /// convenience over one minted handle. Reuses the frozen estimator
+    /// state (no re-estimation); the returned report covers this call
+    /// only.
+    pub fn run(&self, n: usize, rng: &mut SujRng) -> Result<(Vec<Tuple>, RunReport), CoreError> {
+        let mut handle = self.prepared.instantiate()?;
+        let (tuples, report) = handle.sample(n, rng)?;
+        lock(&self.aggregate).merge(&report);
+        Ok((tuples, report))
+    }
+
+    /// Cumulative counters across every [`sample`](Self::sample) /
+    /// [`run`](Self::run) on this prepared query (reports of handles
+    /// minted via [`sampler`](Self::sampler) are the caller's to
+    /// aggregate), including the stamped configuration.
+    pub fn report(&self) -> RunReport {
+        lock(&self.aggregate).clone()
+    }
+
+    /// Parameter-estimation passes paid when this query was prepared
+    /// (1, or 0 when the planner's probe already paid it). Constant
+    /// afterwards: minting handles and sampling never repeat
+    /// prepare-time estimation — the "estimate once, serve many"
+    /// assertion for served workloads.
+    ///
+    /// Exception: plans using [`Strategy::Online`](crate::session::Strategy)
+    /// (the no-statistics rule) estimate *while sampling* by design —
+    /// Algorithm 2's warm-up and refinement consume each handle's own
+    /// RNG stream, so that work is inherently per-handle, is not
+    /// counted here, and shows up as `warmup_time` in per-request
+    /// reports instead.
+    pub fn estimations(&self) -> u64 {
+        self.prepared.estimation_passes()
+    }
+
+    /// Sampler handles minted so far (via [`sampler`](Self::sampler),
+    /// [`sample`](Self::sample), or [`run`](Self::run)).
+    pub fn handles(&self) -> u64 {
+        self.prepared.minted()
     }
 }
 
@@ -365,7 +612,7 @@ mod tests {
     #[test]
     fn prepared_query_runs_and_reuses_state() {
         let engine = Engine::new(shop_catalog());
-        let mut prepared = engine.prepare(&shop_query()).unwrap();
+        let prepared = engine.prepare(&shop_query()).unwrap();
         let exact = crate::exact::full_join_union(prepared.workload()).unwrap();
         let mut rng = SujRng::seed_from_u64(3);
         let (first, report) = prepared.run(10, &mut rng).unwrap();
@@ -374,13 +621,108 @@ mod tests {
         for t in &first {
             assert!(exact.union_set.contains(t));
         }
-        // Second run reuses the sampler (no re-estimation): cumulative
-        // report keeps growing, per-run report stays per-run.
+        // Second run reuses the frozen estimator state (no
+        // re-estimation): cumulative report keeps growing, per-run
+        // report stays per-run.
         let (second, report2) = prepared.run(5, &mut rng).unwrap();
         assert_eq!(second.len(), 5);
         assert_eq!(report2.accepted, 5);
         assert!(prepared.report().accepted >= 15);
         assert_eq!(report2.config, report.config);
+        // Estimation was paid at prepare time, once; runs only minted
+        // handles.
+        assert!(prepared.estimations() <= 1);
+        assert_eq!(prepared.handles(), 2);
+        assert_eq!(report2.warmup_time, std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn prepare_is_cached_by_fingerprint() {
+        let engine = Engine::new(shop_catalog());
+        assert_eq!(engine.cached_queries(), 0);
+        let a = engine.prepare(&shop_query()).unwrap();
+        let b = engine.prepare(&shop_query()).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same query must share one plan");
+        assert_eq!(engine.cached_queries(), 1);
+        // A different query gets its own slot…
+        let other = UnionQuery::set_union()
+            .chain("only_a", ["a_items", "a_sales"])
+            .unwrap();
+        let c = engine.prepare(&other).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(engine.cached_queries(), 2);
+        // …and clones share the cache.
+        let clone = engine.clone();
+        let d = clone.prepare(&shop_query()).unwrap();
+        assert!(Arc::ptr_eq(&a, &d));
+        // prepare_uncached always pays again.
+        let fresh = engine.prepare_uncached(&shop_query()).unwrap();
+        assert_eq!(fresh.handles(), 0);
+    }
+
+    #[test]
+    fn prepare_errors_are_not_cached() {
+        let mut engine = Engine::new(shop_catalog());
+        let query = UnionQuery::set_union()
+            .chain("j", ["a_items", "missing"])
+            .unwrap();
+        assert!(engine.prepare(&query).is_err());
+        assert_eq!(engine.cached_queries(), 0);
+        // Registering the missing relation afterwards lets the same
+        // query prepare (the failed attempt left nothing poisoned).
+        engine
+            .catalog_mut()
+            .register(rel("missing", &["sale", "sku"], vec![vec![5, 1]]))
+            .unwrap();
+        assert!(engine.prepare(&query).is_ok());
+    }
+
+    #[test]
+    fn minted_handles_are_independent_and_deterministic() {
+        let engine = Engine::new(shop_catalog());
+        let prepared = engine.prepare(&shop_query()).unwrap();
+        // Same seed → bit-identical samples; the aggregate keeps
+        // growing.
+        let (a, _) = prepared.sample(12, 9).unwrap();
+        let (b, _) = prepared.sample(12, 9).unwrap();
+        assert_eq!(a, b);
+        let (c, _) = prepared.sample(12, 10).unwrap();
+        assert_ne!(a, c, "different request seeds must differ");
+        // A manually minted handle driven with rng(seed) replays
+        // sample(n, seed).
+        let mut handle = prepared.sampler(9).unwrap();
+        let mut rng = prepared.rng(9);
+        let (d, _) = handle.sample(12, &mut rng).unwrap();
+        assert_eq!(a, d);
+        assert!(prepared.report().accepted >= 36);
+    }
+
+    #[test]
+    fn prepared_query_is_shareable_across_threads() {
+        let engine = Engine::new(shop_catalog());
+        let prepared = engine.prepare(&shop_query()).unwrap();
+        let estimations = prepared.estimations();
+        let mut expected: Vec<Vec<Tuple>> = Vec::new();
+        for seed in 0..4u64 {
+            expected.push(prepared.sample(8, seed).unwrap().0);
+        }
+        let results: Vec<Vec<Tuple>> = std::thread::scope(|scope| {
+            (0..4u64)
+                .map(|seed| {
+                    let prepared = prepared.clone();
+                    scope.spawn(move || prepared.sample(8, seed).unwrap().0)
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(results, expected, "thread interleaving must not matter");
+        assert_eq!(
+            prepared.estimations(),
+            estimations,
+            "sampling must never re-estimate"
+        );
     }
 
     #[test]

@@ -23,7 +23,9 @@ use suj_stats::{Categorical, SujRng};
 /// Sampler over the disjoint union of a workload's joins.
 pub struct DisjointUnionSampler {
     workload: Arc<UnionWorkload>,
-    samplers: Vec<Box<dyn JoinSampler>>,
+    /// Shared per-join samplers (see
+    /// [`SetUnionSampler::with_shared`](crate::algorithm1::SetUnionSampler::with_shared)).
+    samplers: Vec<Arc<dyn JoinSampler>>,
     selection: Option<Categorical>,
     join_sizes: Vec<f64>,
     report: RunReport,
@@ -38,6 +40,22 @@ impl DisjointUnionSampler {
         join_sizes: Vec<f64>,
         weights: WeightKind,
     ) -> Result<Self, CoreError> {
+        let samplers = workload
+            .joins()
+            .iter()
+            .map(|j| build_sampler(j.clone(), weights).map(Arc::from))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(CoreError::Join)?;
+        Self::with_shared(workload, join_sizes, samplers)
+    }
+
+    /// Builds the sampler over pre-built per-join samplers (shared with
+    /// other handles of the same prepared query).
+    pub fn with_shared(
+        workload: Arc<UnionWorkload>,
+        join_sizes: Vec<f64>,
+        samplers: Vec<Arc<dyn JoinSampler>>,
+    ) -> Result<Self, CoreError> {
         if join_sizes.len() != workload.n_joins() {
             return Err(CoreError::Invalid(format!(
                 "expected {} join sizes, got {}",
@@ -45,12 +63,13 @@ impl DisjointUnionSampler {
                 join_sizes.len()
             )));
         }
-        let samplers = workload
-            .joins()
-            .iter()
-            .map(|j| build_sampler(j.clone(), weights))
-            .collect::<Result<Vec<_>, _>>()
-            .map_err(CoreError::Join)?;
+        if samplers.len() != workload.n_joins() {
+            return Err(CoreError::Invalid(format!(
+                "{} join samplers for {} joins",
+                samplers.len(),
+                workload.n_joins()
+            )));
+        }
         let selection = Categorical::new(&join_sizes);
         let n_joins = workload.n_joins();
         Ok(Self {

@@ -25,11 +25,15 @@
 //!   reject-during-sampling (§8.3).
 //! * [`report`] — run reports: acceptance/rejection/revision counters
 //!   and phase timing breakdowns (Fig. 5f–h).
-//! * [`sampler`] — the unified [`UnionSampler`] trait and its
-//!   incremental [`Draw`] event model.
+//! * [`sampler`] — the unified [`UnionSampler`] trait (a `Send`
+//!   object-safe surface) and its incremental [`Draw`] event model.
 //! * [`session`] — the fluent [`SamplerBuilder`]: estimator selection,
 //!   strategy selection, predicate push-down, all in one validated
-//!   place.
+//!   place; [`SamplerBuilder::freeze`] yields the `Send + Sync`
+//!   [`PreparedSampler`] that mints independent per-thread handles.
+//! * [`serve`] — [`SamplingService`]: a bounded-queue `std::thread`
+//!   worker pool serving deterministic sampling requests over a shared
+//!   engine.
 //! * [`stream`] — [`SampleStream`], lazy iteration over any built
 //!   sampler.
 //!
@@ -97,6 +101,7 @@ pub mod predicate_mode;
 pub mod query;
 pub mod report;
 pub mod sampler;
+pub mod serve;
 pub mod session;
 pub mod stream;
 pub mod walk_estimator;
@@ -116,9 +121,13 @@ pub use predicate_mode::{
     can_push_down, push_down, FilteredSampler, PredicateMode, PredicateSampler,
 };
 pub use query::{JoinDef, ResolvedQuery, UnionQuery, UnionSemantics};
-pub use report::{PlanSummary, RunReport};
+pub use report::{LatencyHistogram, PlanSummary, RunReport};
 pub use sampler::{Draw, UnionSampler};
-pub use session::{Estimator, HistogramOptions, SamplerBuilder, Strategy};
+pub use serve::{
+    RequestTarget, SampleRequest, SampleResponse, SamplingService, ServiceConfig, ServiceStats,
+    SubmitError, Ticket,
+};
+pub use session::{Estimator, HistogramOptions, PreparedSampler, SamplerBuilder, Strategy};
 pub use stream::SampleStream;
 pub use walk_estimator::{WalkEstimate, WalkEstimatorConfig};
 pub use workload::{UnionWorkload, MAX_JOINS};
@@ -140,9 +149,15 @@ pub mod prelude {
         can_push_down, push_down, FilteredSampler, PredicateMode, PredicateSampler,
     };
     pub use crate::query::{JoinDef, ResolvedQuery, UnionQuery, UnionSemantics};
-    pub use crate::report::{PlanSummary, RunReport};
+    pub use crate::report::{LatencyHistogram, PlanSummary, RunReport};
     pub use crate::sampler::{Draw, UnionSampler};
-    pub use crate::session::{Estimator, HistogramOptions, SamplerBuilder, Strategy};
+    pub use crate::serve::{
+        RequestTarget, SampleRequest, SampleResponse, SamplingService, ServiceConfig, ServiceStats,
+        SubmitError, Ticket,
+    };
+    pub use crate::session::{
+        Estimator, HistogramOptions, PreparedSampler, SamplerBuilder, Strategy,
+    };
     pub use crate::stream::SampleStream;
     pub use crate::walk_estimator::{WalkEstimate, WalkEstimatorConfig};
     pub use crate::workload::{UnionWorkload, MAX_JOINS};

@@ -449,7 +449,7 @@ impl Plan {
     pub fn build(
         &self,
         workload: std::sync::Arc<UnionWorkload>,
-    ) -> Result<Box<dyn crate::sampler::UnionSampler>, CoreError> {
+    ) -> Result<Box<dyn crate::sampler::UnionSampler + Send>, CoreError> {
         let builder = crate::session::SamplerBuilder::for_workload(workload);
         let mut sampler = self.apply(builder).build()?;
         sampler.report_mut().config = Some(self.summary());

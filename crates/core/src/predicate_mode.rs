@@ -206,12 +206,17 @@ impl PredicateSampler {
 
     fn sync_report(&mut self) {
         // The builder stamps the resolved configuration on the outer
-        // report; don't let a sync from the (unstamped) inner sampler
-        // erase it.
+        // report, and the batch `sample` loop records draw latencies on
+        // the outer report too; don't let a sync from the (unstamped,
+        // latency-free) inner sampler erase either.
         let config = self.report.config.take();
+        let latency = std::mem::take(&mut self.report.draw_latency);
         self.report.copy_from(self.inner.report());
         if self.report.config.is_none() {
             self.report.config = config;
+        }
+        if self.report.draw_latency.is_empty() {
+            self.report.draw_latency = latency;
         }
         self.report.rejected_predicate = self.rejected_predicate;
     }

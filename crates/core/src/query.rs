@@ -86,6 +86,7 @@ impl JoinDef {
 
     /// A chain join: consecutive relations joined on their shared
     /// attributes (the paper's chain class).
+    #[must_use = "the join definition does nothing until added to a UnionQuery"]
     pub fn chain(
         name: impl Into<String>,
         relations: impl IntoIterator<Item = impl Into<String>>,
@@ -95,6 +96,7 @@ impl JoinDef {
 
     /// A natural join: every pair of relations joined on all shared
     /// attributes.
+    #[must_use = "the join definition does nothing until added to a UnionQuery"]
     pub fn natural(
         name: impl Into<String>,
         relations: impl IntoIterator<Item = impl Into<String>>,
@@ -104,6 +106,7 @@ impl JoinDef {
 
     /// A join with explicit equality edges (acyclic stars, cyclic
     /// shapes); edge indices refer to positions in `relations`.
+    #[must_use = "the join definition does nothing until added to a UnionQuery"]
     pub fn with_edges(
         name: impl Into<String>,
         relations: impl IntoIterator<Item = impl Into<String>>,
@@ -172,11 +175,13 @@ impl UnionQuery {
     }
 
     /// A set-union query (`J_1 ∪ … ∪ J_n`).
+    #[must_use = "the query does nothing until resolved or run through an Engine"]
     pub fn set_union() -> Self {
         Self::new(UnionSemantics::Set)
     }
 
     /// A disjoint-union query (`J_1 ⊎ … ⊎ J_n`).
+    #[must_use = "the query does nothing until resolved or run through an Engine"]
     pub fn disjoint_union() -> Self {
         Self::new(UnionSemantics::Disjoint)
     }
@@ -205,6 +210,7 @@ impl UnionQuery {
     /// Attaches a selection predicate (§8.3) over the output schema.
     /// The execution mode is chosen by the planner unless
     /// [`predicate_mode`](Self::predicate_mode) pins it.
+    #[must_use = "builder methods return the updated query; dropping it discards the predicate"]
     pub fn predicate(mut self, predicate: Predicate) -> Self {
         self.predicate = Some(predicate);
         self
@@ -212,6 +218,7 @@ impl UnionQuery {
 
     /// Pins the predicate execution mode instead of letting the
     /// planner choose.
+    #[must_use = "builder methods return the updated query; dropping it discards the mode"]
     pub fn predicate_mode(mut self, mode: PredicateMode) -> Self {
         self.predicate_mode = Some(mode);
         self

@@ -51,6 +51,98 @@ impl fmt::Display for PlanSummary {
     }
 }
 
+/// Number of log₂ latency buckets ([`LatencyHistogram`]); bucket 31
+/// absorbs everything from ~1 s upward.
+const LATENCY_BUCKETS: usize = 32;
+
+/// A fixed-size log₂ histogram of per-draw latencies.
+///
+/// Each bucket `i` counts draws whose wall time fell in
+/// `[2^(i-1), 2^i)` nanoseconds (bucket 0 is sub-nanosecond); the top
+/// bucket saturates. Percentiles report the bucket's upper bound, so
+/// they are conservative to within a factor of two — plenty for the
+/// serving dashboards ([`SamplingService`](crate::serve::SamplingService)
+/// stats) they feed, and mergeable across threads without locks held
+/// during sampling.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; LATENCY_BUCKETS],
+    recorded: u64,
+}
+
+impl LatencyHistogram {
+    fn bucket(d: Duration) -> usize {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        if ns == 0 {
+            0
+        } else {
+            ((64 - ns.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+        }
+    }
+
+    /// Records one draw latency.
+    pub fn record(&mut self, d: Duration) {
+        self.counts[Self::bucket(d)] += 1;
+        self.recorded += 1;
+    }
+
+    /// Total draws recorded.
+    pub fn count(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Whether anything was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.recorded == 0
+    }
+
+    /// Folds another histogram into this one (per-service aggregation).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.recorded += other.recorded;
+    }
+
+    /// The latency at quantile `p` in `[0, 1]` (bucket upper bound);
+    /// `None` when nothing was recorded.
+    pub fn percentile(&self, p: f64) -> Option<Duration> {
+        if self.recorded == 0 {
+            return None;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.recorded as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Duration::from_nanos(1u64 << i));
+            }
+        }
+        Some(Duration::from_nanos(1u64 << (LATENCY_BUCKETS - 1)))
+    }
+
+    /// Median draw latency.
+    pub fn p50(&self) -> Option<Duration> {
+        self.percentile(0.50)
+    }
+
+    /// 99th-percentile draw latency.
+    pub fn p99(&self) -> Option<Duration> {
+        self.percentile(0.99)
+    }
+
+    /// Counts accrued since `baseline` (an earlier snapshot of the same
+    /// histogram).
+    fn delta_since(&self, baseline: &LatencyHistogram) -> LatencyHistogram {
+        let mut out = LatencyHistogram::default();
+        for (i, (a, b)) in self.counts.iter().zip(&baseline.counts).enumerate() {
+            out.counts[i] = a.saturating_sub(*b);
+        }
+        out.recorded = self.recorded.saturating_sub(baseline.recorded);
+        out
+    }
+}
+
 /// Counters and timings for one sampling run.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
@@ -85,6 +177,11 @@ pub struct RunReport {
     /// The resolved configuration that produced this run (stamped by
     /// [`SamplerBuilder::build`](crate::session::SamplerBuilder::build)).
     pub config: Option<PlanSummary>,
+    /// Per-draw latency distribution (recorded by the batch
+    /// [`sample`](crate::sampler::UnionSampler::sample) loop and by the
+    /// serving workers); p50/p99 feed
+    /// [`SamplingService`](crate::serve::SamplingService) stats.
+    pub draw_latency: LatencyHistogram,
     /// Warm-up / parameter-estimation wall time.
     pub warmup_time: Duration,
     /// Wall time spent producing accepted answers.
@@ -188,6 +285,7 @@ impl RunReport {
                 .map(|(j, &d)| d.saturating_sub(baseline.join_draws.get(j).copied().unwrap_or(0)))
                 .collect(),
             config: self.config.clone(),
+            draw_latency: self.draw_latency.delta_since(&baseline.draw_latency),
             warmup_time: dur(self.warmup_time, baseline.warmup_time),
             accepted_time: dur(self.accepted_time, baseline.accepted_time),
             rejected_time: dur(self.rejected_time, baseline.rejected_time),
@@ -213,6 +311,7 @@ impl RunReport {
             update_rounds,
             join_draws,
             config,
+            draw_latency,
             warmup_time,
             accepted_time,
             rejected_time,
@@ -233,11 +332,73 @@ impl RunReport {
         self.join_draws.clear();
         self.join_draws.extend_from_slice(join_draws);
         self.config.clone_from(config);
+        self.draw_latency.clone_from(draw_latency);
         self.warmup_time = *warmup_time;
         self.accepted_time = *accepted_time;
         self.rejected_time = *rejected_time;
         self.reuse_time = *reuse_time;
         self.update_time = *update_time;
+    }
+
+    /// Folds another report's counters, timings, and latency histogram
+    /// into this one — the aggregation direction
+    /// ([`delta_since`](Self::delta_since) is the subtraction
+    /// direction). Used to accumulate per-handle / per-request deltas
+    /// into a [`PreparedQuery`](crate::catalog::PreparedQuery) or
+    /// [`SamplingService`](crate::serve::SamplingService) aggregate. A
+    /// missing `config` is adopted from `other`; an existing one is
+    /// kept.
+    pub fn merge(&mut self, other: &RunReport) {
+        // Exhaustive destructuring (like `copy_from`): adding a field
+        // to `RunReport` must fail to compile until aggregation
+        // handles it.
+        let RunReport {
+            accepted,
+            rejected_cover,
+            rejected_join,
+            revised,
+            revision_removed,
+            reuse_accepted,
+            reuse_copies,
+            reuse_rejected,
+            backtrack_dropped,
+            rejected_predicate,
+            update_rounds,
+            join_draws,
+            config,
+            draw_latency,
+            warmup_time,
+            accepted_time,
+            rejected_time,
+            reuse_time,
+            update_time,
+        } = other;
+        self.accepted += accepted;
+        self.rejected_cover += rejected_cover;
+        self.rejected_join += rejected_join;
+        self.revised += revised;
+        self.revision_removed += revision_removed;
+        self.reuse_accepted += reuse_accepted;
+        self.reuse_copies += reuse_copies;
+        self.reuse_rejected += reuse_rejected;
+        self.backtrack_dropped += backtrack_dropped;
+        self.rejected_predicate += rejected_predicate;
+        self.update_rounds += update_rounds;
+        if self.join_draws.len() < join_draws.len() {
+            self.join_draws.resize(join_draws.len(), 0);
+        }
+        for (a, b) in self.join_draws.iter_mut().zip(join_draws) {
+            *a += b;
+        }
+        if self.config.is_none() {
+            self.config.clone_from(config);
+        }
+        self.draw_latency.merge(draw_latency);
+        self.warmup_time += *warmup_time;
+        self.accepted_time += *accepted_time;
+        self.rejected_time += *rejected_time;
+        self.reuse_time += *reuse_time;
+        self.update_time += *update_time;
     }
 
     /// One-line human-readable summary; includes the resolved
@@ -255,6 +416,9 @@ impl RunReport {
             self.acceptance_ratio(),
             self.total_time(),
         );
+        if let (Some(p50), Some(p99)) = (self.draw_latency.p50(), self.draw_latency.p99()) {
+            s.push_str(&format!(" draw_p50≤{p50:?} draw_p99≤{p99:?}"));
+        }
         if let Some(config) = &self.config {
             s.push_str(&format!(" [{config}]"));
         }
@@ -333,5 +497,75 @@ mod tests {
         let s = r.summary();
         assert!(s.contains("accepted=7"));
         assert!(s.contains("revised=2"));
+        // No latency recorded: percentiles stay out of the summary.
+        assert!(!s.contains("draw_p50"));
+    }
+
+    #[test]
+    fn latency_histogram_percentiles() {
+        let mut h = LatencyHistogram::default();
+        assert!(h.is_empty());
+        assert_eq!(h.p50(), None);
+        // 99 fast draws (~1µs), one slow (~1ms).
+        for _ in 0..99 {
+            h.record(Duration::from_nanos(900));
+        }
+        h.record(Duration::from_micros(900));
+        assert_eq!(h.count(), 100);
+        let p50 = h.p50().unwrap();
+        let p99 = h.p99().unwrap();
+        assert!(p50 <= Duration::from_micros(2), "p50 = {p50:?}");
+        assert!(p50 <= p99);
+        // The slow draw is the 100th rank; p99 covers rank 99 (fast).
+        assert!(p99 <= Duration::from_micros(2), "p99 = {p99:?}");
+        assert!(h.percentile(1.0).unwrap() >= Duration::from_micros(512));
+    }
+
+    #[test]
+    fn latency_histogram_merge_and_delta() {
+        let mut a = LatencyHistogram::default();
+        a.record(Duration::from_nanos(100));
+        let baseline = a.clone();
+        a.record(Duration::from_micros(100));
+        let delta = a.delta_since(&baseline);
+        assert_eq!(delta.count(), 1);
+        let mut b = LatencyHistogram::default();
+        b.merge(&a);
+        b.merge(&delta);
+        assert_eq!(b.count(), 3);
+    }
+
+    #[test]
+    fn merge_accumulates_counters_and_latency() {
+        let mut total = RunReport::new(2);
+        let mut delta = RunReport::new(2);
+        delta.accepted = 5;
+        delta.rejected_cover = 2;
+        delta.join_draws = vec![3, 4];
+        delta.draw_latency.record(Duration::from_micros(1));
+        delta.accepted_time = Duration::from_millis(2);
+        delta.config = Some(PlanSummary {
+            strategy: "rejection".into(),
+            ..Default::default()
+        });
+        total.merge(&delta);
+        total.merge(&delta);
+        assert_eq!(total.accepted, 10);
+        assert_eq!(total.rejected_cover, 4);
+        assert_eq!(total.join_draws, vec![6, 8]);
+        assert_eq!(total.draw_latency.count(), 2);
+        assert_eq!(total.accepted_time, Duration::from_millis(4));
+        // Config adopted on first merge, kept thereafter.
+        assert_eq!(total.config.as_ref().unwrap().strategy, "rejection");
+    }
+
+    #[test]
+    fn summary_reports_latency_percentiles_when_recorded() {
+        let mut r = RunReport::new(1);
+        r.accepted = 1;
+        r.draw_latency.record(Duration::from_micros(3));
+        let s = r.summary();
+        assert!(s.contains("draw_p50"), "{s}");
+        assert!(s.contains("draw_p99"), "{s}");
     }
 }

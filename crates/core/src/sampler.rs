@@ -62,7 +62,17 @@ pub enum Draw {
 /// Object safe: every built sampler is usable as
 /// `Box<dyn UnionSampler>`, which is what
 /// [`SamplerBuilder`](crate::session::SamplerBuilder) returns.
-pub trait UnionSampler {
+///
+/// # Concurrency
+///
+/// `Send` is a supertrait: every sampler can move to a worker thread,
+/// so `Box<dyn UnionSampler + Send>` handles minted by
+/// [`PreparedQuery::sampler`](crate::catalog::PreparedQuery::sampler)
+/// can be served from a [`SamplingService`](crate::serve::SamplingService)
+/// pool. A sampler handle itself stays single-threaded (`draw` takes
+/// `&mut self`); concurrency comes from minting one independent handle
+/// per thread over shared frozen state, never from sharing a handle.
+pub trait UnionSampler: Send {
     /// Advances the sampler until the next event.
     ///
     /// Returns [`Draw::Tuple`] for each accepted sample and
@@ -113,7 +123,10 @@ pub trait UnionSampler {
         let mut position: FxHashMap<u64, usize> = FxHashMap::default();
         let mut live = 0usize;
         while live < n {
-            match self.draw(rng)? {
+            let draw_start = std::time::Instant::now();
+            let event = self.draw(rng);
+            self.report_mut().draw_latency.record(draw_start.elapsed());
+            match event? {
                 Draw::Tuple(idx, t) => {
                     position.insert(idx, out.len());
                     out.push(t);
@@ -240,6 +253,16 @@ mod tests {
 
     fn t(v: i64) -> Tuple {
         Tuple::new(vec![Value::int(v)])
+    }
+
+    /// `Send` is a supertrait, so boxed trait objects cross threads —
+    /// the contract the serving layer builds on (compile-time check).
+    #[test]
+    fn union_sampler_trait_objects_are_send() {
+        fn assert_send<T: Send + ?Sized>() {}
+        assert_send::<dyn UnionSampler>();
+        assert_send::<Box<dyn UnionSampler>>();
+        assert_send::<Box<dyn UnionSampler + Send>>();
     }
 
     /// A retraction arriving in batch 2 that targets an emission queued

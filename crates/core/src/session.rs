@@ -41,10 +41,14 @@
 //! # }
 //! ```
 //!
-//! `build()` returns a `Box<dyn UnionSampler>`, so every strategy is
-//! interchangeable behind one type: batch via
+//! `build()` returns a `Box<dyn UnionSampler + Send>`, so every
+//! strategy is interchangeable behind one type: batch via
 //! [`UnionSampler::sample`], incremental via
-//! [`SampleStream`](crate::stream::SampleStream).
+//! [`SampleStream`](crate::stream::SampleStream). For serving, split
+//! the pipeline with [`SamplerBuilder::freeze`]: the frozen
+//! [`PreparedSampler`] pays estimation and per-join precomputation
+//! once, is `Send + Sync`, and mints an independent `Send` handle per
+//! thread via [`PreparedSampler::instantiate`].
 
 use crate::algorithm1::{CoverPolicy, SetUnionSampler, UnionSamplerConfig};
 use crate::algorithm2::{OnlineConfig, OnlineUnionSampler};
@@ -63,8 +67,10 @@ use crate::sampler::UnionSampler;
 use crate::walk_estimator::{walk_warmup, WalkEstimatorConfig};
 use crate::workload::UnionWorkload;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use suj_join::{JoinSpec, WeightKind};
+use suj_join::weights::build_sampler;
+use suj_join::{JoinSampler, JoinSpec, WeightKind};
 use suj_stats::SujRng;
 use suj_storage::Predicate;
 
@@ -202,6 +208,7 @@ impl SamplerBuilder {
 
     /// Selects the parameter estimator (default:
     /// `Estimator::Histogram(HistogramOptions::default())`).
+    #[must_use = "builder methods return the updated builder; dropping it discards the configuration"]
     pub fn estimator(mut self, estimator: Estimator) -> Self {
         self.estimator = Some(estimator);
         self
@@ -210,12 +217,14 @@ impl SamplerBuilder {
     /// Sets the estimator only if no explicit choice was made — how
     /// [`Plan::apply`](crate::planner::Plan::apply) fills planned
     /// values without overriding the caller.
+    #[must_use = "builder methods return the updated builder; dropping it discards the configuration"]
     pub fn estimator_if_unset(mut self, estimator: Estimator) -> Self {
         self.estimator.get_or_insert(estimator);
         self
     }
 
     /// Selects the sampling strategy (default: `Strategy::Rejection`).
+    #[must_use = "builder methods return the updated builder; dropping it discards the configuration"]
     pub fn strategy(mut self, strategy: Strategy) -> Self {
         self.strategy = strategy;
         self
@@ -223,6 +232,7 @@ impl SamplerBuilder {
 
     /// Weight instantiation for the per-join subroutine (§3.2; default
     /// exact weights).
+    #[must_use = "builder methods return the updated builder; dropping it discards the configuration"]
     pub fn weights(mut self, weights: WeightKind) -> Self {
         self.weights = Some(weights);
         self
@@ -230,6 +240,7 @@ impl SamplerBuilder {
 
     /// Sets weights only if no explicit choice was made (see
     /// [`estimator_if_unset`](Self::estimator_if_unset)).
+    #[must_use = "builder methods return the updated builder; dropping it discards the configuration"]
     pub fn weights_if_unset(mut self, weights: WeightKind) -> Self {
         self.weights.get_or_insert(weights);
         self
@@ -237,12 +248,14 @@ impl SamplerBuilder {
 
     /// Cover ownership policy for [`Strategy::Rejection`] (default: the
     /// paper's record policy).
+    #[must_use = "builder methods return the updated builder; dropping it discards the configuration"]
     pub fn cover_policy(mut self, policy: CoverPolicy) -> Self {
         self.cover_policy = Some(policy);
         self
     }
 
     /// Cover ordering strategy (default: workload order).
+    #[must_use = "builder methods return the updated builder; dropping it discards the configuration"]
     pub fn cover_strategy(mut self, strategy: CoverStrategy) -> Self {
         self.cover_strategy = Some(strategy);
         self
@@ -250,12 +263,14 @@ impl SamplerBuilder {
 
     /// Sets the cover ordering only if no explicit choice was made
     /// (see [`estimator_if_unset`](Self::estimator_if_unset)).
+    #[must_use = "builder methods return the updated builder; dropping it discards the configuration"]
     pub fn cover_strategy_if_unset(mut self, strategy: CoverStrategy) -> Self {
         self.cover_strategy.get_or_insert(strategy);
         self
     }
 
     /// Applies a selection predicate in the given mode.
+    #[must_use = "builder methods return the updated builder; dropping it discards the configuration"]
     pub fn predicate(mut self, predicate: Predicate, mode: PredicateMode) -> Self {
         self.predicate = Some((predicate, mode));
         self
@@ -263,7 +278,10 @@ impl SamplerBuilder {
 
     /// Seed of the RNG used by build-time estimation
     /// ([`Estimator::Walk`]); sampling itself always uses the RNG the
-    /// caller passes to `draw` / `sample`.
+    /// caller passes to `draw` / `sample`. Doubles as the root of the
+    /// per-handle stream derivation of
+    /// [`PreparedQuery::sample`](crate::catalog::PreparedQuery::sample).
+    #[must_use = "builder methods return the updated builder; dropping it discards the configuration"]
     pub fn estimation_seed(mut self, seed: u64) -> Self {
         self.estimation_seed = seed;
         self
@@ -271,6 +289,7 @@ impl SamplerBuilder {
 
     /// Attempt budget inside the join-sampling subroutine per draw
     /// (defaults to the strategy config's own default when unset).
+    #[must_use = "builder methods return the updated builder; dropping it discards the configuration"]
     pub fn max_join_tries(mut self, tries: u64) -> Self {
         self.max_join_tries = Some(tries);
         self
@@ -278,6 +297,7 @@ impl SamplerBuilder {
 
     /// Cover-rejection retry cap per join selection (defaults to the
     /// strategy config's own default when unset).
+    #[must_use = "builder methods return the updated builder; dropping it discards the configuration"]
     pub fn max_cover_retries(mut self, retries: u64) -> Self {
         self.max_cover_retries = Some(retries);
         self
@@ -287,6 +307,7 @@ impl SamplerBuilder {
     /// caller left unset (explicit choices always win). When the plan
     /// keeps the probe's histogram estimator, the probed overlap map is
     /// attached so `build()` skips the second estimation pass.
+    #[must_use = "builder methods return the updated builder; dropping it discards the configuration"]
     pub(crate) fn apply_plan(mut self, plan: &crate::planner::Plan) -> Self {
         self.strategy = plan.strategy;
         if let Some(est) = plan.estimator {
@@ -390,14 +411,14 @@ impl SamplerBuilder {
     }
 
     /// [`Strategy::Auto`]: plan the configuration, fill every knob the
-    /// caller left unset, and build through the ordinary explicit path
+    /// caller left unset, and freeze through the ordinary explicit path
     /// (so an `Auto` build is seed-for-seed identical to the explicit
     /// configuration the planner selected).
-    fn build_auto(self) -> Result<Box<dyn UnionSampler>, CoreError> {
+    fn freeze_auto(self) -> Result<PreparedSampler, CoreError> {
         let plan = Planner::default().plan(&self.workload, UnionSemantics::Set);
         let rule = plan.rule.name();
         let planned = plan.strategy.to_string();
-        let mut sampler = self.apply_plan(&plan).build().map_err(|e| match e {
+        let mut prepared = self.apply_plan(&plan).freeze().map_err(|e| match e {
             // A knob the caller pinned can be incompatible with the
             // strategy the planner picked for *this data*; say so
             // instead of blaming a strategy the caller never chose.
@@ -406,33 +427,57 @@ impl SamplerBuilder {
             )),
             other => other,
         })?;
-        if let Some(config) = sampler.report_mut().config.as_mut() {
-            config.rule = Some(rule.to_string());
-        }
-        Ok(sampler)
+        prepared.summary.rule = Some(rule.to_string());
+        Ok(prepared)
     }
 
     /// Uses a planner-probed overlap map when present (identical by
     /// construction to what [`estimate`](Self::estimate) would
-    /// recompute for the same estimator), else estimates.
+    /// recompute for the same estimator), else estimates and counts the
+    /// pass in `passes` (the estimations-paid counter served workloads
+    /// assert on).
     fn resolve_map(
         prebuilt: Option<OverlapMap>,
         workload: &Arc<UnionWorkload>,
         estimator: &Estimator,
         seed: u64,
+        passes: &mut u64,
     ) -> Result<OverlapMap, CoreError> {
         match prebuilt {
             Some(map) => Ok(map),
-            None => Self::estimate(workload, estimator, seed),
+            None => {
+                *passes += 1;
+                Self::estimate(workload, estimator, seed)
+            }
         }
     }
 
-    /// Validates the configuration and assembles the sampler.
-    pub fn build(mut self) -> Result<Box<dyn UnionSampler>, CoreError> {
+    /// Per-join samplers built once and shared by every handle the
+    /// frozen pipeline mints ([`JoinSampler`] samples through `&self`).
+    fn shared_samplers(
+        workload: &Arc<UnionWorkload>,
+        weights: WeightKind,
+    ) -> Result<Vec<Arc<dyn JoinSampler>>, CoreError> {
+        workload
+            .joins()
+            .iter()
+            .map(|j| build_sampler(j.clone(), weights).map(Arc::from))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(CoreError::Join)
+    }
+
+    /// Validates the configuration, pays parameter estimation and
+    /// per-join precomputation once, and returns the frozen
+    /// [`PreparedSampler`] — a `Send + Sync` artifact that mints any
+    /// number of independent sampler handles via
+    /// [`instantiate`](PreparedSampler::instantiate).
+    pub fn freeze(mut self) -> Result<PreparedSampler, CoreError> {
         if let Strategy::Auto = self.strategy {
-            return self.build_auto();
+            return self.freeze_auto();
         }
         let summary = self.config_summary(None);
+        let root_seed = self.estimation_seed;
+        let mut estimation_passes = 0u64;
 
         // A push-down predicate rewrites the workload below, which
         // invalidates any overlap map probed on the original.
@@ -455,7 +500,7 @@ impl SamplerBuilder {
             _ => self.workload.clone(),
         };
 
-        let sampler: Box<dyn UnionSampler> = match self.strategy {
+        let kind = match self.strategy {
             Strategy::Rejection => {
                 let estimator = self
                     .estimator
@@ -465,21 +510,22 @@ impl SamplerBuilder {
                     &workload,
                     &estimator,
                     self.estimation_seed,
+                    &mut estimation_passes,
                 )?;
                 let defaults = UnionSamplerConfig::default();
-                Box::new(SetUnionSampler::new(
-                    workload,
-                    &map,
-                    UnionSamplerConfig {
-                        weights: self.weights.unwrap_or(defaults.weights),
-                        policy: self.cover_policy.unwrap_or(defaults.policy),
-                        strategy: self.cover_strategy.unwrap_or(defaults.strategy),
-                        max_join_tries: self.max_join_tries.unwrap_or(defaults.max_join_tries),
-                        max_cover_retries: self
-                            .max_cover_retries
-                            .unwrap_or(defaults.max_cover_retries),
-                    },
-                )?)
+                let config = UnionSamplerConfig {
+                    weights: self.weights.unwrap_or(defaults.weights),
+                    policy: self.cover_policy.unwrap_or(defaults.policy),
+                    strategy: self.cover_strategy.unwrap_or(defaults.strategy),
+                    max_join_tries: self.max_join_tries.unwrap_or(defaults.max_join_tries),
+                    max_cover_retries: self.max_cover_retries.unwrap_or(defaults.max_cover_retries),
+                };
+                let samplers = Self::shared_samplers(&workload, config.weights)?;
+                PreparedKind::Rejection {
+                    samplers,
+                    map,
+                    config,
+                }
             }
             Strategy::Online(mut config) => {
                 // Algorithm 2 always uses wander-join walks with the
@@ -515,11 +561,10 @@ impl SamplerBuilder {
                 if let Some(retries) = self.max_cover_retries {
                     config.max_cover_retries = retries;
                 }
-                Box::new(OnlineUnionSampler::new(
-                    workload,
+                PreparedKind::Online {
                     config,
-                    self.cover_strategy.unwrap_or(CoverStrategy::AsGiven),
-                ))
+                    cover_strategy: self.cover_strategy.unwrap_or(CoverStrategy::AsGiven),
+                }
             }
             Strategy::Bernoulli(policy) => {
                 Self::reject_knob(
@@ -545,19 +590,18 @@ impl SamplerBuilder {
                     &workload,
                     &estimator,
                     self.estimation_seed,
+                    &mut estimation_passes,
                 )?;
                 let sizes: Vec<f64> = (0..workload.n_joins()).map(|j| map.join_size(j)).collect();
-                let mut sampler = BernoulliUnionSampler::with_policy(
-                    workload,
-                    &sizes,
-                    map.union_size(),
-                    self.weights.unwrap_or(WeightKind::Exact),
+                let samplers =
+                    Self::shared_samplers(&workload, self.weights.unwrap_or(WeightKind::Exact))?;
+                PreparedKind::Bernoulli {
+                    samplers,
+                    sizes,
+                    union_size: map.union_size(),
                     policy,
-                )?;
-                if let Some(tries) = self.max_join_tries {
-                    sampler.set_max_join_tries(tries);
+                    max_join_tries: self.max_join_tries,
                 }
-                Box::new(sampler)
             }
             Strategy::Disjoint => {
                 Self::reject_knob(
@@ -584,36 +628,210 @@ impl SamplerBuilder {
                     .estimator
                     .unwrap_or(Estimator::Histogram(HistogramOptions::default()))
                 {
-                    Estimator::Exact => workload.exact_join_sizes()?,
+                    Estimator::Exact => {
+                        estimation_passes += 1;
+                        workload.exact_join_sizes()?
+                    }
                     other => {
                         let map = Self::resolve_map(
                             prebuilt.take(),
                             &workload,
                             &other,
                             self.estimation_seed,
+                            &mut estimation_passes,
                         )?;
                         (0..workload.n_joins()).map(|j| map.join_size(j)).collect()
                     }
                 };
-                Box::new(DisjointUnionSampler::new(
-                    workload,
-                    sizes,
-                    self.weights.unwrap_or(WeightKind::Exact),
-                )?)
+                let samplers =
+                    Self::shared_samplers(&workload, self.weights.unwrap_or(WeightKind::Exact))?;
+                PreparedKind::Disjoint { samplers, sizes }
             }
-            Strategy::Auto => unreachable!("Auto is resolved in build_auto"),
+            Strategy::Auto => unreachable!("Auto is resolved in freeze_auto"),
         };
 
-        // --- Reject-mode predicates wrap the finished sampler. ---
-        let mut sampler: Box<dyn UnionSampler> = match self.predicate {
-            Some((p, PredicateMode::Reject)) => Box::new(PredicateSampler::new(sampler, &p)?),
-            _ => sampler,
+        Ok(PreparedSampler {
+            workload,
+            kind,
+            reject_predicate: match self.predicate {
+                Some((p, PredicateMode::Reject)) => Some(p),
+                _ => None,
+            },
+            summary,
+            root_seed,
+            estimation_passes,
+            minted: AtomicU64::new(0),
+        })
+    }
+
+    /// Validates the configuration and assembles one sampler — the
+    /// single-handle convenience over [`freeze`](Self::freeze) +
+    /// [`instantiate`](PreparedSampler::instantiate). The returned
+    /// trait object is `Send`, so it can be built on one thread and
+    /// driven on another.
+    pub fn build(self) -> Result<Box<dyn UnionSampler + Send>, CoreError> {
+        self.freeze()?.instantiate()
+    }
+}
+
+/// What a frozen pipeline needs to mint a handle: the estimated
+/// parameters plus the shared per-join samplers (everything immutable);
+/// per-handle record/report state is created fresh at
+/// [`instantiate`](PreparedSampler::instantiate) time.
+enum PreparedKind {
+    /// Algorithm 1 (rejection + revision).
+    Rejection {
+        samplers: Vec<Arc<dyn JoinSampler>>,
+        map: OverlapMap,
+        config: UnionSamplerConfig,
+    },
+    /// Algorithm 2: estimates online, so each handle owns its own
+    /// estimation state (warm-up consumes the handle's RNG).
+    Online {
+        config: OnlineConfig,
+        cover_strategy: CoverStrategy,
+    },
+    /// The §3 Bernoulli union trick.
+    Bernoulli {
+        samplers: Vec<Arc<dyn JoinSampler>>,
+        sizes: Vec<f64>,
+        union_size: f64,
+        policy: DesignationPolicy,
+        max_join_tries: Option<u64>,
+    },
+    /// Disjoint-union sampling (Definition 1).
+    Disjoint {
+        samplers: Vec<Arc<dyn JoinSampler>>,
+        sizes: Vec<f64>,
+    },
+}
+
+/// A frozen, estimation-complete sampling pipeline.
+///
+/// Produced by [`SamplerBuilder::freeze`]: parameter estimation and the
+/// per-join weight precomputation ran exactly once, and the result is
+/// immutable — `PreparedSampler` is `Send + Sync`, so one instance
+/// (typically inside an
+/// [`Arc<PreparedQuery>`](crate::catalog::PreparedQuery)) serves any
+/// number of threads. Each [`instantiate`](Self::instantiate) call
+/// mints an independent sampler handle over the shared parts: handles
+/// start with fresh record/report state, making every handle its own
+/// i.i.d. sampling process whose output depends only on the RNG it is
+/// driven with — the determinism contract concurrent serving relies
+/// on.
+pub struct PreparedSampler {
+    workload: Arc<UnionWorkload>,
+    kind: PreparedKind,
+    /// Reject-mode predicate, compiled per handle (push-down
+    /// predicates were already folded into `workload` at freeze time).
+    reject_predicate: Option<Predicate>,
+    summary: PlanSummary,
+    root_seed: u64,
+    estimation_passes: u64,
+    minted: AtomicU64,
+}
+
+impl PreparedSampler {
+    /// Mints an independent sampler handle over the frozen state.
+    ///
+    /// Cheap by construction: no estimation, no weight precomputation —
+    /// only fresh per-handle record/report state (plus, for
+    /// [`Strategy::Online`], the lazily-initialized online estimation
+    /// state, which by design is per-handle). The handle is `Send` and
+    /// exclusively owned; drive it with any RNG — same RNG stream, same
+    /// samples, regardless of which thread runs it.
+    pub fn instantiate(&self) -> Result<Box<dyn UnionSampler + Send>, CoreError> {
+        let base: Box<dyn UnionSampler + Send> = match &self.kind {
+            PreparedKind::Rejection {
+                samplers,
+                map,
+                config,
+            } => Box::new(SetUnionSampler::with_shared(
+                self.workload.clone(),
+                map,
+                *config,
+                samplers.clone(),
+            )?),
+            PreparedKind::Online {
+                config,
+                cover_strategy,
+            } => Box::new(OnlineUnionSampler::new(
+                self.workload.clone(),
+                *config,
+                *cover_strategy,
+            )),
+            PreparedKind::Bernoulli {
+                samplers,
+                sizes,
+                union_size,
+                policy,
+                max_join_tries,
+            } => {
+                let mut sampler = BernoulliUnionSampler::with_shared(
+                    self.workload.clone(),
+                    sizes,
+                    *union_size,
+                    samplers.clone(),
+                    *policy,
+                )?;
+                if let Some(tries) = max_join_tries {
+                    sampler.set_max_join_tries(*tries);
+                }
+                Box::new(sampler)
+            }
+            PreparedKind::Disjoint { samplers, sizes } => {
+                Box::new(DisjointUnionSampler::with_shared(
+                    self.workload.clone(),
+                    sizes.clone(),
+                    samplers.clone(),
+                )?)
+            }
         };
-        // Record the resolved configuration so every report (and any
-        // Fig. 5-style table built from it) identifies what produced
-        // the run.
-        sampler.report_mut().config = Some(summary);
+        let mut sampler: Box<dyn UnionSampler + Send> = match &self.reject_predicate {
+            Some(p) => Box::new(PredicateSampler::new(base, p)?),
+            None => base,
+        };
+        sampler.report_mut().config = Some(self.summary.clone());
+        self.minted.fetch_add(1, Ordering::Relaxed);
         Ok(sampler)
+    }
+
+    /// The workload handles sample (after any push-down rewrite).
+    pub fn workload(&self) -> &Arc<UnionWorkload> {
+        &self.workload
+    }
+
+    /// The resolved configuration stamped into every handle's report.
+    pub fn summary(&self) -> &PlanSummary {
+        &self.summary
+    }
+
+    /// Overrides the stamped configuration record — used by the engine
+    /// to substitute the planner's summary (which names the rule that
+    /// fired) for the builder's.
+    #[must_use = "builder methods return the updated value; dropping it discards the change"]
+    pub fn with_summary(mut self, summary: PlanSummary) -> Self {
+        self.summary = summary;
+        self
+    }
+
+    /// The root of per-handle RNG stream derivation (the builder's
+    /// [`estimation_seed`](SamplerBuilder::estimation_seed)).
+    pub fn root_seed(&self) -> u64 {
+        self.root_seed
+    }
+
+    /// Estimation passes paid at freeze time: 1 normally, 0 when a
+    /// planner-probed overlap map was reused (the probe already paid
+    /// it). Never grows afterwards — minting handles re-estimates
+    /// nothing, which served workloads assert.
+    pub fn estimation_passes(&self) -> u64 {
+        self.estimation_passes
+    }
+
+    /// Handles minted so far.
+    pub fn minted(&self) -> u64 {
+        self.minted.load(Ordering::Relaxed)
     }
 }
 

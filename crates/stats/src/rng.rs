@@ -44,6 +44,21 @@ impl SujRng {
         Self::seed_from_u64(self.next_u64())
     }
 
+    /// Deterministically derives the generator for stream `stream`
+    /// under `root` — the stateless counterpart of [`fork`](Self::fork)
+    /// used by concurrent serving: the derived stream depends only on
+    /// the `(root, stream)` pair, never on which thread or in which
+    /// order handles were minted, so a request seeded by its id is
+    /// reproducible across any worker-pool interleaving.
+    ///
+    /// Both words pass through SplitMix64 before combining, so nearby
+    /// roots/streams (0, 1, 2, …) land in unrelated states.
+    pub fn derive(root: u64, stream: u64) -> Self {
+        let mut a = root;
+        let mut b = stream ^ 0x6A09_E667_F3BC_C909; // √2 offset: derive(s, s) ≠ seed(0)-like collisions
+        Self::seed_from_u64(splitmix64(&mut a) ^ splitmix64(&mut b))
+    }
+
     /// Returns the next raw 64-bit value.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
@@ -258,6 +273,32 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn derive_is_deterministic_and_order_free() {
+        let mut a = SujRng::derive(42, 7);
+        let mut b = SujRng::derive(42, 7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        // Different streams under one root differ, as do the same
+        // streams under different roots.
+        let mut c = SujRng::derive(42, 8);
+        let mut d = SujRng::derive(43, 7);
+        let mut a = SujRng::derive(42, 7);
+        let same_c = (0..32).filter(|_| a.next_u64() == c.next_u64()).count();
+        let mut a = SujRng::derive(42, 7);
+        let same_d = (0..32).filter(|_| a.next_u64() == d.next_u64()).count();
+        assert!(same_c < 4 && same_d < 4);
+    }
+
+    #[test]
+    fn derive_does_not_collide_root_and_stream_swap() {
+        let mut a = SujRng::derive(1, 2);
+        let mut b = SujRng::derive(2, 1);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "swapped (root, stream) must not alias");
     }
 
     #[test]

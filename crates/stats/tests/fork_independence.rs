@@ -1,0 +1,125 @@
+//! Statistical independence of forked / derived RNG streams.
+//!
+//! Concurrent serving derives one RNG stream per request handle
+//! (`SujRng::fork` / `SujRng::derive`), so the i.i.d. guarantee across
+//! requests rests on those streams being statistically independent of
+//! their parent and of each other. These tests check that empirically:
+//! a chi-square test over the joint distribution of paired draws (two
+//! independent uniform streams must be jointly uniform over the product
+//! space), and a Pearson-correlation bound across streams.
+
+use suj_stats::{chi_square_test, SujRng};
+
+const DRAWS: usize = 40_000;
+const CELLS: u64 = 8;
+
+/// Pearson correlation of two equally long `f64` sequences.
+fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    cov / (vx.sqrt() * vy.sqrt()).max(f64::MIN_POSITIVE)
+}
+
+/// Chi-square over the joint cell counts of two streams: if the streams
+/// are independent and uniform over `CELLS` values each, the pair is
+/// uniform over `CELLS²` cells.
+fn assert_jointly_uniform(a: &mut SujRng, b: &mut SujRng, label: &str) {
+    let mut counts = vec![0u64; (CELLS * CELLS) as usize];
+    for _ in 0..DRAWS {
+        let x = a.next_u64() % CELLS;
+        let y = b.next_u64() % CELLS;
+        counts[(x * CELLS + y) as usize] += 1;
+    }
+    let outcome = chi_square_test(&counts).unwrap();
+    assert!(
+        outcome.p_value > 0.001,
+        "{label}: joint distribution not uniform (chi2 = {}, p = {})",
+        outcome.statistic,
+        outcome.p_value
+    );
+}
+
+fn assert_uncorrelated(a: &mut SujRng, b: &mut SujRng, label: &str) {
+    let xs: Vec<f64> = (0..DRAWS).map(|_| a.next_f64()).collect();
+    let ys: Vec<f64> = (0..DRAWS).map(|_| b.next_f64()).collect();
+    let r = correlation(&xs, &ys);
+    // For independent streams, |r| ~ N(0, 1/√n): 5/√n is a ~5σ bound.
+    let bound = 5.0 / (DRAWS as f64).sqrt();
+    assert!(r.abs() < bound, "{label}: correlation {r} exceeds {bound}");
+}
+
+#[test]
+fn fork_is_independent_of_parent() {
+    let mut parent = SujRng::seed_from_u64(0xFEED);
+    let mut child = parent.fork();
+    assert_jointly_uniform(&mut parent, &mut child, "parent vs fork");
+    let mut parent = SujRng::seed_from_u64(0xFEED);
+    let mut child = parent.fork();
+    assert_uncorrelated(&mut parent, &mut child, "parent vs fork");
+}
+
+#[test]
+fn sibling_forks_are_independent() {
+    let mut parent = SujRng::seed_from_u64(99);
+    let mut c1 = parent.fork();
+    let mut c2 = parent.fork();
+    assert_jointly_uniform(&mut c1, &mut c2, "fork siblings");
+    let mut parent = SujRng::seed_from_u64(99);
+    let mut c1 = parent.fork();
+    let mut c2 = parent.fork();
+    assert_uncorrelated(&mut c1, &mut c2, "fork siblings");
+}
+
+#[test]
+fn derived_request_streams_are_independent() {
+    // Adjacent stream ids under one root — exactly the serving
+    // pattern, where stream = request id.
+    let mut a = SujRng::derive(7, 0);
+    let mut b = SujRng::derive(7, 1);
+    assert_jointly_uniform(&mut a, &mut b, "derive(7,0) vs derive(7,1)");
+    let mut a = SujRng::derive(7, 0);
+    let mut b = SujRng::derive(7, 1);
+    assert_uncorrelated(&mut a, &mut b, "derive(7,0) vs derive(7,1)");
+}
+
+#[test]
+fn derived_stream_is_independent_of_root_stream() {
+    let mut root = SujRng::seed_from_u64(7);
+    let mut derived = SujRng::derive(7, 3);
+    assert_jointly_uniform(&mut root, &mut derived, "seed(7) vs derive(7,3)");
+    let mut root = SujRng::seed_from_u64(7);
+    let mut derived = SujRng::derive(7, 3);
+    assert_uncorrelated(&mut root, &mut derived, "seed(7) vs derive(7,3)");
+}
+
+#[test]
+fn every_fork_in_a_family_is_marginally_uniform() {
+    // Each forked stream must itself pass uniformity, not just joint
+    // tests — a degenerate child (e.g. all zeros) could still look
+    // "independent" against a healthy parent in correlation alone.
+    let mut parent = SujRng::seed_from_u64(2024);
+    for k in 0..8 {
+        let mut child = parent.fork();
+        let mut counts = vec![0u64; CELLS as usize];
+        for _ in 0..DRAWS {
+            counts[(child.next_u64() % CELLS) as usize] += 1;
+        }
+        let outcome = chi_square_test(&counts).unwrap();
+        assert!(
+            outcome.p_value > 0.001,
+            "fork #{k} not uniform (chi2 = {}, p = {})",
+            outcome.statistic,
+            outcome.p_value
+        );
+    }
+}

@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = UnionQuery::set_union()
         .chain("suppliers_low", ["nation", "supplier"])?
         .predicate(Predicate::cmp("nationkey", CompareOp::Lt, Value::int(13)));
-    let mut prepared = engine.prepare(&base)?;
+    let prepared = engine.prepare(&base)?;
     println!("--- single filtered chain ---\n{}\n", prepared.explain());
     let (samples, report) = prepared.run(5, &mut rng)?;
     println!("{} samples; {}\n", samples.len(), report.summary());

@@ -55,7 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .chain("shop_b", ["b_items", "b_sales"])?;
 
     let engine = Engine::new(catalog);
-    let mut prepared = engine.prepare(&query)?;
+    let prepared = engine.prepare(&query)?;
     println!("{}\n", prepared.explain());
     println!(
         "canonical schema: {}",

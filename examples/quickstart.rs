@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- The engine plans estimator, strategy, and cover itself. ---
     let engine = Engine::new(catalog);
-    let mut prepared = engine.prepare(&query)?;
+    let prepared = engine.prepare(&query)?;
     println!("{}\n", prepared.explain());
     println!(
         "canonical schema: {}",

@@ -13,6 +13,11 @@
 //! engine's planner choose estimator, strategy, cover, and predicate
 //! mode. `SamplerBuilder` remains the thin explicit-configuration path.
 //!
+//! For concurrent serving, `Engine::prepare` yields a shareable
+//! `Arc<PreparedQuery>` (estimation paid once, handles minted per
+//! thread) and [`SamplingService`] wraps the engine in a bounded-queue
+//! worker pool with a deterministic per-request RNG contract.
+//!
 //! See the workspace `README.md` for the architecture overview and
 //! `DESIGN.md` for the paper-to-module map.
 
@@ -25,6 +30,9 @@ pub use suj_tpch as tpch;
 pub use suj_core::catalog::{Catalog, Engine, PreparedQuery};
 pub use suj_core::planner::{Plan, PlanRule, Planner, PlannerConfig};
 pub use suj_core::query::{JoinDef, UnionQuery, UnionSemantics};
+pub use suj_core::serve::{
+    SampleRequest, SampleResponse, SamplingService, ServiceConfig, ServiceStats,
+};
 
 use suj_core::error::CoreError;
 use suj_tpch::TpchConfig;
@@ -88,7 +96,7 @@ mod tests {
             .chain("q", ["nation", "supplier"])
             .unwrap();
         let engine = Engine::new(catalog);
-        let mut prepared = engine.prepare(&query).unwrap();
+        let prepared = engine.prepare(&query).unwrap();
         let mut rng = SujRng::seed_from_u64(9);
         let (samples, report) = prepared.run(20, &mut rng).unwrap();
         assert_eq!(samples.len(), 20);

@@ -232,7 +232,7 @@ fn engine_pays_estimation_once_across_runs() {
         .unwrap();
     let engine = Engine::new(catalog);
     let query = UnionQuery::set_union().chain("j", ["r", "s"]).unwrap();
-    let mut prepared = engine.prepare(&query).unwrap();
+    let prepared = engine.prepare(&query).unwrap();
     let mut rng = SujRng::seed_from_u64(23);
     for _ in 0..5 {
         let (samples, report) = prepared.run(10, &mut rng).unwrap();
