@@ -1,0 +1,214 @@
+//! Hot-path throughput: per-draw cost of the union samplers on the
+//! §9-style TPC-H union workloads.
+//!
+//! Measures steady-state draws/sec, acceptance ratio, and p50/p99
+//! per-draw latency (from [`RunReport`]'s latency histogram) for
+//! Algorithm 1 under the two §9 estimator configurations whose inner
+//! loops stress the per-attempt path differently:
+//!
+//! * `hist+EW` — exact weights: no join-subroutine rejection, so the
+//!   measurement isolates walk + cover-check cost per accepted draw.
+//! * `hist+EO` — extended-Olken weights: the subroutine rejects at rate
+//!   `1 − |J|/bound`, so the measurement is dominated by *rejected*
+//!   attempts — exactly the path the dictionary-encoded CSR indexes
+//!   make allocation-free.
+//!
+//! Full runs append a machine-readable `BENCH_4.json` at the workspace
+//! root (per-workload draws/sec, acceptance, latency percentiles, and
+//! speedup vs. the recorded pre-PR baseline) so later PRs have a perf
+//! trajectory to compare against. `--test` (the CI smoke mode) runs a
+//! reduced draw count and skips the JSON write and baseline
+//! comparison — wall-clock assertions do not belong in shared CI.
+
+use std::sync::Arc;
+use std::time::Instant;
+use suj_bench::{build_set_union_sampler, build_workload, EstimatorKind, FigureTable, UqOptions};
+use suj_core::UnionSampler;
+use suj_join::weights::build_sampler;
+use suj_join::WeightKind;
+use suj_stats::SujRng;
+
+/// Pre-PR baseline draws/sec, measured on the development container at
+/// commit a5c04df (Box<[Value]>-keyed postings, per-walk tuple
+/// materialization) with the same workloads, seeds, and draw counts as
+/// the full run below. Used only to report the speedup column; the
+/// `--test` smoke mode never compares wall-clock numbers.
+const PRE_PR_BASELINE: &[(&str, f64)] = &[
+    ("uq1/hist+EW", 831_381.0),
+    ("uq1/hist+EO", 233_333.0),
+    ("uq2/hist+EW", 777_022.0),
+    ("uq2/hist+EO", 214_138.0),
+    ("uq3/hist+EW", 1_070_191.0),
+    ("uq3/hist+EO", 566_706.0),
+];
+
+struct Measurement {
+    key: String,
+    draws_per_sec: f64,
+    acceptance: f64,
+    p50_ns: u128,
+    p99_ns: u128,
+    baseline_draws_per_sec: Option<f64>,
+}
+
+impl Measurement {
+    fn speedup(&self) -> Option<f64> {
+        self.baseline_draws_per_sec
+            .filter(|b| b.is_finite() && *b > 0.0)
+            .map(|b| self.draws_per_sec / b)
+    }
+}
+
+fn measure(
+    workload: &str,
+    kind: EstimatorKind,
+    draws: usize,
+    reps: usize,
+    seed: u64,
+) -> Measurement {
+    let opts = UqOptions::new(2, 42, 0.2);
+    let w = Arc::new(build_workload(workload, &opts).expect("workload"));
+    let mut sampler = build_set_union_sampler(w, kind, seed).expect("sampler");
+    let mut rng = SujRng::seed_from_u64(seed);
+
+    // Warm-up batch: fills cover records and faults in the indexes.
+    sampler
+        .sample(draws.min(500), &mut rng)
+        .expect("warm-up batch");
+
+    // Best-of-reps: load spikes from concurrently running binaries hit
+    // single measurements hard; the minimum time is the stable
+    // statistic (same convention as `best_serve_time`). The report
+    // delta spans all reps — acceptance and latency shape are
+    // load-insensitive.
+    let before = sampler.report().clone();
+    let mut elapsed = std::time::Duration::MAX;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        sampler.sample(draws, &mut rng).expect("timed batch");
+        elapsed = elapsed.min(start.elapsed());
+    }
+    let delta = sampler.report().delta_since(&before);
+
+    let key = format!("{workload}/{}", kind.label());
+    let baseline = PRE_PR_BASELINE
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| *v);
+    Measurement {
+        key,
+        draws_per_sec: draws as f64 / elapsed.as_secs_f64(),
+        acceptance: delta.acceptance_ratio(),
+        p50_ns: delta.draw_latency.p50().map_or(0, |d| d.as_nanos()),
+        p99_ns: delta.draw_latency.p99().map_or(0, |d| d.as_nanos()),
+        baseline_draws_per_sec: baseline,
+    }
+}
+
+/// Join-level batched throughput: `JoinSampler::sample_batch` on one
+/// workload join, per weight instantiation (no pre-PR baseline — the
+/// entry point is new in this PR).
+fn measure_join_batch(workload: &str, kind: WeightKind, draws: usize, reps: usize) -> Measurement {
+    let opts = UqOptions::new(2, 42, 0.2);
+    let w = build_workload(workload, &opts).expect("workload");
+    let sampler = build_sampler(w.join(0).clone(), kind).expect("join sampler");
+    let mut rng = SujRng::seed_from_u64(42);
+    let mut out = Vec::new();
+    sampler.sample_batch(draws.min(500), u64::MAX, &mut rng, &mut out);
+
+    let mut elapsed = std::time::Duration::MAX;
+    let mut attempts = 0u64;
+    for _ in 0..reps.max(1) {
+        out.clear();
+        let start = Instant::now();
+        attempts = sampler.sample_batch(draws, u64::MAX, &mut rng, &mut out);
+        elapsed = elapsed.min(start.elapsed());
+    }
+    Measurement {
+        key: format!("{workload}/join-batch/{kind:?}"),
+        draws_per_sec: draws as f64 / elapsed.as_secs_f64(),
+        acceptance: out.len() as f64 / attempts.max(1) as f64,
+        p50_ns: 0,
+        p99_ns: 0,
+        baseline_draws_per_sec: None,
+    }
+}
+
+fn write_json(measurements: &[Measurement]) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_4.json");
+    let mut out = String::from("{\n  \"pr\": 4,\n  \"bench\": \"hot_path\",\n");
+    out.push_str("  \"config\": \"SetUnionSampler (Algorithm 1), scale_units=2, overlap=0.2\",\n");
+    out.push_str("  \"workloads\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"draws_per_sec\": {:.0}, \"acceptance\": {:.4}, \
+             \"draw_p50_ns\": {}, \"draw_p99_ns\": {}",
+            m.key, m.draws_per_sec, m.acceptance, m.p50_ns, m.p99_ns
+        ));
+        if let Some(b) = m.baseline_draws_per_sec.filter(|b| b.is_finite()) {
+            out.push_str(&format!(
+                ", \"baseline_draws_per_sec\": {:.0}, \"speedup\": {:.2}",
+                b,
+                m.speedup().unwrap_or(0.0)
+            ));
+        }
+        out.push('}');
+        out.push_str(if i + 1 < measurements.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write BENCH_4.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let (draws, reps) = if smoke { (1_000, 1) } else { (100_000, 3) };
+
+    let mut table = FigureTable::new(
+        "Hot path — union-sampler draw throughput",
+        &["config", "draws/s", "accept", "p50", "p99", "vs pre-PR"],
+    );
+    let mut measurements = Vec::new();
+    for workload in ["uq1", "uq2", "uq3"] {
+        for kind in [EstimatorKind::HistogramEw, EstimatorKind::HistogramEo] {
+            let m = measure(workload, kind, draws, reps, 42);
+            table.push_row(vec![
+                m.key.clone(),
+                format!("{:.0}", m.draws_per_sec),
+                format!("{:.3}", m.acceptance),
+                format!("{}ns", m.p50_ns),
+                format!("{}ns", m.p99_ns),
+                m.speedup()
+                    .map_or_else(|| "-".into(), |s| format!("{s:.2}x")),
+            ]);
+            measurements.push(m);
+        }
+    }
+    // Join-level batched draws (the `sample_batch` entry point).
+    for kind in [WeightKind::Exact, WeightKind::ExtendedOlken] {
+        let m = measure_join_batch("uq1", kind, draws, reps);
+        table.push_row(vec![
+            m.key.clone(),
+            format!("{:.0}", m.draws_per_sec),
+            format!("{:.3}", m.acceptance),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ]);
+        measurements.push(m);
+    }
+    println!("{table}");
+
+    if smoke {
+        // CI smoke: the path ran end to end; numbers are meaningless at
+        // this draw count on shared hardware, so nothing is recorded.
+        assert!(measurements.iter().all(|m| m.draws_per_sec > 0.0));
+        println!("smoke mode: skipping BENCH_4.json");
+        return;
+    }
+    write_json(&measurements);
+}

@@ -103,6 +103,8 @@ pub struct SetUnionSampler {
     dead: Vec<bool>,
     emitted: u64,
     pending: VecDeque<Draw>,
+    /// Reusable canonicalization scratch (one accepted draw each).
+    canon_scratch: Vec<suj_storage::Value>,
 }
 
 impl SetUnionSampler {
@@ -160,6 +162,7 @@ impl SetUnionSampler {
             dead: vec![false; n_joins],
             emitted: 0,
             pending: VecDeque::new(),
+            canon_scratch: Vec::new(),
         })
     }
 
@@ -207,7 +210,9 @@ impl UnionSampler for SetUnionSampler {
                     self.dead[j] = true;
                     break;
                 };
-                let t = self.workload.to_canonical(j, &t_local);
+                let t = self
+                    .workload
+                    .to_canonical_into(j, &t_local, &mut self.canon_scratch);
 
                 let accept = match self.config.policy {
                     CoverPolicy::MembershipOracle => {

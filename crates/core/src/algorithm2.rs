@@ -40,7 +40,7 @@ use crate::workload::UnionWorkload;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
-use suj_join::{WalkOutcome, WanderJoin};
+use suj_join::WanderJoin;
 use suj_stats::{Categorical, SujRng};
 use suj_storage::{FxHashMap, Tuple};
 
@@ -133,6 +133,8 @@ struct OnlineState {
     /// persisted so a draw returning a retraction event can resume the
     /// selection loop exactly where it left off.
     cur: Option<(usize, u64)>,
+    /// Reusable row-id walk scratch: failed walks allocate nothing.
+    draw: suj_join::RowDraw,
 }
 
 /// Emission probability of a tuple owned by join `j` under the current
@@ -185,6 +187,7 @@ fn init_state(
         positions: FxHashMap::default(),
         orig: FxHashMap::default(),
         cur: None,
+        draw: suj_join::RowDraw::new(),
     })
 }
 
@@ -273,8 +276,13 @@ impl UnionSampler for OnlineUnionSampler {
                 }
                 if obtained.is_none() {
                     let start = Instant::now();
-                    match st.wanders[j].walk(rng) {
-                        WalkOutcome::Success { tuple, probability } => {
+                    // Row-id walk: a failed walk touches no tuple values
+                    // and allocates nothing; successful walks
+                    // materialize once for the estimator's membership
+                    // masks.
+                    match st.wanders[j].walk_rows(rng, &mut st.draw) {
+                        Some(probability) => {
+                            let tuple = st.wanders[j].materialize(&st.draw);
                             let canonical =
                                 st.est
                                     .record_success(workload, j, &tuple, probability, false);
@@ -289,7 +297,7 @@ impl UnionSampler for OnlineUnionSampler {
                                 report.rejected_time += start.elapsed();
                             }
                         }
-                        WalkOutcome::Failure => {
+                        None => {
                             st.est.record_failure(j);
                             report.rejected_join += 1;
                             report.rejected_time += start.elapsed();

@@ -62,6 +62,8 @@ pub struct BernoulliUnionSampler {
     stall_rounds: u64,
     report: RunReport,
     emitted: u64,
+    /// Reusable canonicalization scratch (one accepted draw each).
+    canon_scratch: Vec<suj_storage::Value>,
 }
 
 impl BernoulliUnionSampler {
@@ -142,6 +144,7 @@ impl BernoulliUnionSampler {
             stall_rounds: 0,
             report: RunReport::new(n),
             emitted: 0,
+            canon_scratch: Vec::new(),
         })
     }
 
@@ -189,7 +192,9 @@ impl UnionSampler for BernoulliUnionSampler {
                 self.report.rejected_time += start.elapsed();
                 continue; // join empty or pathological
             };
-            let t = self.workload.to_canonical(j, &t_local);
+            let t = self
+                .workload
+                .to_canonical_into(j, &t_local, &mut self.canon_scratch);
             let accept = match self.policy {
                 DesignationPolicy::Oracle => {
                     // Designated join: first (workload order)

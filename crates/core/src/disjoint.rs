@@ -17,7 +17,7 @@ use crate::workload::UnionWorkload;
 use std::sync::Arc;
 use std::time::Instant;
 use suj_join::weights::build_sampler;
-use suj_join::{JoinSampler, SampleOutcome, WeightKind};
+use suj_join::{JoinSampler, WeightKind};
 use suj_stats::{Categorical, SujRng};
 
 /// Sampler over the disjoint union of a workload's joins.
@@ -30,6 +30,11 @@ pub struct DisjointUnionSampler {
     join_sizes: Vec<f64>,
     report: RunReport,
     emitted: u64,
+    /// Reusable row-id draw scratch: rejected attempts allocate
+    /// nothing.
+    draw: suj_join::RowDraw,
+    /// Reusable canonicalization scratch (one accepted draw each).
+    canon_scratch: Vec<suj_storage::Value>,
 }
 
 impl DisjointUnionSampler {
@@ -79,6 +84,8 @@ impl DisjointUnionSampler {
             join_sizes,
             report: RunReport::new(n_joins),
             emitted: 0,
+            draw: suj_join::RowDraw::new(),
+            canon_scratch: Vec::new(),
         })
     }
 
@@ -109,19 +116,19 @@ impl UnionSampler for DisjointUnionSampler {
             let j = self.selection.as_ref().expect("checked above").draw(rng);
             self.report.join_draws[j] += 1;
             let start = Instant::now();
-            match self.samplers[j].sample(rng) {
-                SampleOutcome::Accepted(local) => {
-                    let t = self.workload.to_canonical(j, &local);
-                    let idx = self.emitted;
-                    self.emitted += 1;
-                    self.report.accepted += 1;
-                    self.report.accepted_time += start.elapsed();
-                    return Ok(Draw::Tuple(idx, t));
-                }
-                SampleOutcome::Rejected => {
-                    self.report.rejected_join += 1;
-                    self.report.rejected_time += start.elapsed();
-                }
+            if self.samplers[j].sample_rows(rng, &mut self.draw) {
+                let local = self.samplers[j].materialize(&self.draw);
+                let t = self
+                    .workload
+                    .to_canonical_into(j, &local, &mut self.canon_scratch);
+                let idx = self.emitted;
+                self.emitted += 1;
+                self.report.accepted += 1;
+                self.report.accepted_time += start.elapsed();
+                return Ok(Draw::Tuple(idx, t));
+            } else {
+                self.report.rejected_join += 1;
+                self.report.rejected_time += start.elapsed();
             }
         }
     }

@@ -150,11 +150,58 @@ impl JoinSampler for FilteredSampler {
         self.inner.spec()
     }
 
+    fn sample_rows(&self, rng: &mut SujRng, draw: &mut suj_join::RowDraw) -> bool {
+        // Predicate evaluation needs values, so inner-accepted attempts
+        // materialize here; inner-rejected attempts stay allocation-free.
+        self.inner.sample_rows(rng, draw) && self.predicate.eval(&self.inner.materialize(draw))
+    }
+
+    fn materialize(&self, draw: &suj_join::RowDraw) -> suj_storage::Tuple {
+        self.inner.materialize(draw)
+    }
+
     fn sample(&self, rng: &mut SujRng) -> SampleOutcome {
+        // Override the provided method to materialize once, not twice.
         match self.inner.sample(rng) {
             SampleOutcome::Accepted(t) if self.predicate.eval(&t) => SampleOutcome::Accepted(t),
             _ => SampleOutcome::Rejected,
         }
+    }
+
+    fn sample_until_accepted(
+        &self,
+        rng: &mut SujRng,
+        max_tries: u64,
+    ) -> (Option<suj_storage::Tuple>, u64) {
+        // Loop over the overridden `sample` so each inner-accepted
+        // attempt materializes exactly once (the default loops
+        // `sample_rows`, which would evaluate-then-rematerialize).
+        for attempt in 1..=max_tries {
+            if let SampleOutcome::Accepted(t) = self.sample(rng) {
+                return (Some(t), attempt);
+            }
+        }
+        (None, max_tries)
+    }
+
+    fn sample_batch(
+        &self,
+        n: usize,
+        max_tries: u64,
+        rng: &mut SujRng,
+        out: &mut Vec<suj_storage::Tuple>,
+    ) -> u64 {
+        out.reserve(n);
+        let mut attempts = 0u64;
+        let mut accepted = 0usize;
+        while accepted < n && attempts < max_tries {
+            attempts += 1;
+            if let SampleOutcome::Accepted(t) = self.sample(rng) {
+                out.push(t);
+                accepted += 1;
+            }
+        }
+        attempts
     }
 
     fn join_size_hint(&self) -> f64 {

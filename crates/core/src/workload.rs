@@ -10,7 +10,7 @@
 use crate::error::CoreError;
 use std::sync::Arc;
 use suj_join::{JoinSpec, MembershipOracle};
-use suj_storage::{Schema, Tuple};
+use suj_storage::{Schema, Tuple, Value};
 
 /// Maximum number of joins in one workload.
 ///
@@ -92,6 +92,13 @@ impl UnionWorkload {
     /// a copy with identical order.
     pub fn to_canonical(&self, j: usize, local: &Tuple) -> Tuple {
         local.project(&self.projections[j])
+    }
+
+    /// [`UnionWorkload::to_canonical`] through a reusable scratch
+    /// buffer: repeated canonicalizations (one per accepted draw) pay
+    /// only the tuple's own allocation.
+    pub fn to_canonical_into(&self, j: usize, local: &Tuple, scratch: &mut Vec<Value>) -> Tuple {
+        local.project_into(&self.projections[j], scratch)
     }
 
     /// Membership oracle of join `j` over canonical tuples.

@@ -133,13 +133,10 @@ pub fn execute(spec: &JoinSpec) -> JoinResult {
             }
         } else {
             let index = HashIndex::build(rel, &probe_attr_names);
-            let mut key: Vec<Value> = Vec::with_capacity(probe_out_positions.len());
             for partial in &partials {
-                key.clear();
-                for &p in &probe_out_positions {
-                    key.push(partial[p].clone());
-                }
-                for &rid in index.rows_matching(&key) {
+                // Encoded probe straight off the partial buffer — no
+                // key materialization per probe.
+                for &rid in index.rows_matching_projected(partial, &probe_out_positions) {
                     let row = rel.row(rid as usize);
                     let mut buf = partial.clone();
                     for &(k, p) in &fill_positions {

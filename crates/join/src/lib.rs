@@ -78,7 +78,9 @@ pub use membership::MembershipOracle;
 pub use spec::{JoinEdge, JoinSpec};
 pub use tree::JoinTree;
 pub use wander::{WalkOutcome, WanderJoin, WanderSampler};
-pub use weights::{ExactWeightSampler, JoinSampler, OlkenSampler, SampleOutcome, WeightKind};
+pub use weights::{
+    ExactWeightSampler, JoinSampler, OlkenSampler, RowDraw, SampleOutcome, WeightKind,
+};
 
 /// Commonly used items.
 pub mod prelude {
@@ -93,6 +95,6 @@ pub mod prelude {
     pub use crate::tree::JoinTree;
     pub use crate::wander::{WalkOutcome, WanderJoin, WanderSampler};
     pub use crate::weights::{
-        ExactWeightSampler, JoinSampler, OlkenSampler, SampleOutcome, WeightKind,
+        ExactWeightSampler, JoinSampler, OlkenSampler, RowDraw, SampleOutcome, WeightKind,
     };
 }

@@ -12,7 +12,7 @@
 use crate::error::JoinError;
 use crate::spec::JoinSpec;
 use std::sync::Arc;
-use suj_storage::{RowMembership, Schema, Tuple, Value};
+use suj_storage::{RowMembership, Schema, Tuple};
 
 /// Decides membership of canonical-schema tuples in one join.
 #[derive(Debug, Clone)]
@@ -60,17 +60,16 @@ impl MembershipOracle {
         Self::new(spec, spec.output_schema()).expect("own output schema always covers the spec")
     }
 
-    /// Whether `tuple` (in canonical order) is a result tuple of the join.
+    /// Whether `tuple` (in canonical order) is a result tuple of the
+    /// join. Each relation's check probes its membership index through
+    /// the projection positions directly — the §6.2 "queries with key"
+    /// are hash lookups with zero allocation per check.
+    #[inline]
     pub fn contains(&self, tuple: &Tuple) -> bool {
-        let mut scratch: Vec<Value> = Vec::new();
-        for (membership, proj) in self.memberships.iter().zip(&self.projections) {
-            scratch.clear();
-            scratch.extend(proj.iter().map(|&p| tuple.get(p).clone()));
-            if !membership.contains_values(&scratch) {
-                return false;
-            }
-        }
-        true
+        self.memberships
+            .iter()
+            .zip(&self.projections)
+            .all(|(membership, proj)| membership.contains_projection(tuple, proj))
     }
 
     /// Number of base relations consulted per check (the paper's `M`).
@@ -91,7 +90,7 @@ mod tests {
     use super::*;
     use crate::exec::execute;
     use crate::spec::JoinSpec;
-    use suj_storage::{tuple, Relation};
+    use suj_storage::{tuple, Relation, Value};
 
     fn rel(name: &str, attrs: &[&str], rows: Vec<Vec<i64>>) -> Arc<Relation> {
         let schema = Schema::new(attrs.iter().copied()).unwrap();

@@ -200,11 +200,8 @@ fn materialize_natural(name: &str, relations: &[Arc<Relation>]) -> Result<Relati
                 .iter()
                 .map(|a| schema.position(a).expect("shared attr"))
                 .collect();
-            let mut key: Vec<Value> = Vec::with_capacity(shared.len());
             for acc in &rows {
-                key.clear();
-                key.extend(shared_positions_in_acc.iter().map(|&p| acc.get(p).clone()));
-                for &rid in index.rows_matching(&key) {
+                for &rid in index.rows_matching_projected(acc.values(), &shared_positions_in_acc) {
                     let row = rel.row(rid as usize);
                     let mut vals: Vec<Value> = acc.values().to_vec();
                     vals.extend(new_positions_in_rel.iter().map(|&p| row.get(p).clone()));

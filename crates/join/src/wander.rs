@@ -17,10 +17,10 @@
 
 use crate::error::JoinError;
 use crate::spec::JoinSpec;
-use crate::weights::{JoinSampler, Prepared, SampleOutcome};
+use crate::weights::{with_draw_scratch, JoinSampler, Prepared, RowDraw};
 use std::sync::Arc;
 use suj_stats::{HorvitzThompson, SujRng};
-use suj_storage::{Tuple, Value};
+use suj_storage::{Tuple, NO_KEY};
 
 /// Result of one random walk.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,43 +72,53 @@ impl WanderJoin {
         self.bound
     }
 
-    /// Performs one random walk.
-    pub fn walk(&self, rng: &mut SujRng) -> WalkOutcome {
-        let spec = &self.prepared.spec;
-        let root = self.prepared.tree.root();
-        let root_rel = spec.relation(root);
-        if root_rel.is_empty() {
-            return WalkOutcome::Failure;
+    /// Performs one random walk over row ids — the allocation-free hot
+    /// path. On success, returns the walk probability with the chosen
+    /// rows left in `draw`; materialize them with
+    /// [`WanderJoin::materialize`] only if the walk is kept.
+    pub fn walk_rows(&self, rng: &mut SujRng, draw: &mut RowDraw) -> Option<f64> {
+        let prepared = &self.prepared;
+        let root = prepared.tree.root();
+        let root_len = prepared.spec.relation(root).len();
+        if root_len == 0 {
+            return None;
         }
-        let arity = spec.output_schema().arity();
-        let mut buf = vec![Value::Null; arity];
-        let mut filled = vec![false; arity];
-        let mut probability = 1.0 / root_rel.len() as f64;
+        draw.reset(prepared.spec.n_relations());
+        let mut probability = 1.0 / root_len as f64;
+        draw.rows[root] = rng.index(root_len) as u32;
 
-        let root_row = rng.index(root_rel.len()) as u32;
-        let mut scratch: Vec<Value> = Vec::new();
-        let mut frontier = vec![(root, root_row)];
-        while let Some((v, row_id)) = frontier.pop() {
-            let row = spec.relation(v).row(row_id as usize);
-            if !self.prepared.fill(&mut buf, &mut filled, v, row) {
-                return WalkOutcome::Failure; // cycle-consistency violation
+        for &v in &prepared.tree.order()[1..] {
+            let p = prepared.tree.parent(v).expect("non-root has parent");
+            let kid = prepared.edge_keys[v][draw.rows[p] as usize];
+            if kid == NO_KEY {
+                return None; // dead end
             }
-            for &c in self.prepared.tree.children(v) {
-                let key = self.prepared.child_key(c, row, &mut scratch);
-                let index = self.prepared.indexes[c].as_ref().expect("child index");
-                let cands = index.rows_matching(key);
-                if cands.is_empty() {
-                    return WalkOutcome::Failure;
-                }
-                probability /= cands.len() as f64;
-                let picked = cands[rng.index(cands.len())];
-                frontier.push((c, picked));
-            }
+            let index = prepared.indexes[v].as_ref().expect("child index");
+            let degree = index.degree_of(kid);
+            probability /= degree as f64;
+            draw.rows[v] = index.postings(kid)[rng.index(degree)];
         }
-        WalkOutcome::Success {
-            tuple: Tuple::new(buf),
-            probability,
+        if !prepared.consistent(&draw.rows) {
+            return None; // cycle-consistency violation
         }
+        Some(probability)
+    }
+
+    /// Materializes a successful walk's rows into the output tuple.
+    pub fn materialize(&self, draw: &RowDraw) -> Tuple {
+        self.prepared.materialize(draw.rows())
+    }
+
+    /// Performs one random walk, materializing the result tuple on
+    /// success.
+    pub fn walk(&self, rng: &mut SujRng) -> WalkOutcome {
+        with_draw_scratch(|draw| match self.walk_rows(rng, draw) {
+            Some(probability) => WalkOutcome::Success {
+                tuple: self.materialize(draw),
+                probability,
+            },
+            None => WalkOutcome::Failure,
+        })
     }
 
     /// Runs a fixed number of walks, feeding a Horvitz–Thompson size
@@ -179,21 +189,21 @@ impl JoinSampler for WanderSampler {
         self.wander.spec()
     }
 
-    fn sample(&self, rng: &mut SujRng) -> SampleOutcome {
+    fn sample_rows(&self, rng: &mut SujRng, draw: &mut RowDraw) -> bool {
         if self.wander.bound <= 0.0 {
-            return SampleOutcome::Rejected;
+            return false;
         }
-        match self.wander.walk(rng) {
-            WalkOutcome::Success { tuple, probability } => {
+        match self.wander.walk_rows(rng, draw) {
+            Some(probability) => {
                 let accept = (1.0 / probability) / self.wander.bound;
-                if rng.bernoulli(accept) {
-                    SampleOutcome::Accepted(tuple)
-                } else {
-                    SampleOutcome::Rejected
-                }
+                rng.bernoulli(accept)
             }
-            WalkOutcome::Failure => SampleOutcome::Rejected,
+            None => false,
         }
+    }
+
+    fn materialize(&self, draw: &RowDraw) -> Tuple {
+        self.wander.materialize(draw)
     }
 
     fn join_size_hint(&self) -> f64 {
@@ -206,7 +216,8 @@ mod tests {
     use super::*;
     use crate::exec::execute;
     use crate::spec::JoinSpec;
-    use suj_storage::{FxHashMap, Relation, Schema};
+    use crate::weights::SampleOutcome;
+    use suj_storage::{FxHashMap, Relation, Schema, Value};
 
     fn rel(name: &str, attrs: &[&str], rows: Vec<Vec<i64>>) -> Arc<Relation> {
         let schema = Schema::new(attrs.iter().copied()).unwrap();

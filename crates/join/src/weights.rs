@@ -18,19 +18,33 @@
 //!
 //! Cyclic joins are sampled over a BFS *spanning tree* of the join graph
 //! with the dropped cycle-closing equalities enforced by consistency
-//! rejection on the output buffer — the cycle-breaking mechanism of Zhao
+//! rejection on the chosen rows — the cycle-breaking mechanism of Zhao
 //! et al. that §8.2 adopts. Uniformity is preserved because each result
 //! tuple of the cyclic join corresponds to exactly one spanning-join row
 //! combination.
+//!
+//! # The allocation-free draw hot path
+//!
+//! A sampling attempt never touches tuple values: every join edge's
+//! probe keys are dictionary encoded at build time (the prepared
+//! structure's edge-key table maps each parent row id straight to the
+//! child index's key id), so one walk step is two integer array reads
+//! (key id → CSR postings) plus the RNG draw. Attempts produce row ids
+//! only ([`JoinSampler::sample_rows`] into a caller-held [`RowDraw`]);
+//! the output [`Tuple`] is materialized *after* acceptance
+//! ([`JoinSampler::materialize`]), so rejected attempts perform zero
+//! heap allocations — pinned by the counting-allocator test in
+//! `tests/alloc_free.rs`.
 
 use crate::error::JoinError;
 use crate::exec::execute;
 use crate::graph::has_graph_cycle;
 use crate::spec::JoinSpec;
 use crate::tree::JoinTree;
+use std::cell::RefCell;
 use std::sync::Arc;
 use suj_stats::{AliasTable, SujRng};
-use suj_storage::{HashIndex, Tuple, Value};
+use suj_storage::{HashIndex, Tuple, Value, NO_KEY};
 
 /// Weight instantiation for the join-sampling subroutine (§3.2 lists
 /// all three: "extended Olken's, exact, and Wander Join").
@@ -56,45 +70,154 @@ pub enum SampleOutcome {
     Rejected,
 }
 
+/// Reusable scratch for allocation-free row-id draws: the chosen row id
+/// per relation of the join. Callers on a hot path hold one `RowDraw`
+/// across many [`JoinSampler::sample_rows`] attempts; after the first
+/// attempt resizes it, no further allocation occurs.
+#[derive(Debug, Clone, Default)]
+pub struct RowDraw {
+    pub(crate) rows: Vec<u32>,
+}
+
+impl RowDraw {
+    /// Creates an empty scratch (sized lazily by the first draw).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The chosen row ids, indexed by relation, after a successful
+    /// draw.
+    pub fn rows(&self) -> &[u32] {
+        &self.rows
+    }
+
+    #[inline]
+    pub(crate) fn reset(&mut self, n: usize) {
+        self.rows.clear();
+        self.rows.resize(n, 0);
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch backing the provided tuple-level
+    /// [`JoinSampler`] methods, so callers that never hold a [`RowDraw`]
+    /// still get allocation-free rejected attempts.
+    static DRAW_SCRATCH: RefCell<RowDraw> = RefCell::new(RowDraw::new());
+}
+
+/// Runs `f` with this thread's shared draw scratch.
+pub(crate) fn with_draw_scratch<R>(f: impl FnOnce(&mut RowDraw) -> R) -> R {
+    DRAW_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
 /// A uniform sampler over one join's result.
+///
+/// The required surface is the row-id hot path:
+/// [`sample_rows`](JoinSampler::sample_rows) performs one attempt
+/// without allocating, and [`materialize`](JoinSampler::materialize)
+/// builds the output tuple for an accepted draw. The tuple-level
+/// methods ([`sample`](JoinSampler::sample),
+/// [`sample_until_accepted`](JoinSampler::sample_until_accepted),
+/// [`sample_batch`](JoinSampler::sample_batch)) are provided on top and
+/// only materialize on acceptance.
 pub trait JoinSampler: Send + Sync {
     /// The join being sampled.
     fn spec(&self) -> &JoinSpec;
 
-    /// One sampling attempt.
-    fn sample(&self, rng: &mut SujRng) -> SampleOutcome;
+    /// One allocation-free sampling attempt over row ids. On `true`,
+    /// `draw.rows()` holds a uniform result row combination; on
+    /// `false` the attempt was rejected (dead end, failed acceptance
+    /// test, or a cycle-consistency violation).
+    fn sample_rows(&self, rng: &mut SujRng, draw: &mut RowDraw) -> bool;
+
+    /// Materializes an accepted draw into a tuple in the spec's output
+    /// schema order.
+    fn materialize(&self, draw: &RowDraw) -> Tuple;
 
     /// Size information implied by the weights: the exact join size for
     /// EW on acyclic joins, an upper bound otherwise.
     fn join_size_hint(&self) -> f64;
 
-    /// Draws until acceptance (or `max_tries`); returns the tuple and the
-    /// number of attempts consumed.
-    fn sample_until_accepted(&self, rng: &mut SujRng, max_tries: u64) -> (Option<Tuple>, u64) {
-        for attempt in 1..=max_tries {
-            if let SampleOutcome::Accepted(t) = self.sample(rng) {
-                return (Some(t), attempt);
+    /// One sampling attempt, materializing the tuple only on
+    /// acceptance.
+    fn sample(&self, rng: &mut SujRng) -> SampleOutcome {
+        with_draw_scratch(|draw| {
+            if self.sample_rows(rng, draw) {
+                SampleOutcome::Accepted(self.materialize(draw))
+            } else {
+                SampleOutcome::Rejected
             }
-        }
-        (None, max_tries)
+        })
+    }
+
+    /// Draws until acceptance (or `max_tries`); returns the tuple and the
+    /// number of attempts consumed. Rejected attempts allocate nothing.
+    fn sample_until_accepted(&self, rng: &mut SujRng, max_tries: u64) -> (Option<Tuple>, u64) {
+        with_draw_scratch(|draw| {
+            for attempt in 1..=max_tries {
+                if self.sample_rows(rng, draw) {
+                    return (Some(self.materialize(draw)), attempt);
+                }
+            }
+            (None, max_tries)
+        })
+    }
+
+    /// Batched entry point: draws until `n` tuples are accepted (or
+    /// `max_tries` total attempts are spent), appending them to `out`.
+    /// Returns the attempts consumed. One thread-local scratch access
+    /// and one pre-sized output reservation are amortized across the
+    /// whole batch of draws on one RNG stream — the cheapest way to
+    /// pull many samples from a single join (measured by the
+    /// `join-batch` rows of `benches/hot_path.rs`).
+    fn sample_batch(
+        &self,
+        n: usize,
+        max_tries: u64,
+        rng: &mut SujRng,
+        out: &mut Vec<Tuple>,
+    ) -> u64 {
+        out.reserve(n);
+        with_draw_scratch(|draw| {
+            let mut attempts = 0u64;
+            let mut accepted = 0usize;
+            while accepted < n && attempts < max_tries {
+                attempts += 1;
+                if self.sample_rows(rng, draw) {
+                    out.push(self.materialize(draw));
+                    accepted += 1;
+                }
+            }
+            attempts
+        })
     }
 }
 
 /// Shared prepared structure: spanning-tree order, child hash indexes,
-/// and the positions in each parent's schema supplying each child's
-/// probe key.
+/// and the build-time dictionary encoding of every edge's probe keys.
 #[derive(Debug)]
 pub(crate) struct Prepared {
     pub(crate) spec: Arc<JoinSpec>,
     pub(crate) tree: JoinTree,
     /// Per relation: index on its probe attributes (None for the root).
     pub(crate) indexes: Vec<Option<HashIndex>>,
-    /// Per relation: positions of its probe attributes in its parent's
-    /// schema (empty for the root).
-    pub(crate) parent_key_positions: Vec<Vec<usize>>,
-    /// Whether the join graph was already a tree (no consistency checks
-    /// needed during fill).
+    /// Per non-root relation `c`: for every row id of `c`'s parent, the
+    /// dictionary key id of that row's probe key in `c`'s index
+    /// ([`NO_KEY`] when the child holds no matching rows). This is the
+    /// encoded-join-key table that turns a walk step into two integer
+    /// array reads.
+    pub(crate) edge_keys: Vec<Vec<u32>>,
+    /// Whether the join graph was already a tree (no dropped equalities
+    /// to re-check).
     pub(crate) exact_tree: bool,
+    /// Output fill plan: output position `p` is supplied by local
+    /// position `out_src[p].1` of relation `out_src[p].0` (the first
+    /// tree-order claimant).
+    out_src: Vec<(u32, u32)>,
+    /// Equality constraints dropped by the spanning tree (cyclic specs
+    /// only): `(rel_a, k_a, rel_b, k_b)` pairs whose values must agree
+    /// in an accepted row combination.
+    consistency: Vec<(u32, u32, u32, u32)>,
 }
 
 impl Prepared {
@@ -103,12 +226,12 @@ impl Prepared {
         let tree = JoinTree::spanning(&spec, 0)?;
         let n = spec.n_relations();
         let mut indexes: Vec<Option<HashIndex>> = (0..n).map(|_| None).collect();
-        let mut parent_key_positions: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut edge_keys: Vec<Vec<u32>> = vec![Vec::new(); n];
         for &v in tree.order() {
             if let Some(p) = tree.parent(v) {
                 let attrs = tree.probe_attrs(v).to_vec();
-                indexes[v] = Some(HashIndex::build(spec.relation(v), &attrs));
-                parent_key_positions[v] = attrs
+                let index = HashIndex::build(spec.relation(v), &attrs);
+                let positions: Vec<usize> = attrs
                     .iter()
                     .map(|a| {
                         spec.relation(p)
@@ -117,54 +240,84 @@ impl Prepared {
                             .expect("probe attr shared with parent")
                     })
                     .collect();
+                // Dictionary-encode the edge: one hash probe per parent
+                // row now buys hash-free walk steps forever after.
+                edge_keys[v] = spec
+                    .relation(p)
+                    .rows()
+                    .iter()
+                    .map(|row| {
+                        index
+                            .key_id_projected(row.values(), &positions)
+                            .unwrap_or(NO_KEY)
+                    })
+                    .collect();
+                indexes[v] = Some(index);
             }
         }
+
+        // Output fill plan + dropped-equality checks.
+        let arity = spec.output_schema().arity();
+        let mut out_src = vec![(0u32, 0u32); arity];
+        let mut claimed = vec![false; arity];
+        let mut consistency = Vec::new();
+        for &v in tree.order() {
+            for (k, &p) in spec.out_positions(v).iter().enumerate() {
+                if claimed[p] {
+                    if !exact_tree {
+                        let (r0, k0) = out_src[p];
+                        consistency.push((r0, k0, v as u32, k as u32));
+                    }
+                } else {
+                    claimed[p] = true;
+                    out_src[p] = (v as u32, k as u32);
+                }
+            }
+        }
+
         Ok(Self {
             spec,
             tree,
             indexes,
-            parent_key_positions,
+            edge_keys,
             exact_tree,
+            out_src,
+            consistency,
         })
     }
 
-    /// Fills an output buffer with one relation's row values, checking
-    /// consistency with already-filled positions (the re-check of the
-    /// equality constraints dropped by the spanning tree). Returns false
-    /// on conflict.
-    pub(crate) fn fill(
-        &self,
-        buf: &mut [Value],
-        filled: &mut [bool],
-        rel: usize,
-        row: &Tuple,
-    ) -> bool {
-        for (k, &p) in self.spec.out_positions(rel).iter().enumerate() {
-            let v = row.get(k);
-            if filled[p] {
-                if !self.exact_tree && &buf[p] != v {
-                    return false;
-                }
-            } else {
-                buf[p] = v.clone();
-                filled[p] = true;
-            }
-        }
-        true
+    /// Whether the chosen rows satisfy the equality constraints the
+    /// spanning tree dropped (always true for acyclic specs). Reads
+    /// values in place — no allocation.
+    #[inline]
+    pub(crate) fn consistent(&self, rows: &[u32]) -> bool {
+        self.consistency.iter().all(|&(ra, ka, rb, kb)| {
+            let a = self
+                .spec
+                .relation(ra as usize)
+                .row(rows[ra as usize] as usize)
+                .get(ka as usize);
+            let b = self
+                .spec
+                .relation(rb as usize)
+                .row(rows[rb as usize] as usize)
+                .get(kb as usize);
+            a == b
+        })
     }
 
-    /// Probe key for child `c` given its parent's chosen row.
-    pub(crate) fn child_key<'a>(
-        &self,
-        c: usize,
-        parent_row: &Tuple,
-        scratch: &'a mut Vec<Value>,
-    ) -> &'a [Value] {
-        scratch.clear();
-        for &p in &self.parent_key_positions[c] {
-            scratch.push(parent_row.get(p).clone());
-        }
-        scratch.as_slice()
+    /// Materializes a row combination into an output tuple (the one
+    /// acceptance-path allocation).
+    pub(crate) fn materialize(&self, rows: &[u32]) -> Tuple {
+        let mut vals: Vec<Value> = Vec::with_capacity(self.out_src.len());
+        vals.extend(self.out_src.iter().map(|&(r, k)| {
+            self.spec
+                .relation(r as usize)
+                .row(rows[r as usize] as usize)
+                .get(k as usize)
+                .clone()
+        }));
+        Tuple::new(vals)
     }
 }
 
@@ -175,6 +328,10 @@ pub struct ExactWeightSampler {
     /// Per relation: weight of each row (number of spanning-join results
     /// through that row's subtree).
     weights: Vec<Vec<f64>>,
+    /// Per non-root relation: total weight of each dictionary key's
+    /// postings — the per-probe weight sum, precomputed per key id so a
+    /// walk step reads it instead of summing candidates.
+    key_sums: Vec<Vec<f64>>,
     root_alias: Option<AliasTable>,
     total: f64,
 }
@@ -188,31 +345,42 @@ impl ExactWeightSampler {
         let mut weights: Vec<Vec<f64>> = (0..n)
             .map(|i| vec![1.0f64; spec.relation(i).len()])
             .collect();
+        let mut key_sums: Vec<Vec<f64>> = vec![Vec::new(); n];
 
-        // Bottom-up DP: weight(row) = Π_child Σ_matching weight(child row).
-        let mut scratch: Vec<Value> = Vec::new();
+        // Bottom-up DP: weight(row) = Π_child Σ_matching weight(child
+        // row). Children are finalized first, so each child's per-key
+        // weight sums are ready when the parent consults them — the
+        // per-row probe is a single encoded-key array read.
         for v in prepared.tree.bottom_up() {
-            let children: Vec<usize> = prepared.tree.children(v).to_vec();
-            if children.is_empty() {
-                continue;
-            }
-            let rel = spec.relation(v).clone();
-            for (ri, row) in rel.rows().iter().enumerate() {
-                let mut w = 1.0f64;
-                for &c in &children {
-                    let key = prepared.child_key(c, row, &mut scratch);
-                    let index = prepared.indexes[c].as_ref().expect("child has index");
-                    let s: f64 = index
-                        .rows_matching(key)
-                        .iter()
-                        .map(|&rid| weights[c][rid as usize])
-                        .sum();
-                    w *= s;
-                    if w == 0.0 {
-                        break;
+            let children = prepared.tree.children(v);
+            if !children.is_empty() {
+                for (ri, slot) in weights[v].iter_mut().enumerate() {
+                    let mut w = 1.0f64;
+                    for &c in children {
+                        let kid = prepared.edge_keys[c][ri];
+                        let s = if kid == NO_KEY {
+                            0.0
+                        } else {
+                            key_sums[c][kid as usize]
+                        };
+                        w *= s;
+                        if w == 0.0 {
+                            break;
+                        }
                     }
+                    *slot = w;
                 }
-                weights[v][ri] = w;
+            }
+            if let Some(index) = prepared.indexes[v].as_ref() {
+                key_sums[v] = (0..index.n_keys() as u32)
+                    .map(|kid| {
+                        index
+                            .postings(kid)
+                            .iter()
+                            .map(|&rid| weights[v][rid as usize])
+                            .sum()
+                    })
+                    .collect();
             }
         }
 
@@ -222,6 +390,7 @@ impl ExactWeightSampler {
         Ok(Self {
             prepared,
             weights,
+            key_sums,
             root_alias,
             total,
         })
@@ -251,73 +420,73 @@ impl JoinSampler for ExactWeightSampler {
         &self.prepared.spec
     }
 
-    fn sample(&self, rng: &mut SujRng) -> SampleOutcome {
+    fn sample_rows(&self, rng: &mut SujRng, draw: &mut RowDraw) -> bool {
         let Some(alias) = &self.root_alias else {
-            return SampleOutcome::Rejected; // empty join
+            return false; // empty join
         };
         if self.total <= 0.0 {
-            return SampleOutcome::Rejected;
+            return false;
         }
-        let spec = &self.prepared.spec;
-        let root = self.prepared.tree.root();
-        let arity = spec.output_schema().arity();
-        let mut buf = vec![Value::Null; arity];
-        let mut filled = vec![false; arity];
+        let prepared = &self.prepared;
+        let root = prepared.tree.root();
+        draw.reset(prepared.spec.n_relations());
 
         let root_row = alias.draw(rng) as u32;
         // Alias tables cannot express zero-probability rows exactly in
         // the presence of FP residue; guard against picking a dead row.
         if self.weights[root][root_row as usize] <= 0.0 {
-            return SampleOutcome::Rejected;
+            return false;
         }
+        draw.rows[root] = root_row;
 
-        let mut scratch: Vec<Value> = Vec::new();
-        let mut frontier = vec![(root, root_row)];
-        while let Some((v, row_id)) = frontier.pop() {
-            let row = spec.relation(v).row(row_id as usize);
-            if !self.prepared.fill(&mut buf, &mut filled, v, row) {
-                return SampleOutcome::Rejected; // cycle-consistency violation
+        // Top-down over the tree order (parents precede children): one
+        // encoded-key read + one weighted pick per edge.
+        for &v in &prepared.tree.order()[1..] {
+            let p = prepared.tree.parent(v).expect("non-root has parent");
+            let kid = prepared.edge_keys[v][draw.rows[p] as usize];
+            if kid == NO_KEY {
+                return false; // impossible when weights are exact; defensive
             }
-            for &c in self.prepared.tree.children(v) {
-                let key = self.prepared.child_key(c, row, &mut scratch);
-                let index = self.prepared.indexes[c].as_ref().expect("child index");
-                let cands = index.rows_matching(key);
-                let total: f64 = cands.iter().map(|&rid| self.weights[c][rid as usize]).sum();
-                if total <= 0.0 {
-                    // Impossible when weights are exact; defensive.
-                    return SampleOutcome::Rejected;
-                }
-                let mut x = rng.next_f64() * total;
-                let mut picked = None;
-                for &rid in cands {
-                    let w = self.weights[c][rid as usize];
-                    if w <= 0.0 {
-                        continue;
-                    }
-                    if x < w {
-                        picked = Some(rid);
-                        break;
-                    }
-                    x -= w;
-                }
-                let picked = match picked {
-                    Some(r) => r,
-                    None => {
-                        // FP rounding: take the last positive candidate.
-                        match cands
-                            .iter()
-                            .rev()
-                            .find(|&&rid| self.weights[c][rid as usize] > 0.0)
-                        {
-                            Some(&r) => r,
-                            None => return SampleOutcome::Rejected,
-                        }
-                    }
-                };
-                frontier.push((c, picked));
+            let total = self.key_sums[v][kid as usize];
+            if total <= 0.0 {
+                return false; // likewise defensive
             }
+            let index = prepared.indexes[v].as_ref().expect("child index");
+            let cands = index.postings(kid);
+            let mut x = rng.next_f64() * total;
+            let mut picked = None;
+            for &rid in cands {
+                let w = self.weights[v][rid as usize];
+                if w <= 0.0 {
+                    continue;
+                }
+                if x < w {
+                    picked = Some(rid);
+                    break;
+                }
+                x -= w;
+            }
+            let picked = match picked {
+                Some(r) => r,
+                None => {
+                    // FP rounding: take the last positive candidate.
+                    match cands
+                        .iter()
+                        .rev()
+                        .find(|&&rid| self.weights[v][rid as usize] > 0.0)
+                    {
+                        Some(&r) => r,
+                        None => return false,
+                    }
+                }
+            };
+            draw.rows[v] = picked;
         }
-        SampleOutcome::Accepted(Tuple::new(buf))
+        prepared.consistent(&draw.rows)
+    }
+
+    fn materialize(&self, draw: &RowDraw) -> Tuple {
+        self.prepared.materialize(&draw.rows)
     }
 
     fn join_size_hint(&self) -> f64 {
@@ -352,23 +521,17 @@ impl OlkenSampler {
 
         // One-level dangling elimination at the root (§3.2's linear
         // search): root rows with an empty candidate list in any child
-        // can never yield a result.
+        // can never yield a result. A row is live iff every child edge
+        // encoded its key — one integer read per (row, child).
         let root = prepared.tree.root();
         let root_children: Vec<usize> = prepared.tree.children(root).to_vec();
-        let mut scratch: Vec<Value> = Vec::new();
-        let live_roots: Vec<u32> = spec
-            .relation(root)
-            .rows()
-            .iter()
-            .enumerate()
-            .filter(|(_, row)| {
-                root_children.iter().all(|&c| {
-                    let key = prepared.child_key(c, row, &mut scratch);
-                    let index = prepared.indexes[c].as_ref().expect("child index");
-                    index.degree(key) > 0
-                })
+        let live_roots: Vec<u32> = (0..spec.relation(root).len())
+            .filter(|&ri| {
+                root_children
+                    .iter()
+                    .all(|&c| prepared.edge_keys[c][ri] != NO_KEY)
             })
-            .map(|(i, _)| i as u32)
+            .map(|ri| ri as u32)
             .collect();
 
         let degree_product: f64 = (0..n)
@@ -401,42 +564,35 @@ impl JoinSampler for OlkenSampler {
         &self.prepared.spec
     }
 
-    fn sample(&self, rng: &mut SujRng) -> SampleOutcome {
+    fn sample_rows(&self, rng: &mut SujRng, draw: &mut RowDraw) -> bool {
         if self.live_roots.is_empty() || self.bound <= 0.0 {
-            return SampleOutcome::Rejected;
+            return false;
         }
-        let spec = &self.prepared.spec;
-        let root = self.prepared.tree.root();
-        let arity = spec.output_schema().arity();
-        let mut buf = vec![Value::Null; arity];
-        let mut filled = vec![false; arity];
+        let prepared = &self.prepared;
+        let root = prepared.tree.root();
+        draw.reset(prepared.spec.n_relations());
+        draw.rows[root] = self.live_roots[rng.index(self.live_roots.len())];
 
-        let root_row = self.live_roots[rng.index(self.live_roots.len())];
-        let mut scratch: Vec<Value> = Vec::new();
-        let mut frontier = vec![(root, root_row)];
-        while let Some((v, row_id)) = frontier.pop() {
-            let row = spec.relation(v).row(row_id as usize);
-            if !self.prepared.fill(&mut buf, &mut filled, v, row) {
-                return SampleOutcome::Rejected; // cycle-consistency violation
+        for &v in &prepared.tree.order()[1..] {
+            let p = prepared.tree.parent(v).expect("non-root has parent");
+            let kid = prepared.edge_keys[v][draw.rows[p] as usize];
+            if kid == NO_KEY {
+                return false; // dead end
             }
-            for &c in self.prepared.tree.children(v) {
-                let key = self.prepared.child_key(c, row, &mut scratch);
-                let index = self.prepared.indexes[c].as_ref().expect("child index");
-                let cands = index.rows_matching(key);
-                if cands.is_empty() {
-                    return SampleOutcome::Rejected; // dead end
-                }
-                // Uniform candidate + accept with d/M keeps the overall
-                // path probability constant: (1/d)·(d/M) = 1/M.
-                let d = cands.len() as f64;
-                if !rng.bernoulli(d / self.max_degrees[c]) {
-                    return SampleOutcome::Rejected;
-                }
-                let picked = cands[rng.index(cands.len())];
-                frontier.push((c, picked));
+            let index = prepared.indexes[v].as_ref().expect("child index");
+            let degree = index.degree_of(kid);
+            // Uniform candidate + accept with d/M keeps the overall
+            // path probability constant: (1/d)·(d/M) = 1/M.
+            if !rng.bernoulli(degree as f64 / self.max_degrees[v]) {
+                return false;
             }
+            draw.rows[v] = index.postings(kid)[rng.index(degree)];
         }
-        SampleOutcome::Accepted(Tuple::new(buf))
+        prepared.consistent(&draw.rows)
+    }
+
+    fn materialize(&self, draw: &RowDraw) -> Tuple {
+        self.prepared.materialize(&draw.rows)
     }
 
     fn join_size_hint(&self) -> f64 {
@@ -698,6 +854,62 @@ mod tests {
             }
         }
         assert!(accepted > 0, "sampler never accepted");
+    }
+
+    #[test]
+    fn sample_batch_matches_sequential_draws() {
+        // One batched call is seed-for-seed identical to a loop of
+        // sample_until_accepted — the batch only amortizes scratch.
+        let sampler = OlkenSampler::new(skewed_chain()).unwrap();
+        let mut rng_a = SujRng::seed_from_u64(9);
+        let mut rng_b = SujRng::seed_from_u64(9);
+        let mut batch = Vec::new();
+        let attempts = sampler.sample_batch(50, 1_000_000, &mut rng_a, &mut batch);
+        let mut sequential = Vec::new();
+        let mut seq_attempts = 0u64;
+        while sequential.len() < 50 {
+            let (t, tries) = sampler.sample_until_accepted(&mut rng_b, 1_000_000);
+            seq_attempts += tries;
+            sequential.push(t.expect("nonempty join accepts"));
+        }
+        assert_eq!(batch, sequential);
+        assert_eq!(attempts, seq_attempts);
+    }
+
+    #[test]
+    fn sample_batch_respects_attempt_budget() {
+        let spec = Arc::new(
+            JoinSpec::chain(
+                "empty",
+                vec![
+                    rel("r", &["a", "b"], vec![vec![1, 10]]),
+                    rel("s", &["b", "c"], vec![vec![99, 1]]),
+                ],
+            )
+            .unwrap(),
+        );
+        let sampler = OlkenSampler::new(spec).unwrap();
+        let mut rng = SujRng::seed_from_u64(1);
+        let mut out = Vec::new();
+        let attempts = sampler.sample_batch(10, 25, &mut rng, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(attempts, 25);
+    }
+
+    #[test]
+    fn row_draws_materialize_to_result_tuples() {
+        // sample_rows + materialize is the same accept set as sample().
+        let spec = skewed_chain();
+        let universe = execute(&spec).distinct_set();
+        let sampler = ExactWeightSampler::new(spec).unwrap();
+        let mut rng = SujRng::seed_from_u64(12);
+        let mut draw = RowDraw::new();
+        for _ in 0..200 {
+            assert!(sampler.sample_rows(&mut rng, &mut draw));
+            let t = sampler.materialize(&draw);
+            assert!(universe.contains(&t), "materialized non-member {t}");
+            assert_eq!(draw.rows().len(), 3);
+        }
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! ISSUE 4 acceptance: rejected draw attempts perform **zero heap
+//! allocations**.
+//!
+//! A counting global allocator wraps the system allocator; after a
+//! warm-up pass (which sizes the reusable [`RowDraw`] scratch), the
+//! test drives thousands of row-id draw attempts, random walks, and
+//! membership-oracle probes and asserts the allocation counter did not
+//! move. This file deliberately holds a single `#[test]` so no
+//! concurrent test thread can pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use suj_join::weights::build_sampler;
+use suj_join::{JoinSpec, MembershipOracle, RowDraw, WanderJoin, WeightKind};
+use suj_stats::SujRng;
+use suj_storage::{Relation, Schema, Tuple, Value};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn rel(name: &str, attrs: &[&str], rows: Vec<Vec<i64>>) -> Arc<Relation> {
+    let schema = Schema::new(attrs.iter().copied()).unwrap();
+    let tuples = rows
+        .into_iter()
+        .map(|vals| vals.into_iter().map(Value::int).collect())
+        .collect();
+    Arc::new(Relation::new(name, schema, tuples).unwrap())
+}
+
+/// A skewed chain (degrees 3 vs 1) so Extended Olken rejects often,
+/// with one dangling row per relation for dead-end walks.
+fn skewed_chain() -> Arc<JoinSpec> {
+    let r = rel(
+        "r",
+        &["a", "b"],
+        vec![vec![1, 10], vec![2, 10], vec![3, 20], vec![4, 30]],
+    );
+    let s = rel(
+        "s",
+        &["b", "c"],
+        vec![
+            vec![10, 100],
+            vec![10, 101],
+            vec![10, 102],
+            vec![20, 200],
+            vec![40, 400],
+        ],
+    );
+    let t = rel(
+        "t",
+        &["c", "d"],
+        vec![vec![100, 1], vec![100, 2], vec![101, 3], vec![200, 4]],
+    );
+    Arc::new(JoinSpec::chain("skew", vec![r, s, t]).unwrap())
+}
+
+/// A triangle, so cycle-consistency rejection is exercised too.
+fn triangle() -> Arc<JoinSpec> {
+    Arc::new(
+        JoinSpec::natural(
+            "tri",
+            vec![
+                rel(
+                    "x",
+                    &["a", "b"],
+                    vec![vec![1, 2], vec![1, 9], vec![5, 2], vec![5, 6]],
+                ),
+                rel(
+                    "y",
+                    &["b", "c"],
+                    vec![vec![2, 3], vec![2, 4], vec![9, 4], vec![6, 3]],
+                ),
+                rel(
+                    "z",
+                    &["c", "a"],
+                    vec![vec![3, 1], vec![4, 5], vec![4, 1], vec![3, 5]],
+                ),
+            ],
+        )
+        .unwrap(),
+    )
+}
+
+/// Runs `f` and returns the number of allocations it performed.
+fn counting<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let before = allocations();
+    let out = f();
+    (out, allocations() - before)
+}
+
+#[test]
+fn draw_attempts_do_not_allocate() {
+    let mut rng = SujRng::seed_from_u64(7);
+    let mut draw = RowDraw::new();
+
+    // --- Row-id draws: EW, EO, wander, on acyclic and cyclic specs. ---
+    for spec in [skewed_chain(), triangle()] {
+        for kind in [
+            WeightKind::Exact,
+            WeightKind::ExtendedOlken,
+            WeightKind::WanderJoin,
+        ] {
+            let sampler = build_sampler(spec.clone(), kind).unwrap();
+            // Warm-up: sizes the scratch and faults everything in.
+            for _ in 0..16 {
+                sampler.sample_rows(&mut rng, &mut draw);
+            }
+            let (outcomes, allocs) = counting(|| {
+                let mut accepted = 0u64;
+                let mut rejected = 0u64;
+                for _ in 0..4_000 {
+                    if sampler.sample_rows(&mut rng, &mut draw) {
+                        accepted += 1;
+                    } else {
+                        rejected += 1;
+                    }
+                }
+                (accepted, rejected)
+            });
+            assert_eq!(
+                allocs,
+                0,
+                "{kind:?} on {}: {allocs} allocations across 4000 attempts",
+                spec.name()
+            );
+            // The loop must have exercised both outcomes for EO/wander
+            // on the skewed chain (degree skew forces rejection).
+            if spec.name() == "skew" {
+                assert!(outcomes.0 > 0, "{kind:?}: no attempt accepted");
+                if kind != WeightKind::Exact {
+                    assert!(outcomes.1 > 0, "{kind:?}: no attempt rejected");
+                }
+            }
+        }
+    }
+
+    // --- Wander walks through the raw walk API. ---
+    let wander = WanderJoin::new(skewed_chain()).unwrap();
+    for _ in 0..16 {
+        wander.walk_rows(&mut rng, &mut draw);
+    }
+    let (_, allocs) = counting(|| {
+        for _ in 0..4_000 {
+            let _ = wander.walk_rows(&mut rng, &mut draw);
+        }
+    });
+    assert_eq!(allocs, 0, "walk_rows allocated");
+
+    // --- Membership-oracle probes (the `t ∈ Jᵢ` hot path). ---
+    let spec = skewed_chain();
+    let oracle = MembershipOracle::for_spec(&spec);
+    let member = Tuple::new(vec![
+        Value::int(1),
+        Value::int(10),
+        Value::int(100),
+        Value::int(1),
+    ]);
+    let non_member = Tuple::new(vec![
+        Value::int(4),
+        Value::int(30),
+        Value::int(100),
+        Value::int(1),
+    ]);
+    assert!(oracle.contains(&member));
+    assert!(!oracle.contains(&non_member));
+    let (hits, allocs) = counting(|| {
+        let mut hits = 0u64;
+        for _ in 0..4_000 {
+            hits += u64::from(oracle.contains(&member));
+            hits += u64::from(oracle.contains(&non_member));
+        }
+        hits
+    });
+    assert_eq!(allocs, 0, "membership probes allocated");
+    assert_eq!(hits, 4_000);
+}

@@ -6,8 +6,9 @@
 //! standard library's SipHash. HashDoS resistance is irrelevant here —
 //! keys come from our own data generator or the user's own relations.
 
+use crate::value::Value;
 use std::collections::{HashMap, HashSet};
-use std::hash::{BuildHasherDefault, Hasher};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
 
 /// A `HashMap` keyed by the Fx hasher.
 pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
@@ -71,6 +72,21 @@ impl Hasher for FxHasher {
     fn finish(&self) -> u64 {
         self.hash
     }
+}
+
+/// Fx-hashes a sequence of values in place — the shared key-encoding
+/// hash of [`HashIndex`](crate::index::HashIndex) and
+/// [`RowMembership`](crate::index::RowMembership). Equal value
+/// sequences hash equal regardless of where the values are read from,
+/// which is what lets index probes hash projections of rows and
+/// buffers without materializing a key.
+#[inline]
+pub fn hash_values<'a>(values: impl IntoIterator<Item = &'a Value>) -> u64 {
+    let mut hasher = FxHasher::default();
+    for v in values {
+        v.hash(&mut hasher);
+    }
+    hasher.finish()
 }
 
 #[cfg(test)]

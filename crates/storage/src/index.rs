@@ -10,19 +10,123 @@
 //! * [`RowMembership`] — whole-row existence index, the building block of
 //!   the join membership oracle (§6.2 checks "to see where t is contained
 //!   in J_i ... it just requires (N−1)×(M−1) queries with key").
+//!
+//! # Hot-path layout
+//!
+//! Both indexes are built for the samplers' per-attempt inner loop,
+//! where a probe must not allocate:
+//!
+//! * Join-attribute keys are **dictionary encoded** at build time: each
+//!   distinct key value sequence gets a dense `u32` key id. Postings
+//!   live in a **CSR layout** — one flat `row_ids` array plus an
+//!   `offsets` array indexed by key id — so degree lookups and
+//!   candidate enumeration are two integer array reads.
+//! * The dictionary itself is a flat open-addressing table (power-of-two
+//!   capacity, linear probing, cached hashes) over the locally
+//!   implemented [Fx hasher](crate::hash::FxHasher). Probes hash the
+//!   key values **in place** — [`HashIndex::key_id_projected`] reads
+//!   them through a position list from any row or buffer, so no
+//!   `Box<[Value]>` key is ever materialized.
+//! * [`RowMembership`] uses the same table shape over whole rows;
+//!   [`RowMembership::contains_projection`] answers `π_R(t) ∈ R`
+//!   straight off the canonical tuple, which is what makes the
+//!   membership oracle's `t ∈ Jᵢ` checks allocation-free.
 
-use crate::hash::FxHashMap;
+use crate::hash::hash_values;
 use crate::relation::Relation;
 use crate::tuple::Tuple;
 use crate::value::Value;
 use std::sync::Arc;
 
-/// Index on one or more attributes of a relation: key values → row ids.
+/// Sentinel key id: "this key is not in the dictionary" (no posting).
+pub const NO_KEY: u32 = u32::MAX;
+
+/// Empty slot marker inside the open-addressing tables.
+const EMPTY: u32 = u32::MAX;
+
+/// A minimal open-addressing id table: hash → dense `u32` id, with the
+/// caller supplying value equality. Power-of-two capacity, linear
+/// probing, load factor ≤ ½ (capacity is fixed up front from the row
+/// count, which bounds the number of distinct ids).
+#[derive(Debug, Clone)]
+struct IdTable {
+    ids: Vec<u32>,
+    hashes: Vec<u64>,
+    mask: usize,
+}
+
+impl Default for IdTable {
+    /// A valid empty table (all slots empty), so probing a
+    /// default-constructed index is a miss rather than an
+    /// out-of-bounds read.
+    fn default() -> Self {
+        Self::with_capacity_for(0)
+    }
+}
+
+impl IdTable {
+    fn with_capacity_for(n: usize) -> Self {
+        let cap = (n.max(1) * 2).next_power_of_two();
+        Self {
+            ids: vec![EMPTY; cap],
+            hashes: vec![0; cap],
+            mask: cap - 1,
+        }
+    }
+
+    /// Finds the id whose entry matches `hash` and `eq`, if present.
+    #[inline]
+    fn lookup(&self, hash: u64, eq: impl Fn(u32) -> bool) -> Option<u32> {
+        let mut slot = hash as usize & self.mask;
+        loop {
+            let id = self.ids[slot];
+            if id == EMPTY {
+                return None;
+            }
+            if self.hashes[slot] == hash && eq(id) {
+                return Some(id);
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Looks up `hash`/`eq`, inserting `next_id` on a miss. Returns the
+    /// resident or inserted id.
+    fn lookup_or_insert(&mut self, hash: u64, next_id: u32, eq: impl Fn(u32) -> bool) -> u32 {
+        let mut slot = hash as usize & self.mask;
+        loop {
+            let id = self.ids[slot];
+            if id == EMPTY {
+                self.ids[slot] = next_id;
+                self.hashes[slot] = hash;
+                return next_id;
+            }
+            if self.hashes[slot] == hash && eq(id) {
+                return id;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+}
+
+/// Index on one or more attributes of a relation: key values → row ids,
+/// dictionary encoded with CSR postings (see the module docs).
 #[derive(Debug, Clone)]
 pub struct HashIndex {
     attrs: Vec<Arc<str>>,
     positions: Vec<usize>,
-    postings: FxHashMap<Box<[Value]>, Vec<u32>>,
+    key_arity: usize,
+    /// Dictionary storage: key id `k`'s values occupy
+    /// `key_values[k * key_arity .. (k + 1) * key_arity]`.
+    key_values: Vec<Value>,
+    /// Open-addressing dictionary lookup.
+    table: IdTable,
+    /// CSR postings: key id `k`'s row ids occupy
+    /// `row_ids[offsets[k] .. offsets[k + 1]]`, in insertion order.
+    offsets: Vec<u32>,
+    row_ids: Vec<u32>,
+    /// Per base-relation row: its encoded key id (every row has one).
+    row_keys: Vec<u32>,
     max_degree: usize,
 }
 
@@ -42,16 +146,60 @@ impl HashIndex {
                     .unwrap_or_else(|| panic!("attribute `{a}` not in {}", relation.schema()))
             })
             .collect();
-        let mut postings: FxHashMap<Box<[Value]>, Vec<u32>> = FxHashMap::default();
-        for (i, row) in relation.rows().iter().enumerate() {
-            let key: Box<[Value]> = positions.iter().map(|&p| row.get(p).clone()).collect();
-            postings.entry(key).or_default().push(i as u32);
+        let key_arity = positions.len();
+        let rows = relation.rows();
+
+        // Pass 1: dictionary-encode every row's key.
+        let mut table = IdTable::with_capacity_for(rows.len());
+        let mut key_values: Vec<Value> = Vec::new();
+        let mut counts: Vec<u32> = Vec::new();
+        let mut row_keys: Vec<u32> = Vec::with_capacity(rows.len());
+        for row in rows {
+            let hash = hash_values(positions.iter().map(|&p| row.get(p)));
+            let next_id = counts.len() as u32;
+            let kid = table.lookup_or_insert(hash, next_id, |k| {
+                let base = k as usize * key_arity;
+                positions
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &p)| &key_values[base + i] == row.get(p))
+            });
+            if kid == next_id {
+                key_values.extend(positions.iter().map(|&p| row.get(p).clone()));
+                counts.push(0);
+            }
+            counts[kid as usize] += 1;
+            row_keys.push(kid);
         }
-        let max_degree = postings.values().map(Vec::len).max().unwrap_or(0);
+
+        // Pass 2: prefix sums + scatter into the CSR arrays (stable, so
+        // each key's postings keep insertion order).
+        let n_keys = counts.len();
+        let mut offsets: Vec<u32> = Vec::with_capacity(n_keys + 1);
+        let mut total = 0u32;
+        offsets.push(0);
+        for &c in &counts {
+            total += c;
+            offsets.push(total);
+        }
+        let mut cursor: Vec<u32> = offsets[..n_keys].to_vec();
+        let mut row_ids = vec![0u32; rows.len()];
+        for (rid, &kid) in row_keys.iter().enumerate() {
+            let c = &mut cursor[kid as usize];
+            row_ids[*c as usize] = rid as u32;
+            *c += 1;
+        }
+        let max_degree = counts.iter().copied().max().unwrap_or(0) as usize;
+
         Self {
             attrs: attrs.to_vec(),
             positions,
-            postings,
+            key_arity,
+            key_values,
+            table,
+            offsets,
+            row_ids,
+            row_keys,
             max_degree,
         }
     }
@@ -71,41 +219,121 @@ impl HashIndex {
         &self.positions
     }
 
+    /// Number of distinct keys (the dictionary size).
+    #[inline]
+    pub fn n_keys(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The dictionary values of key id `kid`.
+    #[inline]
+    pub fn key_values(&self, kid: u32) -> &[Value] {
+        let base = kid as usize * self.key_arity;
+        &self.key_values[base..base + self.key_arity]
+    }
+
+    /// Dictionary lookup: the dense key id of `key`, if indexed.
+    #[inline]
+    pub fn key_id(&self, key: &[Value]) -> Option<u32> {
+        if key.len() != self.key_arity {
+            return None;
+        }
+        let hash = hash_values(key.iter());
+        let kid = self.table.lookup(hash, |k| self.key_values(k) == key)?;
+        debug_assert_eq!(self.key_values(kid), key, "key id must round-trip");
+        Some(kid)
+    }
+
+    /// Dictionary lookup through a projection: encodes the key read from
+    /// `source[positions[0]], source[positions[1]], …` without
+    /// materializing it — the samplers' allocation-free probe.
+    #[inline]
+    pub fn key_id_projected(&self, source: &[Value], positions: &[usize]) -> Option<u32> {
+        debug_assert_eq!(positions.len(), self.key_arity, "probe arity mismatch");
+        let hash = hash_values(positions.iter().map(|&p| &source[p]));
+        let kid = self.table.lookup(hash, |k| {
+            let stored = self.key_values(k);
+            positions.iter().zip(stored).all(|(&p, v)| &source[p] == v)
+        })?;
+        debug_assert!(
+            self.key_values(kid)
+                .iter()
+                .zip(positions)
+                .all(|(v, &p)| v == &source[p]),
+            "projected key id must round-trip"
+        );
+        Some(kid)
+    }
+
+    /// The encoded key id of base-relation row `rid`.
+    #[inline]
+    pub fn key_id_of_row(&self, rid: u32) -> u32 {
+        self.row_keys[rid as usize]
+    }
+
+    /// CSR postings of key id `kid`: matching row ids in insertion
+    /// order.
+    #[inline]
+    pub fn postings(&self, kid: u32) -> &[u32] {
+        let lo = self.offsets[kid as usize] as usize;
+        let hi = self.offsets[kid as usize + 1] as usize;
+        &self.row_ids[lo..hi]
+    }
+
+    /// Degree of key id `kid` — a single subtraction of offsets.
+    #[inline]
+    pub fn degree_of(&self, kid: u32) -> usize {
+        (self.offsets[kid as usize + 1] - self.offsets[kid as usize]) as usize
+    }
+
     /// Row ids matching a key, or an empty slice.
+    #[inline]
     pub fn rows_matching(&self, key: &[Value]) -> &[u32] {
-        self.postings.get(key).map(Vec::as_slice).unwrap_or(&[])
+        match self.key_id(key) {
+            Some(kid) => self.postings(kid),
+            None => &[],
+        }
+    }
+
+    /// Row ids matching the key projected out of `source` at
+    /// `positions`, or an empty slice (allocation-free).
+    #[inline]
+    pub fn rows_matching_projected(&self, source: &[Value], positions: &[usize]) -> &[u32] {
+        match self.key_id_projected(source, positions) {
+            Some(kid) => self.postings(kid),
+            None => &[],
+        }
     }
 
     /// Number of rows matching a key — the degree `d_A(v, R)` of §5.
+    #[inline]
     pub fn degree(&self, key: &[Value]) -> usize {
         self.rows_matching(key).len()
     }
 
     /// Maximum degree over all keys — `M_A(R)` of §3.2/§5.
+    #[inline]
     pub fn max_degree(&self) -> usize {
         self.max_degree
     }
 
     /// Average degree over distinct keys.
     pub fn avg_degree(&self) -> f64 {
-        if self.postings.is_empty() {
+        if self.n_keys() == 0 {
             0.0
         } else {
-            let total: usize = self.postings.values().map(Vec::len).sum();
-            total as f64 / self.postings.len() as f64
+            self.row_ids.len() as f64 / self.n_keys() as f64
         }
     }
 
     /// Number of distinct keys.
     pub fn distinct_keys(&self) -> usize {
-        self.postings.len()
+        self.n_keys()
     }
 
-    /// Iterates `(key, row ids)` pairs.
+    /// Iterates `(key, row ids)` pairs in key-id (first-seen) order.
     pub fn entries(&self) -> impl Iterator<Item = (&[Value], &[u32])> {
-        self.postings
-            .iter()
-            .map(|(k, v)| (k.as_ref(), v.as_slice()))
+        (0..self.n_keys() as u32).map(|kid| (self.key_values(kid), self.postings(kid)))
     }
 
     /// Extracts this index's key from a row of the base relation.
@@ -119,31 +347,63 @@ impl HashIndex {
 }
 
 /// Whole-row existence index over a relation (set semantics), keyed by
-/// the row's full value sequence.
+/// the row's full value sequence. Open-addressing over cached hashes;
+/// probes never allocate (see the module docs).
 #[derive(Debug, Clone, Default)]
 pub struct RowMembership {
-    rows: crate::hash::FxHashSet<Tuple>,
+    /// Distinct rows, first-seen order (`Tuple` clones are `Arc` bumps).
+    rows: Vec<Tuple>,
+    table: IdTable,
 }
 
 impl RowMembership {
     /// Builds a membership index for all rows of a relation.
     pub fn build(relation: &Relation) -> Self {
-        let mut rows = crate::hash::FxHashSet::default();
-        rows.reserve(relation.len());
+        let mut table = IdTable::with_capacity_for(relation.len());
+        let mut rows: Vec<Tuple> = Vec::new();
         for row in relation.rows() {
-            rows.insert(row.clone());
+            let hash = hash_values(row.values().iter());
+            let next_id = rows.len() as u32;
+            let id = table
+                .lookup_or_insert(hash, next_id, |i| rows[i as usize].values() == row.values());
+            if id == next_id {
+                rows.push(row.clone());
+            }
         }
-        Self { rows }
+        Self { rows, table }
     }
 
     /// Whether the exact row exists in the relation.
+    #[inline]
     pub fn contains(&self, row: &Tuple) -> bool {
-        self.rows.contains(row)
+        self.contains_values(row.values())
     }
 
     /// Whether a row with exactly these values exists (no allocation).
+    #[inline]
     pub fn contains_values(&self, values: &[Value]) -> bool {
-        self.rows.contains(values)
+        let hash = hash_values(values.iter());
+        self.table
+            .lookup(hash, |i| self.rows[i as usize].values() == values)
+            .is_some()
+    }
+
+    /// Whether the projection of `source` onto `positions` is a row —
+    /// the membership oracle's `π_R(t) ∈ R` probe, answered straight
+    /// off the canonical tuple with zero allocation.
+    #[inline]
+    pub fn contains_projection(&self, source: &Tuple, positions: &[usize]) -> bool {
+        let hash = hash_values(positions.iter().map(|&p| source.get(p)));
+        self.table
+            .lookup(hash, |i| {
+                let stored = self.rows[i as usize].values();
+                stored.len() == positions.len()
+                    && positions
+                        .iter()
+                        .zip(stored)
+                        .all(|(&p, v)| source.get(p) == v)
+            })
+            .is_some()
     }
 
     /// Number of distinct rows.
@@ -199,6 +459,41 @@ mod tests {
     }
 
     #[test]
+    fn dictionary_encoding_round_trips() {
+        let r = rel();
+        let idx = HashIndex::build_single(&r, "k");
+        assert_eq!(idx.n_keys(), 2);
+        let kid = idx.key_id(&[Value::int(1)]).unwrap();
+        assert_eq!(idx.key_values(kid), &[Value::int(1)]);
+        assert_eq!(idx.postings(kid), &[0, 1, 3]);
+        assert_eq!(idx.degree_of(kid), 3);
+        assert_eq!(idx.key_id(&[Value::int(7)]), None);
+        // Wrong arity can never match.
+        assert_eq!(idx.key_id(&[Value::int(1), Value::int(1)]), None);
+        // Row → key id mapping covers every row.
+        for (rid, row) in r.rows().iter().enumerate() {
+            let kid = idx.key_id_of_row(rid as u32);
+            assert_eq!(idx.key_values(kid), &[row.get(0).clone()]);
+            assert!(idx.postings(kid).contains(&(rid as u32)));
+        }
+    }
+
+    #[test]
+    fn projected_probe_matches_value_probe() {
+        let r = rel();
+        let idx = HashIndex::build_single(&r, "k");
+        // Probe with the key sitting at position 2 of a wider buffer.
+        let buffer = vec![Value::int(99), Value::str("pad"), Value::int(1)];
+        assert_eq!(
+            idx.key_id_projected(&buffer, &[2]),
+            idx.key_id(&[Value::int(1)])
+        );
+        assert_eq!(idx.rows_matching_projected(&buffer, &[2]), &[0, 1, 3]);
+        let miss = vec![Value::int(42)];
+        assert_eq!(idx.key_id_projected(&miss, &[0]), None);
+    }
+
+    #[test]
     fn multi_attribute_keys() {
         let schema = Schema::new(["a", "b", "c"]).unwrap();
         let r = Relation::new(
@@ -224,6 +519,24 @@ mod tests {
         assert_eq!(idx.max_degree(), 0);
         assert_eq!(idx.distinct_keys(), 0);
         assert_eq!(idx.avg_degree(), 0.0);
+        assert_eq!(idx.key_id(&[Value::int(1)]), None);
+        assert!(idx.entries().next().is_none());
+    }
+
+    #[test]
+    fn entries_enumerate_all_keys() {
+        let r = rel();
+        let idx = HashIndex::build_single(&r, "k");
+        let collected: Vec<(Vec<Value>, Vec<u32>)> = idx
+            .entries()
+            .map(|(k, rows)| (k.to_vec(), rows.to_vec()))
+            .collect();
+        assert_eq!(collected.len(), 2);
+        // First-seen order: key 1 then key 2.
+        assert_eq!(collected[0].0, vec![Value::int(1)]);
+        assert_eq!(collected[0].1, vec![0, 1, 3]);
+        assert_eq!(collected[1].0, vec![Value::int(2)]);
+        assert_eq!(collected[1].1, vec![2]);
     }
 
     #[test]
@@ -244,6 +557,26 @@ mod tests {
         assert!(m.contains_values(&[Value::int(2), Value::int(20)]));
         assert!(!m.contains_values(&[Value::int(2)]));
         assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn membership_projection_probe() {
+        let r = rel();
+        let m = RowMembership::build(&r);
+        // Canonical tuple (v, pad, k): project positions [2, 0] → (k, v).
+        let canonical = tuple![11i64, 7i64, 1i64];
+        assert!(m.contains_projection(&canonical, &[2, 0]));
+        assert!(!m.contains_projection(&canonical, &[0, 2]));
+        // Arity mismatch never matches.
+        assert!(!m.contains_projection(&canonical, &[2]));
+    }
+
+    #[test]
+    fn default_membership_is_empty_and_probe_safe() {
+        let m = RowMembership::default();
+        assert!(m.is_empty());
+        assert!(!m.contains_values(&[Value::int(1)]));
+        assert!(!m.contains(&tuple![1i64]));
     }
 
     #[test]

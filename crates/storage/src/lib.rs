@@ -65,9 +65,9 @@ pub mod value;
 pub use catalog::Catalog;
 pub use csv::{read_csv, write_csv};
 pub use error::StorageError;
-pub use hash::{FxHashMap, FxHashSet};
+pub use hash::{hash_values, FxHashMap, FxHashSet};
 pub use histogram::{DegreeStats, EquiDepthHistogram, FrequencyHistogram};
-pub use index::{HashIndex, RowMembership};
+pub use index::{HashIndex, RowMembership, NO_KEY};
 pub use predicate::{CompareOp, CompiledPredicate, Predicate};
 pub use relation::{Relation, RelationBuilder};
 pub use schema::Schema;
@@ -79,9 +79,9 @@ pub mod prelude {
     pub use crate::catalog::Catalog;
     pub use crate::csv::{read_csv, write_csv};
     pub use crate::error::StorageError;
-    pub use crate::hash::{FxHashMap, FxHashSet};
+    pub use crate::hash::{hash_values, FxHashMap, FxHashSet};
     pub use crate::histogram::{DegreeStats, EquiDepthHistogram, FrequencyHistogram};
-    pub use crate::index::{HashIndex, RowMembership};
+    pub use crate::index::{HashIndex, RowMembership, NO_KEY};
     pub use crate::predicate::{CompareOp, CompiledPredicate, Predicate};
     pub use crate::relation::{Relation, RelationBuilder};
     pub use crate::schema::Schema;

@@ -26,32 +26,65 @@ impl Tuple {
         }
     }
 
+    /// Builds a tuple by cloning a slice of values (a single exact-size
+    /// allocation, no intermediate `Vec`).
+    pub fn from_slice(values: &[Value]) -> Self {
+        Self {
+            values: Arc::from(values),
+        }
+    }
+
     /// Number of values.
+    #[inline]
     pub fn arity(&self) -> usize {
         self.values.len()
     }
 
     /// The values as a slice.
+    #[inline]
     pub fn values(&self) -> &[Value] {
         &self.values
     }
 
     /// Value at position `pos`.
+    #[inline]
     pub fn get(&self, pos: usize) -> &Value {
         &self.values[pos]
     }
 
-    /// Projects onto the given positions (cloning the selected values).
+    /// Projects onto the given positions (cloning the selected values
+    /// into a single pre-sized allocation).
     pub fn project(&self, positions: &[usize]) -> Tuple {
-        Tuple::new(positions.iter().map(|&p| self.values[p].clone()).collect())
+        let mut vals = Vec::with_capacity(positions.len());
+        vals.extend(positions.iter().map(|&p| self.values[p].clone()));
+        Tuple::new(vals)
     }
 
-    /// Concatenates two tuples.
+    /// Projects onto the given positions through a reusable scratch
+    /// buffer: `scratch`'s capacity is reused across calls, so repeated
+    /// cold-path materializations pay only the tuple's own allocation.
+    pub fn project_into(&self, positions: &[usize], scratch: &mut Vec<Value>) -> Tuple {
+        scratch.clear();
+        scratch.extend(positions.iter().map(|&p| self.values[p].clone()));
+        Tuple::from_slice(scratch)
+    }
+
+    /// Concatenates two tuples (one pre-sized allocation).
     pub fn concat(&self, other: &Tuple) -> Tuple {
         let mut vals = Vec::with_capacity(self.arity() + other.arity());
         vals.extend_from_slice(&self.values);
         vals.extend_from_slice(&other.values);
         Tuple::new(vals)
+    }
+
+    /// Concatenates through a reusable scratch buffer (see
+    /// [`Tuple::project_into`]).
+    pub fn concat_into(&self, other: &Tuple, scratch: &mut Vec<Value>) -> Tuple {
+        scratch.clear();
+        scratch.reserve(self.arity() + other.arity());
+        scratch.extend_from_slice(&self.values);
+        scratch.extend_from_slice(&other.values);
+        Tuple::from_slice(scratch)
     }
 }
 
@@ -131,6 +164,32 @@ mod tests {
         let p = t.project(&[3, 0]);
         assert_eq!(p, tuple![4i64, 1i64]);
         assert_eq!(t.arity(), 4);
+    }
+
+    #[test]
+    fn project_into_reuses_scratch() {
+        let t = tuple![1i64, 2i64, 3i64, 4i64];
+        let mut scratch = Vec::new();
+        let p = t.project_into(&[3, 0], &mut scratch);
+        assert_eq!(p, t.project(&[3, 0]));
+        let cap = scratch.capacity();
+        let q = t.project_into(&[1, 2], &mut scratch);
+        assert_eq!(q, tuple![2i64, 3i64]);
+        assert_eq!(scratch.capacity(), cap, "scratch capacity is reused");
+    }
+
+    #[test]
+    fn from_slice_equals_new() {
+        let vals = vec![Value::int(1), Value::str("x")];
+        assert_eq!(Tuple::from_slice(&vals), Tuple::new(vals));
+    }
+
+    #[test]
+    fn concat_into_matches_concat() {
+        let a = tuple![1i64, 2i64];
+        let b = tuple!["x"];
+        let mut scratch = Vec::new();
+        assert_eq!(a.concat_into(&b, &mut scratch), a.concat(&b));
     }
 
     #[test]

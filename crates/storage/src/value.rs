@@ -71,6 +71,7 @@ impl Value {
     }
 
     /// Rank used to order across variants: Null < Int < Float < Str.
+    #[inline]
     fn type_rank(&self) -> u8 {
         match self {
             Value::Null => 0,
@@ -82,6 +83,7 @@ impl Value {
 }
 
 impl PartialEq for Value {
+    #[inline]
     fn eq(&self, other: &Self) -> bool {
         match (self, other) {
             (Value::Null, Value::Null) => true,
@@ -114,6 +116,7 @@ impl Ord for Value {
 }
 
 impl Hash for Value {
+    #[inline]
     fn hash<H: Hasher>(&self, state: &mut H) {
         state.write_u8(self.type_rank());
         match self {

@@ -120,6 +120,60 @@ proptest! {
         }
     }
 
+    /// ISSUE 4 satellite: the dictionary-encoded CSR index must
+    /// enumerate exactly the same key → row-id sets as a naive
+    /// `HashMap<Vec<Value>, Vec<u32>>` oracle, on random relations
+    /// (small domains force heavy key duplication), over single- and
+    /// multi-attribute keys, including the empty-relation and
+    /// max-degree edges.
+    #[test]
+    fn csr_postings_match_naive_oracle(r in relation_strategy(), attr_pick in 0usize..4) {
+        let attr_sets: [&[&str]; 4] = [&["a"], &["b"], &["a", "s"], &["b", "a", "s"]];
+        let attrs: Vec<std::sync::Arc<str>> = attr_sets[attr_pick]
+            .iter()
+            .map(|a| std::sync::Arc::from(*a))
+            .collect();
+        let positions: Vec<usize> = attr_sets[attr_pick]
+            .iter()
+            .map(|a| r.schema().position(a).unwrap())
+            .collect();
+        let idx = HashIndex::build(&r, &attrs);
+
+        let mut oracle: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
+        for (i, row) in r.rows().iter().enumerate() {
+            let key: Vec<Value> = positions.iter().map(|&p| row.get(p).clone()).collect();
+            oracle.entry(key).or_default().push(i as u32);
+        }
+
+        // Same key set, same posting lists (including order), same
+        // degrees, and round-tripping key ids.
+        prop_assert_eq!(idx.distinct_keys(), oracle.len());
+        prop_assert_eq!(idx.n_keys(), oracle.len());
+        for (key, rows) in &oracle {
+            prop_assert_eq!(idx.rows_matching(key), rows.as_slice());
+            let kid = idx.key_id(key).expect("present key encodes");
+            prop_assert_eq!(idx.key_values(kid), key.as_slice());
+            prop_assert_eq!(idx.postings(kid), rows.as_slice());
+            prop_assert_eq!(idx.degree_of(kid), rows.len());
+            // Projected probes agree with value probes.
+            prop_assert_eq!(idx.key_id_projected(r.row(rows[0] as usize).values(), &positions), Some(kid));
+        }
+        // entries() enumerates the oracle exactly once per key.
+        let mut enumerated = 0usize;
+        for (key, rows) in idx.entries() {
+            prop_assert_eq!(oracle.get(key).map(Vec::as_slice), Some(rows));
+            enumerated += 1;
+        }
+        prop_assert_eq!(enumerated, oracle.len());
+        // Max-degree edge (0 for the empty relation).
+        prop_assert_eq!(idx.max_degree(), oracle.values().map(Vec::len).max().unwrap_or(0));
+        // Absent (empty-posting) key.
+        let absent: Vec<Value> = positions.iter().map(|_| Value::int(777)).collect();
+        prop_assert!(!oracle.contains_key(&absent));
+        prop_assert!(idx.rows_matching(&absent).is_empty());
+        prop_assert_eq!(idx.key_id(&absent), None);
+    }
+
     #[test]
     fn membership_matches_linear_scan(r in relation_strategy()) {
         let m = RowMembership::build(&r);
