@@ -1,0 +1,371 @@
+//! Prepare-path throughput: what the columnar storage engine buys on
+//! the *build* side of a query — index construction, §8.3 predicate
+//! push-down, and resident footprint — measured on the §9-style TPC-H
+//! union workloads (uq1–uq3).
+//!
+//! The row-major baseline is measured **in-process**: each relation is
+//! materialized back into the pre-PR representation (a `Vec<Tuple>` of
+//! `Arc<[Value]>` rows) and the pre-PR algorithms are replayed over it —
+//! the same open-addressing dictionary build reading `row.get(p)` per
+//! attribute, and tuple-at-a-time predicate evaluation. The columnar
+//! side runs the shipped code: [`HashIndex::build`] over typed columns
+//! and [`CompiledPredicate::select`]. Resident bytes compare
+//! [`Relation::memory_bytes`] against the row-major estimate (per-row
+//! `Arc` headers + boxed `Value` cells + string heap).
+//!
+//! Full runs append a machine-readable `BENCH_5.json` at the workspace
+//! root (per-workload rows/sec for both sides, speedups, and resident
+//! bytes) so later PRs have a perf trajectory to compare against.
+//! `--test` (the CI smoke mode) runs a reduced rep count, asserts the
+//! paths agree, and skips the JSON write — wall-clock assertions do not
+//! belong in shared CI.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use suj_bench::{build_workload, FigureTable, UqOptions};
+use suj_storage::{hash_values, CompareOp, HashIndex, Predicate, Relation, Tuple, Value};
+
+/// The pre-PR (row-major) dictionary+CSR index build, replayed over
+/// materialized tuples: identical table shape and probe order, but
+/// every attribute read chases the row's `Arc<[Value]>`.
+struct RowMajorIndex {
+    offsets: Vec<u32>,
+    row_ids: Vec<u32>,
+    max_degree: usize,
+}
+
+fn row_major_index_build(rows: &[Tuple], positions: &[usize]) -> RowMajorIndex {
+    const EMPTY: u32 = u32::MAX;
+    let cap = (rows.len().max(1) * 2).next_power_of_two();
+    let mask = cap - 1;
+    let mut ids = vec![EMPTY; cap];
+    let mut hashes = vec![0u64; cap];
+    let mut key_values: Vec<Value> = Vec::new();
+    let mut counts: Vec<u32> = Vec::new();
+    let mut row_keys: Vec<u32> = Vec::with_capacity(rows.len());
+    let key_arity = positions.len();
+    for row in rows {
+        let hash = hash_values(positions.iter().map(|&p| row.get(p)));
+        let next_id = counts.len() as u32;
+        let mut slot = hash as usize & mask;
+        let kid = loop {
+            let id = ids[slot];
+            if id == EMPTY {
+                ids[slot] = next_id;
+                hashes[slot] = hash;
+                break next_id;
+            }
+            let base = id as usize * key_arity;
+            if hashes[slot] == hash
+                && positions
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &p)| &key_values[base + i] == row.get(p))
+            {
+                break id;
+            }
+            slot = (slot + 1) & mask;
+        };
+        if kid == next_id {
+            key_values.extend(positions.iter().map(|&p| row.get(p).clone()));
+            counts.push(0);
+        }
+        counts[kid as usize] += 1;
+        row_keys.push(kid);
+    }
+    let n_keys = counts.len();
+    let mut offsets: Vec<u32> = Vec::with_capacity(n_keys + 1);
+    let mut total = 0u32;
+    offsets.push(0);
+    for &c in &counts {
+        total += c;
+        offsets.push(total);
+    }
+    let mut cursor: Vec<u32> = offsets[..n_keys].to_vec();
+    let mut row_ids = vec![0u32; rows.len()];
+    for (rid, &kid) in row_keys.iter().enumerate() {
+        let c = &mut cursor[kid as usize];
+        row_ids[*c as usize] = rid as u32;
+        *c += 1;
+    }
+    RowMajorIndex {
+        offsets,
+        row_ids,
+        max_degree: counts.iter().copied().max().unwrap_or(0) as usize,
+    }
+}
+
+/// Estimated resident bytes of the pre-PR row-major layout: one
+/// `Arc<[Value]>` per row (16-byte header) plus the boxed cells plus
+/// each string cell's own `Arc<str>` heap block.
+fn row_major_bytes(rows: &[Tuple]) -> usize {
+    let cell = std::mem::size_of::<Value>();
+    rows.iter()
+        .map(|t| {
+            16 + t.arity() * cell
+                + t.values()
+                    .iter()
+                    .map(|v| match v {
+                        Value::Str(s) => 16 + s.len(),
+                        _ => 0,
+                    })
+                    .sum::<usize>()
+        })
+        .sum()
+}
+
+/// Distinct base relations of a workload (`Arc` identity).
+fn distinct_relations(w: &suj_core::UnionWorkload) -> Vec<Arc<Relation>> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for j in w.joins() {
+        for r in j.relations() {
+            if seen.insert(Arc::as_ptr(r) as usize) {
+                out.push(r.clone());
+            }
+        }
+    }
+    out
+}
+
+struct Side {
+    rows_per_sec: f64,
+}
+
+struct Comparison {
+    key: String,
+    columnar: Side,
+    row_major: Side,
+    columnar_bytes: usize,
+    row_major_bytes: usize,
+}
+
+impl Comparison {
+    fn speedup(&self) -> f64 {
+        self.columnar.rows_per_sec / self.row_major.rows_per_sec.max(1.0)
+    }
+}
+
+fn best_of(reps: usize, mut f: impl FnMut() -> u64) -> (Duration, u64) {
+    let mut elapsed = Duration::MAX;
+    let mut sink = 0u64;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        sink = sink.wrapping_add(f());
+        elapsed = elapsed.min(start.elapsed());
+    }
+    (elapsed, sink)
+}
+
+/// Index build on every attribute of every distinct relation, both
+/// layouts, with agreement checks.
+fn measure_index_build(workload: &str, opts: &UqOptions, reps: usize) -> Comparison {
+    let w = build_workload(workload, opts).expect("workload");
+    let relations = distinct_relations(&w);
+    let total_rows: usize = relations.iter().map(|r| r.len() * r.schema().arity()).sum();
+
+    // Pre-materialize the row-major representation outside the timed
+    // region (the pre-PR engine held it for free).
+    let tuple_sets: Vec<Vec<Tuple>> = relations.iter().map(|r| r.tuples()).collect();
+
+    let (col_time, col_sink) = best_of(reps, || {
+        let mut sink = 0u64;
+        for r in &relations {
+            for attr in r.schema().attrs() {
+                let idx = HashIndex::build(r, std::slice::from_ref(attr));
+                sink = sink.wrapping_add(idx.max_degree() as u64);
+            }
+        }
+        sink
+    });
+    let (row_time, row_sink) = best_of(reps, || {
+        let mut sink = 0u64;
+        for (r, rows) in relations.iter().zip(&tuple_sets) {
+            for p in 0..r.schema().arity() {
+                let idx = row_major_index_build(rows, &[p]);
+                sink = sink.wrapping_add(idx.max_degree as u64);
+            }
+        }
+        sink
+    });
+    // Same data, same algorithm → identical degree structure.
+    assert_eq!(col_sink, row_sink, "index builds disagree on {workload}");
+    // Spot-check one CSR against the other.
+    if let (Some(r), Some(rows)) = (relations.first(), tuple_sets.first()) {
+        let attr = r.schema().attr(0).clone();
+        let a = HashIndex::build(r, &[attr]);
+        let b = row_major_index_build(rows, &[0]);
+        assert_eq!(a.max_degree(), b.max_degree);
+        assert_eq!(a.n_keys() + 1, b.offsets.len());
+        assert_eq!(
+            a.postings(0),
+            &b.row_ids[b.offsets[0] as usize..b.offsets[1] as usize]
+        );
+    }
+
+    let columnar_bytes: usize = relations.iter().map(|r| r.memory_bytes()).sum();
+    let rm_bytes: usize = tuple_sets.iter().map(|t| row_major_bytes(t)).sum();
+    Comparison {
+        key: format!("{workload}/index-build"),
+        columnar: Side {
+            rows_per_sec: total_rows as f64 / col_time.as_secs_f64(),
+        },
+        row_major: Side {
+            rows_per_sec: total_rows as f64 / row_time.as_secs_f64(),
+        },
+        columnar_bytes,
+        row_major_bytes: rm_bytes,
+    }
+}
+
+/// §8.3-style push-down selection over every distinct relation:
+/// vectorized `select` vs tuple-at-a-time `eval`.
+fn measure_pushdown(workload: &str, opts: &UqOptions, reps: usize) -> Comparison {
+    let w = build_workload(workload, opts).expect("workload");
+    let relations = distinct_relations(&w);
+    let tuple_sets: Vec<Vec<Tuple>> = relations.iter().map(|r| r.tuples()).collect();
+    // One range predicate per relation on its leading attribute —
+    // the shape UQ2's Q2 conjuncts take after push-down.
+    let preds: Vec<_> = relations
+        .iter()
+        .map(|r| {
+            let attr = r.schema().attr(0).as_ref();
+            Predicate::And(vec![
+                Predicate::cmp(attr, CompareOp::Ge, Value::int(2)),
+                Predicate::cmp(attr, CompareOp::Le, Value::int(1_000_000)),
+            ])
+            .compile(r.schema())
+            .unwrap()
+        })
+        .collect();
+    let total_rows: usize = relations.iter().map(|r| r.len()).sum();
+
+    let (col_time, col_sink) = best_of(reps, || {
+        let mut sink = 0u64;
+        for (r, p) in relations.iter().zip(&preds) {
+            sink = sink.wrapping_add(p.select(r).count() as u64);
+        }
+        sink
+    });
+    let (row_time, row_sink) = best_of(reps, || {
+        let mut sink = 0u64;
+        for (rows, p) in tuple_sets.iter().zip(&preds) {
+            sink = sink.wrapping_add(rows.iter().filter(|t| p.eval(t)).count() as u64);
+        }
+        sink
+    });
+    assert_eq!(col_sink, row_sink, "selection paths disagree on {workload}");
+
+    Comparison {
+        key: format!("{workload}/push-down"),
+        columnar: Side {
+            rows_per_sec: total_rows as f64 / col_time.as_secs_f64(),
+        },
+        row_major: Side {
+            rows_per_sec: total_rows as f64 / row_time.as_secs_f64(),
+        },
+        columnar_bytes: 0,
+        row_major_bytes: 0,
+    }
+}
+
+fn write_json(comparisons: &[Comparison]) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_5.json");
+    let mut out = String::from("{\n  \"pr\": 5,\n  \"bench\": \"prepare_path\",\n");
+    out.push_str(
+        "  \"config\": \"columnar storage engine vs in-process row-major replay, \
+         scale_units=64, overlap=0.2\",\n",
+    );
+    out.push_str("  \"workloads\": [\n");
+    for (i, c) in comparisons.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"rows_per_sec\": {:.0}, \
+             \"row_major_rows_per_sec\": {:.0}, \"speedup\": {:.2}",
+            c.key,
+            c.columnar.rows_per_sec,
+            c.row_major.rows_per_sec,
+            c.speedup()
+        ));
+        if c.columnar_bytes > 0 {
+            out.push_str(&format!(
+                ", \"memory_bytes\": {}, \"row_major_bytes\": {}, \"bytes_ratio\": {:.2}",
+                c.columnar_bytes,
+                c.row_major_bytes,
+                c.columnar_bytes as f64 / c.row_major_bytes.max(1) as f64
+            ));
+        }
+        out.push('}');
+        out.push_str(if i + 1 < comparisons.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write BENCH_5.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let reps = if smoke { 2 } else { 15 };
+    let opts = UqOptions::new(64, 42, 0.2);
+
+    let mut table = FigureTable::new(
+        "Prepare path — columnar vs row-major",
+        &[
+            "config",
+            "rows/s",
+            "row-major rows/s",
+            "speedup",
+            "bytes",
+            "rm bytes",
+        ],
+    );
+    let mut comparisons = Vec::new();
+    for workload in ["uq1", "uq2", "uq3"] {
+        for c in [
+            measure_index_build(workload, &opts, reps),
+            measure_pushdown(workload, &opts, reps),
+        ] {
+            table.push_row(vec![
+                c.key.clone(),
+                format!("{:.0}", c.columnar.rows_per_sec),
+                format!("{:.0}", c.row_major.rows_per_sec),
+                format!("{:.2}x", c.speedup()),
+                if c.columnar_bytes > 0 {
+                    c.columnar_bytes.to_string()
+                } else {
+                    "-".into()
+                },
+                if c.row_major_bytes > 0 {
+                    c.row_major_bytes.to_string()
+                } else {
+                    "-".into()
+                },
+            ]);
+            comparisons.push(c);
+        }
+    }
+    println!("{table}");
+
+    if smoke {
+        // CI smoke: both paths ran, agreed, and produced sane numbers;
+        // wall-clock claims are for the full run only.
+        assert!(comparisons.iter().all(|c| c.columnar.rows_per_sec > 0.0));
+        println!("smoke mode: skipping BENCH_5.json");
+        return;
+    }
+    for c in &comparisons {
+        if c.columnar_bytes > 0 {
+            assert!(
+                c.columnar_bytes < c.row_major_bytes,
+                "{}: columnar {} B not below row-major {} B",
+                c.key,
+                c.columnar_bytes,
+                c.row_major_bytes
+            );
+        }
+    }
+    write_json(&comparisons);
+}

@@ -143,6 +143,19 @@ impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, 
     }
 }
 
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy> Strategy for (A, B, C, D, E) {
+    type Value = (A::Value, B::Value, C::Value, D::Value, E::Value);
+    fn generate(&self, rng: &mut Rng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+            self.4.generate(rng),
+        )
+    }
+}
+
 /// String strategies from a restricted regex subset: a single character
 /// class `[x-y]` (char ranges and literal chars) optionally followed by
 /// a `{lo,hi}` repetition, e.g. `"[a-z]{0,6}"` or `"[a-e]"`.

@@ -110,6 +110,13 @@ impl Catalog {
     /// Loads a relation from CSV (header row = schema; §4's
     /// decentralized data-market setting usually means delimited files)
     /// and registers it under `name`.
+    ///
+    /// Records stream straight into typed
+    /// [`ColumnBuilder`](suj_storage::ColumnBuilder)s — the file is
+    /// never buffered as tuples. Each field is inferred in the fixed
+    /// order **Int → Float → Str**, with the **empty field as NULL**;
+    /// a column whose fields infer to different variants falls back to
+    /// the mixed layout, so any input loads losslessly.
     pub fn register_csv(
         &mut self,
         name: impl AsRef<str>,

@@ -174,6 +174,13 @@ pub struct RunReport {
     pub update_rounds: u64,
     /// Per-join draw counts (how often each join was selected).
     pub join_draws: Vec<u64>,
+    /// Approximate resident bytes of the prepared artifact's base
+    /// relations (columns + dictionaries + validity bitmaps), stamped
+    /// at instantiation by
+    /// [`PreparedSampler`](crate::session::PreparedSampler). A
+    /// property of the prepared state, not a counter: `delta_since`
+    /// carries it through and `merge` keeps the maximum.
+    pub prepared_bytes: u64,
     /// The resolved configuration that produced this run (stamped by
     /// [`SamplerBuilder::build`](crate::session::SamplerBuilder::build)).
     pub config: Option<PlanSummary>,
@@ -284,6 +291,7 @@ impl RunReport {
                 .enumerate()
                 .map(|(j, &d)| d.saturating_sub(baseline.join_draws.get(j).copied().unwrap_or(0)))
                 .collect(),
+            prepared_bytes: self.prepared_bytes,
             config: self.config.clone(),
             draw_latency: self.draw_latency.delta_since(&baseline.draw_latency),
             warmup_time: dur(self.warmup_time, baseline.warmup_time),
@@ -310,6 +318,7 @@ impl RunReport {
             rejected_predicate,
             update_rounds,
             join_draws,
+            prepared_bytes,
             config,
             draw_latency,
             warmup_time,
@@ -318,6 +327,7 @@ impl RunReport {
             reuse_time,
             update_time,
         } = other;
+        self.prepared_bytes = *prepared_bytes;
         self.accepted = *accepted;
         self.rejected_cover = *rejected_cover;
         self.rejected_join = *rejected_join;
@@ -365,6 +375,7 @@ impl RunReport {
             rejected_predicate,
             update_rounds,
             join_draws,
+            prepared_bytes,
             config,
             draw_latency,
             warmup_time,
@@ -373,6 +384,9 @@ impl RunReport {
             reuse_time,
             update_time,
         } = other;
+        // A footprint property, not a counter: folding reports over the
+        // same prepared artifact must not multiply it.
+        self.prepared_bytes = self.prepared_bytes.max(*prepared_bytes);
         self.accepted += accepted;
         self.rejected_cover += rejected_cover;
         self.rejected_join += rejected_join;
@@ -418,6 +432,9 @@ impl RunReport {
         );
         if let (Some(p50), Some(p99)) = (self.draw_latency.p50(), self.draw_latency.p99()) {
             s.push_str(&format!(" draw_p50≤{p50:?} draw_p99≤{p99:?}"));
+        }
+        if self.prepared_bytes > 0 {
+            s.push_str(&format!(" prepared_bytes={}", self.prepared_bytes));
         }
         if let Some(config) = &self.config {
             s.push_str(&format!(" [{config}]"));
@@ -557,6 +574,27 @@ mod tests {
         assert_eq!(total.accepted_time, Duration::from_millis(4));
         // Config adopted on first merge, kept thereafter.
         assert_eq!(total.config.as_ref().unwrap().strategy, "rejection");
+    }
+
+    #[test]
+    fn prepared_bytes_is_a_property_not_a_counter() {
+        let mut total = RunReport::new(1);
+        let mut delta = RunReport::new(1);
+        delta.prepared_bytes = 4096;
+        total.merge(&delta);
+        total.merge(&delta);
+        // Folding reports over the same prepared artifact keeps the
+        // footprint, never doubles it.
+        assert_eq!(total.prepared_bytes, 4096);
+        // delta_since carries the property through.
+        let baseline = RunReport::new(1);
+        assert_eq!(delta.delta_since(&baseline).prepared_bytes, 4096);
+        let mut copy = RunReport::new(1);
+        copy.copy_from(&delta);
+        assert_eq!(copy.prepared_bytes, 4096);
+        // Surfaced in the summary only when known.
+        assert!(delta.summary().contains("prepared_bytes=4096"));
+        assert!(!RunReport::new(1).summary().contains("prepared_bytes"));
     }
 
     #[test]

@@ -286,6 +286,11 @@ pub struct ServiceStats {
     pub draw_p50: Option<Duration>,
     /// 99th-percentile per-draw latency across all served requests.
     pub draw_p99: Option<Duration>,
+    /// Approximate resident bytes of the largest prepared artifact
+    /// served so far (base-relation columns + dictionaries + validity
+    /// bitmaps — see
+    /// [`Relation::memory_bytes`](suj_storage::Relation::memory_bytes)).
+    pub prepared_bytes: u64,
     /// Cumulative counters folded over every served request.
     pub aggregate: RunReport,
 }
@@ -304,6 +309,9 @@ impl fmt::Display for ServiceStats {
         )?;
         if let (Some(p50), Some(p99)) = (self.draw_p50, self.draw_p99) {
             write!(f, " draw_p50≤{p50:?} draw_p99≤{p99:?}")?;
+        }
+        if self.prepared_bytes > 0 {
+            write!(f, " prepared_bytes={}", self.prepared_bytes)?;
         }
         Ok(())
     }
@@ -489,6 +497,7 @@ impl SamplingService {
             tuples_served: self.counters.tuples_served.load(Ordering::Relaxed),
             draw_p50: aggregate.draw_latency.p50(),
             draw_p99: aggregate.draw_latency.p99(),
+            prepared_bytes: aggregate.prepared_bytes,
             aggregate,
         }
     }

@@ -650,6 +650,7 @@ impl SamplerBuilder {
             Strategy::Auto => unreachable!("Auto is resolved in freeze_auto"),
         };
 
+        let prepared_bytes = workload.memory_bytes() as u64;
         Ok(PreparedSampler {
             workload,
             kind,
@@ -660,6 +661,7 @@ impl SamplerBuilder {
             summary,
             root_seed,
             estimation_passes,
+            prepared_bytes,
             minted: AtomicU64::new(0),
         })
     }
@@ -728,6 +730,9 @@ pub struct PreparedSampler {
     summary: PlanSummary,
     root_seed: u64,
     estimation_passes: u64,
+    /// Resident bytes of the workload's base relations, stamped into
+    /// every minted handle's report.
+    prepared_bytes: u64,
     minted: AtomicU64,
 }
 
@@ -791,9 +796,17 @@ impl PreparedSampler {
             Some(p) => Box::new(PredicateSampler::new(base, p)?),
             None => base,
         };
-        sampler.report_mut().config = Some(self.summary.clone());
+        let report = sampler.report_mut();
+        report.config = Some(self.summary.clone());
+        report.prepared_bytes = self.prepared_bytes;
         self.minted.fetch_add(1, Ordering::Relaxed);
         Ok(sampler)
+    }
+
+    /// Approximate resident bytes of the prepared workload's base
+    /// relations (the number stamped into every handle's report).
+    pub fn prepared_bytes(&self) -> u64 {
+        self.prepared_bytes
     }
 
     /// The workload handles sample (after any push-down rewrite).

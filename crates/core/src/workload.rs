@@ -129,6 +129,21 @@ impl UnionWorkload {
         mask
     }
 
+    /// Approximate resident bytes of the workload's base relations
+    /// (columns, dictionaries, validity bitmaps). Relations shared by
+    /// several joins count once (`Arc` identity deduplicates) — the
+    /// prepared-footprint number stamped into
+    /// [`RunReport`](crate::report::RunReport)s.
+    pub fn memory_bytes(&self) -> usize {
+        let mut seen = suj_storage::FxHashSet::default();
+        self.joins
+            .iter()
+            .flat_map(|j| j.relations())
+            .filter(|r| seen.insert(Arc::as_ptr(r) as usize))
+            .map(|r| r.memory_bytes())
+            .sum()
+    }
+
     /// Exact sizes of every join (EW dynamic program; cyclic joins fall
     /// back to full execution). Ground-truth path used by tests and the
     /// EW-instantiated configurations of §9.

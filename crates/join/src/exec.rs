@@ -70,20 +70,19 @@ pub fn execute(spec: &JoinSpec) -> JoinResult {
     let arity = out_schema.arity();
     let order = bfs_order(spec);
 
-    // Start with the first relation's rows expanded to output arity.
+    // Start with the first relation's rows expanded to output arity,
+    // read column by column.
     let first = order[0];
     let mut bound = vec![false; arity];
     for &p in spec.out_positions(first) {
         bound[p] = true;
     }
-    let mut partials: Vec<Vec<Value>> = spec
-        .relation(first)
-        .rows()
-        .iter()
-        .map(|row| {
+    let first_rel = spec.relation(first);
+    let mut partials: Vec<Vec<Value>> = (0..first_rel.len())
+        .map(|i| {
             let mut buf = vec![Value::Null; arity];
             for (k, &p) in spec.out_positions(first).iter().enumerate() {
-                buf[p] = row.get(k).clone();
+                buf[p] = first_rel.column(k).value(i);
             }
             buf
         })
@@ -123,10 +122,10 @@ pub fn execute(spec: &JoinSpec) -> JoinResult {
         if probe_attr_names.is_empty() {
             // Cross product (legal only during residual materialization).
             for partial in &partials {
-                for row in rel.rows() {
+                for i in 0..rel.len() {
                     let mut buf = partial.clone();
                     for &(k, p) in &fill_positions {
-                        buf[p] = row.get(k).clone();
+                        buf[p] = rel.column(k).value(i);
                     }
                     next.push(buf);
                 }
@@ -137,10 +136,9 @@ pub fn execute(spec: &JoinSpec) -> JoinResult {
                 // Encoded probe straight off the partial buffer — no
                 // key materialization per probe.
                 for &rid in index.rows_matching_projected(partial, &probe_out_positions) {
-                    let row = rel.row(rid as usize);
                     let mut buf = partial.clone();
                     for &(k, p) in &fill_positions {
-                        buf[p] = row.get(k).clone();
+                        buf[p] = rel.column(k).value(rid as usize);
                     }
                     next.push(buf);
                 }

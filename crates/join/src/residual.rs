@@ -168,7 +168,7 @@ fn skeleton_is_tree(spec: &JoinSpec, kept: &[usize]) -> bool {
 fn materialize_natural(name: &str, relations: &[Arc<Relation>]) -> Result<Relation, JoinError> {
     assert!(!relations.is_empty(), "residual cannot be empty");
     let mut schema = relations[0].schema().clone();
-    let mut rows: Vec<Tuple> = relations[0].rows().to_vec();
+    let mut rows: Vec<Tuple> = relations[0].tuples();
 
     for rel in &relations[1..] {
         let shared = schema.shared_with(rel.schema());
@@ -188,9 +188,9 @@ fn materialize_natural(name: &str, relations: &[Arc<Relation>]) -> Result<Relati
         let mut next_rows = Vec::new();
         if shared.is_empty() {
             for acc in &rows {
-                for row in rel.rows() {
+                for i in 0..rel.len() {
                     let mut vals: Vec<Value> = acc.values().to_vec();
-                    vals.extend(new_positions_in_rel.iter().map(|&p| row.get(p).clone()));
+                    vals.extend(new_positions_in_rel.iter().map(|&p| rel.column(p).value(i)));
                     next_rows.push(Tuple::new(vals));
                 }
             }
@@ -202,9 +202,12 @@ fn materialize_natural(name: &str, relations: &[Arc<Relation>]) -> Result<Relati
                 .collect();
             for acc in &rows {
                 for &rid in index.rows_matching_projected(acc.values(), &shared_positions_in_acc) {
-                    let row = rel.row(rid as usize);
                     let mut vals: Vec<Value> = acc.values().to_vec();
-                    vals.extend(new_positions_in_rel.iter().map(|&p| row.get(p).clone()));
+                    vals.extend(
+                        new_positions_in_rel
+                            .iter()
+                            .map(|&p| rel.column(p).value(rid as usize)),
+                    );
                     next_rows.push(Tuple::new(vals));
                 }
             }

@@ -241,16 +241,12 @@ impl Prepared {
                     })
                     .collect();
                 // Dictionary-encode the edge: one hash probe per parent
-                // row now buys hash-free walk steps forever after.
-                edge_keys[v] = spec
-                    .relation(p)
-                    .rows()
-                    .iter()
-                    .map(|row| {
-                        index
-                            .key_id_projected(row.values(), &positions)
-                            .unwrap_or(NO_KEY)
-                    })
+                // row now buys hash-free walk steps forever after. The
+                // probe reads the parent's columns in place — no row is
+                // materialized.
+                let parent = spec.relation(p);
+                edge_keys[v] = (0..parent.len())
+                    .map(|ri| index.key_id_at(parent, &positions, ri).unwrap_or(NO_KEY))
                     .collect();
                 indexes[v] = Some(index);
             }
@@ -287,35 +283,36 @@ impl Prepared {
     }
 
     /// Whether the chosen rows satisfy the equality constraints the
-    /// spanning tree dropped (always true for acyclic specs). Reads
-    /// values in place — no allocation.
+    /// spanning tree dropped (always true for acyclic specs). Compares
+    /// column cells in place — no allocation.
     #[inline]
     pub(crate) fn consistent(&self, rows: &[u32]) -> bool {
         self.consistency.iter().all(|&(ra, ka, rb, kb)| {
             let a = self
                 .spec
                 .relation(ra as usize)
-                .row(rows[ra as usize] as usize)
-                .get(ka as usize);
+                .column(ka as usize)
+                .cell(rows[ra as usize] as usize);
             let b = self
                 .spec
                 .relation(rb as usize)
-                .row(rows[rb as usize] as usize)
-                .get(kb as usize);
+                .column(kb as usize)
+                .cell(rows[rb as usize] as usize);
             a == b
         })
     }
 
-    /// Materializes a row combination into an output tuple (the one
-    /// acceptance-path allocation).
+    /// Materializes a row combination into an output tuple, filling
+    /// each output position straight from the owning relation's column
+    /// (string cells are an `Arc` bump out of the column dictionary) —
+    /// the one acceptance-path allocation.
     pub(crate) fn materialize(&self, rows: &[u32]) -> Tuple {
         let mut vals: Vec<Value> = Vec::with_capacity(self.out_src.len());
         vals.extend(self.out_src.iter().map(|&(r, k)| {
             self.spec
                 .relation(r as usize)
-                .row(rows[r as usize] as usize)
-                .get(k as usize)
-                .clone()
+                .column(k as usize)
+                .value(rows[r as usize] as usize)
         }));
         Tuple::new(vals)
     }

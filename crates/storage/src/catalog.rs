@@ -67,6 +67,11 @@ impl Catalog {
     pub fn total_rows(&self) -> usize {
         self.relations.values().map(|r| r.len()).sum()
     }
+
+    /// Approximate resident bytes across all relations' columns.
+    pub fn memory_bytes(&self) -> usize {
+        self.relations.values().map(|r| r.memory_bytes()).sum()
+    }
 }
 
 #[cfg(test)]

@@ -4,82 +4,115 @@
 //! databases, or web databases" (§10 of the paper) — data that usually
 //! arrives as delimited text. This module reads and writes relations in
 //! RFC-4180-style CSV with a header row, using standard library I/O
-//! only. Values are parsed with simple inference: integers, then
-//! floats, with empty fields as NULL and everything else as strings.
-//! Quoted fields support embedded commas, quotes (doubled), and
-//! newlines.
+//! only.
+//!
+//! # Type inference
+//!
+//! Fields are inferred in a fixed order: **integer first, then float,
+//! then string**; the **empty field is NULL**. Inference is per field;
+//! a column mixing inferred variants lands in the
+//! [`Column::Mixed`](crate::column::Column) fallback layout, so every
+//! input round-trips. Quoted fields support embedded commas, quotes
+//! (doubled), and newlines.
+//!
+//! # Streaming import
+//!
+//! [`read_csv`] parses records by **scanning bytes** (the delimiter and
+//! quote are ASCII, so byte scanning is UTF-8-safe and skips both the
+//! per-record `Vec<char>` collection and O(n) char indexing of a
+//! char-based parser) and streams each record's fields straight into
+//! per-attribute [`ColumnBuilder`]s — the file is never buffered as
+//! tuples.
 
+use crate::column::ColumnBuilder;
 use crate::error::StorageError;
 use crate::relation::Relation;
 use crate::schema::Schema;
-use crate::tuple::Tuple;
 use crate::value::Value;
 use std::io::{BufRead, BufReader, Read, Write};
 
+/// Scans one physical line of a record. Returns `true` when the record
+/// continues on the next line (an unterminated quoted field). Completed
+/// fields are pushed to `fields`; `field` accumulates the in-progress
+/// one. On `false`, the record is complete and the final field has been
+/// pushed.
+fn scan_line(
+    line: &str,
+    fields: &mut Vec<String>,
+    field: &mut String,
+    mut in_quotes: bool,
+) -> bool {
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    // Start of the current verbatim byte run (flushed at special bytes).
+    let mut start = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if in_quotes {
+            if b == b'"' {
+                field.push_str(&line[start..i]);
+                if bytes.get(i + 1) == Some(&b'"') {
+                    // Doubled quote: literal `"`.
+                    field.push('"');
+                    i += 2;
+                } else {
+                    in_quotes = false;
+                    i += 1;
+                }
+                start = i;
+            } else {
+                i += 1;
+            }
+        } else if b == b'"' && field.is_empty() && start == i {
+            // Opening quote (only at field start, like the char parser).
+            in_quotes = true;
+            i += 1;
+            start = i;
+        } else if b == b',' {
+            field.push_str(&line[start..i]);
+            fields.push(std::mem::take(field));
+            i += 1;
+            start = i;
+        } else {
+            i += 1;
+        }
+    }
+    field.push_str(&line[start..]);
+    if in_quotes {
+        return true;
+    }
+    fields.push(std::mem::take(field));
+    false
+}
+
 /// Parses one CSV record (handles quotes); returns fields and consumes
-/// the record's lines from `lines`.
+/// the record's continuation lines from `lines` when a quoted field
+/// embeds newlines.
 fn parse_record(
     first_line: &str,
     lines: &mut impl Iterator<Item = std::io::Result<String>>,
 ) -> Result<Vec<String>, StorageError> {
     let mut fields = Vec::new();
     let mut field = String::new();
-    let mut in_quotes = false;
-    let mut line = first_line.to_string();
-    let mut chars: Vec<char> = line.chars().collect();
-    let mut i = 0;
-    loop {
-        if i >= chars.len() {
-            if in_quotes {
-                // Quoted field continues on the next line.
-                match lines.next() {
-                    Some(Ok(next)) => {
-                        field.push('\n');
-                        line = next;
-                        chars = line.chars().collect();
-                        i = 0;
-                        continue;
-                    }
-                    _ => {
-                        return Err(StorageError::Invalid(
-                            "unterminated quoted CSV field".into(),
-                        ))
-                    }
-                }
+    let mut continues = scan_line(first_line, &mut fields, &mut field, false);
+    while continues {
+        match lines.next() {
+            Some(Ok(next)) => {
+                field.push('\n');
+                continues = scan_line(&next, &mut fields, &mut field, true);
             }
-            fields.push(std::mem::take(&mut field));
-            break;
-        }
-        let c = chars[i];
-        if in_quotes {
-            if c == '"' {
-                if i + 1 < chars.len() && chars[i + 1] == '"' {
-                    field.push('"');
-                    i += 2;
-                    continue;
-                }
-                in_quotes = false;
-                i += 1;
-                continue;
+            _ => {
+                return Err(StorageError::Invalid(
+                    "unterminated quoted CSV field".into(),
+                ))
             }
-            field.push(c);
-            i += 1;
-        } else if c == '"' && field.is_empty() {
-            in_quotes = true;
-            i += 1;
-        } else if c == ',' {
-            fields.push(std::mem::take(&mut field));
-            i += 1;
-        } else {
-            field.push(c);
-            i += 1;
         }
     }
     Ok(fields)
 }
 
 /// Infers a [`Value`] from a CSV field: empty → NULL, integer, float,
-/// else string.
+/// else string (the documented Int → Float → Str order).
 pub fn infer_value(field: &str) -> Value {
     if field.is_empty() {
         return Value::Null;
@@ -93,7 +126,23 @@ pub fn infer_value(field: &str) -> Value {
     Value::str(field)
 }
 
-/// Reads a relation from CSV with a header row.
+/// Pushes one inferred field into a column builder without building an
+/// intermediate [`Value`] for scalar variants.
+fn push_inferred(builder: &mut ColumnBuilder, field: &str) {
+    if field.is_empty() {
+        builder.push_null();
+    } else if let Ok(i) = field.parse::<i64>() {
+        builder.push_i64(i);
+    } else if let Ok(f) = field.parse::<f64>() {
+        builder.push_f64(f);
+    } else {
+        builder.push_str(field);
+    }
+}
+
+/// Reads a relation from CSV with a header row, streaming records into
+/// typed [`ColumnBuilder`]s (see the module docs for the inference
+/// order; the whole file is never materialized as tuples).
 pub fn read_csv(name: impl AsRef<str>, reader: impl Read) -> Result<Relation, StorageError> {
     let buf = BufReader::new(reader);
     let mut lines = buf.lines();
@@ -104,7 +153,8 @@ pub fn read_csv(name: impl AsRef<str>, reader: impl Read) -> Result<Relation, St
     let headers = parse_record(&header_line, &mut lines)?;
     let schema = Schema::new(headers.iter().map(String::as_str))?;
 
-    let mut rows: Vec<Tuple> = Vec::new();
+    let mut builders: Vec<ColumnBuilder> =
+        (0..schema.arity()).map(|_| ColumnBuilder::new()).collect();
     while let Some(line) = lines.next() {
         let line = line.map_err(|e| StorageError::Invalid(format!("CSV read error: {e}")))?;
         if line.is_empty() {
@@ -117,9 +167,12 @@ pub fn read_csv(name: impl AsRef<str>, reader: impl Read) -> Result<Relation, St
                 actual: fields.len(),
             });
         }
-        rows.push(Tuple::new(fields.iter().map(|f| infer_value(f)).collect()));
+        for (b, f) in builders.iter_mut().zip(&fields) {
+            push_inferred(b, f);
+        }
     }
-    Relation::new(name, schema, rows)
+    let columns = builders.into_iter().map(ColumnBuilder::finish).collect();
+    Relation::from_columns(name, schema, columns)
 }
 
 /// Escapes one value for CSV output.
@@ -146,11 +199,11 @@ pub fn write_csv(relation: &Relation, mut writer: impl Write) -> Result<(), Stor
         .collect::<Vec<_>>()
         .join(",");
     writeln!(writer, "{header}").map_err(io_err)?;
-    for row in relation.rows() {
-        let line = row
-            .values()
+    for i in 0..relation.len() {
+        let line = relation
+            .columns()
             .iter()
-            .map(escape)
+            .map(|c| escape(&c.value(i)))
             .collect::<Vec<_>>()
             .join(",");
         writeln!(writer, "{line}").map_err(io_err)?;
@@ -162,6 +215,7 @@ pub fn write_csv(relation: &Relation, mut writer: impl Write) -> Result<(), Stor
 mod tests {
     use super::*;
     use crate::tuple;
+    use crate::tuple::Tuple;
 
     fn sample() -> Relation {
         let schema = Schema::new(["k", "name", "score"]).unwrap();
@@ -188,7 +242,7 @@ mod tests {
         write_csv(&r, &mut buf).unwrap();
         let back = read_csv("r", buf.as_slice()).unwrap();
         assert_eq!(back.schema(), r.schema());
-        assert_eq!(back.rows(), r.rows());
+        assert_eq!(back.tuples(), r.tuples());
     }
 
     #[test]
@@ -207,8 +261,8 @@ mod tests {
         let csv = "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n";
         let r = read_csv("q", csv.as_bytes()).unwrap();
         assert_eq!(r.len(), 1);
-        assert_eq!(r.row(0).get(0), &Value::str("x,y"));
-        assert_eq!(r.row(0).get(1), &Value::str("he said \"hi\""));
+        assert_eq!(r.value(0, "a").unwrap(), Value::str("x,y"));
+        assert_eq!(r.value(0, "b").unwrap(), Value::str("he said \"hi\""));
     }
 
     #[test]
@@ -216,20 +270,68 @@ mod tests {
         let csv = "a,b\n\"line1\nline2\",5\n";
         let r = read_csv("m", csv.as_bytes()).unwrap();
         assert_eq!(r.len(), 1);
-        assert_eq!(r.row(0).get(0), &Value::str("line1\nline2"));
-        assert_eq!(r.row(0).get(1), &Value::int(5));
+        assert_eq!(r.value(0, "a").unwrap(), Value::str("line1\nline2"));
+        assert_eq!(r.value(0, "b").unwrap(), Value::int(5));
+    }
+
+    #[test]
+    fn multibyte_utf8_round_trip() {
+        // Multibyte payloads around every special byte the scanner
+        // looks at: delimiters inside quotes, quotes inside quotes,
+        // multibyte runs crossing field boundaries.
+        let schema = Schema::new(["city", "note"]).unwrap();
+        let r = Relation::new(
+            "u",
+            schema,
+            vec![
+                Tuple::new(vec![Value::str("Zürich"), Value::str("naïve, café")]),
+                Tuple::new(vec![Value::str("東京"), Value::str("寿司 \"旨い\"")]),
+                Tuple::new(vec![Value::str("Санкт-Петербург"), Value::str("→←↑↓")]),
+                Tuple::new(vec![Value::str("emoji 🦀"), Value::Null]),
+            ],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_csv(&r, &mut buf).unwrap();
+        let back = read_csv("u", buf.as_slice()).unwrap();
+        assert_eq!(back.tuples(), r.tuples());
+        // And a hand-written quoted multibyte record with an embedded
+        // newline.
+        let csv = "a,b\n\"héllo\nwörld\",Ωmega\n";
+        let q = read_csv("q", csv.as_bytes()).unwrap();
+        assert_eq!(q.value(0, "a").unwrap(), Value::str("héllo\nwörld"));
+        assert_eq!(q.value(0, "b").unwrap(), Value::str("Ωmega"));
     }
 
     #[test]
     fn nulls_round_trip() {
         let csv = "x,y\n1,\n,2\n";
         let r = read_csv("n", csv.as_bytes()).unwrap();
-        assert_eq!(r.row(0).get(1), &Value::Null);
-        assert_eq!(r.row(1).get(0), &Value::Null);
+        assert_eq!(r.value(0, "y").unwrap(), Value::Null);
+        assert_eq!(r.value(1, "x").unwrap(), Value::Null);
         let mut buf = Vec::new();
         write_csv(&r, &mut buf).unwrap();
         let back = read_csv("n", buf.as_slice()).unwrap();
-        assert_eq!(back.rows(), r.rows());
+        assert_eq!(back.tuples(), r.tuples());
+    }
+
+    #[test]
+    fn mixed_inference_lands_in_mixed_column() {
+        // "007" parses as int, "abc" stays a string → heterogeneous.
+        let csv = "x\n007\nabc\n";
+        let r = read_csv("m", csv.as_bytes()).unwrap();
+        assert_eq!(r.column(0).kind(), "mixed");
+        assert_eq!(r.value(0, "x").unwrap(), Value::int(7));
+        assert_eq!(r.value(1, "x").unwrap(), Value::str("abc"));
+    }
+
+    #[test]
+    fn typed_columns_from_uniform_csv() {
+        let csv = "i,f,s\n1,1.5,ab\n2,2.5,cd\n";
+        let r = read_csv("t", csv.as_bytes()).unwrap();
+        assert_eq!(r.column(0).kind(), "i64");
+        assert_eq!(r.column(1).kind(), "f64");
+        assert_eq!(r.column(2).kind(), "str");
     }
 
     #[test]
@@ -239,6 +341,12 @@ mod tests {
             read_csv("bad", csv.as_bytes()),
             Err(StorageError::ArityMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let csv = "a\n\"open\n";
+        assert!(read_csv("u", csv.as_bytes()).is_err());
     }
 
     #[test]

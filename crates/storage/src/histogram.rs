@@ -13,6 +13,7 @@
 //! 3. [`DegreeStats`] — just `(max degree, avg degree, distinct, total)`,
 //!    the minimum §5.1 needs for the `K(i)` multipliers.
 
+use crate::column::Column;
 use crate::hash::FxHashMap;
 use crate::relation::Relation;
 use crate::value::Value;
@@ -39,7 +40,10 @@ pub struct FrequencyHistogram {
 }
 
 impl FrequencyHistogram {
-    /// Builds the histogram for `attr` of `relation`.
+    /// Builds the histogram for `attr` of `relation`, scanning the
+    /// typed column directly: integer and float columns count through
+    /// scalar-keyed maps, dictionary-encoded string columns count per
+    /// code (one array slot per distinct string — no hashing at all).
     ///
     /// # Panics
     /// Panics if the attribute is absent (validated upstream by join
@@ -50,8 +54,65 @@ impl FrequencyHistogram {
             .position(attr)
             .unwrap_or_else(|| panic!("attribute `{attr}` not in {}", relation.schema()));
         let mut counts: FxHashMap<Value, u64> = FxHashMap::default();
-        for row in relation.rows() {
-            *counts.entry(row.get(pos).clone()).or_insert(0) += 1;
+        let mut nulls = 0u64;
+        match relation.column(pos) {
+            Column::Int64 { values, validity } => {
+                let mut by_int: FxHashMap<i64, u64> = FxHashMap::default();
+                for (i, &v) in values.iter().enumerate() {
+                    if validity.is_valid(i) {
+                        *by_int.entry(v).or_insert(0) += 1;
+                    } else {
+                        nulls += 1;
+                    }
+                }
+                counts.extend(by_int.into_iter().map(|(v, c)| (Value::Int(v), c)));
+            }
+            Column::Float64 { values, validity } => {
+                // Keyed by bit pattern — exactly the total-order
+                // equality `Value::Float` uses.
+                let mut by_bits: FxHashMap<u64, u64> = FxHashMap::default();
+                for (i, &v) in values.iter().enumerate() {
+                    if validity.is_valid(i) {
+                        *by_bits.entry(v.to_bits()).or_insert(0) += 1;
+                    } else {
+                        nulls += 1;
+                    }
+                }
+                counts.extend(
+                    by_bits
+                        .into_iter()
+                        .map(|(b, c)| (Value::Float(f64::from_bits(b)), c)),
+                );
+            }
+            Column::Str {
+                codes,
+                pool,
+                validity,
+            } => {
+                let mut by_code = vec![0u64; pool.len()];
+                for (i, &code) in codes.iter().enumerate() {
+                    if validity.is_valid(i) {
+                        by_code[code as usize] += 1;
+                    } else {
+                        nulls += 1;
+                    }
+                }
+                counts.extend(
+                    by_code
+                        .into_iter()
+                        .enumerate()
+                        .filter(|&(_, c)| c > 0)
+                        .map(|(code, c)| (Value::Str(pool.get(code as u32).clone()), c)),
+                );
+            }
+            Column::Mixed { values } => {
+                for v in values {
+                    *counts.entry(v.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+        if nulls > 0 {
+            *counts.entry(Value::Null).or_insert(0) += nulls;
         }
         let max_degree = counts.values().copied().max().unwrap_or(0);
         Self {

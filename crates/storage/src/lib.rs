@@ -2,23 +2,33 @@
 //! framework.
 //!
 //! The paper's implementation stores "relations in hash relations with a
-//! linear search" (§9); this crate is the Rust equivalent substrate:
+//! linear search" (§9); this crate is the Rust equivalent substrate,
+//! organized around a **typed columnar engine**:
 //!
 //! * [`value`] — dynamically typed attribute values with total ordering
 //!   and hashing (so tuples can key hash tables).
 //! * [`schema`] — attribute lists with O(1) name→position lookup.
-//! * [`mod@tuple`] — cheaply clonable rows (`Arc<[Value]>`).
-//! * [`relation`] — named relations with builders, filtering, projection,
-//!   and the vertical/horizontal splits used by the UQ3 workload.
+//! * [`mod@column`] — typed columns (`Int64` / `Float64` /
+//!   dictionary-encoded `Str` with null-validity bitmaps, plus a
+//!   `Mixed` fallback), streaming [`ColumnBuilder`]s, and the zero-copy
+//!   [`CellRef`] cell view whose hash/order match [`Value`]'s exactly.
+//! * [`relation`] — named relations stored column-major
+//!   (`Arc<[Column]>`) with zero-copy [`RowRef`] row views, builders,
+//!   vectorized filtering, projection, and the vertical/horizontal
+//!   splits used by the UQ3 workload. [`Tuple`] survives as the
+//!   materialized *output* representation only.
 //! * [`index`] — hash indexes on join attributes (value → row ids) and
-//!   whole-row membership indexes, the backbone of the membership oracle.
+//!   whole-row membership indexes, built straight off the columns; the
+//!   backbone of the membership oracle.
 //! * [`histogram`] — value-frequency and equi-depth histograms plus
-//!   max/average degree statistics (§5's building blocks).
-//! * [`predicate`] — selection predicates with push-down evaluation
-//!   (§8.3).
+//!   max/average degree statistics (§5's building blocks), counted from
+//!   typed column scans.
+//! * [`predicate`] — selection predicates with a tuple-at-a-time
+//!   oracle and a column-at-a-time [`SelectionBitmap`] path for §8.3
+//!   push-down.
 //! * [`catalog`] — a named collection of relations.
 //! * [`csv`] — CSV import/export for relations (header row, quoting,
-//!   type inference).
+//!   Int → Float → Str inference, streaming column build).
 //! * [`hash`] — a fast non-cryptographic hasher (Fx) used by all hot
 //!   hash maps, implemented locally.
 //!
@@ -51,6 +61,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod column;
 pub mod csv;
 pub mod error;
 pub mod hash;
@@ -63,13 +74,14 @@ pub mod tuple;
 pub mod value;
 
 pub use catalog::Catalog;
+pub use column::{hash_cells, CellRef, Column, ColumnBuilder, StrPool, Validity};
 pub use csv::{read_csv, write_csv};
 pub use error::StorageError;
 pub use hash::{hash_values, FxHashMap, FxHashSet};
 pub use histogram::{DegreeStats, EquiDepthHistogram, FrequencyHistogram};
 pub use index::{HashIndex, RowMembership, NO_KEY};
-pub use predicate::{CompareOp, CompiledPredicate, Predicate};
-pub use relation::{Relation, RelationBuilder};
+pub use predicate::{CompareOp, CompiledPredicate, Predicate, SelectionBitmap};
+pub use relation::{Relation, RelationBuilder, RowRef};
 pub use schema::Schema;
 pub use tuple::Tuple;
 pub use value::Value;
@@ -77,13 +89,14 @@ pub use value::Value;
 /// Commonly used items.
 pub mod prelude {
     pub use crate::catalog::Catalog;
+    pub use crate::column::{hash_cells, CellRef, Column, ColumnBuilder, StrPool, Validity};
     pub use crate::csv::{read_csv, write_csv};
     pub use crate::error::StorageError;
     pub use crate::hash::{hash_values, FxHashMap, FxHashSet};
     pub use crate::histogram::{DegreeStats, EquiDepthHistogram, FrequencyHistogram};
     pub use crate::index::{HashIndex, RowMembership, NO_KEY};
-    pub use crate::predicate::{CompareOp, CompiledPredicate, Predicate};
-    pub use crate::relation::{Relation, RelationBuilder};
+    pub use crate::predicate::{CompareOp, CompiledPredicate, Predicate, SelectionBitmap};
+    pub use crate::relation::{Relation, RelationBuilder, RowRef};
     pub use crate::schema::Schema;
     pub use crate::tuple::Tuple;
     pub use crate::value::Value;

@@ -1,13 +1,19 @@
-//! Named relations.
+//! Named relations over typed columns.
 //!
-//! A [`Relation`] is an immutable bag of rows under a schema. Splitting
-//! helpers implement the UQ3 workload construction ("we split them
-//! vertically and horizontally to get relations with different schemas",
-//! §9) and the splitting method's bookkeeping: a relation derived from
-//! another records the original's cardinality, which the histogram-based
+//! A [`Relation`] is an immutable bag of rows under a schema, stored
+//! **column-major**: one typed [`Column`] per attribute behind a shared
+//! `Arc<[Column]>`. Rows are views — [`RowRef`] addresses a row without
+//! materializing it; [`Tuple`] survives only as the materialized
+//! *output* representation (the paper's `t.val` identity is a property
+//! of the value sequence, not of the storage layout). Splitting helpers
+//! implement the UQ3 workload construction ("we split them vertically
+//! and horizontally to get relations with different schemas", §9) and
+//! the splitting method's bookkeeping: a relation derived from another
+//! records the original's cardinality, which the histogram-based
 //! estimator uses ("split relations keep a record of their original
 //! sizes", §5.2).
 
+use crate::column::{CellRef, Column, ColumnBuilder};
 use crate::error::StorageError;
 use crate::predicate::CompiledPredicate;
 use crate::schema::Schema;
@@ -16,22 +22,26 @@ use crate::value::Value;
 use std::fmt;
 use std::sync::Arc;
 
-/// An immutable named relation (bag semantics).
+/// An immutable named relation (bag semantics), stored column-major.
 #[derive(Debug, Clone)]
 pub struct Relation {
     name: Arc<str>,
     schema: Schema,
-    rows: Arc<[Tuple]>,
+    columns: Arc<[Column]>,
+    len: usize,
     original_size: Option<usize>,
 }
 
 impl Relation {
-    /// Builds a relation, validating every row's arity.
+    /// Builds a relation from row-major tuples, validating every row's
+    /// arity; the rows are transposed into typed columns.
     pub fn new(
         name: impl AsRef<str>,
         schema: Schema,
         rows: Vec<Tuple>,
     ) -> Result<Self, StorageError> {
+        let mut builders: Vec<ColumnBuilder> =
+            (0..schema.arity()).map(|_| ColumnBuilder::new()).collect();
         for row in &rows {
             if row.arity() != schema.arity() {
                 return Err(StorageError::ArityMismatch {
@@ -39,21 +49,54 @@ impl Relation {
                     actual: row.arity(),
                 });
             }
+            for (b, v) in builders.iter_mut().zip(row.values()) {
+                b.push_ref(v);
+            }
+        }
+        let columns: Vec<Column> = builders.into_iter().map(ColumnBuilder::finish).collect();
+        Self::from_columns(name, schema, columns)
+    }
+
+    /// Builds a relation directly from columns (the streaming import
+    /// path — no intermediate tuples). All columns must have the same
+    /// length and match the schema's arity.
+    pub fn from_columns(
+        name: impl AsRef<str>,
+        schema: Schema,
+        columns: Vec<Column>,
+    ) -> Result<Self, StorageError> {
+        if columns.len() != schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                expected: schema.arity(),
+                actual: columns.len(),
+            });
+        }
+        let len = columns.first().map_or(0, Column::len);
+        for c in &columns {
+            if c.len() != len {
+                return Err(StorageError::Invalid(format!(
+                    "ragged columns: {} vs {len} rows",
+                    c.len()
+                )));
+            }
         }
         Ok(Self {
             name: Arc::from(name.as_ref()),
             schema,
-            rows: rows.into(),
+            columns: columns.into(),
+            len,
             original_size: None,
         })
     }
 
     /// Starts a builder for incremental row insertion.
     pub fn builder(name: impl AsRef<str>, schema: Schema) -> RelationBuilder {
+        let builders = (0..schema.arity()).map(|_| ColumnBuilder::new()).collect();
         RelationBuilder {
             name: Arc::from(name.as_ref()),
             schema,
-            rows: Vec::new(),
+            builders,
+            len: 0,
         }
     }
 
@@ -69,28 +112,62 @@ impl Relation {
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.len
     }
 
     /// Whether the relation has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len == 0
     }
 
-    /// All rows.
-    pub fn rows(&self) -> &[Tuple] {
-        &self.rows
+    /// The typed columns, in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
     }
 
-    /// Row at index `i`.
-    pub fn row(&self, i: usize) -> &Tuple {
-        &self.rows[i]
+    /// The shared column storage (an `Arc` bump — no data copy).
+    /// Indexes hold this to answer probes against dictionary state
+    /// without materializing values.
+    pub fn shared_columns(&self) -> Arc<[Column]> {
+        self.columns.clone()
+    }
+
+    /// Column of attribute position `p`.
+    #[inline]
+    pub fn column(&self, p: usize) -> &Column {
+        &self.columns[p]
+    }
+
+    /// Zero-copy view of row `i`.
+    #[inline]
+    pub fn row_ref(&self, i: usize) -> RowRef<'_> {
+        debug_assert!(i < self.len, "row {i} out of {}", self.len);
+        RowRef {
+            relation: self,
+            row: i,
+        }
+    }
+
+    /// Iterates zero-copy row views.
+    pub fn iter_rows(&self) -> impl Iterator<Item = RowRef<'_>> {
+        (0..self.len).map(|i| self.row_ref(i))
+    }
+
+    /// Materializes row `i` as an output tuple.
+    pub fn tuple_at(&self, i: usize) -> Tuple {
+        self.row_ref(i).to_tuple()
+    }
+
+    /// Materializes every row (test / ground-truth convenience — the
+    /// hot paths read columns or [`RowRef`]s instead).
+    pub fn tuples(&self) -> Vec<Tuple> {
+        (0..self.len).map(|i| self.tuple_at(i)).collect()
     }
 
     /// Cardinality of the relation this one was derived from, if any —
     /// used by the splitting method's size bookkeeping (§5.2).
     pub fn original_size(&self) -> usize {
-        self.original_size.unwrap_or(self.rows.len())
+        self.original_size.unwrap_or(self.len)
     }
 
     /// Returns a copy carrying `original` as the recorded original size.
@@ -99,21 +176,38 @@ impl Relation {
         self
     }
 
-    /// Value of attribute `name` in row `i`.
-    pub fn value(&self, i: usize, name: &str) -> Result<&Value, StorageError> {
+    /// Value of attribute `name` in row `i` (materialized; strings are
+    /// an `Arc` bump out of the column dictionary).
+    pub fn value(&self, i: usize, name: &str) -> Result<Value, StorageError> {
         let pos = self.schema.require(name)?;
-        Ok(self.rows[i].get(pos))
+        Ok(self.columns[pos].value(i))
+    }
+
+    /// Approximate resident bytes of the relation's columns (payload
+    /// vectors, string dictionaries, validity bitmaps) — the
+    /// prepared-footprint accounting surfaced by run reports.
+    pub fn memory_bytes(&self) -> usize {
+        self.columns.iter().map(Column::memory_bytes).sum()
     }
 
     /// A new relation keeping only rows satisfying the predicate
-    /// (selection push-down, §8.3).
+    /// (selection push-down, §8.3). Runs the vectorized
+    /// [`CompiledPredicate::select`] path, then gathers the surviving
+    /// rows column by column.
     pub fn filter(&self, name: impl AsRef<str>, pred: &CompiledPredicate) -> Relation {
-        let rows: Vec<Tuple> = self.rows.iter().filter(|t| pred.eval(t)).cloned().collect();
+        let kept = pred.select(self).to_row_ids();
+        self.gather(name, &kept, Some(self.original_size()))
+    }
+
+    /// The gathered `rows` (by id, in order) as a new relation.
+    fn gather(&self, name: impl AsRef<str>, rows: &[u32], original: Option<usize>) -> Relation {
+        let columns: Vec<Column> = self.columns.iter().map(|c| c.gather(rows)).collect();
         Relation {
             name: Arc::from(name.as_ref()),
             schema: self.schema.clone(),
-            rows: rows.into(),
-            original_size: Some(self.original_size()),
+            columns: columns.into(),
+            len: rows.len(),
+            original_size: original,
         }
     }
 
@@ -125,11 +219,12 @@ impl Relation {
             .map(|a| self.schema.require(a))
             .collect::<Result<_, _>>()?;
         let schema = Schema::new(attrs.iter().copied())?;
-        let rows: Vec<Tuple> = self.rows.iter().map(|t| t.project(&positions)).collect();
+        let columns: Vec<Column> = positions.iter().map(|&p| self.columns[p].clone()).collect();
         Ok(Relation {
             name: Arc::from(name.as_ref()),
             schema,
-            rows: rows.into(),
+            columns: columns.into(),
+            len: self.len,
             original_size: Some(self.original_size()),
         })
     }
@@ -144,25 +239,28 @@ impl Relation {
         Ok(projected.distinct())
     }
 
-    /// Removes duplicate rows (set semantics), preserving first-seen order.
+    /// Removes duplicate rows (set semantics), preserving first-seen
+    /// order. Row identity is hashed straight off the columns.
     pub fn distinct(&self) -> Relation {
-        let mut seen = crate::hash::FxHashSet::default();
-        let rows: Vec<Tuple> = self
-            .rows
-            .iter()
-            .filter(|t| seen.insert((*t).clone()))
-            .cloned()
-            .collect();
-        Relation {
-            name: self.name.clone(),
-            schema: self.schema.clone(),
-            rows: rows.into(),
-            original_size: self.original_size,
+        let mut buckets: crate::hash::FxHashMap<u64, Vec<u32>> = Default::default();
+        let mut kept: Vec<u32> = Vec::new();
+        for i in 0..self.len {
+            let h = crate::column::hash_cells(self.columns.iter().map(|c| c.cell(i)));
+            let ids = buckets.entry(h).or_default();
+            let dup = ids
+                .iter()
+                .any(|&j| self.columns.iter().all(|c| c.cells_eq(j as usize, i)));
+            if !dup {
+                ids.push(i as u32);
+                kept.push(i as u32);
+            }
         }
+        self.gather(self.name.as_ref(), &kept, self.original_size)
     }
 
     /// Renames attributes through `f` (used to build self-join variants,
-    /// e.g. `orderkey` → `orderkey2`).
+    /// e.g. `orderkey` → `orderkey2`). The columns are shared, not
+    /// copied.
     pub fn rename_attrs(
         &self,
         name: impl AsRef<str>,
@@ -172,7 +270,8 @@ impl Relation {
         Ok(Relation {
             name: Arc::from(name.as_ref()),
             schema,
-            rows: self.rows.clone(),
+            columns: self.columns.clone(),
+            len: self.len,
             original_size: self.original_size,
         })
     }
@@ -205,21 +304,24 @@ impl Relation {
         second_name: impl AsRef<str>,
         fraction: f64,
     ) -> (Relation, Relation) {
-        let cut = ((self.rows.len() as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
-        let cut = cut.min(self.rows.len());
-        let first = Relation {
-            name: Arc::from(first_name.as_ref()),
+        let cut = ((self.len as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
+        let cut = cut.min(self.len);
+        let slice_rel = |name: &str, lo: usize, hi: usize| Relation {
+            name: Arc::from(name),
             schema: self.schema.clone(),
-            rows: self.rows[..cut].to_vec().into(),
-            original_size: Some(self.len()),
+            columns: self
+                .columns
+                .iter()
+                .map(|c| c.slice(lo, hi))
+                .collect::<Vec<_>>()
+                .into(),
+            len: hi - lo,
+            original_size: Some(self.len),
         };
-        let second = Relation {
-            name: Arc::from(second_name.as_ref()),
-            schema: self.schema.clone(),
-            rows: self.rows[cut..].to_vec().into(),
-            original_size: Some(self.len()),
-        };
-        (first, second)
+        (
+            slice_rel(first_name.as_ref(), 0, cut),
+            slice_rel(second_name.as_ref(), cut, self.len),
+        )
     }
 
     /// Concatenates rows of two same-schema relations (disjoint union of
@@ -231,12 +333,23 @@ impl Relation {
                 self.schema, other.schema
             )));
         }
-        let mut rows = self.rows.to_vec();
-        rows.extend(other.rows.iter().cloned());
+        let columns: Vec<Column> = (0..self.schema.arity())
+            .map(|p| {
+                let mut b = ColumnBuilder::new();
+                for i in 0..self.len {
+                    b.push(self.columns[p].value(i));
+                }
+                for i in 0..other.len {
+                    b.push(other.columns[p].value(i));
+                }
+                b.finish()
+            })
+            .collect();
         Ok(Relation {
             name: self.name.clone(),
             schema: self.schema.clone(),
-            rows: rows.into(),
+            columns: columns.into(),
+            len: self.len + other.len,
             original_size: None,
         })
     }
@@ -248,12 +361,93 @@ impl fmt::Display for Relation {
     }
 }
 
-/// Incremental relation builder.
+/// Zero-copy view of one row of a [`Relation`]: a `(relation, row id)`
+/// pair. Cell reads go straight to the columns; nothing is materialized
+/// until [`RowRef::to_tuple`].
+#[derive(Clone, Copy)]
+pub struct RowRef<'a> {
+    relation: &'a Relation,
+    row: usize,
+}
+
+impl<'a> RowRef<'a> {
+    /// The row id within the relation.
+    pub fn row_id(&self) -> usize {
+        self.row
+    }
+
+    /// The relation this row belongs to.
+    pub fn relation(&self) -> &'a Relation {
+        self.relation
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.relation.schema().arity()
+    }
+
+    /// Zero-copy view of the cell at attribute position `pos`.
+    #[inline]
+    pub fn get(&self, pos: usize) -> CellRef<'a> {
+        self.relation.columns[pos].cell(self.row)
+    }
+
+    /// Materializes the cell at `pos` (strings are an `Arc` bump).
+    #[inline]
+    pub fn value(&self, pos: usize) -> Value {
+        self.relation.columns[pos].value(self.row)
+    }
+
+    /// Appends every cell's value to `out` (the output fill used by
+    /// join materialization).
+    pub fn fill_into(&self, out: &mut Vec<Value>) {
+        out.extend((0..self.arity()).map(|p| self.value(p)));
+    }
+
+    /// Materializes the row as an output [`Tuple`].
+    pub fn to_tuple(&self) -> Tuple {
+        (0..self.arity()).map(|p| self.value(p)).collect()
+    }
+}
+
+impl PartialEq for RowRef<'_> {
+    /// Structural equality of the denoted value sequences (the paper's
+    /// `t.val` identity) — rows of different relations compare equal iff
+    /// their cells do.
+    fn eq(&self, other: &Self) -> bool {
+        self.arity() == other.arity() && (0..self.arity()).all(|p| self.get(p) == other.get(p))
+    }
+}
+
+impl Eq for RowRef<'_> {}
+
+impl fmt::Display for RowRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for p in 0..self.arity() {
+            if p > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", self.get(p))?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Debug for RowRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RowRef({self})")
+    }
+}
+
+/// Incremental relation builder: rows stream straight into
+/// [`ColumnBuilder`]s — no intermediate tuple storage.
 #[derive(Debug)]
 pub struct RelationBuilder {
     name: Arc<str>,
     schema: Schema,
-    rows: Vec<Tuple>,
+    builders: Vec<ColumnBuilder>,
+    len: usize,
 }
 
 impl RelationBuilder {
@@ -265,7 +459,10 @@ impl RelationBuilder {
                 actual: values.len(),
             });
         }
-        self.rows.push(Tuple::new(values));
+        for (b, v) in self.builders.iter_mut().zip(values) {
+            b.push(v);
+        }
+        self.len += 1;
         Ok(self)
     }
 
@@ -277,26 +474,35 @@ impl RelationBuilder {
                 actual: tuple.arity(),
             });
         }
-        self.rows.push(tuple);
+        for (b, v) in self.builders.iter_mut().zip(tuple.values()) {
+            b.push_ref(v);
+        }
+        self.len += 1;
         Ok(self)
     }
 
     /// Number of rows accumulated so far.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.len
     }
 
     /// Whether no rows have been added.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len == 0
     }
 
     /// Finalizes the relation.
     pub fn build(self) -> Relation {
+        let columns: Vec<Column> = self
+            .builders
+            .into_iter()
+            .map(ColumnBuilder::finish)
+            .collect();
         Relation {
             name: self.name,
             schema: self.schema,
-            rows: self.rows.into(),
+            columns: columns.into(),
+            len: self.len,
             original_size: None,
         }
     }
@@ -331,6 +537,36 @@ mod tests {
     }
 
     #[test]
+    fn from_columns_rejects_ragged_input() {
+        let schema = Schema::new(["a", "b"]).unwrap();
+        let mut a = ColumnBuilder::new();
+        a.push_i64(1);
+        a.push_i64(2);
+        let mut b = ColumnBuilder::new();
+        b.push_i64(1);
+        assert!(Relation::from_columns("r", schema.clone(), vec![a.finish(), b.finish()]).is_err());
+        assert!(matches!(
+            Relation::from_columns("r", schema, vec![ColumnBuilder::new().finish()]),
+            Err(StorageError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rows_to_columns_to_rows_round_trip() {
+        let r = sample_relation();
+        assert_eq!(
+            r.tuples(),
+            vec![
+                tuple![1i64, 10i64],
+                tuple![2i64, 20i64],
+                tuple![2i64, 20i64],
+                tuple![3i64, 30i64],
+            ]
+        );
+        assert_eq!(r.tuple_at(3), tuple![3i64, 30i64]);
+    }
+
+    #[test]
     fn builder_accumulates_rows() {
         let schema = Schema::new(["a"]).unwrap();
         let mut b = Relation::builder("r", schema);
@@ -340,6 +576,22 @@ mod tests {
         let r = b.build();
         assert_eq!(r.len(), 2);
         assert_eq!(r.name(), "r");
+        assert_eq!(r.column(0).kind(), "i64");
+    }
+
+    #[test]
+    fn row_ref_reads_cells_without_materializing() {
+        let r = sample_relation();
+        let row = r.row_ref(1);
+        assert_eq!(row.arity(), 2);
+        assert!(row.get(0).eq_value(&Value::int(2)));
+        assert_eq!(row.value(1), Value::int(20));
+        assert_eq!(row.to_tuple(), tuple![2i64, 20i64]);
+        assert_eq!(row.row_id(), 1);
+        // Structural equality across row ids.
+        assert_eq!(r.row_ref(1), r.row_ref(2));
+        assert_ne!(r.row_ref(0), r.row_ref(1));
+        assert_eq!(format!("{row}"), "[2, 20]");
     }
 
     #[test]
@@ -351,9 +603,8 @@ mod tests {
         let filtered = r.filter("r_f", &pred);
         assert_eq!(filtered.len(), 3);
         assert!(filtered
-            .rows()
-            .iter()
-            .all(|t| t.get(0).as_int().unwrap() >= 2));
+            .iter_rows()
+            .all(|t| t.get(0).cmp_value(&Value::int(2)) != std::cmp::Ordering::Less));
         // Filtered relation remembers its origin's size.
         assert_eq!(filtered.original_size(), 4);
     }
@@ -412,6 +663,7 @@ mod tests {
         let (a, b) = r.split_horizontal("a", "b", 0.25);
         let joined = a.concat(&b).unwrap();
         assert_eq!(joined.len(), r.len());
+        assert_eq!(joined.tuples(), r.tuples());
 
         let other = Relation::new("o", Schema::new(["z"]).unwrap(), vec![]).unwrap();
         assert!(r.concat(&other).is_err());
@@ -423,14 +675,28 @@ mod tests {
         let r2 = r.rename_attrs("r2", |a| format!("{a}_2")).unwrap();
         assert!(r2.schema().contains("k_2"));
         assert_eq!(r2.len(), r.len());
-        assert_eq!(r2.rows()[0], r.rows()[0]);
+        assert_eq!(r2.tuple_at(0), r.tuple_at(0));
+        // Renaming shares the column storage.
+        assert!(Arc::ptr_eq(&r.columns, &r2.columns));
     }
 
     #[test]
     fn value_accessor() {
         let r = sample_relation();
-        assert_eq!(r.value(0, "v").unwrap(), &Value::int(10));
+        assert_eq!(r.value(0, "v").unwrap(), Value::int(10));
         assert!(r.value(0, "nope").is_err());
+    }
+
+    #[test]
+    fn memory_bytes_counts_columns() {
+        let r = sample_relation();
+        // Two i64 columns of 4 rows, no nulls: 2 · 4 · 8 bytes.
+        assert_eq!(r.memory_bytes(), 64);
+        let schema = Schema::new(["s"]).unwrap();
+        let s = Relation::new("s", schema, vec![tuple!["abc"], tuple!["abc"]]).unwrap();
+        // Dictionary-encoded: one pooled string, two u32 codes.
+        assert!(s.memory_bytes() < 2 * (16 + 3) + 100);
+        assert!(s.memory_bytes() >= 2 * 4 + 3);
     }
 
     #[test]

@@ -18,6 +18,77 @@ fn relation_strategy() -> impl Strategy<Value = Relation> {
     })
 }
 
+/// Strategy: one arbitrary cell spanning every `Value` variant
+/// (including NULL, negative zero / special floats, and multibyte
+/// strings) — drives the columnar round-trip property.
+fn any_value() -> impl Strategy<Value = Value> {
+    (0u8..8, -100i64..100, "[a-zé→🦀]{0,4}").prop_map(|(kind, n, s)| match kind {
+        0 => Value::Null,
+        1 | 2 => Value::int(n),
+        3 => Value::float(n as f64 / 4.0),
+        4 => Value::float(if n == 0 { -0.0 } else { f64::NAN }),
+        _ => Value::str(&s),
+    })
+}
+
+/// Strategy: a ragged-free relation of arbitrary mixed-type cells.
+fn mixed_relation_strategy() -> impl Strategy<Value = Relation> {
+    prop::collection::vec((any_value(), any_value(), any_value()), 0..30).prop_map(|rows| {
+        let schema = Schema::new(["x", "y", "z"]).unwrap();
+        let tuples = rows
+            .into_iter()
+            .map(|(x, y, z)| Tuple::new(vec![x, y, z]))
+            .collect();
+        Relation::new("m", schema, tuples).unwrap()
+    })
+}
+
+/// Strategy: a random predicate AST over the (a, b, s) schema, mixing
+/// typed and cross-variant constants, conjunction, disjunction, and
+/// negation.
+fn predicate_strategy() -> impl Strategy<Value = Predicate> {
+    (
+        prop::collection::vec(
+            (0u8..3, 0u8..6, -6i64..22, "[a-d]{0,3}", prop::bool::ANY),
+            1..5,
+        ),
+        0u8..3,
+    )
+        .prop_map(|(leaves, combine)| {
+            let ops = [
+                CompareOp::Eq,
+                CompareOp::Ne,
+                CompareOp::Lt,
+                CompareOp::Le,
+                CompareOp::Gt,
+                CompareOp::Ge,
+            ];
+            let mut built: Vec<Predicate> = leaves
+                .into_iter()
+                .map(|(attr, op, n, s, negate)| {
+                    let attr = ["a", "b", "s"][attr as usize];
+                    let constant = match n.rem_euclid(4) {
+                        0 => Value::Null,
+                        1 => Value::str(&s),
+                        2 => Value::float(n as f64 / 2.0),
+                        _ => Value::int(n),
+                    };
+                    let leaf = Predicate::cmp(attr, ops[op as usize], constant);
+                    if negate {
+                        Predicate::Not(Box::new(leaf))
+                    } else {
+                        leaf
+                    }
+                })
+                .collect();
+            match combine {
+                0 => Predicate::And(built),
+                1 => Predicate::Or(built),
+                _ => built.pop().unwrap(),
+            }
+        })
+}
+
 proptest! {
     #[test]
     fn schema_union_laws(
@@ -63,6 +134,76 @@ proptest! {
         }
     }
 
+    /// ISSUE 5 satellite: rows → typed columns → rows is the identity on
+    /// arbitrary mixed-type relations (all `Value` variants plus NULLs,
+    /// heterogeneous columns landing in the `Mixed` layout included).
+    #[test]
+    fn columnar_round_trip_is_identity(rows in prop::collection::vec(
+        (any_value(), any_value(), any_value()), 0..30)) {
+        let schema = Schema::new(["x", "y", "z"]).unwrap();
+        let tuples: Vec<Tuple> = rows
+            .into_iter()
+            .map(|(x, y, z)| Tuple::new(vec![x, y, z]))
+            .collect();
+        let r = Relation::new("m", schema, tuples.clone()).unwrap();
+        prop_assert_eq!(r.len(), tuples.len());
+        // Whole-relation materialization equals the input …
+        prop_assert_eq!(r.tuples(), tuples.clone());
+        // … and so do individual row views, cell by cell.
+        for (i, t) in tuples.iter().enumerate() {
+            prop_assert_eq!(r.tuple_at(i), t.clone());
+            let row = r.row_ref(i);
+            for p in 0..t.arity() {
+                prop_assert!(row.get(p).eq_value(t.get(p)));
+                prop_assert_eq!(&row.value(p), t.get(p));
+            }
+        }
+    }
+
+    /// ISSUE 5 satellite: the vectorized `CompiledPredicate::select`
+    /// agrees with the tuple-at-a-time `eval` oracle on random
+    /// relations and random predicates.
+    #[test]
+    fn select_matches_eval_oracle(r in relation_strategy(), p in predicate_strategy()) {
+        let cp = p.compile(r.schema()).unwrap();
+        let bm = cp.select(&r);
+        prop_assert_eq!(bm.len(), r.len());
+        let mut expected_ids = Vec::new();
+        for (i, t) in r.tuples().iter().enumerate() {
+            let want = cp.eval(t);
+            prop_assert_eq!(bm.get(i), want, "row {} of {:?}", i, p);
+            if want {
+                expected_ids.push(i as u32);
+            }
+        }
+        prop_assert_eq!(bm.count(), expected_ids.len());
+        prop_assert_eq!(bm.to_row_ids(), expected_ids);
+        // filter() materializes exactly the selected rows, in order.
+        let filtered = r.filter("f", &cp);
+        let kept: Vec<Tuple> = r
+            .tuples()
+            .into_iter()
+            .filter(|t| cp.eval(t))
+            .collect();
+        prop_assert_eq!(filtered.tuples(), kept);
+    }
+
+    /// And the same oracle agreement on mixed-layout columns.
+    #[test]
+    fn select_matches_eval_on_mixed(r in mixed_relation_strategy(), n in -5i64..5) {
+        let schema_attrs = ["x", "y", "z"];
+        for attr in schema_attrs {
+            for op in [CompareOp::Eq, CompareOp::Lt, CompareOp::Ge] {
+                let p = Predicate::cmp(attr, op, Value::int(n));
+                let cp = p.compile(r.schema()).unwrap();
+                let bm = cp.select(&r);
+                for (i, t) in r.tuples().iter().enumerate() {
+                    prop_assert_eq!(bm.get(i), cp.eval(t), "attr {} row {}", attr, i);
+                }
+            }
+        }
+    }
+
     #[test]
     fn predicate_complement_laws(r in relation_strategy(), threshold in -5i64..5) {
         let p = Predicate::cmp("b", CompareOp::Lt, Value::int(threshold));
@@ -71,9 +212,9 @@ proptest! {
             .compile(r.schema())
             .unwrap();
         let or = Predicate::Or(vec![p, not_p]).compile(r.schema()).unwrap();
-        for row in r.rows() {
-            prop_assert!(!and.eval(row), "p ∧ ¬p must be false");
-            prop_assert!(or.eval(row), "p ∨ ¬p must be true");
+        for row in r.tuples() {
+            prop_assert!(!and.eval(&row), "p ∧ ¬p must be false");
+            prop_assert!(or.eval(&row), "p ∨ ¬p must be true");
         }
     }
 
@@ -87,6 +228,8 @@ proptest! {
             &Predicate::Not(Box::new(p)).compile(r.schema()).unwrap(),
         );
         prop_assert_eq!(yes.len() + no.len(), r.len());
+        // Selection never grows the footprint.
+        prop_assert!(yes.memory_bytes() <= r.memory_bytes() + 64);
     }
 
     #[test]
@@ -108,13 +251,31 @@ proptest! {
         }
     }
 
+    /// Columnar histogram counts must equal a naive tuple scan — on
+    /// every column layout, NULLs included.
+    #[test]
+    fn histogram_matches_tuple_scan(r in mixed_relation_strategy()) {
+        for attr in ["x", "y", "z"] {
+            let h = FrequencyHistogram::build(&r, attr);
+            let pos = r.schema().position(attr).unwrap();
+            let mut naive: HashMap<Value, u64> = HashMap::new();
+            for t in r.tuples() {
+                *naive.entry(t.get(pos).clone()).or_insert(0) += 1;
+            }
+            prop_assert_eq!(h.distinct(), naive.len());
+            for (v, c) in &naive {
+                prop_assert_eq!(h.degree(v), *c, "value {} of {}", v, attr);
+            }
+        }
+    }
+
     #[test]
     fn index_postings_cover_relation(r in relation_strategy()) {
         let idx = HashIndex::build_single(&r, "b");
         let total: usize = idx.entries().map(|(_, rows)| rows.len()).sum();
         prop_assert_eq!(total, r.len());
         // Every row is reachable through its own key.
-        for (i, row) in r.rows().iter().enumerate() {
+        for (i, row) in r.tuples().iter().enumerate() {
             let key = [row.get(1).clone()];
             prop_assert!(idx.rows_matching(&key).contains(&(i as u32)));
         }
@@ -125,7 +286,8 @@ proptest! {
     /// `HashMap<Vec<Value>, Vec<u32>>` oracle, on random relations
     /// (small domains force heavy key duplication), over single- and
     /// multi-attribute keys, including the empty-relation and
-    /// max-degree edges.
+    /// max-degree edges. The build now reads typed columns; the oracle
+    /// still scans materialized tuples.
     #[test]
     fn csr_postings_match_naive_oracle(r in relation_strategy(), attr_pick in 0usize..4) {
         let attr_sets: [&[&str]; 4] = [&["a"], &["b"], &["a", "s"], &["b", "a", "s"]];
@@ -139,8 +301,9 @@ proptest! {
             .collect();
         let idx = HashIndex::build(&r, &attrs);
 
+        let tuples = r.tuples();
         let mut oracle: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
-        for (i, row) in r.rows().iter().enumerate() {
+        for (i, row) in tuples.iter().enumerate() {
             let key: Vec<Value> = positions.iter().map(|&p| row.get(p).clone()).collect();
             oracle.entry(key).or_default().push(i as u32);
         }
@@ -156,7 +319,10 @@ proptest! {
             prop_assert_eq!(idx.postings(kid), rows.as_slice());
             prop_assert_eq!(idx.degree_of(kid), rows.len());
             // Projected probes agree with value probes.
-            prop_assert_eq!(idx.key_id_projected(r.row(rows[0] as usize).values(), &positions), Some(kid));
+            prop_assert_eq!(idx.key_id_projected(tuples[rows[0] as usize].values(), &positions), Some(kid));
+            // Column-side probes agree too (probing the base relation
+            // itself through its own columns).
+            prop_assert_eq!(idx.key_id_at(&r, &positions, rows[0] as usize), Some(kid));
         }
         // entries() enumerates the oracle exactly once per key.
         let mut enumerated = 0usize;
@@ -177,8 +343,8 @@ proptest! {
     #[test]
     fn membership_matches_linear_scan(r in relation_strategy()) {
         let m = RowMembership::build(&r);
-        for row in r.rows() {
-            prop_assert!(m.contains(row));
+        for row in r.tuples() {
+            prop_assert!(m.contains(&row));
         }
         let absent = Tuple::new(vec![Value::int(999), Value::int(999), Value::str("zz")]);
         prop_assert!(!m.contains(&absent));
@@ -189,7 +355,7 @@ proptest! {
         let d1 = r.distinct();
         let d2 = d1.distinct();
         prop_assert_eq!(d1.len(), d2.len());
-        let set: std::collections::HashSet<_> = r.rows().iter().cloned().collect();
+        let set: std::collections::HashSet<_> = r.tuples().into_iter().collect();
         prop_assert_eq!(d1.len(), set.len());
     }
 
@@ -197,9 +363,9 @@ proptest! {
     fn horizontal_split_partitions(r in relation_strategy(), frac in 0.0f64..1.0) {
         let (a, b) = r.split_horizontal("a", "b", frac);
         prop_assert_eq!(a.len() + b.len(), r.len());
-        let mut rejoined: Vec<Tuple> = a.rows().to_vec();
-        rejoined.extend(b.rows().iter().cloned());
-        prop_assert_eq!(rejoined, r.rows().to_vec());
+        let mut rejoined: Vec<Tuple> = a.tuples();
+        rejoined.extend(b.tuples());
+        prop_assert_eq!(rejoined, r.tuples());
     }
 
     #[test]
@@ -209,7 +375,7 @@ proptest! {
         let back = read_csv("r", buf.as_slice()).unwrap();
         prop_assert_eq!(back.schema().arity(), r.schema().arity());
         prop_assert_eq!(back.len(), r.len());
-        for (a, b) in back.rows().iter().zip(r.rows()) {
+        for (a, b) in back.tuples().iter().zip(r.tuples()) {
             // Empty strings become NULL through CSV; everything else
             // must round-trip exactly.
             for (x, y) in a.values().iter().zip(b.values()) {

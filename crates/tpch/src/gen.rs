@@ -12,7 +12,7 @@
 use crate::tables::*;
 use crate::text;
 use suj_stats::{SujRng, Zipf};
-use suj_storage::{Catalog, Relation, Value};
+use suj_storage::{Catalog, ColumnBuilder, Relation};
 
 /// Generator configuration.
 #[derive(Debug, Clone, Copy)]
@@ -109,29 +109,32 @@ impl TpchConfig {
 
 /// `region`: the five fixed rows.
 pub fn region() -> Relation {
-    let rows = text::REGIONS
-        .iter()
-        .enumerate()
-        .map(|(i, name)| vec![Value::int(i as i64), Value::str(name)].into())
-        .collect();
-    Relation::new("region", region_schema(), rows).expect("static rows")
+    let mut key = ColumnBuilder::new();
+    let mut name = ColumnBuilder::new();
+    for (i, n) in text::REGIONS.iter().enumerate() {
+        key.push_i64(i as i64);
+        name.push_str(n);
+    }
+    Relation::from_columns("region", region_schema(), vec![key.finish(), name.finish()])
+        .expect("static columns")
 }
 
 /// `nation`: the 25 fixed rows with region assignment.
 pub fn nation() -> Relation {
-    let rows = text::NATIONS
-        .iter()
-        .enumerate()
-        .map(|(i, name)| {
-            vec![
-                Value::int(i as i64),
-                Value::str(name),
-                Value::int(text::nation_region(i) as i64),
-            ]
-            .into()
-        })
-        .collect();
-    Relation::new("nation", nation_schema(), rows).expect("static rows")
+    let mut key = ColumnBuilder::new();
+    let mut name = ColumnBuilder::new();
+    let mut region = ColumnBuilder::new();
+    for (i, n) in text::NATIONS.iter().enumerate() {
+        key.push_i64(i as i64);
+        name.push_str(n);
+        region.push_i64(text::nation_region(i) as i64);
+    }
+    Relation::from_columns(
+        "nation",
+        nation_schema(),
+        vec![key.finish(), name.finish(), region.finish()],
+    )
+    .expect("static columns")
 }
 
 /// Builds the `supplier` table for one variant. `shared` rows (prefix)
@@ -142,7 +145,10 @@ pub fn supplier(cfg: &TpchConfig, name: &str, variant: u64, overlap: f64) -> Rel
     let mut base = cfg.rng_for("supplier", 0);
     let mut var = cfg.rng_for("supplier", variant);
     let zipf = cfg.zipf_for(N_NATIONS);
-    let mut rows = Vec::with_capacity(n);
+    let mut keys = ColumnBuilder::new();
+    let mut nations = ColumnBuilder::new();
+    let mut bals = ColumnBuilder::new();
+    let mut names = ColumnBuilder::new();
     for key in 0..n as i64 {
         // Always advance the base stream so the shared prefix is
         // identical across variants.
@@ -159,17 +165,22 @@ pub fn supplier(cfg: &TpchConfig, name: &str, variant: u64, overlap: f64) -> Rel
         } else {
             var_draw
         };
-        rows.push(
-            vec![
-                Value::int(key),
-                Value::int(nationkey),
-                Value::int(bal),
-                Value::str(text::supplier_name(key)),
-            ]
-            .into(),
-        );
+        keys.push_i64(key);
+        nations.push_i64(nationkey);
+        bals.push_i64(bal);
+        names.push_str(&text::supplier_name(key));
     }
-    Relation::new(name, supplier_schema(), rows).expect("arity fixed")
+    Relation::from_columns(
+        name,
+        supplier_schema(),
+        vec![
+            keys.finish(),
+            nations.finish(),
+            bals.finish(),
+            names.finish(),
+        ],
+    )
+    .expect("arity fixed")
 }
 
 /// Builds the `customer` table for one variant.
@@ -179,7 +190,10 @@ pub fn customer(cfg: &TpchConfig, name: &str, variant: u64, overlap: f64) -> Rel
     let mut base = cfg.rng_for("customer", 0);
     let mut var = cfg.rng_for("customer", variant);
     let zipf = cfg.zipf_for(N_NATIONS);
-    let mut rows = Vec::with_capacity(n);
+    let mut keys = ColumnBuilder::new();
+    let mut nations = ColumnBuilder::new();
+    let mut bals = ColumnBuilder::new();
+    let mut names = ColumnBuilder::new();
     for key in 0..n as i64 {
         let base_draw = (
             cfg.fk(&mut base, N_NATIONS as i64, zipf.as_ref()),
@@ -194,17 +208,22 @@ pub fn customer(cfg: &TpchConfig, name: &str, variant: u64, overlap: f64) -> Rel
         } else {
             var_draw
         };
-        rows.push(
-            vec![
-                Value::int(key),
-                Value::int(nationkey),
-                Value::int(bal),
-                Value::str(text::customer_name(key)),
-            ]
-            .into(),
-        );
+        keys.push_i64(key);
+        nations.push_i64(nationkey);
+        bals.push_i64(bal);
+        names.push_str(&text::customer_name(key));
     }
-    Relation::new(name, customer_schema(), rows).expect("arity fixed")
+    Relation::from_columns(
+        name,
+        customer_schema(),
+        vec![
+            keys.finish(),
+            nations.finish(),
+            bals.finish(),
+            names.finish(),
+        ],
+    )
+    .expect("arity fixed")
 }
 
 /// Builds the `orders` table for one variant.
@@ -215,7 +234,9 @@ pub fn orders(cfg: &TpchConfig, name: &str, variant: u64, overlap: f64) -> Relat
     let mut base = cfg.rng_for("orders", 0);
     let mut var = cfg.rng_for("orders", variant);
     let zipf = cfg.zipf_for(n_cust as usize);
-    let mut rows = Vec::with_capacity(n);
+    let mut keys = ColumnBuilder::new();
+    let mut custs = ColumnBuilder::new();
+    let mut prices = ColumnBuilder::new();
     for key in 0..n as i64 {
         let base_draw = (
             cfg.fk(&mut base, n_cust, zipf.as_ref()),
@@ -230,9 +251,16 @@ pub fn orders(cfg: &TpchConfig, name: &str, variant: u64, overlap: f64) -> Relat
         } else {
             var_draw
         };
-        rows.push(vec![Value::int(key), Value::int(custkey), Value::int(price)].into());
+        keys.push_i64(key);
+        custs.push_i64(custkey);
+        prices.push_i64(price);
     }
-    Relation::new(name, orders_schema(), rows).expect("arity fixed")
+    Relation::from_columns(
+        name,
+        orders_schema(),
+        vec![keys.finish(), custs.finish(), prices.finish()],
+    )
+    .expect("arity fixed")
 }
 
 /// Builds the `lineitem` table for one variant (3 lines per order).
@@ -243,7 +271,10 @@ pub fn lineitem(cfg: &TpchConfig, name: &str, variant: u64, overlap: f64) -> Rel
     let mut base = cfg.rng_for("lineitem", 0);
     let mut var = cfg.rng_for("lineitem", variant);
     let zipf = cfg.zipf_for(n_part as usize);
-    let mut rows = Vec::with_capacity(n);
+    let mut orderkeys = ColumnBuilder::new();
+    let mut linenumbers = ColumnBuilder::new();
+    let mut partkeys = ColumnBuilder::new();
+    let mut qtys = ColumnBuilder::new();
     for i in 0..n as i64 {
         let orderkey = i / 3;
         let linenumber = i % 3;
@@ -260,17 +291,22 @@ pub fn lineitem(cfg: &TpchConfig, name: &str, variant: u64, overlap: f64) -> Rel
         } else {
             var_draw
         };
-        rows.push(
-            vec![
-                Value::int(orderkey),
-                Value::int(linenumber),
-                Value::int(partkey),
-                Value::int(qty),
-            ]
-            .into(),
-        );
+        orderkeys.push_i64(orderkey);
+        linenumbers.push_i64(linenumber);
+        partkeys.push_i64(partkey);
+        qtys.push_i64(qty);
     }
-    Relation::new(name, lineitem_schema(), rows).expect("arity fixed")
+    Relation::from_columns(
+        name,
+        lineitem_schema(),
+        vec![
+            orderkeys.finish(),
+            linenumbers.finish(),
+            partkeys.finish(),
+            qtys.finish(),
+        ],
+    )
+    .expect("arity fixed")
 }
 
 /// Builds the `part` table for one variant.
@@ -279,7 +315,10 @@ pub fn part(cfg: &TpchConfig, name: &str, variant: u64, overlap: f64) -> Relatio
     let shared_rows = shared_count(n, overlap, variant);
     let mut base = cfg.rng_for("part", 0);
     let mut var = cfg.rng_for("part", variant);
-    let mut rows = Vec::with_capacity(n);
+    let mut keys = ColumnBuilder::new();
+    let mut names = ColumnBuilder::new();
+    let mut types = ColumnBuilder::new();
+    let mut sizes = ColumnBuilder::new();
     for key in 0..n as i64 {
         let base_draw = (
             text::part_name(&mut base),
@@ -296,17 +335,22 @@ pub fn part(cfg: &TpchConfig, name: &str, variant: u64, overlap: f64) -> Relatio
         } else {
             var_draw
         };
-        rows.push(
-            vec![
-                Value::int(key),
-                Value::str(pname),
-                Value::str(ptype),
-                Value::int(psize),
-            ]
-            .into(),
-        );
+        keys.push_i64(key);
+        names.push_str(&pname);
+        types.push_str(ptype);
+        sizes.push_i64(psize);
     }
-    Relation::new(name, part_schema(), rows).expect("arity fixed")
+    Relation::from_columns(
+        name,
+        part_schema(),
+        vec![
+            keys.finish(),
+            names.finish(),
+            types.finish(),
+            sizes.finish(),
+        ],
+    )
+    .expect("arity fixed")
 }
 
 /// Builds the `partsupp` table for one variant (2 suppliers per part).
@@ -318,7 +362,9 @@ pub fn partsupp(cfg: &TpchConfig, name: &str, variant: u64, overlap: f64) -> Rel
     let mut base = cfg.rng_for("partsupp", 0);
     let mut var = cfg.rng_for("partsupp", variant);
     let zipf = cfg.zipf_for(n_supp as usize);
-    let mut rows = Vec::with_capacity(n);
+    let mut partkeys = ColumnBuilder::new();
+    let mut suppkeys = ColumnBuilder::new();
+    let mut costs = ColumnBuilder::new();
     let mut prev_supp = 0i64;
     for i in 0..n as i64 {
         let partkey = i / 2;
@@ -346,9 +392,16 @@ pub fn partsupp(cfg: &TpchConfig, name: &str, variant: u64, overlap: f64) -> Rel
         } else {
             supp_raw
         };
-        rows.push(vec![Value::int(partkey), Value::int(suppkey), Value::int(cost)].into());
+        partkeys.push_i64(partkey);
+        suppkeys.push_i64(suppkey);
+        costs.push_i64(cost);
     }
-    Relation::new(name, partsupp_schema(), rows).expect("arity fixed")
+    Relation::from_columns(
+        name,
+        partsupp_schema(),
+        vec![partkeys.finish(), suppkeys.finish(), costs.finish()],
+    )
+    .expect("arity fixed")
 }
 
 /// Rows kept identical to the base stream for a variant at the given
@@ -390,6 +443,7 @@ pub fn generate_catalog(cfg: &TpchConfig) -> Catalog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use suj_storage::Value;
 
     fn cfg() -> TpchConfig {
         TpchConfig::new(2, 7)
@@ -418,7 +472,7 @@ mod tests {
         ] {
             let ra = a.get(name).unwrap();
             let rb = b.get(name).unwrap();
-            assert_eq!(ra.rows(), rb.rows(), "table {name} not deterministic");
+            assert_eq!(ra.tuples(), rb.tuples(), "table {name} not deterministic");
         }
     }
 
@@ -427,8 +481,8 @@ mod tests {
         let a = generate_catalog(&TpchConfig::new(2, 1));
         let b = generate_catalog(&TpchConfig::new(2, 2));
         assert_ne!(
-            a.get("supplier").unwrap().rows(),
-            b.get("supplier").unwrap().rows()
+            a.get("supplier").unwrap().tuples(),
+            b.get("supplier").unwrap().tuples()
         );
     }
 
@@ -441,14 +495,18 @@ mod tests {
         let n = base.len();
         let shared = n / 2;
         for i in 0..shared {
-            assert_eq!(base.row(i), v1.row(i), "shared prefix must match");
-            assert_eq!(base.row(i), v2.row(i));
+            assert_eq!(base.row_ref(i), v1.row_ref(i), "shared prefix must match");
+            assert_eq!(base.row_ref(i), v2.row_ref(i));
         }
         // Tails must differ from the base (statistically certain).
-        let tail_same = (shared..n).filter(|&i| base.row(i) == v1.row(i)).count();
+        let tail_same = (shared..n)
+            .filter(|&i| base.row_ref(i) == v1.row_ref(i))
+            .count();
         assert!(tail_same < (n - shared) / 2, "tail should be re-drawn");
         // And the two variants' tails differ from each other.
-        let cross_same = (shared..n).filter(|&i| v1.row(i) == v2.row(i)).count();
+        let cross_same = (shared..n)
+            .filter(|&i| v1.row_ref(i) == v2.row_ref(i))
+            .count();
         assert!(cross_same < (n - shared) / 2);
     }
 
@@ -457,10 +515,10 @@ mod tests {
         let c = cfg();
         let base = orders(&c, "o0", 0, 1.0);
         let full = orders(&c, "o1", 1, 1.0);
-        assert_eq!(base.rows(), full.rows(), "overlap 1.0 means identical");
+        assert_eq!(base.tuples(), full.tuples(), "overlap 1.0 means identical");
         let none = orders(&c, "o2", 1, 0.0);
         let same = (0..base.len())
-            .filter(|&i| base.row(i) == none.row(i))
+            .filter(|&i| base.row_ref(i) == none.row_ref(i))
             .count();
         assert!(same < base.len() / 2, "overlap 0.0 should re-draw ~all");
     }
@@ -469,20 +527,20 @@ mod tests {
     fn foreign_keys_stay_in_range() {
         let c = cfg();
         let o = orders(&c, "o", 3, 0.3);
-        for row in o.rows() {
-            let ck = row.get(1).as_int().unwrap();
+        for row in o.iter_rows() {
+            let ck = row.value(1).as_int().unwrap();
             assert!((0..c.n_customer() as i64).contains(&ck));
         }
         let li = lineitem(&c, "l", 3, 0.3);
-        for row in li.rows() {
-            let ok = row.get(0).as_int().unwrap();
+        for row in li.iter_rows() {
+            let ok = row.value(0).as_int().unwrap();
             assert!((0..c.n_orders() as i64).contains(&ok));
-            let pk = row.get(2).as_int().unwrap();
+            let pk = row.value(2).as_int().unwrap();
             assert!((0..c.n_part() as i64).contains(&pk));
         }
         let ps = partsupp(&c, "ps", 3, 0.3);
-        for row in ps.rows() {
-            let sk = row.get(1).as_int().unwrap();
+        for row in ps.iter_rows() {
+            let sk = row.value(1).as_int().unwrap();
             assert!((0..c.n_supplier() as i64).contains(&sk));
         }
     }
@@ -510,7 +568,7 @@ mod tests {
         let explicit = TpchConfig::new(2, 7).with_skew(0.0);
         let a = orders(&plain, "o", 1, 0.5);
         let b = orders(&explicit, "o", 1, 0.5);
-        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.tuples(), b.tuples());
     }
 
     #[test]
@@ -536,9 +594,9 @@ mod tests {
         let c = cfg();
         let ps = partsupp(&c, "ps", 0, 1.0);
         for i in (0..ps.len()).step_by(2) {
-            let a = ps.row(i).get(1);
-            let b = ps.row(i + 1).get(1);
-            assert_eq!(ps.row(i).get(0), ps.row(i + 1).get(0));
+            let a = ps.row_ref(i).value(1);
+            let b = ps.row_ref(i + 1).value(1);
+            assert_eq!(ps.row_ref(i).value(0), ps.row_ref(i + 1).value(0));
             // With the +n/2 offset the two suppliers of a part are
             // distinct whenever n_supp ≥ 2.
             assert_ne!(a, b, "part {} has duplicate supplier", i / 2);
