@@ -222,6 +222,17 @@ impl PreparedCache {
             .filter(|slot| lock(slot).is_some())
             .count()
     }
+
+    /// Every filled slot, sorted by fingerprint so callers iterating
+    /// the cache (snapshot serialization) see a deterministic order.
+    fn entries(&self) -> Vec<(String, Arc<PreparedQuery>)> {
+        let mut out: Vec<(String, Arc<PreparedQuery>)> = lock(&self.slots)
+            .iter()
+            .filter_map(|(fp, slot)| lock(slot).as_ref().map(|p| (fp.clone(), p.clone())))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
 }
 
 /// Catalog + planner: resolves declarative queries, plans their
@@ -346,12 +357,36 @@ impl Engine {
             builder = builder.predicate(p, mode);
         }
         let prepared = builder.freeze()?.with_summary(plan.summary());
-        Ok(PreparedQuery::from_parts(plan, prepared))
+        Ok(PreparedQuery::from_query_parts(
+            query.clone(),
+            plan,
+            prepared,
+        ))
     }
 
     /// Prepared queries currently cached.
     pub fn cached_queries(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Every cached prepared query with its fingerprint, sorted by
+    /// fingerprint (deterministic snapshot serialization order).
+    pub(crate) fn cached_entries(&self) -> Vec<(String, Arc<PreparedQuery>)> {
+        self.cache.entries()
+    }
+
+    /// Installs an externally restored prepared query into the cache
+    /// under its query's fingerprint against *this* engine's catalog
+    /// (relation `Arc` pointers are recomputed, so a restored replica
+    /// fingerprints consistently with its own `prepare` calls). An
+    /// already-filled slot is left as is.
+    pub(crate) fn install_prepared(&self, query: &UnionQuery, prepared: Arc<PreparedQuery>) {
+        let fingerprint = self.fingerprint(query);
+        let slot = self.cache.slot(&fingerprint);
+        let mut guard = lock(&slot);
+        if guard.is_none() {
+            *guard = Some(prepared);
+        }
     }
 
     /// One-shot convenience: prepare (cached), then draw `n` samples.
@@ -378,6 +413,10 @@ impl Engine {
 pub struct PreparedQuery {
     plan: Plan,
     prepared: PreparedSampler,
+    /// The declarative query this plan was prepared from, when it came
+    /// through the engine — retained so snapshots can persist and
+    /// re-fingerprint it ([`auto`](Self::auto) plans have none).
+    source: Option<UnionQuery>,
     aggregate: Mutex<RunReport>,
 }
 
@@ -401,8 +440,31 @@ impl PreparedQuery {
         Self {
             plan,
             prepared,
+            source: None,
             aggregate: Mutex::new(aggregate),
         }
+    }
+
+    /// [`from_parts`](Self::from_parts), additionally retaining the
+    /// declarative query the plan came from (snapshot persistence).
+    pub(crate) fn from_query_parts(
+        query: UnionQuery,
+        plan: Plan,
+        prepared: PreparedSampler,
+    ) -> Self {
+        let mut out = Self::from_parts(plan, prepared);
+        out.source = Some(query);
+        out
+    }
+
+    /// The declarative query this plan was prepared from, when known.
+    pub(crate) fn source_query(&self) -> Option<&UnionQuery> {
+        self.source.as_ref()
+    }
+
+    /// The frozen pipeline (snapshot serialization).
+    pub(crate) fn prepared(&self) -> &PreparedSampler {
+        &self.prepared
     }
 
     /// Plans and freezes a set-union workload with the default planner

@@ -2,7 +2,7 @@
 
 use std::fmt;
 use suj_join::JoinError;
-use suj_storage::StorageError;
+use suj_storage::{SnapshotError, StorageError};
 
 /// Errors raised by the union sampling framework.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,6 +26,9 @@ pub enum CoreError {
     Join(JoinError),
     /// A storage-layer error.
     Storage(StorageError),
+    /// A snapshot encode/decode error (persisting or restoring
+    /// prepared artifacts).
+    Snapshot(SnapshotError),
     /// Generic invariant violation with context.
     Invalid(String),
 }
@@ -43,6 +46,7 @@ impl fmt::Display for CoreError {
             }
             CoreError::Join(e) => write!(f, "join error: {e}"),
             CoreError::Storage(e) => write!(f, "storage error: {e}"),
+            CoreError::Snapshot(e) => write!(f, "snapshot error: {e}"),
             CoreError::Invalid(msg) => write!(f, "{msg}"),
         }
     }
@@ -53,6 +57,7 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Join(e) => Some(e),
             CoreError::Storage(e) => Some(e),
+            CoreError::Snapshot(e) => Some(e),
             _ => None,
         }
     }
@@ -67,6 +72,12 @@ impl From<JoinError> for CoreError {
 impl From<StorageError> for CoreError {
     fn from(e: StorageError) -> Self {
         CoreError::Storage(e)
+    }
+}
+
+impl From<SnapshotError> for CoreError {
+    fn from(e: SnapshotError) -> Self {
+        CoreError::Snapshot(e)
     }
 }
 

@@ -34,6 +34,9 @@
 //! * [`serve`] — [`SamplingService`]: a bounded-queue `std::thread`
 //!   worker pool serving deterministic sampling requests over a shared
 //!   engine.
+//! * [`snapshot`] — engine snapshot persistence: save/restore the
+//!   catalog and every cached prepared query with its frozen estimated
+//!   parameters, so a cold replica serves without re-estimating.
 //! * [`stream`] — [`SampleStream`], lazy iteration over any built
 //!   sampler.
 //!
@@ -103,6 +106,7 @@ pub mod report;
 pub mod sampler;
 pub mod serve;
 pub mod session;
+pub mod snapshot;
 pub mod stream;
 pub mod walk_estimator;
 pub mod workload;

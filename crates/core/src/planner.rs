@@ -74,6 +74,19 @@ impl WorkloadStats {
         stats
     }
 
+    /// Statistics rebuilt from a persisted overlap map (snapshot
+    /// restore): the same shape [`probe`](Self::probe) would produce
+    /// for that map, without running any estimator. Note the map a
+    /// snapshot retains was frozen *after* any predicate push-down
+    /// rewrite, so restored hints may describe the rewritten workload.
+    pub(crate) fn from_probed(workload: &UnionWorkload, map: OverlapMap) -> Self {
+        let mut stats = Self::unavailable(workload);
+        stats.join_size_hints = Some((0..map.n()).map(|j| map.join_size(j)).collect());
+        stats.union_size_hint = Some(map.union_size());
+        stats.probed_map = Some(map);
+        stats
+    }
+
     /// Statistics-free stats (the decentralized cold start): only row
     /// and join counts, which are always known.
     pub fn unavailable(workload: &UnionWorkload) -> Self {

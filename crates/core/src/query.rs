@@ -53,7 +53,7 @@ pub enum UnionSemantics {
 
 /// How a declared join connects its relations.
 #[derive(Debug, Clone)]
-enum Topology {
+pub(crate) enum Topology {
     /// Equality edges between consecutive relations only.
     Chain,
     /// Edges derived from every shared attribute pair.
@@ -123,6 +123,20 @@ impl JoinDef {
     /// The referenced relation names, in join order.
     pub fn relations(&self) -> &[String] {
         &self.relations
+    }
+
+    /// The declared topology (snapshot serialization).
+    pub(crate) fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Rebuilds a definition from decoded snapshot parts.
+    pub(crate) fn from_restored(name: String, relations: Vec<String>, topology: Topology) -> Self {
+        Self {
+            name,
+            relations,
+            topology,
+        }
     }
 
     /// Binds relation names against the catalog and builds the spec.
@@ -232,6 +246,33 @@ impl UnionQuery {
     /// The declared joins.
     pub fn joins(&self) -> &[JoinDef] {
         &self.joins
+    }
+
+    /// The attached predicate, if any (snapshot serialization).
+    pub(crate) fn predicate_ref(&self) -> Option<&Predicate> {
+        self.predicate.as_ref()
+    }
+
+    /// The pinned predicate mode, if any (snapshot serialization).
+    pub(crate) fn predicate_mode_ref(&self) -> Option<PredicateMode> {
+        self.predicate_mode
+    }
+
+    /// Rebuilds a query from decoded snapshot parts. The result must
+    /// `Debug`-format identically to the original so engine cache
+    /// fingerprints keyed on the query shape still match.
+    pub(crate) fn from_restored(
+        semantics: UnionSemantics,
+        joins: Vec<JoinDef>,
+        predicate: Option<Predicate>,
+        predicate_mode: Option<PredicateMode>,
+    ) -> Self {
+        Self {
+            semantics,
+            joins,
+            predicate,
+            predicate_mode,
+        }
     }
 
     /// Validates the query against a catalog without keeping the

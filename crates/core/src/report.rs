@@ -181,6 +181,17 @@ pub struct RunReport {
     /// property of the prepared state, not a counter: `delta_since`
     /// carries it through and `merge` keeps the maximum.
     pub prepared_bytes: u64,
+    /// Size in bytes of the snapshot this prepared artifact was
+    /// restored from; 0 when it was frozen in-process. Same property
+    /// semantics as [`prepared_bytes`](Self::prepared_bytes).
+    pub snapshot_bytes: u64,
+    /// Wall time of the snapshot restore that produced this prepared
+    /// artifact (zero when frozen in-process) — the load half of the
+    /// load-vs-prepare comparison, where
+    /// [`warmup_time`](Self::warmup_time) is the prepare half. Property
+    /// semantics: `delta_since` carries it through, `merge` keeps the
+    /// maximum.
+    pub restore_time: Duration,
     /// The resolved configuration that produced this run (stamped by
     /// [`SamplerBuilder::build`](crate::session::SamplerBuilder::build)).
     pub config: Option<PlanSummary>,
@@ -292,6 +303,8 @@ impl RunReport {
                 .map(|(j, &d)| d.saturating_sub(baseline.join_draws.get(j).copied().unwrap_or(0)))
                 .collect(),
             prepared_bytes: self.prepared_bytes,
+            snapshot_bytes: self.snapshot_bytes,
+            restore_time: self.restore_time,
             config: self.config.clone(),
             draw_latency: self.draw_latency.delta_since(&baseline.draw_latency),
             warmup_time: dur(self.warmup_time, baseline.warmup_time),
@@ -319,6 +332,8 @@ impl RunReport {
             update_rounds,
             join_draws,
             prepared_bytes,
+            snapshot_bytes,
+            restore_time,
             config,
             draw_latency,
             warmup_time,
@@ -328,6 +343,8 @@ impl RunReport {
             update_time,
         } = other;
         self.prepared_bytes = *prepared_bytes;
+        self.snapshot_bytes = *snapshot_bytes;
+        self.restore_time = *restore_time;
         self.accepted = *accepted;
         self.rejected_cover = *rejected_cover;
         self.rejected_join = *rejected_join;
@@ -376,6 +393,8 @@ impl RunReport {
             update_rounds,
             join_draws,
             prepared_bytes,
+            snapshot_bytes,
+            restore_time,
             config,
             draw_latency,
             warmup_time,
@@ -387,6 +406,8 @@ impl RunReport {
         // A footprint property, not a counter: folding reports over the
         // same prepared artifact must not multiply it.
         self.prepared_bytes = self.prepared_bytes.max(*prepared_bytes);
+        self.snapshot_bytes = self.snapshot_bytes.max(*snapshot_bytes);
+        self.restore_time = self.restore_time.max(*restore_time);
         self.accepted += accepted;
         self.rejected_cover += rejected_cover;
         self.rejected_join += rejected_join;
@@ -435,6 +456,12 @@ impl RunReport {
         }
         if self.prepared_bytes > 0 {
             s.push_str(&format!(" prepared_bytes={}", self.prepared_bytes));
+        }
+        if self.snapshot_bytes > 0 {
+            s.push_str(&format!(
+                " snapshot_bytes={} restore_time={:?}",
+                self.snapshot_bytes, self.restore_time
+            ));
         }
         if let Some(config) = &self.config {
             s.push_str(&format!(" [{config}]"));
@@ -595,6 +622,29 @@ mod tests {
         // Surfaced in the summary only when known.
         assert!(delta.summary().contains("prepared_bytes=4096"));
         assert!(!RunReport::new(1).summary().contains("prepared_bytes"));
+    }
+
+    #[test]
+    fn snapshot_cost_is_a_property_not_a_counter() {
+        let mut total = RunReport::new(1);
+        let mut delta = RunReport::new(1);
+        delta.snapshot_bytes = 1024;
+        delta.restore_time = Duration::from_millis(7);
+        total.merge(&delta);
+        total.merge(&delta);
+        assert_eq!(total.snapshot_bytes, 1024);
+        assert_eq!(total.restore_time, Duration::from_millis(7));
+        let baseline = RunReport::new(1);
+        let d = delta.delta_since(&baseline);
+        assert_eq!(d.snapshot_bytes, 1024);
+        assert_eq!(d.restore_time, Duration::from_millis(7));
+        let mut copy = RunReport::new(1);
+        copy.copy_from(&delta);
+        assert_eq!(copy.snapshot_bytes, 1024);
+        // Printed only for restored artifacts.
+        assert!(delta.summary().contains("snapshot_bytes=1024"));
+        assert!(delta.summary().contains("restore_time"));
+        assert!(!RunReport::new(1).summary().contains("snapshot_bytes"));
     }
 
     #[test]

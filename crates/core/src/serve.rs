@@ -204,8 +204,19 @@ pub struct SampleResponse {
 #[derive(Debug)]
 pub enum SubmitError {
     /// The bounded queue is full ([`SamplingService::try_submit`]
-    /// only); the request is handed back for retry.
-    QueueFull(SampleRequest),
+    /// only); the request is handed back for retry, with a hint for
+    /// how long to back off first. Distinct from
+    /// [`ShutDown`](Self::ShutDown): a busy service will accept the
+    /// request again once the queue drains, a stopped one never will.
+    Busy {
+        /// The rejected request, handed back to the caller.
+        request: SampleRequest,
+        /// Suggested back-off before retrying: roughly the time the
+        /// pool needs to drain a full queue, derived from the observed
+        /// median draw latency (see
+        /// [`SamplingService::retry_after_hint`]).
+        retry_after: Duration,
+    },
     /// The service is shutting down; the request is handed back.
     ShutDown(SampleRequest),
 }
@@ -213,7 +224,14 @@ pub enum SubmitError {
 impl fmt::Display for SubmitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SubmitError::QueueFull(r) => write!(f, "request {} rejected: queue full", r.id),
+            SubmitError::Busy {
+                request,
+                retry_after,
+            } => write!(
+                f,
+                "request {} rejected: queue full, retry after {retry_after:?}",
+                request.id
+            ),
             SubmitError::ShutDown(r) => write!(f, "request {} rejected: shutting down", r.id),
         }
     }
@@ -291,6 +309,13 @@ pub struct ServiceStats {
     /// bitmaps — see
     /// [`Relation::memory_bytes`](suj_storage::Relation::memory_bytes)).
     pub prepared_bytes: u64,
+    /// Size of the snapshot the served prepared artifact was restored
+    /// from; 0 when everything served so far was frozen in-process.
+    pub snapshot_bytes: u64,
+    /// Wall time of the snapshot restore behind the served artifact
+    /// (zero when frozen in-process) — compare against the aggregate's
+    /// `warmup_time` for load-vs-prepare.
+    pub restore_time: Duration,
     /// Cumulative counters folded over every served request.
     pub aggregate: RunReport,
 }
@@ -312,6 +337,13 @@ impl fmt::Display for ServiceStats {
         }
         if self.prepared_bytes > 0 {
             write!(f, " prepared_bytes={}", self.prepared_bytes)?;
+        }
+        if self.snapshot_bytes > 0 {
+            write!(
+                f,
+                " snapshot_bytes={} restore_time={:?}",
+                self.snapshot_bytes, self.restore_time
+            )?;
         }
         Ok(())
     }
@@ -440,7 +472,8 @@ impl SamplingService {
     }
 
     /// Enqueues a request without blocking; a full queue hands the
-    /// request back as [`SubmitError::QueueFull`].
+    /// request back as [`SubmitError::Busy`] with a
+    /// [`retry_after_hint`](Self::retry_after_hint).
     pub fn try_submit(&self, request: SampleRequest) -> Result<Ticket, SubmitError> {
         let Some(tx) = &self.tx else {
             return Err(SubmitError::ShutDown(request));
@@ -451,9 +484,28 @@ impl SamplingService {
                 self.counters.submitted.fetch_add(1, Ordering::Relaxed);
                 Ok(ticket)
             }
-            Err(mpsc::TrySendError::Full(job)) => Err(SubmitError::QueueFull(job.request)),
+            Err(mpsc::TrySendError::Full(job)) => Err(SubmitError::Busy {
+                request: job.request,
+                retry_after: self.retry_after_hint(),
+            }),
             Err(mpsc::TrySendError::Disconnected(job)) => Err(SubmitError::ShutDown(job.request)),
         }
+    }
+
+    /// Suggested back-off when the queue is full: the observed median
+    /// draw latency (10 µs until anything was measured) times the
+    /// queue capacity — roughly how long the pool needs to drain a
+    /// full queue — clamped to `[100 µs, 1 s]`.
+    pub fn retry_after_hint(&self) -> Duration {
+        const DEFAULT_DRAW: Duration = Duration::from_micros(10);
+        const MIN_HINT: Duration = Duration::from_micros(100);
+        const MAX_HINT: Duration = Duration::from_secs(1);
+        let per_draw = lock(&self.counters.aggregate)
+            .draw_latency
+            .p50()
+            .unwrap_or(DEFAULT_DRAW);
+        let capacity = u32::try_from(self.config.queue_capacity).unwrap_or(u32::MAX);
+        per_draw.saturating_mul(capacity).clamp(MIN_HINT, MAX_HINT)
     }
 
     /// Submits a batch and waits for every response, returned in
@@ -498,6 +550,8 @@ impl SamplingService {
             draw_p50: aggregate.draw_latency.p50(),
             draw_p99: aggregate.draw_latency.p99(),
             prepared_bytes: aggregate.prepared_bytes,
+            snapshot_bytes: aggregate.snapshot_bytes,
+            restore_time: aggregate.restore_time,
             aggregate,
         }
     }
@@ -662,7 +716,7 @@ mod tests {
     }
 
     #[test]
-    fn try_submit_reports_queue_full() {
+    fn try_submit_reports_busy_with_retry_hint() {
         let engine = engine();
         let prepared = engine.prepare(&union_query()).unwrap();
         // Zero workers is clamped to one; use a tiny queue and a pile
@@ -676,8 +730,16 @@ mod tests {
         for id in 0..64u64 {
             match service.try_submit(SampleRequest::prepared(id, 50, &prepared)) {
                 Ok(t) => tickets.push(t),
-                Err(SubmitError::QueueFull(r)) => {
-                    assert_eq!(r.id, id, "rejected request is handed back");
+                Err(SubmitError::Busy {
+                    request,
+                    retry_after,
+                }) => {
+                    assert_eq!(request.id, id, "rejected request is handed back");
+                    assert!(
+                        retry_after >= Duration::from_micros(100)
+                            && retry_after <= Duration::from_secs(1),
+                        "hint out of bounds: {retry_after:?}"
+                    );
                     rejected += 1;
                 }
                 Err(SubmitError::ShutDown(_)) => unreachable!("service is running"),
@@ -690,6 +752,31 @@ mod tests {
             rejected > 0,
             "a capacity-1 queue must reject some of 64 bursts"
         );
+        // Busy and ShutDown are distinguishable: after close, the same
+        // submission fails as ShutDown, not Busy.
+        let mut service = service;
+        service.close();
+        assert!(matches!(
+            service.try_submit(SampleRequest::prepared(99, 1, &prepared)),
+            Err(SubmitError::ShutDown(_))
+        ));
+    }
+
+    #[test]
+    fn retry_after_hint_stays_clamped() {
+        let engine = engine();
+        // Cold service, enormous queue: the default per-draw estimate
+        // times the capacity would exceed a second — clamped down.
+        let service = SamplingService::start(
+            engine.clone(),
+            ServiceConfig::with_workers(1).queue_capacity(10_000_000),
+        );
+        assert_eq!(service.retry_after_hint(), Duration::from_secs(1));
+        service.shutdown();
+        // Tiny queue: the raw product underflows the floor — clamped up.
+        let service =
+            SamplingService::start(engine, ServiceConfig::with_workers(1).queue_capacity(1));
+        assert_eq!(service.retry_after_hint(), Duration::from_micros(100));
         service.shutdown();
     }
 

@@ -69,6 +69,7 @@ use crate::workload::UnionWorkload;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 use suj_join::weights::build_sampler;
 use suj_join::{JoinSampler, JoinSpec, WeightKind};
 use suj_stats::SujRng;
@@ -180,6 +181,26 @@ pub struct SamplerBuilder {
     /// Only set by [`apply_plan`](Self::apply_plan), and discarded
     /// when a push-down predicate rewrites the workload.
     prebuilt_overlap: Option<OverlapMap>,
+    /// Parameters restored from a snapshot; consumed by `freeze()`
+    /// instead of estimating. Unlike `prebuilt_overlap`, restored
+    /// parameters were frozen *after* any push-down rewrite, so they
+    /// survive it. Only set by [`with_restored`](Self::with_restored).
+    restored: Option<FrozenParams>,
+}
+
+/// The estimated parameters a freeze committed to, retained on the
+/// [`PreparedSampler`] so a snapshot can persist them and a restore can
+/// rebuild the identical pipeline without paying estimation again.
+#[derive(Debug, Clone)]
+pub(crate) enum FrozenParams {
+    /// The strategy estimates per handle (online): nothing to persist.
+    None,
+    /// The overlap map the freeze consumed (rejection, Bernoulli, and
+    /// disjoint sampling under map-producing estimators).
+    Map(OverlapMap),
+    /// Exact per-join sizes (disjoint sampling under exact estimation,
+    /// which never builds a full map).
+    Sizes(Vec<f64>),
 }
 
 impl SamplerBuilder {
@@ -197,6 +218,7 @@ impl SamplerBuilder {
             max_join_tries: None,
             max_cover_retries: None,
             prebuilt_overlap: None,
+            restored: None,
         }
     }
 
@@ -332,6 +354,15 @@ impl SamplerBuilder {
         if let Some(cs) = plan.cover_strategy {
             self = self.cover_strategy_if_unset(cs);
         }
+        self
+    }
+
+    /// Supplies snapshot-restored parameters: `freeze()` consumes them
+    /// instead of estimating (the restore path's "no re-estimation"
+    /// guarantee — [`PreparedSampler::estimation_passes`] stays 0).
+    #[must_use = "builder methods return the updated builder; dropping it discards the configuration"]
+    pub(crate) fn with_restored(mut self, params: FrozenParams) -> Self {
+        self.restored = Some(params);
         self
     }
 
@@ -480,10 +511,18 @@ impl SamplerBuilder {
         let mut estimation_passes = 0u64;
 
         // A push-down predicate rewrites the workload below, which
-        // invalidates any overlap map probed on the original.
-        let mut prebuilt = match &self.predicate {
-            Some((_, PredicateMode::PushDown)) => None,
+        // invalidates any overlap map probed on the original. Restored
+        // parameters were frozen *after* that rewrite, so they survive
+        // it (the rewrite itself is deterministic).
+        let restored = self.restored.take();
+        let mut prebuilt = match (&restored, &self.predicate) {
+            (Some(FrozenParams::Map(map)), _) => Some(map.clone()),
+            (_, Some((_, PredicateMode::PushDown))) => None,
             _ => self.prebuilt_overlap.take(),
+        };
+        let restored_sizes = match restored {
+            Some(FrozenParams::Sizes(sizes)) => Some(sizes),
+            _ => None,
         };
 
         // --- Predicate push-down rewrites the workload first. ---
@@ -500,7 +539,7 @@ impl SamplerBuilder {
             _ => self.workload.clone(),
         };
 
-        let kind = match self.strategy {
+        let (kind, frozen_params) = match self.strategy {
             Strategy::Rejection => {
                 let estimator = self
                     .estimator
@@ -521,11 +560,15 @@ impl SamplerBuilder {
                     max_cover_retries: self.max_cover_retries.unwrap_or(defaults.max_cover_retries),
                 };
                 let samplers = Self::shared_samplers(&workload, config.weights)?;
-                PreparedKind::Rejection {
-                    samplers,
-                    map,
-                    config,
-                }
+                let frozen = FrozenParams::Map(map.clone());
+                (
+                    PreparedKind::Rejection {
+                        samplers,
+                        map,
+                        config,
+                    },
+                    frozen,
+                )
             }
             Strategy::Online(mut config) => {
                 // Algorithm 2 always uses wander-join walks with the
@@ -561,10 +604,13 @@ impl SamplerBuilder {
                 if let Some(retries) = self.max_cover_retries {
                     config.max_cover_retries = retries;
                 }
-                PreparedKind::Online {
-                    config,
-                    cover_strategy: self.cover_strategy.unwrap_or(CoverStrategy::AsGiven),
-                }
+                (
+                    PreparedKind::Online {
+                        config,
+                        cover_strategy: self.cover_strategy.unwrap_or(CoverStrategy::AsGiven),
+                    },
+                    FrozenParams::None,
+                )
             }
             Strategy::Bernoulli(policy) => {
                 Self::reject_knob(
@@ -595,13 +641,17 @@ impl SamplerBuilder {
                 let sizes: Vec<f64> = (0..workload.n_joins()).map(|j| map.join_size(j)).collect();
                 let samplers =
                     Self::shared_samplers(&workload, self.weights.unwrap_or(WeightKind::Exact))?;
-                PreparedKind::Bernoulli {
-                    samplers,
-                    sizes,
-                    union_size: map.union_size(),
-                    policy,
-                    max_join_tries: self.max_join_tries,
-                }
+                let union_size = map.union_size();
+                (
+                    PreparedKind::Bernoulli {
+                        samplers,
+                        sizes,
+                        union_size,
+                        policy,
+                        max_join_tries: self.max_join_tries,
+                    },
+                    FrozenParams::Map(map),
+                )
             }
             Strategy::Disjoint => {
                 Self::reject_knob(
@@ -624,13 +674,21 @@ impl SamplerBuilder {
                     "max_cover_retries",
                     "Strategy::Disjoint",
                 )?;
-                let sizes = match self
+                let (sizes, frozen) = match self
                     .estimator
                     .unwrap_or(Estimator::Histogram(HistogramOptions::default()))
                 {
                     Estimator::Exact => {
-                        estimation_passes += 1;
-                        workload.exact_join_sizes()?
+                        let sizes = match restored_sizes {
+                            // Snapshot-restored sizes replace the exact
+                            // estimation pass bit-for-bit.
+                            Some(sizes) => sizes,
+                            None => {
+                                estimation_passes += 1;
+                                workload.exact_join_sizes()?
+                            }
+                        };
+                        (sizes.clone(), FrozenParams::Sizes(sizes))
                     }
                     other => {
                         let map = Self::resolve_map(
@@ -640,12 +698,13 @@ impl SamplerBuilder {
                             self.estimation_seed,
                             &mut estimation_passes,
                         )?;
-                        (0..workload.n_joins()).map(|j| map.join_size(j)).collect()
+                        let sizes = (0..workload.n_joins()).map(|j| map.join_size(j)).collect();
+                        (sizes, FrozenParams::Map(map))
                     }
                 };
                 let samplers =
                     Self::shared_samplers(&workload, self.weights.unwrap_or(WeightKind::Exact))?;
-                PreparedKind::Disjoint { samplers, sizes }
+                (PreparedKind::Disjoint { samplers, sizes }, frozen)
             }
             Strategy::Auto => unreachable!("Auto is resolved in freeze_auto"),
         };
@@ -662,6 +721,9 @@ impl SamplerBuilder {
             root_seed,
             estimation_passes,
             prepared_bytes,
+            frozen_params,
+            snapshot_bytes: 0,
+            restore_time: Duration::ZERO,
             minted: AtomicU64::new(0),
         })
     }
@@ -733,6 +795,17 @@ pub struct PreparedSampler {
     /// Resident bytes of the workload's base relations, stamped into
     /// every minted handle's report.
     prepared_bytes: u64,
+    /// The estimated parameters the freeze committed to, retained so
+    /// snapshots can persist them (see
+    /// [`Engine::save_snapshot`](crate::catalog::Engine::save_snapshot)).
+    frozen_params: FrozenParams,
+    /// Size of the snapshot this pipeline was restored from (0 when it
+    /// was frozen in-process); stamped into every handle's report.
+    snapshot_bytes: u64,
+    /// Wall time of the snapshot restore that produced this pipeline
+    /// (zero when frozen in-process); stamped into every handle's
+    /// report for load-vs-prepare comparisons.
+    restore_time: Duration,
     minted: AtomicU64,
 }
 
@@ -799,6 +872,8 @@ impl PreparedSampler {
         let report = sampler.report_mut();
         report.config = Some(self.summary.clone());
         report.prepared_bytes = self.prepared_bytes;
+        report.snapshot_bytes = self.snapshot_bytes;
+        report.restore_time = self.restore_time;
         self.minted.fetch_add(1, Ordering::Relaxed);
         Ok(sampler)
     }
@@ -807,6 +882,31 @@ impl PreparedSampler {
     /// relations (the number stamped into every handle's report).
     pub fn prepared_bytes(&self) -> u64 {
         self.prepared_bytes
+    }
+
+    /// The estimated parameters the freeze committed to (snapshot
+    /// serialization).
+    pub(crate) fn frozen_params(&self) -> &FrozenParams {
+        &self.frozen_params
+    }
+
+    /// Stamps the cost of the snapshot restore that produced this
+    /// pipeline; every subsequently minted handle's report carries it.
+    pub(crate) fn set_restore_cost(&mut self, snapshot_bytes: u64, restore_time: Duration) {
+        self.snapshot_bytes = snapshot_bytes;
+        self.restore_time = restore_time;
+    }
+
+    /// Size of the snapshot this pipeline was restored from; 0 when it
+    /// was frozen in-process.
+    pub fn snapshot_bytes(&self) -> u64 {
+        self.snapshot_bytes
+    }
+
+    /// Wall time of the snapshot restore that produced this pipeline;
+    /// zero when it was frozen in-process.
+    pub fn restore_time(&self) -> Duration {
+        self.restore_time
     }
 
     /// The workload handles sample (after any push-down rewrite).

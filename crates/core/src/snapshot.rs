@@ -1,0 +1,752 @@
+//! Engine snapshot persistence: save and restore prepared artifacts.
+//!
+//! A cold replica should serve the first request without re-running
+//! parameter estimation. [`Engine::save_snapshot`] persists the
+//! catalog plus every cached prepared query — its declarative query,
+//! plan tags, root seed, and the *frozen estimated parameters* the
+//! freeze committed to — into the storage layer's sectioned,
+//! checksummed container ([`suj_storage::snapshot`]).
+//! [`Engine::load_snapshot`] rebuilds the catalog, re-resolves each
+//! query, and re-freezes each pipeline **consuming the restored
+//! parameters instead of estimating**: after a restore,
+//! [`PreparedQuery::estimations`] is 0 and samples are bit-identical
+//! to the donor engine's for the same root seed and request seed.
+//!
+//! # File format
+//!
+//! The container is the storage layer's: magic `SUJSNAP\0`, version,
+//! section count, then per section a 16-byte header (`kind: u32`,
+//! `len: u64`, `crc: u32`) and an 8-aligned payload. This module adds
+//! two section kinds on top of [`SECTION_RELATION`]:
+//!
+//! | kind | payload |
+//! |------|---------|
+//! | 16 ([`SECTION_ENGINE_META`]) | engine format version `u32`, planner config (`f64`, `u64`, `f64`, `u8`) |
+//! | 1 ([`SECTION_RELATION`]) | one relation, in catalog registration order |
+//! | 17 ([`SECTION_PREPARED`]) | one prepared entry: query, root seed `u64`, plan tags, frozen parameters |
+//!
+//! Plans are stored as *tags* (strategy / estimator / weights / cover
+//! / predicate mode / rule discriminants), not full configurations:
+//! the engine's planner only ever emits default-configured variants,
+//! so the tags reconstruct the plan exactly. Prepared entries that did
+//! not come through the engine (no source query, e.g.
+//! [`PreparedQuery::auto`]) are not persisted.
+//!
+//! Frozen parameters are the overlap map (or exact per-join sizes)
+//! the freeze committed to — the restore path's substitute for
+//! estimation. They were captured *after* any predicate push-down
+//! rewrite, so restoring replays the rewrite deterministically and
+//! then installs the map over the rewritten workload.
+
+use crate::bernoulli::DesignationPolicy;
+use crate::catalog::{Catalog, Engine, PreparedQuery};
+use crate::error::CoreError;
+use crate::overlap::OverlapMap;
+use crate::planner::{Plan, PlanRule, Planner, PlannerConfig, WorkloadStats};
+use crate::predicate_mode::PredicateMode;
+use crate::query::{JoinDef, Topology, UnionQuery, UnionSemantics};
+use crate::session::{Estimator, FrozenParams, HistogramOptions, SamplerBuilder, Strategy};
+use crate::walk_estimator::WalkEstimatorConfig;
+use crate::workload::UnionWorkload;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+use suj_join::JoinEdge;
+use suj_storage::snapshot::{
+    decode_predicate, decode_relation, encode_predicate, encode_relation, read_sections,
+    write_sections, ByteReader, ByteWriter, SECTION_RELATION,
+};
+use suj_storage::SnapshotError;
+
+/// Section kind: engine metadata (format version + planner config).
+pub const SECTION_ENGINE_META: u32 = 16;
+/// Section kind: one serialized prepared-query entry.
+pub const SECTION_PREPARED: u32 = 17;
+/// Version of the engine sections' encoding (independent of the
+/// container version).
+pub const ENGINE_FORMAT_VERSION: u32 = 1;
+
+fn corrupt(what: &str, got: impl std::fmt::Display) -> SnapshotError {
+    SnapshotError::Corrupt(format!("{what}: unexpected value {got}"))
+}
+
+// ---------------------------------------------------------------------
+// Query codec
+// ---------------------------------------------------------------------
+
+/// Serializes a declarative [`UnionQuery`] — semantics, joins
+/// (name, relation names, topology), optional predicate, optional
+/// pinned predicate mode. Shared by the snapshot format and the wire
+/// protocol's `Prepare` payload.
+pub fn encode_query(q: &UnionQuery, w: &mut ByteWriter) {
+    w.put_u8(match q.semantics() {
+        UnionSemantics::Set => 0,
+        UnionSemantics::Disjoint => 1,
+    });
+    w.put_u32(q.joins().len() as u32);
+    for def in q.joins() {
+        w.put_str(def.name());
+        w.put_u32(def.relations().len() as u32);
+        for rel in def.relations() {
+            w.put_str(rel);
+        }
+        match def.topology() {
+            Topology::Chain => w.put_u8(0),
+            Topology::Natural => w.put_u8(1),
+            Topology::Edges(edges) => {
+                w.put_u8(2);
+                w.put_u32(edges.len() as u32);
+                for e in edges {
+                    w.put_u64(e.left as u64);
+                    w.put_u64(e.right as u64);
+                    w.put_u32(e.attrs.len() as u32);
+                    for a in &e.attrs {
+                        w.put_str(a);
+                    }
+                }
+            }
+        }
+    }
+    match q.predicate_ref() {
+        None => w.put_u8(0),
+        Some(p) => {
+            w.put_u8(1);
+            encode_predicate(p, w);
+        }
+    }
+    w.put_u8(match q.predicate_mode_ref() {
+        None => 0,
+        Some(PredicateMode::PushDown) => 1,
+        Some(PredicateMode::Reject) => 2,
+    });
+}
+
+/// Inverse of [`encode_query`]. The restored query is
+/// `Debug`-identical to the original, so engine fingerprints (and
+/// therefore prepared-query cache hits) coincide across a round trip.
+pub fn decode_query(r: &mut ByteReader<'_>) -> Result<UnionQuery, SnapshotError> {
+    let semantics = match r.get_u8()? {
+        0 => UnionSemantics::Set,
+        1 => UnionSemantics::Disjoint,
+        other => return Err(corrupt("union semantics tag", other)),
+    };
+    let n_joins = r.get_u32()? as usize;
+    let mut joins = Vec::with_capacity(n_joins.min(1024));
+    for _ in 0..n_joins {
+        let name = r.get_str()?.to_string();
+        let n_rels = r.get_u32()? as usize;
+        let mut relations = Vec::with_capacity(n_rels.min(1024));
+        for _ in 0..n_rels {
+            relations.push(r.get_str()?.to_string());
+        }
+        let topology = match r.get_u8()? {
+            0 => Topology::Chain,
+            1 => Topology::Natural,
+            2 => {
+                let n_edges = r.get_u32()? as usize;
+                let mut edges = Vec::with_capacity(n_edges.min(1024));
+                for _ in 0..n_edges {
+                    let left = r.get_u64()? as usize;
+                    let right = r.get_u64()? as usize;
+                    let n_attrs = r.get_u32()? as usize;
+                    let mut attrs = Vec::with_capacity(n_attrs.min(1024));
+                    for _ in 0..n_attrs {
+                        attrs.push(Arc::<str>::from(r.get_str()?));
+                    }
+                    edges.push(JoinEdge { left, right, attrs });
+                }
+                Topology::Edges(edges)
+            }
+            other => return Err(corrupt("topology tag", other)),
+        };
+        joins.push(JoinDef::from_restored(name, relations, topology));
+    }
+    let predicate = match r.get_u8()? {
+        0 => None,
+        1 => Some(decode_predicate(r)?),
+        other => return Err(corrupt("predicate option tag", other)),
+    };
+    let predicate_mode = match r.get_u8()? {
+        0 => None,
+        1 => Some(PredicateMode::PushDown),
+        2 => Some(PredicateMode::Reject),
+        other => return Err(corrupt("predicate mode tag", other)),
+    };
+    Ok(UnionQuery::from_restored(
+        semantics,
+        joins,
+        predicate,
+        predicate_mode,
+    ))
+}
+
+// ---------------------------------------------------------------------
+// Plan codec (tags only — the planner emits default configurations)
+// ---------------------------------------------------------------------
+
+struct PlanTags {
+    strategy: u8,
+    policy: u8,
+    estimator: u8,
+    weights: u8,
+    cover: u8,
+    predicate_mode: u8,
+    rule: u8,
+}
+
+fn encode_plan(plan: &Plan, w: &mut ByteWriter) -> Result<(), SnapshotError> {
+    let (strategy, policy) = match plan.strategy {
+        Strategy::Rejection => (0u8, 0u8),
+        Strategy::Online(_) => (1, 0),
+        Strategy::Bernoulli(DesignationPolicy::Oracle) => (2, 0),
+        Strategy::Bernoulli(DesignationPolicy::Record) => (2, 1),
+        Strategy::Disjoint => (3, 0),
+        Strategy::Auto => {
+            return Err(SnapshotError::Corrupt(
+                "cannot snapshot an unresolved Auto plan".into(),
+            ))
+        }
+    };
+    w.put_u8(strategy);
+    w.put_u8(policy);
+    w.put_u8(match plan.estimator {
+        None => 0,
+        Some(Estimator::Exact) => 1,
+        Some(Estimator::Histogram(_)) => 2,
+        Some(Estimator::Walk(_)) => 3,
+    });
+    w.put_u8(match plan.weights {
+        None => 0,
+        Some(suj_join::WeightKind::Exact) => 1,
+        Some(suj_join::WeightKind::ExtendedOlken) => 2,
+        Some(suj_join::WeightKind::WanderJoin) => 3,
+    });
+    w.put_u8(match plan.cover_strategy {
+        None => 0,
+        Some(crate::cover::CoverStrategy::AsGiven) => 1,
+        Some(crate::cover::CoverStrategy::DescendingSize) => 2,
+        Some(crate::cover::CoverStrategy::AscendingSize) => 3,
+    });
+    w.put_u8(match plan.predicate_mode {
+        None => 0,
+        Some(PredicateMode::PushDown) => 1,
+        Some(PredicateMode::Reject) => 2,
+    });
+    w.put_u8(match plan.rule {
+        PlanRule::DisjointSemantics => 0,
+        PlanRule::SingleJoin => 1,
+        PlanRule::NoStatistics => 2,
+        PlanRule::LowOverlap => 3,
+        PlanRule::HighOverlap => 4,
+    });
+    Ok(())
+}
+
+fn decode_plan_tags(r: &mut ByteReader<'_>) -> Result<PlanTags, SnapshotError> {
+    Ok(PlanTags {
+        strategy: r.get_u8()?,
+        policy: r.get_u8()?,
+        estimator: r.get_u8()?,
+        weights: r.get_u8()?,
+        cover: r.get_u8()?,
+        predicate_mode: r.get_u8()?,
+        rule: r.get_u8()?,
+    })
+}
+
+impl PlanTags {
+    /// Reconstructs the plan against a freshly resolved workload. The
+    /// statistics are rebuilt from the frozen overlap map (or marked
+    /// unavailable), which is exactly what the restored freeze
+    /// consumes.
+    fn into_plan(
+        self,
+        workload: &Arc<UnionWorkload>,
+        frozen: &FrozenParams,
+    ) -> Result<Plan, SnapshotError> {
+        let strategy = match (self.strategy, self.policy) {
+            (0, _) => Strategy::Rejection,
+            (1, _) => Strategy::Online(crate::algorithm2::OnlineConfig::default()),
+            (2, 0) => Strategy::Bernoulli(DesignationPolicy::Oracle),
+            (2, 1) => Strategy::Bernoulli(DesignationPolicy::Record),
+            (3, _) => Strategy::Disjoint,
+            (other, _) => return Err(corrupt("strategy tag", other)),
+        };
+        let estimator = match self.estimator {
+            0 => None,
+            1 => Some(Estimator::Exact),
+            2 => Some(Estimator::Histogram(HistogramOptions::default())),
+            3 => Some(Estimator::Walk(WalkEstimatorConfig::default())),
+            other => return Err(corrupt("estimator tag", other)),
+        };
+        let weights = match self.weights {
+            0 => None,
+            1 => Some(suj_join::WeightKind::Exact),
+            2 => Some(suj_join::WeightKind::ExtendedOlken),
+            3 => Some(suj_join::WeightKind::WanderJoin),
+            other => return Err(corrupt("weights tag", other)),
+        };
+        let cover_strategy = match self.cover {
+            0 => None,
+            1 => Some(crate::cover::CoverStrategy::AsGiven),
+            2 => Some(crate::cover::CoverStrategy::DescendingSize),
+            3 => Some(crate::cover::CoverStrategy::AscendingSize),
+            other => return Err(corrupt("cover tag", other)),
+        };
+        let predicate_mode = match self.predicate_mode {
+            0 => None,
+            1 => Some(PredicateMode::PushDown),
+            2 => Some(PredicateMode::Reject),
+            other => return Err(corrupt("plan predicate mode tag", other)),
+        };
+        let rule = match self.rule {
+            0 => PlanRule::DisjointSemantics,
+            1 => PlanRule::SingleJoin,
+            2 => PlanRule::NoStatistics,
+            3 => PlanRule::LowOverlap,
+            4 => PlanRule::HighOverlap,
+            other => return Err(corrupt("rule tag", other)),
+        };
+        let stats = match frozen {
+            FrozenParams::Map(map) => WorkloadStats::from_probed(workload, map.clone()),
+            _ => WorkloadStats::unavailable(workload),
+        };
+        Ok(Plan {
+            strategy,
+            estimator,
+            weights,
+            cover_strategy,
+            predicate_mode,
+            rule,
+            stats,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frozen-parameter codec
+// ---------------------------------------------------------------------
+
+fn encode_frozen(params: &FrozenParams, w: &mut ByteWriter) {
+    match params {
+        FrozenParams::None => w.put_u8(0),
+        FrozenParams::Map(map) => {
+            w.put_u8(1);
+            let n = map.n();
+            w.put_u32(n as u32);
+            // Entry 0 (the empty overlap) is identically 0; write the
+            // full 2^n slab anyway so the decode is one validated call.
+            let sizes: Vec<f64> = (0..(1usize << n))
+                .map(|mask| {
+                    if mask == 0 {
+                        0.0
+                    } else {
+                        map.overlap_mask(mask as u32)
+                    }
+                })
+                .collect();
+            w.put_f64_slab(&sizes);
+        }
+        FrozenParams::Sizes(sizes) => {
+            w.put_u8(2);
+            w.put_f64_slab(sizes);
+        }
+    }
+}
+
+fn decode_frozen(r: &mut ByteReader<'_>) -> Result<FrozenParams, SnapshotError> {
+    match r.get_u8()? {
+        0 => Ok(FrozenParams::None),
+        1 => {
+            let n = r.get_u32()? as usize;
+            let sizes = r.get_f64_slab()?;
+            let map = OverlapMap::new(n, sizes)
+                .map_err(|e| SnapshotError::Corrupt(format!("invalid overlap map: {e}")))?;
+            Ok(FrozenParams::Map(map))
+        }
+        2 => {
+            let sizes = r.get_f64_slab()?;
+            if sizes.iter().any(|s| !s.is_finite() || *s < 0.0) {
+                return Err(SnapshotError::Corrupt(
+                    "frozen join sizes must be finite and non-negative".into(),
+                ));
+            }
+            Ok(FrozenParams::Sizes(sizes))
+        }
+        other => Err(corrupt("frozen-params tag", other)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine save / load
+// ---------------------------------------------------------------------
+
+impl Engine {
+    /// Serializes this engine — catalog relations plus every cached
+    /// prepared query with its frozen estimated parameters — into the
+    /// sectioned snapshot container.
+    ///
+    /// Prepared entries that did not come through the engine (no
+    /// source query) are skipped; everything else restores via
+    /// [`load_snapshot_bytes`](Self::load_snapshot_bytes) without
+    /// re-estimating. Cache entries are written in fingerprint order,
+    /// so the same engine state always produces the same bytes.
+    pub fn snapshot_to_bytes(&self) -> Result<Vec<u8>, CoreError> {
+        let mut sections: Vec<(u32, Vec<u8>)> = Vec::new();
+
+        let mut meta = ByteWriter::new();
+        meta.put_u32(ENGINE_FORMAT_VERSION);
+        let config = self.planner().config();
+        meta.put_f64(config.bernoulli_max_overlap_ratio);
+        meta.put_u64(config.exact_max_base_rows as u64);
+        meta.put_f64(config.skewed_cover_ratio);
+        meta.put_u8(u8::from(config.use_statistics));
+        sections.push((SECTION_ENGINE_META, meta.into_bytes()));
+
+        for name in self.catalog().names() {
+            let rel = self.catalog().get(name)?;
+            let mut w = ByteWriter::new();
+            encode_relation(&rel, &mut w);
+            sections.push((SECTION_RELATION, w.into_bytes()));
+        }
+
+        for (_fingerprint, prepared) in self.cached_entries() {
+            let Some(query) = prepared.source_query() else {
+                continue;
+            };
+            let mut w = ByteWriter::new();
+            encode_query(query, &mut w);
+            w.put_u64(prepared.prepared().root_seed());
+            encode_plan(prepared.plan(), &mut w)?;
+            encode_frozen(prepared.prepared().frozen_params(), &mut w);
+            sections.push((SECTION_PREPARED, w.into_bytes()));
+        }
+
+        Ok(write_sections(&sections))
+    }
+
+    /// [`snapshot_to_bytes`](Self::snapshot_to_bytes) written to a
+    /// file; returns the bytes written.
+    pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<u64, CoreError> {
+        let bytes = self.snapshot_to_bytes()?;
+        std::fs::write(path, &bytes)
+            .map_err(|e| CoreError::Snapshot(SnapshotError::Io(e.to_string())))?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Restores an engine from a snapshot file: catalog, planner
+    /// config, and every persisted prepared query — **without
+    /// re-running parameter estimation** (each restored query reports
+    /// [`PreparedQuery::estimations`]` == 0`). The measured restore
+    /// cost (snapshot size + wall time) is stamped into every report
+    /// the restored queries mint.
+    pub fn load_snapshot(path: impl AsRef<Path>) -> Result<Engine, CoreError> {
+        let start = Instant::now();
+        let bytes = std::fs::read(path)
+            .map_err(|e| CoreError::Snapshot(SnapshotError::Io(e.to_string())))?;
+        Self::load_snapshot_bytes_from(&bytes, start)
+    }
+
+    /// [`load_snapshot`](Self::load_snapshot) over an in-memory buffer.
+    pub fn load_snapshot_bytes(bytes: &[u8]) -> Result<Engine, CoreError> {
+        Self::load_snapshot_bytes_from(bytes, Instant::now())
+    }
+
+    fn load_snapshot_bytes_from(bytes: &[u8], start: Instant) -> Result<Engine, CoreError> {
+        let sections = read_sections(bytes)?;
+        let mut iter = sections.into_iter();
+
+        let Some((SECTION_ENGINE_META, meta)) = iter.next() else {
+            return Err(CoreError::Snapshot(SnapshotError::Corrupt(
+                "engine snapshot must start with a meta section".into(),
+            )));
+        };
+        let mut r = ByteReader::new(meta);
+        let format = r.get_u32()?;
+        if format != ENGINE_FORMAT_VERSION {
+            return Err(CoreError::Snapshot(SnapshotError::UnsupportedVersion(
+                format,
+            )));
+        }
+        let planner_config = PlannerConfig {
+            bernoulli_max_overlap_ratio: r.get_f64()?,
+            exact_max_base_rows: usize::try_from(r.get_u64()?)
+                .map_err(|_| SnapshotError::Corrupt("exact_max_base_rows overflow".into()))?,
+            skewed_cover_ratio: r.get_f64()?,
+            use_statistics: r.get_u8()? != 0,
+        };
+
+        let mut catalog = Catalog::new();
+        let mut prepared_payloads: Vec<&[u8]> = Vec::new();
+        for (kind, payload) in iter {
+            match kind {
+                SECTION_RELATION => {
+                    let mut r = ByteReader::new(payload);
+                    catalog.register_arc(Arc::new(decode_relation(&mut r)?))?;
+                }
+                SECTION_PREPARED => prepared_payloads.push(payload),
+                other => {
+                    return Err(CoreError::Snapshot(SnapshotError::Corrupt(format!(
+                        "unknown engine section kind {other}"
+                    ))))
+                }
+            }
+        }
+
+        let engine = Engine::with_planner(catalog, Planner::new(planner_config));
+        let snapshot_bytes = bytes.len() as u64;
+        for payload in prepared_payloads {
+            let mut r = ByteReader::new(payload);
+            let query = decode_query(&mut r)?;
+            let root_seed = r.get_u64()?;
+            let tags = decode_plan_tags(&mut r)?;
+            let frozen = decode_frozen(&mut r)?;
+
+            let resolved = query.resolve(engine.catalog())?;
+            let plan = tags.into_plan(&resolved.workload, &frozen)?;
+            let mut builder = plan
+                .apply(SamplerBuilder::for_workload(resolved.workload.clone()))
+                .estimation_seed(root_seed)
+                .with_restored(frozen);
+            if let (Some(p), Some(mode)) = (resolved.predicate, plan.predicate_mode) {
+                builder = builder.predicate(p, mode);
+            }
+            let mut prepared = builder.freeze()?.with_summary(plan.summary());
+            prepared.set_restore_cost(snapshot_bytes, start.elapsed());
+            let restored = Arc::new(PreparedQuery::from_query_parts(
+                query.clone(),
+                plan,
+                prepared,
+            ));
+            engine.install_prepared(&query, restored);
+        }
+        Ok(engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suj_storage::{CompareOp, Predicate, Relation, Schema, Value};
+
+    fn rel(name: &str, attrs: &[&str], rows: Vec<Vec<i64>>) -> Relation {
+        let schema = Schema::new(attrs.iter().copied()).unwrap();
+        let tuples = rows
+            .into_iter()
+            .map(|vals| vals.into_iter().map(Value::int).collect())
+            .collect();
+        Relation::new(name, schema, tuples).unwrap()
+    }
+
+    fn shop_engine() -> Engine {
+        let mut c = Catalog::new();
+        c.register(rel(
+            "a_items",
+            &["sku", "cat"],
+            vec![vec![1, 7], vec![2, 7], vec![3, 9]],
+        ))
+        .unwrap();
+        c.register(rel(
+            "a_sales",
+            &["sale", "sku"],
+            vec![vec![100, 1], vec![101, 1], vec![102, 2]],
+        ))
+        .unwrap();
+        c.register(rel(
+            "b_items",
+            &["sku", "cat"],
+            vec![vec![1, 7], vec![5, 9]],
+        ))
+        .unwrap();
+        c.register(rel(
+            "b_sales",
+            &["sale", "sku"],
+            vec![vec![100, 1], vec![200, 5]],
+        ))
+        .unwrap();
+        Engine::new(c)
+    }
+
+    fn shop_query() -> UnionQuery {
+        UnionQuery::set_union()
+            .chain("shop_a", ["a_items", "a_sales"])
+            .unwrap()
+            .chain("shop_b", ["b_items", "b_sales"])
+            .unwrap()
+    }
+
+    #[test]
+    fn query_codec_round_trip_preserves_debug_identity() {
+        let queries = vec![
+            shop_query(),
+            UnionQuery::disjoint_union()
+                .chain("only_a", ["a_items", "a_sales"])
+                .unwrap(),
+            shop_query().predicate(Predicate::cmp("cat", CompareOp::Le, Value::int(7))),
+            shop_query()
+                .predicate(Predicate::cmp("cat", CompareOp::Gt, Value::int(1)))
+                .predicate_mode(PredicateMode::Reject),
+        ];
+        for q in queries {
+            let mut w = ByteWriter::new();
+            encode_query(&q, &mut w);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            let restored = decode_query(&mut r).unwrap();
+            assert!(r.is_empty());
+            // Fingerprint stability: Debug formatting must coincide.
+            assert_eq!(format!("{q:?}"), format!("{restored:?}"));
+        }
+    }
+
+    #[test]
+    fn engine_round_trip_restores_catalog_and_planner() {
+        let engine = shop_engine();
+        engine.prepare(&shop_query()).unwrap();
+        let bytes = engine.snapshot_to_bytes().unwrap();
+        let restored = Engine::load_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(restored.catalog().len(), engine.catalog().len());
+        let names: Vec<&str> = restored.catalog().names().collect();
+        assert_eq!(names, vec!["a_items", "a_sales", "b_items", "b_sales"]);
+        assert_eq!(
+            restored.catalog().total_rows(),
+            engine.catalog().total_rows()
+        );
+        assert_eq!(restored.cached_queries(), 1);
+    }
+
+    #[test]
+    fn restored_queries_skip_estimation_and_replay_samples() {
+        let engine = shop_engine();
+        let original = engine.prepare(&shop_query()).unwrap();
+        let bytes = engine.snapshot_to_bytes().unwrap();
+        let restored_engine = Engine::load_snapshot_bytes(&bytes).unwrap();
+        let restored = restored_engine.prepare(&shop_query()).unwrap();
+        // The restore installed the entry in the cache: prepare() was a
+        // cache hit and paid no estimation.
+        assert_eq!(
+            restored.estimations(),
+            0,
+            "restore must not re-run estimation"
+        );
+        for seed in [0u64, 7, 41] {
+            let (a, _) = original.sample(10, seed).unwrap();
+            let (b, _) = restored.sample(10, seed).unwrap();
+            assert_eq!(a, b, "seed {seed} diverged after restore");
+        }
+        // Restore cost is stamped into reports.
+        let report = restored.report();
+        assert_eq!(report.snapshot_bytes, bytes.len() as u64);
+        assert!(report.restore_time > std::time::Duration::ZERO);
+        assert!(report.summary().contains("snapshot_bytes="));
+        // The donor never carried a restore cost.
+        assert_eq!(original.report().snapshot_bytes, 0);
+    }
+
+    #[test]
+    fn pushed_down_predicate_survives_restore() {
+        let engine = shop_engine();
+        let q = shop_query().predicate(Predicate::cmp("cat", CompareOp::Le, Value::int(7)));
+        let original = engine.prepare(&q).unwrap();
+        let bytes = engine.snapshot_to_bytes().unwrap();
+        let restored_engine = Engine::load_snapshot_bytes(&bytes).unwrap();
+        let restored = restored_engine.prepare(&q).unwrap();
+        assert_eq!(restored.estimations(), 0);
+        let (a, _) = original.sample(12, 3).unwrap();
+        let (b, _) = restored.sample(12, 3).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn disjoint_semantics_survive_restore() {
+        let engine = shop_engine();
+        let q = UnionQuery::disjoint_union()
+            .chain("shop_a", ["a_items", "a_sales"])
+            .unwrap()
+            .chain("shop_b", ["b_items", "b_sales"])
+            .unwrap();
+        let original = engine.prepare(&q).unwrap();
+        let bytes = engine.snapshot_to_bytes().unwrap();
+        let restored_engine = Engine::load_snapshot_bytes(&bytes).unwrap();
+        let restored = restored_engine.prepare(&q).unwrap();
+        assert_eq!(restored.estimations(), 0);
+        let (a, _) = original.sample(9, 5).unwrap();
+        let (b, _) = restored.sample(9, 5).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn save_and_load_via_file() {
+        let engine = shop_engine();
+        engine.prepare(&shop_query()).unwrap();
+        let dir = std::env::temp_dir().join("suj_core_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine.snap");
+        let written = engine.save_snapshot(&path).unwrap();
+        assert_eq!(written, std::fs::metadata(&path).unwrap().len());
+        let restored = Engine::load_snapshot(&path).unwrap();
+        assert_eq!(restored.cached_queries(), 1);
+        let prepared = restored.prepare(&shop_query()).unwrap();
+        assert_eq!(prepared.estimations(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_bytes_are_deterministic() {
+        let make = || {
+            let engine = shop_engine();
+            engine.prepare(&shop_query()).unwrap();
+            engine
+                .prepare(
+                    &UnionQuery::set_union()
+                        .chain("only_a", ["a_items", "a_sales"])
+                        .unwrap(),
+                )
+                .unwrap();
+            engine.snapshot_to_bytes().unwrap()
+        };
+        assert_eq!(make(), make(), "same state must serialize identically");
+    }
+
+    #[test]
+    fn corrupted_engine_snapshots_fail_with_named_errors() {
+        let engine = shop_engine();
+        engine.prepare(&shop_query()).unwrap();
+        let bytes = engine.snapshot_to_bytes().unwrap();
+        // Truncation at every prefix must error, never panic.
+        for cut in [0, 4, 16, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                Engine::load_snapshot_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+        // A flipped payload byte breaks a checksum.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xff;
+        match Engine::load_snapshot_bytes(&bad) {
+            Err(CoreError::Snapshot(
+                SnapshotError::ChecksumMismatch { .. } | SnapshotError::Truncated,
+            )) => {}
+            other => panic!("expected checksum/truncated error, got {other:?}"),
+        }
+        // A wrong magic is named.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            Engine::load_snapshot_bytes(&bad),
+            Err(CoreError::Snapshot(SnapshotError::BadMagic))
+        ));
+    }
+
+    #[test]
+    fn empty_cache_snapshot_restores_catalog_only() {
+        let engine = shop_engine();
+        let bytes = engine.snapshot_to_bytes().unwrap();
+        let restored = Engine::load_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(restored.cached_queries(), 0);
+        assert_eq!(restored.catalog().len(), 4);
+        // The restored replica can still prepare from scratch.
+        assert!(restored.prepare(&shop_query()).is_ok());
+    }
+}

@@ -1,0 +1,187 @@
+//! A blocking TCP client for the sampling protocol.
+//!
+//! One [`Client`] owns one connection; requests are issued
+//! synchronously (send frame, wait for the matching response). `Busy`
+//! responses are retried automatically with the server-provided
+//! back-off hint, up to a bounded retry budget — after which the call
+//! fails with [`NetError::Busy`] so callers can apply their own
+//! policy.
+
+use crate::protocol::{
+    decode_batch, decode_busy, decode_error, decode_prepared, decode_stats, encode_prepare,
+    encode_sample, Frame, NetError, WireStats, OP_BATCH, OP_BUSY, OP_ERROR, OP_PREPARE,
+    OP_PREPARED, OP_SAMPLE, OP_SHUTDOWN, OP_SHUTDOWN_ACK, OP_STATS, OP_STATS_REPLY,
+};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+use suj_core::query::UnionQuery;
+use suj_storage::Tuple;
+
+/// How many `Busy` responses a call absorbs before giving up.
+const DEFAULT_BUSY_RETRIES: usize = 32;
+
+/// A server-side prepared query, addressed by id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemotePrepared {
+    /// Server-assigned handle for subsequent `Sample` requests.
+    pub id: u64,
+    /// Estimation passes the server spent preparing (0 when restored
+    /// from a snapshot).
+    pub estimations: u64,
+    /// The server's plan summary line.
+    pub summary: String,
+}
+
+/// A decoded sample batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleBatch {
+    /// Canonical attribute names, in schema order.
+    pub attrs: Vec<String>,
+    /// The sampled rows.
+    pub tuples: Vec<Tuple>,
+}
+
+/// A blocking protocol client over one TCP connection.
+pub struct Client {
+    stream: TcpStream,
+    next_request: u64,
+    busy_retries: usize,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            next_request: 1,
+            busy_retries: DEFAULT_BUSY_RETRIES,
+        })
+    }
+
+    /// Overrides how many `Busy` responses a call absorbs before
+    /// failing with [`NetError::Busy`]. Zero disables retries.
+    #[must_use = "builder methods return the updated client"]
+    pub fn with_busy_retries(mut self, retries: usize) -> Self {
+        self.busy_retries = retries;
+        self
+    }
+
+    fn next_id(&mut self) -> u64 {
+        let id = self.next_request;
+        self.next_request += 1;
+        id
+    }
+
+    /// One request/response round-trip, checking the response echoes
+    /// the request id and translating `Error` frames.
+    fn round_trip(&mut self, request: &Frame) -> Result<Frame, NetError> {
+        use std::io::Write;
+        request.write_to(&mut self.stream)?;
+        self.stream.flush()?;
+        let response = Frame::read_from(&mut self.stream)?;
+        if response.request_id != request.request_id {
+            return Err(NetError::Protocol(format!(
+                "response id {} does not match request id {}",
+                response.request_id, request.request_id
+            )));
+        }
+        if response.opcode == OP_ERROR {
+            let (code, message) = decode_error(&response.payload)?;
+            return Err(NetError::Remote { code, message });
+        }
+        Ok(response)
+    }
+
+    /// Prepares `query` on the server, returning its remote handle.
+    pub fn prepare(&mut self, query: &UnionQuery) -> Result<RemotePrepared, NetError> {
+        let request = Frame {
+            opcode: OP_PREPARE,
+            request_id: self.next_id(),
+            payload: encode_prepare(query),
+        };
+        let response = self.round_trip(&request)?;
+        if response.opcode != OP_PREPARED {
+            return Err(unexpected(OP_PREPARED, response.opcode));
+        }
+        let (id, estimations, summary) = decode_prepared(&response.payload)?;
+        Ok(RemotePrepared {
+            id,
+            estimations,
+            summary,
+        })
+    }
+
+    /// Draws `n` samples from a prepared query under `seed`,
+    /// transparently retrying `Busy` responses with the server's
+    /// back-off hint.
+    pub fn sample(
+        &mut self,
+        prepared: &RemotePrepared,
+        n: usize,
+        seed: u64,
+    ) -> Result<SampleBatch, NetError> {
+        self.sample_by_id(prepared.id, n, seed)
+    }
+
+    /// Like [`Client::sample`], addressing the prepared query by raw
+    /// id.
+    pub fn sample_by_id(
+        &mut self,
+        prepared_id: u64,
+        n: usize,
+        seed: u64,
+    ) -> Result<SampleBatch, NetError> {
+        let mut budget = self.busy_retries;
+        loop {
+            let request = Frame {
+                opcode: OP_SAMPLE,
+                request_id: self.next_id(),
+                payload: encode_sample(prepared_id, n as u64, seed),
+            };
+            let response = self.round_trip(&request)?;
+            match response.opcode {
+                OP_BATCH => {
+                    let (attrs, tuples) = decode_batch(&response.payload)?;
+                    return Ok(SampleBatch { attrs, tuples });
+                }
+                OP_BUSY => {
+                    let hint = decode_busy(&response.payload)?;
+                    if budget == 0 {
+                        return Err(NetError::Busy(hint));
+                    }
+                    budget -= 1;
+                    std::thread::sleep(hint.min(Duration::from_millis(50)));
+                }
+                other => return Err(unexpected(OP_BATCH, other)),
+            }
+        }
+    }
+
+    /// Fetches the server's service counters.
+    pub fn stats(&mut self) -> Result<WireStats, NetError> {
+        let request = Frame::empty(OP_STATS, self.next_id());
+        let response = self.round_trip(&request)?;
+        if response.opcode != OP_STATS_REPLY {
+            return Err(unexpected(OP_STATS_REPLY, response.opcode));
+        }
+        decode_stats(&response.payload)
+    }
+
+    /// Asks the server to shut down; returns once acknowledged.
+    pub fn shutdown(&mut self) -> Result<(), NetError> {
+        let request = Frame::empty(OP_SHUTDOWN, self.next_id());
+        let response = self.round_trip(&request)?;
+        if response.opcode != OP_SHUTDOWN_ACK {
+            return Err(unexpected(OP_SHUTDOWN_ACK, response.opcode));
+        }
+        Ok(())
+    }
+}
+
+fn unexpected(wanted: u16, got: u16) -> NetError {
+    NetError::Protocol(format!(
+        "expected response opcode {wanted:#06x}, got {got:#06x}"
+    ))
+}

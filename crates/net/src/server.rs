@@ -1,0 +1,355 @@
+//! The TCP server: a thread-per-connection front-end over
+//! [`Engine`] + [`SamplingService`].
+//!
+//! Each accepted connection gets a reader thread that decodes frames,
+//! dispatches them, and writes the response back on the same socket —
+//! requests on one connection are answered in order; connections are
+//! independent and served concurrently by the shared worker pool.
+//!
+//! Backpressure is end-to-end: `Sample` requests go through
+//! [`SamplingService::try_submit`], so a full worker queue surfaces as
+//! a `Busy` frame (with the service's drain-time retry hint) instead
+//! of unbounded buffering inside the server.
+//!
+//! Determinism is preserved across the wire: a `Sample` frame carries
+//! an explicit seed, the worker derives its RNG stream from
+//! `(root_seed, seed)` exactly as the in-process path does, so the
+//! same prepared query + root seed + request seed yields bit-identical
+//! samples whether sampled in-process, over TCP, or on a
+//! snapshot-restored replica.
+
+use crate::protocol::{
+    decode_prepare, decode_sample, encode_batch, encode_busy, encode_error, encode_prepared,
+    encode_stats, parse_header, Frame, NetError, WireStats, ERR_BAD_REQUEST, ERR_ENGINE,
+    ERR_SHUTTING_DOWN, ERR_UNKNOWN_PREPARED, HEADER_LEN, OP_BATCH, OP_BUSY, OP_ERROR, OP_PREPARE,
+    OP_PREPARED, OP_SAMPLE, OP_SHUTDOWN, OP_SHUTDOWN_ACK, OP_STATS, OP_STATS_REPLY,
+};
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+use suj_core::catalog::{Engine, PreparedQuery};
+use suj_core::serve::{SampleRequest, SamplingService, ServiceConfig, SubmitError};
+
+/// How long a blocked connection read waits before re-checking the
+/// shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Caps `Sample.n` so a single malicious frame cannot request an
+/// unbounded draw.
+const MAX_SAMPLE_N: u64 = 1 << 24;
+
+struct Shared {
+    engine: Engine,
+    service: SamplingService,
+    registry: Mutex<HashMap<u64, Arc<PreparedQuery>>>,
+    next_prepared: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// A running TCP sampling server.
+///
+/// Constructed with [`Server::bind`]; runs until a client sends
+/// `Shutdown` or [`Server::stop`] is called, then [`Server::join`]
+/// returns. Dropping the server also stops it.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` and starts serving `engine` with a worker pool
+    /// configured by `config`. Use port 0 to let the OS pick; the
+    /// bound address is available via [`Server::addr`].
+    pub fn bind(
+        engine: Engine,
+        addr: impl ToSocketAddrs,
+        config: ServiceConfig,
+    ) -> Result<Server, NetError> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        // The engine is cloned, not moved: both handles share the
+        // catalog and the prepared-query cache, so queries prepared
+        // over the wire are visible to the service workers and vice
+        // versa.
+        let service = SamplingService::start(engine.clone(), config);
+        let shared = Arc::new(Shared {
+            engine,
+            service,
+            registry: Mutex::new(HashMap::new()),
+            next_prepared: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = thread::Builder::new()
+            .name("suj-net-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .map_err(NetError::Io)?;
+        Ok(Server {
+            addr,
+            shared,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once a shutdown (wire or local) has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown without a wire round-trip. Idempotent.
+    pub fn stop(&self) {
+        request_shutdown(&self.shared, self.addr);
+    }
+
+    /// Blocks until the accept loop exits (after a `Shutdown` frame or
+    /// [`Server::stop`]), then joins connection threads implicitly by
+    /// returning once the listener is closed.
+    pub fn join(mut self) -> Result<(), NetError> {
+        if let Some(handle) = self.accept_handle.take() {
+            handle
+                .join()
+                .map_err(|_| NetError::Protocol("accept thread panicked".into()))?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Flags shutdown and pokes the listener with a throwaway connection
+/// so a blocking `accept` observes the flag.
+fn request_shutdown(shared: &Shared, addr: SocketAddr) {
+    if !shared.shutdown.swap(true, Ordering::SeqCst) {
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    // The wake-up connection (or a late client): close
+                    // it and exit.
+                    drop(stream);
+                    return;
+                }
+                let conn_shared = Arc::clone(&shared);
+                let _ = thread::Builder::new()
+                    .name("suj-net-conn".into())
+                    .spawn(move || {
+                        let _ = serve_connection(stream, conn_shared);
+                    });
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Transient accept failure: keep serving.
+            }
+        }
+    }
+}
+
+/// Reads `buf.len()` bytes, looping over timeouts; the caller has
+/// already seen the first byte of the frame, so a mid-frame timeout
+/// just means a slow peer.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<()> {
+    let mut off = 0;
+    while off < buf.len() {
+        match stream.read(&mut buf[off..]) {
+            Ok(0) => return Err(ErrorKind::UnexpectedEof.into()),
+            Ok(n) => off += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Reads the next frame, polling the shutdown flag between timed-out
+/// reads while idle. Returns `None` on orderly end (peer closed, or
+/// shutdown observed between frames).
+fn read_frame(stream: &mut TcpStream, shared: &Shared) -> Result<Option<Frame>, NetError> {
+    let mut first = [0u8; 1];
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        match stream.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let mut header = [0u8; HEADER_LEN];
+    header[0] = first[0];
+    read_full(stream, &mut header[1..])?;
+    let (opcode, request_id, len) = parse_header(&header)?;
+    let mut payload = vec![0u8; len as usize];
+    read_full(stream, &mut payload)?;
+    Ok(Some(Frame {
+        opcode,
+        request_id,
+        payload,
+    }))
+}
+
+fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) -> Result<(), NetError> {
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    stream.set_nodelay(true)?;
+    while let Some(frame) = read_frame(&mut stream, &shared)? {
+        let is_shutdown = frame.opcode == OP_SHUTDOWN;
+        let response = handle_frame(frame, &shared);
+        response.write_to(&mut stream)?;
+        stream.flush()?;
+        if is_shutdown {
+            request_shutdown(&shared, stream.local_addr()?);
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn handle_frame(frame: Frame, shared: &Shared) -> Frame {
+    let id = frame.request_id;
+    if shared.shutdown.load(Ordering::SeqCst) && frame.opcode != OP_SHUTDOWN {
+        return error_frame(id, ERR_SHUTTING_DOWN, "server is shutting down");
+    }
+    match frame.opcode {
+        OP_PREPARE => handle_prepare(id, &frame.payload, shared),
+        OP_SAMPLE => handle_sample(id, &frame.payload, shared),
+        OP_STATS => handle_stats(id, shared),
+        OP_SHUTDOWN => Frame::empty(OP_SHUTDOWN_ACK, id),
+        other => error_frame(id, ERR_BAD_REQUEST, &format!("unknown opcode {other:#06x}")),
+    }
+}
+
+fn handle_prepare(id: u64, payload: &[u8], shared: &Shared) -> Frame {
+    let query = match decode_prepare(payload) {
+        Ok(q) => q,
+        Err(e) => return error_frame(id, ERR_BAD_REQUEST, &e.to_string()),
+    };
+    let prepared = match shared.engine.prepare(&query) {
+        Ok(p) => p,
+        Err(e) => return error_frame(id, ERR_ENGINE, &e.to_string()),
+    };
+    let prepared_id = shared.next_prepared.fetch_add(1, Ordering::Relaxed);
+    let estimations = prepared.estimations();
+    let summary = prepared.plan().summary().to_string();
+    shared
+        .registry
+        .lock()
+        .expect("prepared registry poisoned")
+        .insert(prepared_id, prepared);
+    Frame {
+        opcode: OP_PREPARED,
+        request_id: id,
+        payload: encode_prepared(prepared_id, estimations, &summary),
+    }
+}
+
+fn handle_sample(id: u64, payload: &[u8], shared: &Shared) -> Frame {
+    let (prepared_id, n, seed) = match decode_sample(payload) {
+        Ok(parts) => parts,
+        Err(e) => return error_frame(id, ERR_BAD_REQUEST, &e.to_string()),
+    };
+    if n > MAX_SAMPLE_N {
+        return error_frame(
+            id,
+            ERR_BAD_REQUEST,
+            &format!("sample size {n} exceeds limit {MAX_SAMPLE_N}"),
+        );
+    }
+    let prepared = {
+        let registry = shared.registry.lock().expect("prepared registry poisoned");
+        match registry.get(&prepared_id) {
+            Some(p) => Arc::clone(p),
+            None => {
+                return error_frame(
+                    id,
+                    ERR_UNKNOWN_PREPARED,
+                    &format!("no prepared query with id {prepared_id}"),
+                )
+            }
+        }
+    };
+    let request = SampleRequest::prepared(id, n as usize, &prepared).with_seed(seed);
+    let ticket = match shared.service.try_submit(request) {
+        Ok(t) => t,
+        Err(SubmitError::Busy { retry_after, .. }) => {
+            return Frame {
+                opcode: OP_BUSY,
+                request_id: id,
+                payload: encode_busy(retry_after),
+            }
+        }
+        Err(SubmitError::ShutDown(_)) => {
+            return error_frame(id, ERR_SHUTTING_DOWN, "worker pool is shut down")
+        }
+    };
+    match ticket.wait() {
+        Ok(response) => {
+            let attrs = prepared.workload().canonical_schema().attrs().to_vec();
+            Frame {
+                opcode: OP_BATCH,
+                request_id: id,
+                payload: encode_batch(&attrs, &response.tuples),
+            }
+        }
+        Err(e) => error_frame(id, ERR_ENGINE, &e.to_string()),
+    }
+}
+
+fn handle_stats(id: u64, shared: &Shared) -> Frame {
+    let stats = shared.service.stats();
+    let wire = WireStats {
+        workers: stats.workers as u64,
+        submitted: stats.submitted,
+        completed: stats.completed,
+        failed: stats.failed,
+        tuples_served: stats.tuples_served,
+        prepared_bytes: stats.prepared_bytes,
+        snapshot_bytes: stats.snapshot_bytes,
+        restore_time_ns: u64::try_from(stats.restore_time.as_nanos()).unwrap_or(u64::MAX),
+    };
+    Frame {
+        opcode: OP_STATS_REPLY,
+        request_id: id,
+        payload: encode_stats(&wire),
+    }
+}
+
+fn error_frame(id: u64, code: u16, message: &str) -> Frame {
+    Frame {
+        opcode: OP_ERROR,
+        request_id: id,
+        payload: encode_error(code, message),
+    }
+}

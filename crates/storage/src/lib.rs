@@ -70,6 +70,7 @@ pub mod index;
 pub mod predicate;
 pub mod relation;
 pub mod schema;
+pub mod snapshot;
 pub mod tuple;
 pub mod value;
 
@@ -83,6 +84,7 @@ pub use index::{HashIndex, RowMembership, NO_KEY};
 pub use predicate::{CompareOp, CompiledPredicate, Predicate, SelectionBitmap};
 pub use relation::{Relation, RelationBuilder, RowRef};
 pub use schema::Schema;
+pub use snapshot::{Snapshot, SnapshotError};
 pub use tuple::Tuple;
 pub use value::Value;
 
@@ -98,6 +100,7 @@ pub mod prelude {
     pub use crate::predicate::{CompareOp, CompiledPredicate, Predicate, SelectionBitmap};
     pub use crate::relation::{Relation, RelationBuilder, RowRef};
     pub use crate::schema::Schema;
+    pub use crate::snapshot::{Snapshot, SnapshotError};
     pub use crate::tuple::Tuple;
     pub use crate::value::Value;
 }

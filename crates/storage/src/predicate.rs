@@ -80,7 +80,7 @@ impl fmt::Display for CompareOp {
 }
 
 /// A selection predicate over attribute names.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Predicate {
     /// Always true.
     True,

@@ -18,11 +18,17 @@
 //! thread) and [`SamplingService`] wraps the engine in a bounded-queue
 //! worker pool with a deterministic per-request RNG contract.
 //!
+//! For network serving, [`Server`] exposes the engine over a
+//! length-prefixed TCP protocol (see `suj-net`), and
+//! `Engine::{save_snapshot, load_snapshot}` persist prepared artifacts
+//! so cold replicas restore without re-running estimation.
+//!
 //! See the workspace `README.md` for the architecture overview and
 //! `DESIGN.md` for the paper-to-module map.
 
 pub use suj_core as core;
 pub use suj_join as join;
+pub use suj_net as net;
 pub use suj_stats as stats;
 pub use suj_storage as storage;
 pub use suj_tpch as tpch;
@@ -33,6 +39,7 @@ pub use suj_core::query::{JoinDef, UnionQuery, UnionSemantics};
 pub use suj_core::serve::{
     SampleRequest, SampleResponse, SamplingService, ServiceConfig, ServiceStats,
 };
+pub use suj_net::{Client, NetError, Server, WireStats};
 
 use suj_core::error::CoreError;
 use suj_tpch::TpchConfig;

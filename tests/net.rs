@@ -1,0 +1,240 @@
+//! Wire-protocol integration tests: the TCP serving tier preserves
+//! the in-process determinism contract end-to-end, snapshot-restored
+//! replicas answer bit-identically without re-estimation, and
+//! protocol-level failures surface as typed responses rather than
+//! hangups.
+//!
+//! The release-mode CI smoke step runs the `#[ignore]`d stress test at
+//! the bottom (`cargo test --release --test net -- --ignored`).
+
+use sample_union_joins::prelude::*;
+use sample_union_joins::{Client, NetError, Server, ServiceConfig};
+use suj_net::protocol::{self, Frame, ERR_BAD_REQUEST, ERR_UNKNOWN_PREPARED};
+
+fn relation(name: &str, attrs: &[&str], rows: Vec<Vec<i64>>) -> Relation {
+    let schema = Schema::new(attrs.iter().copied()).unwrap();
+    let tuples = rows
+        .into_iter()
+        .map(|vals| vals.into_iter().map(Value::int).collect())
+        .collect();
+    Relation::new(name, schema, tuples).unwrap()
+}
+
+fn default_engine() -> Engine {
+    let mut catalog = Catalog::new();
+    catalog
+        .register(relation(
+            "ra",
+            &["a", "b"],
+            vec![vec![1, 0], vec![2, 0], vec![3, 1], vec![4, 2]],
+        ))
+        .unwrap();
+    catalog
+        .register(relation(
+            "rb",
+            &["a", "b"],
+            vec![vec![1, 0], vec![9, 1], vec![8, 3], vec![7, 2]],
+        ))
+        .unwrap();
+    catalog
+        .register(relation(
+            "s",
+            &["b", "c"],
+            (0..4).map(|v| vec![v, 100 + v]).collect(),
+        ))
+        .unwrap();
+    Engine::new(catalog)
+}
+
+fn union_query() -> UnionQuery {
+    UnionQuery::set_union()
+        .chain("j1", ["ra", "s"])
+        .unwrap()
+        .chain("j2", ["rb", "s"])
+        .unwrap()
+}
+
+/// The flagship determinism check: for the same prepared query, root
+/// seed, and request seed, samples drawn (a) in-process, (b) over TCP
+/// from the original engine, and (c) over TCP from a snapshot-restored
+/// replica are identical tuple-for-tuple — and the replica restores
+/// without a single estimation pass.
+#[test]
+fn wire_samples_match_in_process_and_restored_replica() {
+    let engine = default_engine();
+    let query = union_query();
+    let prepared = engine.prepare(&query).unwrap();
+    let n = 32usize;
+    let seeds = [0u64, 7, 41, 1000];
+    let local: Vec<Vec<Tuple>> = seeds
+        .iter()
+        .map(|&s| prepared.sample(n, s).unwrap().0)
+        .collect();
+
+    // Cold replica: restore catalog + prepared cache from bytes alone.
+    let bytes = engine.snapshot_to_bytes().unwrap();
+    let restored = Engine::load_snapshot_bytes(&bytes).unwrap();
+
+    let server_a = Server::bind(engine.clone(), "127.0.0.1:0", ServiceConfig::default()).unwrap();
+    let server_b = Server::bind(restored, "127.0.0.1:0", ServiceConfig::default()).unwrap();
+    let mut client_a = Client::connect(server_a.addr()).unwrap();
+    let mut client_b = Client::connect(server_b.addr()).unwrap();
+
+    let remote_a = client_a.prepare(&query).unwrap();
+    let remote_b = client_b.prepare(&query).unwrap();
+    assert_eq!(
+        remote_b.estimations, 0,
+        "snapshot-restored replica must serve without re-estimating"
+    );
+    assert_eq!(remote_a.summary, remote_b.summary, "plans must coincide");
+
+    for (i, &seed) in seeds.iter().enumerate() {
+        let a = client_a.sample(&remote_a, n, seed).unwrap();
+        let b = client_b.sample(&remote_b, n, seed).unwrap();
+        assert_eq!(a.tuples.len(), n);
+        assert_eq!(
+            a.tuples, local[i],
+            "wire vs in-process diverged at seed {seed}"
+        );
+        assert_eq!(
+            b.tuples, local[i],
+            "replica vs in-process diverged at seed {seed}"
+        );
+        assert_eq!(a.attrs, b.attrs);
+    }
+
+    // Counters travelled too: both servers served every request.
+    let stats = client_a.stats().unwrap();
+    assert_eq!(stats.completed, seeds.len() as u64);
+    assert_eq!(stats.failed, 0);
+    let replica_stats = client_b.stats().unwrap();
+    assert!(
+        replica_stats.snapshot_bytes > 0,
+        "replica stats must report the snapshot it was restored from"
+    );
+
+    client_a.shutdown().unwrap();
+    client_b.shutdown().unwrap();
+    server_a.join().unwrap();
+    server_b.join().unwrap();
+}
+
+/// Unknown prepared ids come back as a typed remote error, and the
+/// connection stays usable afterwards.
+#[test]
+fn unknown_prepared_id_is_a_typed_error() {
+    let server = Server::bind(
+        default_engine(),
+        "127.0.0.1:0",
+        ServiceConfig::with_workers(1),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    match client.sample_by_id(12345, 4, 0) {
+        Err(NetError::Remote { code, .. }) => assert_eq!(code, ERR_UNKNOWN_PREPARED),
+        other => panic!("expected typed remote error, got {other:?}"),
+    }
+    // Same connection still serves.
+    let remote = client.prepare(&union_query()).unwrap();
+    assert_eq!(client.sample(&remote, 4, 0).unwrap().tuples.len(), 4);
+    client.shutdown().unwrap();
+    server.join().unwrap();
+}
+
+/// A frame with an unknown opcode gets an `Error` response (code
+/// `ERR_BAD_REQUEST`), not a dropped connection.
+#[test]
+fn unknown_opcode_gets_error_frame() {
+    let server = Server::bind(
+        default_engine(),
+        "127.0.0.1:0",
+        ServiceConfig::with_workers(1),
+    )
+    .unwrap();
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    let request = Frame::empty(0x7777, 99);
+    request.write_to(&mut stream).unwrap();
+    let response = Frame::read_from(&mut stream).unwrap();
+    assert_eq!(response.opcode, protocol::OP_ERROR);
+    assert_eq!(response.request_id, 99);
+    let (code, message) = protocol::decode_error(&response.payload).unwrap();
+    assert_eq!(code, ERR_BAD_REQUEST);
+    assert!(message.contains("opcode"));
+    drop(stream);
+    server.stop();
+    server.join().unwrap();
+}
+
+/// `Server::stop` shuts the accept loop down without a wire request,
+/// and `join` returns.
+#[test]
+fn local_stop_terminates_the_server() {
+    let server = Server::bind(
+        default_engine(),
+        "127.0.0.1:0",
+        ServiceConfig::with_workers(1),
+    )
+    .unwrap();
+    assert!(!server.is_shutting_down());
+    server.stop();
+    assert!(server.is_shutting_down());
+    server.join().unwrap();
+}
+
+/// Release-mode stress: concurrent clients over a deliberately tiny
+/// queue. `Busy` frames occur and are absorbed by the client's bounded
+/// retry; every request eventually succeeds and every response matches
+/// the in-process reference bit-for-bit.
+#[test]
+#[ignore = "stress profile: run via CI's release-mode net smoke step"]
+fn stress_concurrent_tcp_clients_stay_deterministic() {
+    let engine = default_engine();
+    let query = union_query();
+    let prepared = engine.prepare(&query).unwrap();
+    let n = 16usize;
+    let requests_per_client = 64u64;
+    let clients = 8u64;
+
+    let server = Server::bind(
+        engine.clone(),
+        "127.0.0.1:0",
+        ServiceConfig::with_workers(4).queue_capacity(8),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let query = query.clone();
+            let prepared = &prepared;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap().with_busy_retries(1 << 20);
+                let remote = client.prepare(&query).unwrap();
+                for r in 0..requests_per_client {
+                    let seed = c * 10_000 + r;
+                    let batch = client.sample(&remote, n, seed).unwrap();
+                    let (reference, _) = prepared.sample(n, seed).unwrap();
+                    assert_eq!(
+                        batch.tuples, reference,
+                        "client {c} request {r} diverged from in-process reference"
+                    );
+                }
+            });
+        }
+    });
+
+    let mut closer = Client::connect(addr).unwrap();
+    let stats = closer.stats().unwrap();
+    assert_eq!(stats.completed, clients * requests_per_client);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(
+        stats.tuples_served,
+        clients * requests_per_client * n as u64
+    );
+    println!(
+        "served {} requests across {clients} clients: {stats:?}",
+        stats.completed
+    );
+    closer.shutdown().unwrap();
+    server.join().unwrap();
+}
