@@ -1,0 +1,186 @@
+//! Cyclic-path throughput: per-draw cost of the AGM box-splitting
+//! sampler on triangle queries over random graphs.
+//!
+//! The box sampler's acceptance rate is *exactly* `OUT/AGM` in
+//! expectation (DESIGN.md, cyclic-joins section), so alongside
+//! draws/sec this bench records both the measured acceptance and the
+//! theoretical `OUT/AGM` ratio — the two must track each other, and
+//! the gap is the sanity check that the descent's branch probabilities
+//! telescope correctly at scale, not just on the unit-test fixtures.
+//!
+//! Full runs append a machine-readable `BENCH_8.json` at the workspace
+//! root (per-scale draws/sec, measured acceptance, theoretical
+//! `OUT/AGM`, `OUT`, and the AGM bound). `--test` (the CI smoke mode)
+//! runs a reduced draw count, asserts measured acceptance brackets the
+//! theoretical rate, and skips the JSON write — wall-clock assertions
+//! do not belong in shared CI.
+
+use std::sync::Arc;
+use std::time::Instant;
+use suj_bench::FigureTable;
+use suj_join::exec::execute;
+use suj_join::{CyclicJoinSampler, JoinSampler, JoinSpec};
+use suj_stats::SujRng;
+use suj_storage::{Relation, Schema, Tuple, Value};
+
+/// A triangle query `x(a,b) ⋈ y(b,c) ⋈ z(c,a)` over one symmetric
+/// random edge list on `vertices` nodes, replicated under the three
+/// attribute renamings that close the cycle.
+fn triangle_spec(vertices: i64, edge_prob: f64, seed: u64) -> Arc<JoinSpec> {
+    let mut rng = SujRng::seed_from_u64(seed);
+    let mut edges: Vec<(i64, i64)> = Vec::new();
+    for u in 0..vertices {
+        for v in (u + 1)..vertices {
+            if rng.bernoulli(edge_prob) {
+                edges.push((u, v));
+                edges.push((v, u));
+            }
+        }
+    }
+    let rel = |name: &str, attrs: [&str; 2]| {
+        let schema = Schema::new(attrs).expect("schema");
+        let tuples = edges
+            .iter()
+            .map(|&(u, v)| Tuple::new(vec![Value::int(u), Value::int(v)]))
+            .collect();
+        Arc::new(Relation::new(name, schema, tuples).expect("relation"))
+    };
+    Arc::new(
+        JoinSpec::natural(
+            "triangles",
+            vec![
+                rel("x", ["a", "b"]),
+                rel("y", ["b", "c"]),
+                rel("z", ["c", "a"]),
+            ],
+        )
+        .expect("triangle spec"),
+    )
+}
+
+struct Measurement {
+    key: String,
+    edges: usize,
+    out: usize,
+    agm: f64,
+    draws_per_sec: f64,
+    acceptance: f64,
+}
+
+impl Measurement {
+    fn theoretical_acceptance(&self) -> f64 {
+        if self.agm > 0.0 {
+            self.out as f64 / self.agm
+        } else {
+            0.0
+        }
+    }
+}
+
+fn measure(vertices: i64, edge_prob: f64, draws: usize, reps: usize) -> Measurement {
+    let spec = triangle_spec(vertices, edge_prob, 2023);
+    let edges = spec.relations()[0].len();
+    let out = execute(&spec).tuples().len();
+    let sampler = CyclicJoinSampler::new(spec).expect("cyclic sampler");
+    let mut rng = SujRng::seed_from_u64(42);
+    let mut tuples = Vec::new();
+    sampler.sample_batch(draws.min(500), u64::MAX, &mut rng, &mut tuples);
+
+    // Best-of-reps wall clock; acceptance spans all reps (it is
+    // load-insensitive, so the wider sample only tightens it).
+    let mut elapsed = std::time::Duration::MAX;
+    let mut attempts = 0u64;
+    let mut accepted = 0usize;
+    for _ in 0..reps.max(1) {
+        tuples.clear();
+        let start = Instant::now();
+        attempts += sampler.sample_batch(draws, u64::MAX, &mut rng, &mut tuples);
+        elapsed = elapsed.min(start.elapsed());
+        accepted += tuples.len();
+    }
+    Measurement {
+        key: format!("triangle/v={vertices}"),
+        edges,
+        out,
+        agm: sampler.agm_root(),
+        draws_per_sec: draws as f64 / elapsed.as_secs_f64(),
+        acceptance: accepted as f64 / attempts.max(1) as f64,
+    }
+}
+
+fn write_json(measurements: &[Measurement]) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_8.json");
+    let mut out = String::from("{\n  \"pr\": 8,\n  \"bench\": \"cyclic_path\",\n");
+    out.push_str(
+        "  \"config\": \"CyclicJoinSampler (AGM box splitting), symmetric random-graph triangles\",\n",
+    );
+    out.push_str("  \"workloads\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"edge_rows\": {}, \"out\": {}, \"agm_bound\": {:.1}, \
+             \"draws_per_sec\": {:.0}, \"acceptance\": {:.5}, \"out_over_agm\": {:.5}}}",
+            m.key,
+            m.edges,
+            m.out,
+            m.agm,
+            m.draws_per_sec,
+            m.acceptance,
+            m.theoretical_acceptance()
+        ));
+        out.push_str(if i + 1 < measurements.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write BENCH_8.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let (draws, reps) = if smoke { (1_000, 1) } else { (50_000, 3) };
+
+    let mut table = FigureTable::new(
+        "Cyclic path — AGM box-sampler draw throughput",
+        &[
+            "config", "edges", "OUT", "AGM", "draws/s", "accept", "OUT/AGM",
+        ],
+    );
+    let mut measurements = Vec::new();
+    for (vertices, edge_prob) in [(64i64, 0.15), (128, 0.08)] {
+        let m = measure(vertices, edge_prob, draws, reps);
+        table.push_row(vec![
+            m.key.clone(),
+            format!("{}", m.edges),
+            format!("{}", m.out),
+            format!("{:.0}", m.agm),
+            format!("{:.0}", m.draws_per_sec),
+            format!("{:.4}", m.acceptance),
+            format!("{:.4}", m.theoretical_acceptance()),
+        ]);
+        measurements.push(m);
+    }
+    println!("{table}");
+
+    // The acceptance rate is OUT/AGM by construction; a drift beyond
+    // sampling noise means the descent's branch probabilities stopped
+    // telescoping. Checked in smoke mode too (it is seed-stable).
+    for m in &measurements {
+        let theory = m.theoretical_acceptance();
+        assert!(
+            m.acceptance > 0.25 * theory && m.acceptance < 4.0 * theory,
+            "{}: measured acceptance {:.5} strayed from OUT/AGM {:.5}",
+            m.key,
+            m.acceptance,
+            theory
+        );
+    }
+
+    if smoke {
+        println!("smoke mode: skipping BENCH_8.json");
+        return;
+    }
+    write_json(&measurements);
+}

@@ -11,10 +11,16 @@
 //! | Rule | Condition | Configuration | Paper |
 //! |---|---|---|---|
 //! | `DisjointSemantics` | query asks for `⊎` | disjoint-union sampling | Definition 1 |
+//! | `CyclicJoin` | some join graph is cyclic | AGM box-splitting weights | §8.2 + AGM bound |
 //! | `SingleJoin` | one join | per-join sampling, no union machinery | §2, §3.2 |
 //! | `NoStatistics` | no catalog statistics | Algorithm 2 (online estimation) | §6–§7 |
 //! | `LowOverlap` | `Σ|Jᵢ|/|∪Jᵢ|` near 1 | Bernoulli union trick | §3 |
 //! | `HighOverlap` | otherwise | Algorithm 1 (cover selection) | §4–§5 |
+//!
+//! Cyclicity is decided *before* the statistics rules on purpose: the
+//! histogram probe can fail on cyclic shapes, and letting that failure
+//! route a cyclic workload to Algorithm 2 would bypass the sampler
+//! built for it.
 //!
 //! Every [`Plan`] carries the statistics that drove the decision and an
 //! [`explain`](Plan::explain) rendering that cites the rule, so served
@@ -162,6 +168,9 @@ impl WorkloadStats {
 pub enum PlanRule {
     /// The query asked for disjoint-union semantics.
     DisjointSemantics,
+    /// Some join's relation graph contains a cycle: route the cyclic
+    /// members to the AGM-bound box-splitting sampler.
+    CyclicJoin,
     /// A single join needs no union machinery.
     SingleJoin,
     /// No statistics: estimate online, while sampling.
@@ -177,6 +186,7 @@ impl PlanRule {
     pub fn name(&self) -> &'static str {
         match self {
             PlanRule::DisjointSemantics => "disjoint-semantics",
+            PlanRule::CyclicJoin => "cyclic-join",
             PlanRule::SingleJoin => "single-join",
             PlanRule::NoStatistics => "no-statistics",
             PlanRule::LowOverlap => "low-overlap",
@@ -188,6 +198,9 @@ impl PlanRule {
     pub fn citation(&self) -> &'static str {
         match self {
             PlanRule::DisjointSemantics => "Definition 1, §2",
+            PlanRule::CyclicJoin => {
+                "§8.2; AGM bound (Atserias–Grohe–Marx); box splitting (Wang & Tao, PODS'23)"
+            }
             PlanRule::SingleJoin => "§2, §3.2",
             PlanRule::NoStatistics => "§6–§7 (Algorithm 2)",
             PlanRule::LowOverlap => "§3 (Bernoulli union trick)",
@@ -264,9 +277,24 @@ impl Planner {
             WorkloadStats::unavailable(workload)
         };
         let estimator = self.pick_estimator(&stats);
+        let cyclic = workload
+            .joins()
+            .iter()
+            .any(|j| suj_join::graph::has_graph_cycle(j));
 
         let (rule, strategy) = if semantics == UnionSemantics::Disjoint {
             (PlanRule::DisjointSemantics, Strategy::Disjoint)
+        } else if cyclic {
+            // Decided before the statistics rules: the histogram probe
+            // can fail on cyclic shapes, and that failure must not
+            // route the workload to Algorithm 2 (whose online machinery
+            // never engages the box sampler).
+            let strategy = if stats.n_joins == 1 {
+                Strategy::Disjoint
+            } else {
+                Strategy::Rejection
+            };
+            (PlanRule::CyclicJoin, strategy)
         } else if stats.n_joins == 1 {
             // One join: the disjoint sampler degenerates to plain
             // per-join sampling — no oracles, no cover, no rejection.
@@ -291,15 +319,23 @@ impl Planner {
         };
 
         // Online estimates its own parameters; every other strategy
-        // consumes the picked estimator. Weights are always the exact
-        // (EW) instantiation: extended-Olken weights exist for the
-        // decentralized setting where base data cannot be scanned
-        // (§5, §9), but an engine that holds the relations can afford
-        // exact per-tuple weights, and they cut the join-subroutine
-        // rejection rate by an order of magnitude on skewed data.
+        // consumes the picked estimator. Weights are the exact (EW)
+        // instantiation on acyclic workloads: extended-Olken weights
+        // exist for the decentralized setting where base data cannot be
+        // scanned (§5, §9), but an engine that holds the relations can
+        // afford exact per-tuple weights, and they cut the
+        // join-subroutine rejection rate by an order of magnitude on
+        // skewed data. Cyclic workloads get AGM box weights instead;
+        // `build_sampler` routes each member join by its own shape, so
+        // acyclic members of a mixed union still tree-walk.
+        let weight_kind = if cyclic {
+            WeightKind::AgmBox
+        } else {
+            WeightKind::Exact
+        };
         let (estimator, weights) = match strategy {
             Strategy::Online(_) => (None, None),
-            _ => (Some(estimator), Some(WeightKind::Exact)),
+            _ => (Some(estimator), Some(weight_kind)),
         };
 
         let cover_strategy = match strategy {
@@ -394,6 +430,7 @@ impl Plan {
                 Some(est) => est.to_string(),
                 None => "online".to_string(),
             },
+            weights: self.weights.map(weights_label),
             cover: self.cover_strategy.map(cover_label),
             predicate: self.predicate_mode.map(|m| {
                 match m {
@@ -415,6 +452,14 @@ impl Plan {
                 "query asks for the disjoint union: each join contributes its full \
                  result, so sample joins proportionally to |Jᵢ| with no overlap \
                  correction"
+                    .to_string()
+            }
+            PlanRule::CyclicJoin => {
+                "some join's relation graph contains a cycle: spanning-tree walks \
+                 would drop the cycle-closing equalities and reject by consistency \
+                 re-checks, so cyclic member joins sample by AGM-bound box \
+                 splitting (accepted draws exactly uniform; acceptance rate \
+                 OUT/AGM), while acyclic members keep exact tree weights"
                     .to_string()
             }
             PlanRule::SingleJoin => {
@@ -468,6 +513,17 @@ impl Plan {
         sampler.report_mut().config = Some(self.summary());
         Ok(sampler)
     }
+}
+
+/// Stable label for a weight instantiation.
+pub(crate) fn weights_label(w: WeightKind) -> String {
+    match w {
+        WeightKind::Exact => "exact",
+        WeightKind::ExtendedOlken => "extended-olken",
+        WeightKind::WanderJoin => "wander",
+        WeightKind::AgmBox => "agm-box",
+    }
+    .to_string()
 }
 
 /// Stable label for a cover strategy.
@@ -619,6 +675,78 @@ mod tests {
         let plan = Planner::default().plan(&w, UnionSemantics::Set);
         // The empty join adds nothing to either Σ|Jᵢ| or |∪|: ratio 1.
         assert_eq!(plan.rule, PlanRule::LowOverlap);
+    }
+
+    fn triangle(name: &str, shift: i64) -> Arc<suj_join::JoinSpec> {
+        let s = shift;
+        Arc::new(
+            suj_join::JoinSpec::natural(
+                name,
+                vec![
+                    rel(
+                        &format!("{name}_x"),
+                        &["a", "b"],
+                        vec![vec![1 + s, 2 + s], vec![1 + s, 9 + s]],
+                    ),
+                    rel(
+                        &format!("{name}_y"),
+                        &["b", "c"],
+                        vec![vec![2 + s, 3 + s], vec![9 + s, 3 + s]],
+                    ),
+                    rel(&format!("{name}_z"), &["c", "a"], vec![vec![3 + s, 1 + s]]),
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn cyclic_union_routes_to_agm_box_before_statistics() {
+        let w = Arc::new(UnionWorkload::new(vec![triangle("t1", 0), triangle("t2", 100)]).unwrap());
+        let plan = Planner::default().plan(&w, UnionSemantics::Set);
+        assert_eq!(plan.rule, PlanRule::CyclicJoin);
+        assert!(matches!(plan.strategy, Strategy::Rejection));
+        assert_eq!(plan.weights, Some(WeightKind::AgmBox));
+        let summary = plan.summary();
+        assert_eq!(summary.rule.as_deref(), Some("cyclic-join"));
+        assert_eq!(summary.weights.as_deref(), Some("agm-box"));
+        let explain = plan.explain();
+        assert!(explain.contains("AGM"), "{explain}");
+        assert!(explain.contains("cyclic-join"), "{explain}");
+        assert!(explain.contains("Atserias"), "{explain}");
+    }
+
+    #[test]
+    fn single_cyclic_join_goes_disjoint_with_agm_weights() {
+        let w = Arc::new(UnionWorkload::new(vec![triangle("t", 0)]).unwrap());
+        let plan = Planner::default().plan(&w, UnionSemantics::Set);
+        assert_eq!(plan.rule, PlanRule::CyclicJoin);
+        assert!(matches!(plan.strategy, Strategy::Disjoint));
+        assert_eq!(plan.weights, Some(WeightKind::AgmBox));
+    }
+
+    #[test]
+    fn mixed_cyclic_acyclic_union_still_routes_to_agm_box() {
+        let acyc = chain("c", vec![vec![1, 10]], vec![vec![10, 100]]);
+        let w = Arc::new(UnionWorkload::new(vec![acyc, triangle("t", 0)]).unwrap());
+        let plan = Planner::default().plan(&w, UnionSemantics::Set);
+        assert_eq!(plan.rule, PlanRule::CyclicJoin);
+        assert_eq!(plan.weights, Some(WeightKind::AgmBox));
+    }
+
+    #[test]
+    fn disjoint_semantics_on_cyclic_workload_keeps_agm_weights() {
+        let w = Arc::new(UnionWorkload::new(vec![triangle("t1", 0), triangle("t2", 100)]).unwrap());
+        let plan = Planner::default().plan(&w, UnionSemantics::Disjoint);
+        assert_eq!(plan.rule, PlanRule::DisjointSemantics);
+        assert_eq!(plan.weights, Some(WeightKind::AgmBox));
+    }
+
+    #[test]
+    fn acyclic_plans_still_use_exact_weights() {
+        let plan = Planner::default().plan(&identical_workload(), UnionSemantics::Set);
+        assert_eq!(plan.weights, Some(WeightKind::Exact));
+        assert_eq!(plan.summary().weights.as_deref(), Some("exact"));
     }
 
     #[test]

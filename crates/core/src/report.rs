@@ -25,6 +25,9 @@ pub struct PlanSummary {
     /// Parameter estimator, e.g. `exact` or `histogram(EO)`; `online`
     /// when the strategy estimates while sampling.
     pub estimator: String,
+    /// Per-join weight instantiation, e.g. `exact` or `agm-box`;
+    /// `None` when the strategy picks its own weights (online).
+    pub weights: Option<String>,
     /// Cover ordering, for strategies that build a cover.
     pub cover: Option<String>,
     /// Predicate mode, when a selection predicate is attached.
@@ -38,6 +41,9 @@ pub struct PlanSummary {
 impl fmt::Display for PlanSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "strategy={} estimator={}", self.strategy, self.estimator)?;
+        if let Some(weights) = &self.weights {
+            write!(f, " weights={weights}")?;
+        }
         if let Some(cover) = &self.cover {
             write!(f, " cover={cover}")?;
         }
@@ -516,6 +522,7 @@ mod tests {
         r.config = Some(PlanSummary {
             strategy: "rejection".into(),
             estimator: "histogram(EO)".into(),
+            weights: Some("exact".into()),
             cover: Some("as-given".into()),
             predicate: None,
             rule: None,

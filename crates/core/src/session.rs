@@ -419,6 +419,12 @@ impl SamplerBuilder {
                 .unwrap_or(Estimator::Histogram(HistogramOptions::default()))
                 .to_string(),
         };
+        let weights = match self.strategy {
+            Strategy::Online(_) => None,
+            _ => Some(crate::planner::weights_label(
+                self.weights.unwrap_or(WeightKind::Exact),
+            )),
+        };
         let cover = match self.strategy {
             Strategy::Rejection | Strategy::Online(_) => Some(cover_label(
                 self.cover_strategy.unwrap_or(CoverStrategy::AsGiven),
@@ -435,6 +441,7 @@ impl SamplerBuilder {
         PlanSummary {
             strategy: self.strategy.to_string(),
             estimator,
+            weights,
             cover,
             predicate,
             rule,

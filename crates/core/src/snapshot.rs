@@ -220,6 +220,7 @@ fn encode_plan(plan: &Plan, w: &mut ByteWriter) -> Result<(), SnapshotError> {
         Some(suj_join::WeightKind::Exact) => 1,
         Some(suj_join::WeightKind::ExtendedOlken) => 2,
         Some(suj_join::WeightKind::WanderJoin) => 3,
+        Some(suj_join::WeightKind::AgmBox) => 4,
     });
     w.put_u8(match plan.cover_strategy {
         None => 0,
@@ -238,6 +239,7 @@ fn encode_plan(plan: &Plan, w: &mut ByteWriter) -> Result<(), SnapshotError> {
         PlanRule::NoStatistics => 2,
         PlanRule::LowOverlap => 3,
         PlanRule::HighOverlap => 4,
+        PlanRule::CyclicJoin => 5,
     });
     Ok(())
 }
@@ -284,6 +286,7 @@ impl PlanTags {
             1 => Some(suj_join::WeightKind::Exact),
             2 => Some(suj_join::WeightKind::ExtendedOlken),
             3 => Some(suj_join::WeightKind::WanderJoin),
+            4 => Some(suj_join::WeightKind::AgmBox),
             other => return Err(corrupt("weights tag", other)),
         };
         let cover_strategy = match self.cover {
@@ -305,6 +308,7 @@ impl PlanTags {
             2 => PlanRule::NoStatistics,
             3 => PlanRule::LowOverlap,
             4 => PlanRule::HighOverlap,
+            5 => PlanRule::CyclicJoin,
             other => return Err(corrupt("rule tag", other)),
         };
         let stats = match frozen {

@@ -33,6 +33,15 @@ pub enum JoinError {
     NotATree(String),
     /// Cycle breaking failed to produce an acyclic skeleton.
     CannotBreakCycles(String),
+    /// No AGM fractional edge cover exists for the join's hypergraph:
+    /// some output attribute is covered by no relation, so the
+    /// box-splitting sampler cannot bound it.
+    UnsupportedHypergraph {
+        /// The join name.
+        join: String,
+        /// The uncoverable attribute.
+        attr: String,
+    },
     /// A storage-layer error.
     Storage(StorageError),
     /// Generic invariant violation with context.
@@ -61,6 +70,11 @@ impl fmt::Display for JoinError {
             JoinError::CannotBreakCycles(name) => {
                 write!(f, "could not break cycles of join `{name}`")
             }
+            JoinError::UnsupportedHypergraph { join, attr } => write!(
+                f,
+                "join `{join}`: attribute `{attr}` is covered by no relation — \
+                 no AGM fractional edge cover exists for box-splitting sampling"
+            ),
             JoinError::Storage(e) => write!(f, "storage error: {e}"),
             JoinError::Invalid(msg) => write!(f, "{msg}"),
         }

@@ -19,6 +19,10 @@
 //!   plus the accept/reject samplers built on them.
 //! * [`wander`] — wander-join random walks and the walk-based uniform
 //!   sampler (§6.1).
+//! * [`cyclic`] — AGM-bound box-splitting sampling for graph-cyclic
+//!   joins: LP-free fractional edge covers plus a box descent over
+//!   sorted-index range oracles (exactly uniform, no residual
+//!   re-check).
 //! * [`residual`] — cyclic joins: cycle breaking into a skeleton join
 //!   plus a materialized residual relation (§8.2).
 //! * [`template`] — the splitting method: standard templates, pairwise
@@ -60,6 +64,7 @@
 #![warn(missing_docs)]
 
 pub mod bounds;
+pub mod cyclic;
 pub mod error;
 pub mod exec;
 pub mod graph;
@@ -71,9 +76,10 @@ pub mod tree;
 pub mod wander;
 pub mod weights;
 
+pub use cyclic::{CyclicJoinSampler, FractionalEdgeCover};
 pub use error::JoinError;
 pub use exec::JoinResult;
-pub use graph::JoinShape;
+pub use graph::{JoinGraph, JoinShape};
 pub use membership::MembershipOracle;
 pub use spec::{JoinEdge, JoinSpec};
 pub use tree::JoinTree;
@@ -85,9 +91,10 @@ pub use weights::{
 /// Commonly used items.
 pub mod prelude {
     pub use crate::bounds::olken_bound;
+    pub use crate::cyclic::{CyclicJoinSampler, FractionalEdgeCover};
     pub use crate::error::JoinError;
     pub use crate::exec::JoinResult;
-    pub use crate::graph::JoinShape;
+    pub use crate::graph::{JoinGraph, JoinShape};
     pub use crate::membership::MembershipOracle;
     pub use crate::residual::decompose_cyclic;
     pub use crate::spec::{JoinEdge, JoinSpec};

@@ -58,6 +58,10 @@ pub enum WeightKind {
     /// Wander-join walks uniformized against the Olken bound (zero
     /// setup beyond indexes; rejection rate `1 − |J|/bound`).
     WanderJoin,
+    /// AGM-bound box splitting over sorted-index range oracles (the
+    /// structurally cyclic path — see [`crate::cyclic`]). On acyclic
+    /// specs this degrades to exact weights, which dominate there.
+    AgmBox,
 }
 
 /// Outcome of one sampling attempt.
@@ -607,6 +611,16 @@ pub fn build_sampler(
         WeightKind::Exact => Box::new(ExactWeightSampler::new(spec)?),
         WeightKind::ExtendedOlken => Box::new(OlkenSampler::new(spec)?),
         WeightKind::WanderJoin => Box::new(crate::wander::WanderSampler::new(spec)?),
+        // Per-join routing: in a union whose plan asks for AGM boxes,
+        // any *acyclic* member join still gets the (strictly better)
+        // tree walk; only the genuinely cyclic members pay for boxes.
+        WeightKind::AgmBox => {
+            if has_graph_cycle(&spec) {
+                Box::new(crate::cyclic::CyclicJoinSampler::new(spec)?)
+            } else {
+                Box::new(ExactWeightSampler::new(spec)?)
+            }
+        }
     })
 }
 

@@ -493,6 +493,44 @@ impl Column {
         }
     }
 
+    /// Total-order comparison of cells `a` and `b` *of this column* —
+    /// the same order as [`Value::cmp`] (floats via `total_cmp`, NULL
+    /// first, cross-variant by type rank). `Str` cells compare by pool
+    /// content, not dictionary code: codes are insertion-ordered and
+    /// carry no value order.
+    #[inline]
+    pub fn cells_cmp(&self, a: usize, b: usize) -> Ordering {
+        match self {
+            Column::Int64 { values, validity } => {
+                match (validity.is_valid(a), validity.is_valid(b)) {
+                    (true, true) => values[a].cmp(&values[b]),
+                    (va, vb) => va.cmp(&vb),
+                }
+            }
+            Column::Float64 { values, validity } => {
+                match (validity.is_valid(a), validity.is_valid(b)) {
+                    (true, true) => values[a].total_cmp(&values[b]),
+                    (va, vb) => va.cmp(&vb),
+                }
+            }
+            Column::Str {
+                codes,
+                pool,
+                validity,
+            } => match (validity.is_valid(a), validity.is_valid(b)) {
+                (true, true) => {
+                    if codes[a] == codes[b] {
+                        Ordering::Equal
+                    } else {
+                        pool.get(codes[a]).cmp(pool.get(codes[b]))
+                    }
+                }
+                (va, vb) => va.cmp(&vb),
+            },
+            Column::Mixed { values } => values[a].cmp(&values[b]),
+        }
+    }
+
     /// The column's validity bitmap, if the layout carries one
     /// (`Mixed` stores NULLs inline).
     pub fn validity(&self) -> Option<&Validity> {

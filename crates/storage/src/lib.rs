@@ -20,6 +20,9 @@
 //! * [`index`] — hash indexes on join attributes (value → row ids) and
 //!   whole-row membership indexes, built straight off the columns; the
 //!   backbone of the membership oracle.
+//! * [`sorted`] — sorted row-id permutations with duplicate-block
+//!   prefix sums: O(log n) range-count / median / run-narrowing
+//!   oracles, the storage half of the cyclic-join box sampler.
 //! * [`histogram`] — value-frequency and equi-depth histograms plus
 //!   max/average degree statistics (§5's building blocks), counted from
 //!   typed column scans.
@@ -71,6 +74,7 @@ pub mod predicate;
 pub mod relation;
 pub mod schema;
 pub mod snapshot;
+pub mod sorted;
 pub mod tuple;
 pub mod value;
 
@@ -85,6 +89,7 @@ pub use predicate::{CompareOp, CompiledPredicate, Predicate, SelectionBitmap};
 pub use relation::{Relation, RelationBuilder, RowRef};
 pub use schema::Schema;
 pub use snapshot::{Snapshot, SnapshotError};
+pub use sorted::SortedIndex;
 pub use tuple::Tuple;
 pub use value::Value;
 
@@ -101,6 +106,7 @@ pub mod prelude {
     pub use crate::relation::{Relation, RelationBuilder, RowRef};
     pub use crate::schema::Schema;
     pub use crate::snapshot::{Snapshot, SnapshotError};
+    pub use crate::sorted::SortedIndex;
     pub use crate::tuple::Tuple;
     pub use crate::value::Value;
 }

@@ -30,6 +30,7 @@ use crate::index::HashIndex;
 use crate::predicate::{CompareOp, Predicate};
 use crate::relation::Relation;
 use crate::schema::Schema;
+use crate::sorted::SortedIndex;
 use crate::value::Value;
 use std::fmt;
 use std::sync::Arc;
@@ -48,6 +49,9 @@ pub const SECTION_INDEX: u32 = 2;
 /// Section kind: one serialized [`FrequencyHistogram`] (prefixed by
 /// relation and attribute names).
 pub const SECTION_HISTOGRAM: u32 = 3;
+/// Section kind: one serialized [`SortedIndex`] (prefixed by the name
+/// of the relation it sorts).
+pub const SECTION_SORTED_INDEX: u32 = 4;
 
 /// Hard cap on any single length prefix (rows, strings, sections).
 /// Corrupt files can claim absurd lengths; decoding validates every
@@ -758,6 +762,23 @@ pub fn decode_index(
     HashIndex::snapshot_read(r, relation)
 }
 
+/// Serializes one [`SortedIndex`] (sort attributes, permutation, block
+/// prefix sums). The columns are not stored — on read the index is
+/// rewired to the restored relation (see [`decode_sorted_index`]).
+pub fn encode_sorted_index(idx: &SortedIndex, w: &mut ByteWriter) {
+    idx.snapshot_write(w);
+}
+
+/// Deserializes one [`SortedIndex`] against the relation it sorts,
+/// re-validating the permutation and block sums against the restored
+/// cells.
+pub fn decode_sorted_index(
+    r: &mut ByteReader<'_>,
+    relation: &Relation,
+) -> Result<SortedIndex, SnapshotError> {
+    SortedIndex::snapshot_read(r, relation)
+}
+
 /// Serializes one [`FrequencyHistogram`]. Entries are sorted by value
 /// so the encoding is deterministic (the in-memory map iterates in
 /// arbitrary order).
@@ -798,6 +819,10 @@ pub struct Snapshot {
     pub indexes: Vec<(String, HashIndex)>,
     /// `(relation name, attribute, histogram)` triples.
     pub histograms: Vec<(String, String, FrequencyHistogram)>,
+    /// `(relation name, sorted index)` pairs. On read, each index is
+    /// rewired to the relation of that name restored from the same
+    /// file and re-validated against its cells.
+    pub sorted: Vec<(String, SortedIndex)>,
 }
 
 impl Snapshot {
@@ -821,6 +846,12 @@ impl Snapshot {
             w.put_str(attr);
             encode_histogram(hist, &mut w);
             sections.push((SECTION_HISTOGRAM, w.into_bytes()));
+        }
+        for (rel_name, idx) in &self.sorted {
+            let mut w = ByteWriter::new();
+            w.put_str(rel_name);
+            encode_sorted_index(idx, &mut w);
+            sections.push((SECTION_SORTED_INDEX, w.into_bytes()));
         }
         write_sections(&sections)
     }
@@ -862,6 +893,21 @@ impl Snapshot {
                     let attr = r.get_str()?.to_string();
                     let hist = decode_histogram(&mut r)?;
                     snapshot.histograms.push((rel_name, attr, hist));
+                }
+                SECTION_SORTED_INDEX => {
+                    let mut r = ByteReader::new(payload);
+                    let rel_name = r.get_str()?.to_string();
+                    let relation = snapshot
+                        .relations
+                        .iter()
+                        .find(|rel| rel.name() == rel_name)
+                        .ok_or_else(|| {
+                            SnapshotError::Corrupt(format!(
+                                "sorted index references unknown relation `{rel_name}`"
+                            ))
+                        })?;
+                    let idx = decode_sorted_index(&mut r, relation)?;
+                    snapshot.sorted.push((rel_name, idx));
                 }
                 other => {
                     return Err(SnapshotError::Corrupt(format!(
@@ -1023,10 +1069,12 @@ mod tests {
         let rel = sample_relation();
         let idx = HashIndex::build_single(&rel, "k");
         let hist = FrequencyHistogram::build(&rel, "name");
+        let sorted = SortedIndex::build_single(&rel, "k");
         let snap = Snapshot {
             relations: vec![rel.clone()],
             indexes: vec![("users".into(), idx)],
             histograms: vec![("users".into(), "name".into(), hist)],
+            sorted: vec![("users".into(), sorted)],
         };
         let bytes = snap.write_bytes();
         let back = Snapshot::read_bytes(&bytes).unwrap();
@@ -1040,14 +1088,21 @@ mod tests {
         );
         assert_eq!(back.histograms.len(), 1);
         assert_eq!(back.histograms[0].2.degree(&Value::str("ada")), 2);
+        assert_eq!(back.sorted.len(), 1);
+        assert_eq!(back.sorted[0].0, "users");
+        assert_eq!(
+            back.sorted[0]
+                .1
+                .count_in_range(&Value::int(1), &Value::int(2)),
+            3
+        );
     }
 
     #[test]
     fn named_failures_bad_magic_version_checksum_truncation() {
         let snap = Snapshot {
             relations: vec![sample_relation()],
-            indexes: vec![],
-            histograms: vec![],
+            ..Snapshot::default()
         };
         let bytes = snap.write_bytes();
 
@@ -1089,7 +1144,7 @@ mod tests {
         let snap = Snapshot {
             relations: vec![rel],
             indexes: vec![("empty".into(), idx)],
-            histograms: vec![],
+            ..Snapshot::default()
         };
         let back = Snapshot::read_bytes(&snap.write_bytes()).unwrap();
         assert_eq!(back.relations[0].len(), 0);
@@ -1107,7 +1162,7 @@ mod tests {
         let snap = Snapshot {
             relations: vec![],
             indexes: vec![("ghost".into(), idx)],
-            histograms: vec![],
+            ..Snapshot::default()
         };
         assert!(matches!(
             Snapshot::read_bytes(&snap.write_bytes()).unwrap_err(),

@@ -9,10 +9,12 @@ use std::sync::{Arc, OnceLock};
 use suj_core::catalog::{Catalog, Engine};
 use suj_core::query::UnionQuery;
 use suj_storage::snapshot::{
-    decode_index, decode_relation, encode_index, encode_relation, read_sections, write_sections,
-    ByteReader, ByteWriter, SECTION_RELATION,
+    decode_index, decode_relation, decode_sorted_index, encode_index, encode_relation,
+    encode_sorted_index, read_sections, write_sections, ByteReader, ByteWriter, SECTION_RELATION,
 };
-use suj_storage::{HashIndex, Relation, Schema, Snapshot, SnapshotError, Tuple, Value};
+use suj_storage::{
+    HashIndex, Relation, Schema, Snapshot, SnapshotError, SortedIndex, Tuple, Value,
+};
 
 // ---------------------------------------------------------------------
 // Random relation generator: per-column kind (Int / Float / Str /
@@ -140,6 +142,84 @@ proptest! {
         let mut w2 = ByteWriter::new();
         encode_index(&back, &mut w2);
         prop_assert_eq!(bytes, w2.into_bytes());
+    }
+
+    /// A sorted index over any prefix of the attributes behaves
+    /// identically after a round trip (same permutation, block prefix
+    /// sums, and range counts), and re-encodes to the same bytes.
+    #[test]
+    fn sorted_index_round_trip_is_bit_identical(
+        rel in random_relation(),
+        key_arity_seed in 0usize..3,
+    ) {
+        let arity = rel.schema().arity();
+        let key_arity = 1 + key_arity_seed % arity;
+        let attrs: Vec<Arc<str>> = rel.schema().attrs()[..key_arity].to_vec();
+        let idx = SortedIndex::build(&rel, &attrs);
+
+        let mut w = ByteWriter::new();
+        encode_sorted_index(&idx, &mut w);
+        let bytes = w.into_bytes();
+        let back = decode_sorted_index(&mut ByteReader::new(&bytes), &rel).unwrap();
+
+        prop_assert_eq!(idx.attrs(), back.attrs());
+        prop_assert_eq!(idx.len(), back.len());
+        prop_assert_eq!(idx.max_block(), back.max_block());
+        for pos in 0..idx.len() {
+            prop_assert_eq!(idx.row_at(pos), back.row_at(pos));
+        }
+        for hi in 0..=idx.len() {
+            prop_assert_eq!(idx.distinct_in(0, hi), back.distinct_in(0, hi));
+        }
+
+        let mut w2 = ByteWriter::new();
+        encode_sorted_index(&back, &mut w2);
+        prop_assert_eq!(bytes, w2.into_bytes());
+    }
+
+    /// Single-byte corruption of a serialized sorted index either
+    /// fails with a named error or decodes to the exact original —
+    /// the decoder re-validates the permutation, sortedness, and block
+    /// sums against the relation's cells, so it can never return an
+    /// index that lies.
+    #[test]
+    fn corrupted_sorted_indexes_never_panic_or_lie(
+        rel in random_relation(),
+        flip_seed in 0usize..10_000,
+        flip_bit in 0u8..8,
+    ) {
+        let attrs: Vec<Arc<str>> = rel.schema().attrs().to_vec();
+        let idx = SortedIndex::build(&rel, &attrs);
+        let mut w = ByteWriter::new();
+        encode_sorted_index(&idx, &mut w);
+        let mut bytes = w.into_bytes();
+        let pos = flip_seed % bytes.len();
+        bytes[pos] ^= 1 << flip_bit;
+        match decode_sorted_index(&mut ByteReader::new(&bytes), &rel) {
+            Err(_) => {} // named error: fine
+            Ok(back) => {
+                for p in 0..idx.len() {
+                    prop_assert_eq!(idx.row_at(p), back.row_at(p));
+                }
+                prop_assert_eq!(idx.max_block(), back.max_block());
+            }
+        }
+    }
+
+    /// Truncating a serialized sorted index anywhere fails with a
+    /// named error — never a panic.
+    #[test]
+    fn truncated_sorted_indexes_fail(
+        rel in random_relation(),
+        cut_seed in 0usize..10_000,
+    ) {
+        let attrs: Vec<Arc<str>> = rel.schema().attrs().to_vec();
+        let idx = SortedIndex::build(&rel, &attrs);
+        let mut w = ByteWriter::new();
+        encode_sorted_index(&idx, &mut w);
+        let bytes = w.into_bytes();
+        let cut = cut_seed % bytes.len();
+        prop_assert!(decode_sorted_index(&mut ByteReader::new(&bytes[..cut]), &rel).is_err());
     }
 
     /// Every strict prefix of a sectioned snapshot file fails with a
