@@ -29,6 +29,11 @@ pub enum CoreError {
     /// A snapshot encode/decode error (persisting or restoring
     /// prepared artifacts).
     Snapshot(SnapshotError),
+    /// A request's deadline expired before it finished: the sampler
+    /// stopped between draws instead of running unbounded. The work
+    /// done so far is discarded (a partial batch would not be an
+    /// i.i.d. sample of the requested size).
+    DeadlineExceeded,
     /// Generic invariant violation with context.
     Invalid(String),
 }
@@ -47,6 +52,9 @@ impl fmt::Display for CoreError {
             CoreError::Join(e) => write!(f, "join error: {e}"),
             CoreError::Storage(e) => write!(f, "storage error: {e}"),
             CoreError::Snapshot(e) => write!(f, "snapshot error: {e}"),
+            CoreError::DeadlineExceeded => {
+                write!(f, "deadline exceeded before the request finished")
+            }
             CoreError::Invalid(msg) => write!(f, "{msg}"),
         }
     }

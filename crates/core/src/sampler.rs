@@ -116,6 +116,25 @@ pub trait UnionSampler: Send {
     /// returned by earlier calls are already out of reach; they are
     /// counted in the report only.
     fn sample(&mut self, n: usize, rng: &mut SujRng) -> Result<(Vec<Tuple>, RunReport), CoreError> {
+        self.sample_within(n, rng, None)
+    }
+
+    /// [`sample`](UnionSampler::sample) with an optional deadline,
+    /// checked before every draw: once `deadline` passes the run
+    /// aborts with [`CoreError::DeadlineExceeded`] instead of running
+    /// unbounded.
+    ///
+    /// The check piggybacks on the per-draw latency timestamp, so it
+    /// costs nothing extra, and it never alters the draw sequence —
+    /// a run that finishes before the deadline is bit-identical to
+    /// [`sample`](UnionSampler::sample) with no deadline at all (the
+    /// serving tier's determinism contract depends on this).
+    fn sample_within(
+        &mut self,
+        n: usize,
+        rng: &mut SujRng,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<(Vec<Tuple>, RunReport), CoreError> {
         let baseline = self.report().clone();
         let mut out: Vec<Tuple> = Vec::with_capacity(n);
         let mut removed: Vec<bool> = Vec::with_capacity(n);
@@ -124,6 +143,9 @@ pub trait UnionSampler: Send {
         let mut live = 0usize;
         while live < n {
             let draw_start = std::time::Instant::now();
+            if deadline.is_some_and(|d| draw_start >= d) {
+                return Err(CoreError::DeadlineExceeded);
+            }
             let event = self.draw(rng);
             self.report_mut().draw_latency.record(draw_start.elapsed());
             match event? {
@@ -182,6 +204,15 @@ impl<S: UnionSampler + ?Sized> UnionSampler for Box<S> {
 
     fn sample(&mut self, n: usize, rng: &mut SujRng) -> Result<(Vec<Tuple>, RunReport), CoreError> {
         (**self).sample(n, rng)
+    }
+
+    fn sample_within(
+        &mut self,
+        n: usize,
+        rng: &mut SujRng,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<(Vec<Tuple>, RunReport), CoreError> {
+        (**self).sample_within(n, rng, deadline)
     }
 }
 

@@ -60,11 +60,12 @@ use crate::catalog::{Engine, PreparedQuery};
 use crate::error::CoreError;
 use crate::query::UnionQuery;
 use crate::report::RunReport;
+use crate::sampler::UnionSampler;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use suj_stats::SujRng;
 use suj_storage::Tuple;
 
@@ -154,6 +155,18 @@ pub struct SampleRequest {
     pub seed: u64,
     /// What to sample.
     pub target: RequestTarget,
+    /// Optional deadline: the worker checks it at dequeue and before
+    /// every draw, answering [`CoreError::DeadlineExceeded`] instead
+    /// of running unbounded. `None` (the default) keeps the old
+    /// run-to-completion behavior. A deadline never changes the draw
+    /// sequence — a request that finishes in time is bit-identical to
+    /// the same request without one.
+    pub deadline: Option<Instant>,
+    /// Fault-injection hook (chaos testing only): a worker panics
+    /// instead of serving this request, exercising the pool's panic
+    /// containment end-to-end.
+    #[cfg(feature = "faults")]
+    pub panic_for_test: bool,
 }
 
 impl SampleRequest {
@@ -165,6 +178,9 @@ impl SampleRequest {
             n,
             seed: id,
             target: RequestTarget::Prepared(prepared.clone()),
+            deadline: None,
+            #[cfg(feature = "faults")]
+            panic_for_test: false,
         }
     }
 
@@ -176,6 +192,9 @@ impl SampleRequest {
             n,
             seed: id,
             target: RequestTarget::Query(query),
+            deadline: None,
+            #[cfg(feature = "faults")]
+            panic_for_test: false,
         }
     }
 
@@ -184,6 +203,32 @@ impl SampleRequest {
     #[must_use = "builder methods return the updated request"]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets an absolute deadline; the worker answers
+    /// [`CoreError::DeadlineExceeded`] once it passes.
+    #[must_use = "builder methods return the updated request"]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the deadline as a budget from now
+    /// (`deadline = Instant::now() + budget`).
+    #[must_use = "builder methods return the updated request"]
+    pub fn with_budget(self, budget: Duration) -> Self {
+        self.with_deadline(Instant::now() + budget)
+    }
+
+    /// Fault injection: the worker dequeuing this request panics
+    /// instead of serving it, so tests can prove panic containment
+    /// (the pool survives, the caller gets a typed error). Only
+    /// compiled under the `faults` feature.
+    #[cfg(feature = "faults")]
+    #[must_use = "builder methods return the updated request"]
+    pub fn with_panic_for_test(mut self) -> Self {
+        self.panic_for_test = true;
         self
     }
 }
@@ -357,13 +402,20 @@ fn serve_request(
     root_seed: u64,
     request: &SampleRequest,
 ) -> Result<SampleResponse, CoreError> {
+    #[cfg(feature = "faults")]
+    if request.panic_for_test {
+        panic!(
+            "fault injection: request {} is a panic pill (chaos testing)",
+            request.id
+        );
+    }
     let prepared = match &request.target {
         RequestTarget::Prepared(p) => p.clone(),
         RequestTarget::Query(q) => engine.prepare(q)?,
     };
     let mut handle = prepared.sampler(request.seed)?;
     let mut rng = SujRng::derive(root_seed, request.seed);
-    let (tuples, report) = handle.sample(request.n, &mut rng)?;
+    let (tuples, report) = handle.sample_within(request.n, &mut rng, request.deadline)?;
     Ok(SampleResponse {
         id: request.id,
         tuples,
@@ -403,19 +455,26 @@ impl SamplingService {
                     // siblings serve in parallel.
                     let job = { lock(&rx).recv() };
                     let Ok(job) = job else { return }; // queue closed: graceful exit
-                                                       // Contain panics from pathological requests: the
-                                                       // worker must survive (a shrinking pool would
-                                                       // eventually deadlock submit), the caller must get
-                                                       // an error, and the counters must balance.
-                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        serve_request(&engine, root_seed, &job.request)
-                    }))
-                    .unwrap_or_else(|_| {
-                        Err(CoreError::Invalid(format!(
-                            "request {} panicked while sampling",
-                            job.request.id
-                        )))
-                    });
+                                                       // A request whose deadline passed while queued is
+                                                       // answered without touching the engine at all.
+                    let expired = job.request.deadline.is_some_and(|d| Instant::now() >= d);
+                    // Contain panics from pathological requests: the
+                    // worker must survive (a shrinking pool would
+                    // eventually deadlock submit), the caller must get
+                    // an error, and the counters must balance.
+                    let result = if expired {
+                        Err(CoreError::DeadlineExceeded)
+                    } else {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            serve_request(&engine, root_seed, &job.request)
+                        }))
+                        .unwrap_or_else(|_| {
+                            Err(CoreError::Invalid(format!(
+                                "request {} panicked while sampling",
+                                job.request.id
+                            )))
+                        })
+                    };
                     match &result {
                         Ok(response) => {
                             counters.completed.fetch_add(1, Ordering::Relaxed);
@@ -457,6 +516,9 @@ impl SamplingService {
 
     /// Enqueues a request, blocking while the bounded queue is full
     /// (backpressure). Returns a [`Ticket`] to wait on.
+    // The error is as large as the request on purpose: rejection hands
+    // the request back by value so the caller can retry it.
+    #[allow(clippy::result_large_err)]
     pub fn submit(&self, request: SampleRequest) -> Result<Ticket, SubmitError> {
         let Some(tx) = &self.tx else {
             return Err(SubmitError::ShutDown(request));
@@ -474,6 +536,7 @@ impl SamplingService {
     /// Enqueues a request without blocking; a full queue hands the
     /// request back as [`SubmitError::Busy`] with a
     /// [`retry_after_hint`](Self::retry_after_hint).
+    #[allow(clippy::result_large_err)]
     pub fn try_submit(&self, request: SampleRequest) -> Result<Ticket, SubmitError> {
         let Some(tx) = &self.tx else {
             return Err(SubmitError::ShutDown(request));
@@ -511,6 +574,7 @@ impl SamplingService {
     /// Submits a batch and waits for every response, returned in
     /// request order. Individual failures surface as the first error
     /// after all tickets resolved.
+    #[allow(clippy::result_large_err)]
     pub fn run_batch(
         &self,
         requests: Vec<SampleRequest>,
@@ -813,6 +877,77 @@ mod tests {
             Err(other) => panic!("expected ShutDown, got {other:?}"),
             Ok(_) => panic!("expected ShutDown, got a ticket"),
         }
+    }
+
+    #[test]
+    fn expired_deadline_is_a_typed_error_and_pool_survives() {
+        let engine = engine();
+        let prepared = engine.prepare(&union_query()).unwrap();
+        let service = SamplingService::start(engine, ServiceConfig::with_workers(1).root_seed(3));
+        // A deadline already in the past: rejected at dequeue, typed.
+        let late = SampleRequest::prepared(1, 4, &prepared)
+            .with_deadline(Instant::now() - Duration::from_millis(1));
+        let ticket = service.submit(late).unwrap();
+        assert_eq!(ticket.wait().unwrap_err(), CoreError::DeadlineExceeded);
+        // A zero budget expires between draws at the latest: also typed.
+        let starved =
+            SampleRequest::prepared(2, 1_000, &prepared).with_budget(Duration::from_nanos(0));
+        let ticket = service.submit(starved).unwrap();
+        assert_eq!(ticket.wait().unwrap_err(), CoreError::DeadlineExceeded);
+        let stats = service.stats();
+        assert_eq!(stats.failed, 2);
+        // The worker survives and keeps serving.
+        let ok = service
+            .submit(SampleRequest::prepared(3, 4, &prepared))
+            .unwrap();
+        assert_eq!(ok.wait().unwrap().tuples.len(), 4);
+        service.shutdown();
+    }
+
+    #[test]
+    fn generous_deadline_does_not_change_samples() {
+        let engine = engine();
+        let prepared = engine.prepare(&union_query()).unwrap();
+        let service = SamplingService::start(engine, ServiceConfig::with_workers(1).root_seed(9));
+        let plain = service
+            .submit(SampleRequest::prepared(5, 8, &prepared))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let bounded = service
+            .submit(
+                SampleRequest::prepared(6, 8, &prepared)
+                    .with_seed(5)
+                    .with_budget(Duration::from_secs(60)),
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(
+            plain.tuples, bounded.tuples,
+            "a deadline that never fires must not alter the draw sequence"
+        );
+        service.shutdown();
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn panic_pill_is_contained_and_typed() {
+        let engine = engine();
+        let prepared = engine.prepare(&union_query()).unwrap();
+        let service = SamplingService::start(engine, ServiceConfig::with_workers(1));
+        let pill = SampleRequest::prepared(1, 4, &prepared).with_panic_for_test();
+        let ticket = service.submit(pill).unwrap();
+        let err = ticket.wait().unwrap_err();
+        assert!(err.to_string().contains("panicked"), "got: {err}");
+        // The same (sole) worker still serves.
+        let ok = service
+            .submit(SampleRequest::prepared(2, 4, &prepared))
+            .unwrap();
+        assert_eq!(ok.wait().unwrap().tuples.len(), 4);
+        let stats = service.shutdown();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 1);
     }
 
     /// Compile-time: the whole serving surface crosses threads.

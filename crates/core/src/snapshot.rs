@@ -385,6 +385,16 @@ fn decode_frozen(r: &mut ByteReader<'_>) -> Result<FrozenParams, SnapshotError> 
 // Engine save / load
 // ---------------------------------------------------------------------
 
+/// Whether a failed load should try the `.prev` fallback: exactly the
+/// storage layer's crash modes
+/// ([`fallback_eligible`](suj_storage::snapshot::fallback_eligible)).
+/// Non-snapshot errors (e.g. a query that no longer resolves) mean the
+/// file decoded fine and the problem is semantic — fallback would only
+/// mask it.
+fn snapshot_fallback_eligible(e: &CoreError) -> bool {
+    matches!(e, CoreError::Snapshot(s) if suj_storage::snapshot::fallback_eligible(s))
+}
+
 impl Engine {
     /// Serializes this engine — catalog relations plus every cached
     /// prepared query with its frozen estimated parameters — into the
@@ -431,11 +441,17 @@ impl Engine {
 
     /// [`snapshot_to_bytes`](Self::snapshot_to_bytes) written to a
     /// file; returns the bytes written.
+    ///
+    /// The write is crash-safe
+    /// ([`atomic_replace`](suj_storage::snapshot::atomic_replace)):
+    /// the bytes are staged at a temp path, fsynced, and atomically
+    /// renamed into place, with the previous good snapshot preserved
+    /// at `<path>.prev` — a kill at any instant leaves a loadable
+    /// snapshot behind ([`load_snapshot`](Self::load_snapshot) falls
+    /// back to `.prev` when the newest file is torn).
     pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<u64, CoreError> {
         let bytes = self.snapshot_to_bytes()?;
-        std::fs::write(path, &bytes)
-            .map_err(|e| CoreError::Snapshot(SnapshotError::Io(e.to_string())))?;
-        Ok(bytes.len() as u64)
+        suj_storage::snapshot::atomic_replace(path, &bytes).map_err(CoreError::Snapshot)
     }
 
     /// Restores an engine from a snapshot file: catalog, planner
@@ -444,11 +460,32 @@ impl Engine {
     /// [`PreparedQuery::estimations`]` == 0`). The measured restore
     /// cost (snapshot size + wall time) is stamped into every report
     /// the restored queries mint.
+    /// When the newest snapshot is missing, truncated, or corrupt, the
+    /// load falls back to the previous good snapshot that
+    /// [`save_snapshot`](Self::save_snapshot) preserved at
+    /// `<path>.prev` (an unsupported format version does *not* fall
+    /// back — serving stale data would mask a deployment mismatch).
+    /// Only if both fail is the original error returned.
     pub fn load_snapshot(path: impl AsRef<Path>) -> Result<Engine, CoreError> {
         let start = Instant::now();
-        let bytes = std::fs::read(path)
-            .map_err(|e| CoreError::Snapshot(SnapshotError::Io(e.to_string())))?;
-        Self::load_snapshot_bytes_from(&bytes, start)
+        let path = path.as_ref();
+        let primary = std::fs::read(path)
+            .map_err(|e| CoreError::Snapshot(SnapshotError::Io(e.to_string())))
+            .and_then(|bytes| Self::load_snapshot_bytes_from(&bytes, start));
+        match primary {
+            Ok(engine) => Ok(engine),
+            Err(e) if snapshot_fallback_eligible(&e) => {
+                let prev = suj_storage::snapshot::snapshot_prev_path(path);
+                match std::fs::read(prev)
+                    .ok()
+                    .and_then(|bytes| Self::load_snapshot_bytes_from(&bytes, start).ok())
+                {
+                    Some(engine) => Ok(engine),
+                    None => Err(e),
+                }
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// [`load_snapshot`](Self::load_snapshot) over an in-memory buffer.
@@ -456,6 +493,8 @@ impl Engine {
         Self::load_snapshot_bytes_from(bytes, Instant::now())
     }
 
+    /// [`load_snapshot`](Self::load_snapshot) over an in-memory
+    /// buffer, with the restore clock started at `start`.
     fn load_snapshot_bytes_from(bytes: &[u8], start: Instant) -> Result<Engine, CoreError> {
         let sections = read_sections(bytes)?;
         let mut iter = sections.into_iter();
@@ -693,6 +732,54 @@ mod tests {
         let prepared = restored.prepare(&shop_query()).unwrap();
         assert_eq!(prepared.estimations(), 0);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_newest_snapshot_falls_back_to_previous_good_one() {
+        let dir = std::env::temp_dir().join("suj_core_snapshot_fallback_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine.snap");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(suj_storage::snapshot::snapshot_prev_path(&path)).ok();
+
+        // Snapshot v1: one prepared query.
+        let engine = shop_engine();
+        engine.prepare(&shop_query()).unwrap();
+        engine.save_snapshot(&path).unwrap();
+        // Snapshot v2: two prepared queries; v1 survives as `.prev`.
+        engine
+            .prepare(
+                &UnionQuery::set_union()
+                    .chain("only_a", ["a_items", "a_sales"])
+                    .unwrap(),
+            )
+            .unwrap();
+        engine.save_snapshot(&path).unwrap();
+        assert!(suj_storage::snapshot::snapshot_prev_path(&path).exists());
+        assert_eq!(Engine::load_snapshot(&path).unwrap().cached_queries(), 2);
+
+        // Kill-mid-write simulation: the newest file is torn.
+        let v2 = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &v2[..v2.len() / 2]).unwrap();
+        let fallback = Engine::load_snapshot(&path).unwrap();
+        assert_eq!(
+            fallback.cached_queries(),
+            1,
+            "torn newest snapshot must fall back to the previous good one"
+        );
+        // A torn staging file never affects the load.
+        std::fs::write(suj_storage::snapshot::snapshot_tmp_path(&path), b"junk").unwrap();
+        assert_eq!(Engine::load_snapshot(&path).unwrap().cached_queries(), 1);
+
+        // Both generations bad: the original (primary) error surfaces.
+        std::fs::write(suj_storage::snapshot::snapshot_prev_path(&path), b"junk").unwrap();
+        assert!(matches!(
+            Engine::load_snapshot(&path),
+            Err(CoreError::Snapshot(_))
+        ));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(suj_storage::snapshot::snapshot_prev_path(&path)).ok();
+        std::fs::remove_file(suj_storage::snapshot::snapshot_tmp_path(&path)).ok();
     }
 
     #[test]

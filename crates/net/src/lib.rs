@@ -44,9 +44,11 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod faults;
 pub mod protocol;
 pub mod server;
 
 pub use client::{Client, RemotePrepared, SampleBatch};
+pub use faults::{Conn, FaultConfig, FaultInjector, FaultPlan};
 pub use protocol::{Frame, NetError, WireStats};
-pub use server::Server;
+pub use server::{Server, ServerOptions};

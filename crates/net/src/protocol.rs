@@ -3,24 +3,29 @@
 //! # Frame layout
 //!
 //! Every message — request or response — is one frame with a fixed
-//! 20-byte little-endian header followed by an opcode-specific
+//! 24-byte little-endian header followed by an opcode-specific
 //! payload:
 //!
 //! ```text
 //! offset  size  field
 //!      0     4  magic        "SUJN" (0x4e4a5553 LE)
-//!      4     2  version      protocol version, currently 1
+//!      4     2  version      protocol version, currently 2
 //!      6     2  opcode       see below
 //!      8     8  request id   echoed verbatim in the response
 //!     16     4  payload len  bytes following the header (≤ 1 GiB)
+//!     20     4  payload crc  CRC-32 of the payload bytes
 //! ```
+//!
+//! Version 2 added the payload checksum (a flipped bit on the wire is
+//! a typed [`NetError::Checksum`], never silently corrupt samples) and
+//! an optional per-request deadline budget in the `Sample` payload.
 //!
 //! # Opcodes
 //!
 //! | opcode | direction | payload |
 //! |--------|-----------|---------|
 //! | 1 `Prepare` | request | serialized [`UnionQuery`] ([`suj_core::snapshot::encode_query`]) |
-//! | 2 `Sample` | request | `prepared_id: u64`, `n: u64`, `seed: u64` |
+//! | 2 `Sample` | request | `prepared_id: u64`, `n: u64`, `seed: u64`, `budget_ns: u64` (0 = none) |
 //! | 3 `Stats` | request | empty |
 //! | 4 `Shutdown` | request | empty |
 //! | 0x81 `Prepared` | response | `prepared_id: u64`, `estimations: u64`, summary string |
@@ -49,15 +54,15 @@ use std::fmt;
 use std::io::{Read, Write};
 use suj_core::query::UnionQuery;
 use suj_core::snapshot::{decode_query, encode_query};
-use suj_storage::snapshot::{decode_column, encode_column, ByteReader, ByteWriter};
+use suj_storage::snapshot::{crc32, decode_column, encode_column, ByteReader, ByteWriter};
 use suj_storage::{ColumnBuilder, SnapshotError, Tuple};
 
 /// Frame magic: `b"SUJN"` little-endian.
 pub const NET_MAGIC: u32 = u32::from_le_bytes(*b"SUJN");
 /// Protocol version spoken by this implementation.
-pub const NET_VERSION: u16 = 1;
+pub const NET_VERSION: u16 = 2;
 /// Frame header size in bytes.
-pub const HEADER_LEN: usize = 20;
+pub const HEADER_LEN: usize = 24;
 /// Upper bound on a frame payload (1 GiB) — a malformed or malicious
 /// length prefix must not drive allocation.
 pub const MAX_PAYLOAD: u32 = 1 << 30;
@@ -91,6 +96,9 @@ pub const ERR_UNKNOWN_PREPARED: u16 = 2;
 pub const ERR_ENGINE: u16 = 3;
 /// Error code inside an `Error` frame: server is shutting down.
 pub const ERR_SHUTTING_DOWN: u16 = 4;
+/// Error code inside an `Error` frame: the request's deadline expired
+/// before it finished.
+pub const ERR_DEADLINE: u16 = 5;
 
 /// Client- and server-side protocol errors.
 #[derive(Debug)]
@@ -115,6 +123,22 @@ pub enum NetError {
         /// Human-readable detail from the server.
         message: String,
     },
+    /// The request's deadline expired before it finished
+    /// ([`ERR_DEADLINE`] on the wire).
+    DeadlineExceeded,
+    /// The server refused the request because it is draining
+    /// ([`ERR_SHUTTING_DOWN`] on the wire).
+    ShuttingDown,
+    /// The connection dropped mid-exchange (reset, aborted, broken
+    /// pipe, or unexpected EOF). Retryable on a fresh connection.
+    ConnectionReset,
+    /// A frame's payload failed its CRC — corrupted on the wire.
+    Checksum {
+        /// CRC declared in the frame header.
+        expected: u32,
+        /// CRC computed over the received payload.
+        got: u32,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -131,6 +155,15 @@ impl fmt::Display for NetError {
             NetError::Remote { code, message } => {
                 write!(f, "server error (code {code}): {message}")
             }
+            NetError::DeadlineExceeded => {
+                write!(f, "deadline exceeded before the request finished")
+            }
+            NetError::ShuttingDown => write!(f, "server is shutting down"),
+            NetError::ConnectionReset => write!(f, "connection reset by peer"),
+            NetError::Checksum { expected, got } => write!(
+                f,
+                "payload checksum mismatch (header {expected:#010x}, computed {got:#010x})"
+            ),
         }
     }
 }
@@ -146,7 +179,14 @@ impl std::error::Error for NetError {
 
 impl From<std::io::Error> for NetError {
     fn from(e: std::io::Error) -> Self {
-        NetError::Io(e)
+        use std::io::ErrorKind;
+        match e.kind() {
+            ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::BrokenPipe
+            | ErrorKind::UnexpectedEof => NetError::ConnectionReset,
+            _ => NetError::Io(e),
+        }
     }
 }
 
@@ -191,19 +231,21 @@ impl Frame {
         header[6..8].copy_from_slice(&self.opcode.to_le_bytes());
         header[8..16].copy_from_slice(&self.request_id.to_le_bytes());
         header[16..20].copy_from_slice(&len.to_le_bytes());
+        header[20..24].copy_from_slice(&crc32(&self.payload).to_le_bytes());
         w.write_all(&header)?;
         w.write_all(&self.payload)?;
         Ok(())
     }
 
-    /// Reads one frame from `r`, validating magic, version, and
-    /// payload bound before allocating.
+    /// Reads one frame from `r`, validating magic, version, payload
+    /// bound, and payload checksum before returning.
     pub fn read_from(r: &mut impl Read) -> Result<Frame, NetError> {
         let mut header = [0u8; HEADER_LEN];
         r.read_exact(&mut header)?;
-        let (opcode, request_id, len) = parse_header(&header)?;
+        let (opcode, request_id, len, expected_crc) = parse_header(&header)?;
         let mut payload = vec![0u8; len as usize];
         r.read_exact(&mut payload)?;
+        verify_payload(&payload, expected_crc)?;
         Ok(Frame {
             opcode,
             request_id,
@@ -213,9 +255,11 @@ impl Frame {
 }
 
 /// Validates a raw frame header and extracts
-/// `(opcode, request_id, payload_len)`. Used by readers that assemble
-/// the header incrementally (e.g. the server's timeout-polling loop).
-pub fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(u16, u64, u32), NetError> {
+/// `(opcode, request_id, payload_len, payload_crc)`. Used by readers
+/// that assemble the header incrementally (e.g. the server's
+/// timeout-polling loop); such readers must call [`verify_payload`]
+/// once the payload bytes arrive.
+pub fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(u16, u64, u32, u32), NetError> {
     let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
     if magic != NET_MAGIC {
         return Err(NetError::BadMagic(magic));
@@ -230,7 +274,17 @@ pub fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(u16, u64, u32), NetErr
     if len > MAX_PAYLOAD {
         return Err(NetError::FrameTooLarge(len));
     }
-    Ok((opcode, request_id, len))
+    let crc = u32::from_le_bytes(header[20..24].try_into().unwrap());
+    Ok((opcode, request_id, len, crc))
+}
+
+/// Checks payload bytes against the CRC carried in the frame header.
+pub fn verify_payload(payload: &[u8], expected: u32) -> Result<(), NetError> {
+    let got = crc32(payload);
+    if got != expected {
+        return Err(NetError::Checksum { expected, got });
+    }
+    Ok(())
 }
 
 /// Encodes a `Prepare` request payload.
@@ -247,19 +301,28 @@ pub fn decode_prepare(payload: &[u8]) -> Result<UnionQuery, NetError> {
     Ok(q)
 }
 
-/// Encodes a `Sample` request payload.
-pub fn encode_sample(prepared_id: u64, n: u64, seed: u64) -> Vec<u8> {
+/// Encodes a `Sample` request payload. `budget_ns` is the per-request
+/// deadline budget in nanoseconds; 0 means no deadline.
+pub fn encode_sample(prepared_id: u64, n: u64, seed: u64, budget_ns: u64) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.put_u64(prepared_id);
     w.put_u64(n);
     w.put_u64(seed);
+    if budget_ns != 0 {
+        w.put_u64(budget_ns);
+    }
     w.into_bytes()
 }
 
-/// Decodes a `Sample` request payload into `(prepared_id, n, seed)`.
-pub fn decode_sample(payload: &[u8]) -> Result<(u64, u64, u64), NetError> {
+/// Decodes a `Sample` request payload into
+/// `(prepared_id, n, seed, budget_ns)`. The trailing budget word is
+/// optional on the wire (version-1 peers sent three words); absence
+/// decodes as 0, meaning no deadline.
+pub fn decode_sample(payload: &[u8]) -> Result<(u64, u64, u64, u64), NetError> {
     let mut r = ByteReader::new(payload);
-    Ok((r.get_u64()?, r.get_u64()?, r.get_u64()?))
+    let (prepared_id, n, seed) = (r.get_u64()?, r.get_u64()?, r.get_u64()?);
+    let budget_ns = if r.is_empty() { 0 } else { r.get_u64()? };
+    Ok((prepared_id, n, seed, budget_ns))
 }
 
 /// Encodes a `Prepared` response payload.
@@ -408,14 +471,25 @@ mod tests {
         let frame = Frame {
             opcode: OP_SAMPLE,
             request_id: 42,
-            payload: encode_sample(7, 100, 9),
+            payload: encode_sample(7, 100, 9, 0),
         };
         let mut buf = Vec::new();
         frame.write_to(&mut buf).unwrap();
         assert_eq!(buf.len(), HEADER_LEN + frame.payload.len());
         let read = Frame::read_from(&mut buf.as_slice()).unwrap();
         assert_eq!(read, frame);
-        assert_eq!(decode_sample(&read.payload).unwrap(), (7, 100, 9));
+        assert_eq!(decode_sample(&read.payload).unwrap(), (7, 100, 9, 0));
+    }
+
+    #[test]
+    fn sample_budget_word_is_optional_on_the_wire() {
+        let with_budget = encode_sample(7, 100, 9, 2_000_000);
+        assert_eq!(decode_sample(&with_budget).unwrap(), (7, 100, 9, 2_000_000));
+        // A version-1 peer sends exactly three words; budget decodes
+        // as 0 (no deadline).
+        let legacy = encode_sample(7, 100, 9, 0);
+        assert_eq!(legacy.len(), 24);
+        assert_eq!(decode_sample(&legacy).unwrap(), (7, 100, 9, 0));
     }
 
     #[test]
@@ -445,10 +519,41 @@ mod tests {
             Err(NetError::FrameTooLarge(_))
         ));
 
-        // Truncated stream: io error, not a panic.
+        // Truncated stream: a typed connection error, not a panic.
         assert!(matches!(
             Frame::read_from(&mut buf[..HEADER_LEN - 3].as_ref()),
-            Err(NetError::Io(_))
+            Err(NetError::ConnectionReset)
+        ));
+    }
+
+    #[test]
+    fn flipped_payload_bits_fail_the_checksum() {
+        let frame = Frame {
+            opcode: OP_SAMPLE,
+            request_id: 9,
+            payload: encode_sample(1, 64, 3, 0),
+        };
+        let mut buf = Vec::new();
+        frame.write_to(&mut buf).unwrap();
+        for bit in 0..8 {
+            for byte in HEADER_LEN..buf.len() {
+                let mut bad = buf.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    matches!(
+                        Frame::read_from(&mut bad.as_slice()),
+                        Err(NetError::Checksum { .. })
+                    ),
+                    "flip of payload byte {byte} bit {bit} must be caught"
+                );
+            }
+        }
+        // A flipped CRC byte itself is also a checksum error.
+        let mut bad = buf.clone();
+        bad[20] ^= 0x01;
+        assert!(matches!(
+            Frame::read_from(&mut bad.as_slice()),
+            Err(NetError::Checksum { .. })
         ));
     }
 
@@ -500,7 +605,7 @@ mod tests {
 
     #[test]
     fn truncated_payloads_error_never_panic() {
-        let payload = encode_sample(1, 2, 3);
+        let payload = encode_sample(1, 2, 3, 0);
         for cut in 0..payload.len() {
             assert!(decode_sample(&payload[..cut]).is_err());
         }

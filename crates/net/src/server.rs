@@ -17,21 +17,47 @@
 //! same prepared query + root seed + request seed yields bit-identical
 //! samples whether sampled in-process, over TCP, or on a
 //! snapshot-restored replica.
+//!
+//! # Failure containment
+//!
+//! The server assumes every peer and every request can misbehave:
+//!
+//! - **Deadlines** — a `Sample` frame may carry a budget; the worker
+//!   pool checks it at dequeue and between draws, answering
+//!   [`ERR_DEADLINE`] instead of running away.
+//! - **Panic isolation** — frame handling runs under `catch_unwind`;
+//!   a panicking request yields a typed [`ERR_ENGINE`] frame and the
+//!   connection (and accept loop) keeps serving. Poisoned registry
+//!   locks are recovered, never unwrapped.
+//! - **Stalled peers** — once a frame's first byte arrives, the rest
+//!   must make progress within [`ServerOptions::io_grace`]; writes get
+//!   the same timeout. A peer that stalls past the grace is dropped
+//!   instead of pinning its thread.
+//! - **Graceful drain** — after [`Server::stop`] (or a `Shutdown`
+//!   frame), connections keep reading for
+//!   [`ServerOptions::drain_grace`] so queued frames are answered with
+//!   typed [`ERR_SHUTTING_DOWN`] errors instead of a raw EOF.
 
+use crate::faults::Conn;
+#[cfg(any(test, feature = "faults"))]
+use crate::faults::FaultPlan;
 use crate::protocol::{
     decode_prepare, decode_sample, encode_batch, encode_busy, encode_error, encode_prepared,
-    encode_stats, parse_header, Frame, NetError, WireStats, ERR_BAD_REQUEST, ERR_ENGINE,
-    ERR_SHUTTING_DOWN, ERR_UNKNOWN_PREPARED, HEADER_LEN, OP_BATCH, OP_BUSY, OP_ERROR, OP_PREPARE,
-    OP_PREPARED, OP_SAMPLE, OP_SHUTDOWN, OP_SHUTDOWN_ACK, OP_STATS, OP_STATS_REPLY,
+    encode_stats, parse_header, verify_payload, Frame, NetError, WireStats, ERR_BAD_REQUEST,
+    ERR_DEADLINE, ERR_ENGINE, ERR_SHUTTING_DOWN, ERR_UNKNOWN_PREPARED, HEADER_LEN, OP_BATCH,
+    OP_BUSY, OP_ERROR, OP_PREPARE, OP_PREPARED, OP_SAMPLE, OP_SHUTDOWN, OP_SHUTDOWN_ACK, OP_STATS,
+    OP_STATS_REPLY,
 };
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use suj_core::catalog::{Engine, PreparedQuery};
+use suj_core::error::CoreError;
 use suj_core::serve::{SampleRequest, SamplingService, ServiceConfig, SubmitError};
 
 /// How long a blocked connection read waits before re-checking the
@@ -42,12 +68,96 @@ const POLL_INTERVAL: Duration = Duration::from_millis(100);
 /// unbounded draw.
 const MAX_SAMPLE_N: u64 = 1 << 24;
 
+/// Tuning knobs for the server's failure-containment behavior.
+///
+/// Defaults are production-ready; tests lower the graces to exercise
+/// timeout paths quickly.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    io_grace: Duration,
+    drain_grace: Duration,
+    #[cfg(any(test, feature = "faults"))]
+    fault_plan: Option<FaultPlan>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            io_grace: Duration::from_secs(5),
+            drain_grace: Duration::from_millis(500),
+            #[cfg(any(test, feature = "faults"))]
+            fault_plan: None,
+        }
+    }
+}
+
+impl ServerOptions {
+    /// Progress deadline for mid-frame reads and for response writes.
+    /// A connection that stalls a transfer longer than this is
+    /// dropped. Also used as the write timeout on every connection.
+    #[must_use = "builder methods return the updated options"]
+    pub fn with_io_grace(mut self, grace: Duration) -> Self {
+        self.io_grace = grace;
+        self
+    }
+
+    /// How long draining connections keep answering buffered frames
+    /// (with typed `ShuttingDown` errors) after shutdown is requested.
+    #[must_use = "builder methods return the updated options"]
+    pub fn with_drain_grace(mut self, grace: Duration) -> Self {
+        self.drain_grace = grace;
+        self
+    }
+
+    /// The configured I/O grace.
+    pub fn io_grace(&self) -> Duration {
+        self.io_grace
+    }
+
+    /// The configured drain grace.
+    pub fn drain_grace(&self) -> Duration {
+        self.drain_grace
+    }
+
+    /// Installs a deterministic fault plan: every accepted connection
+    /// reads and writes through an injector derived from
+    /// `(plan seed, connection index)`. Chaos builds only.
+    #[cfg(any(test, feature = "faults"))]
+    #[must_use = "builder methods return the updated options"]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+}
+
+/// Recovers a poisoned mutex instead of propagating the poison: the
+/// registry holds plain data (id → prepared handle), which stays
+/// consistent even if a holder panicked mid-insert.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 struct Shared {
     engine: Engine,
     service: SamplingService,
     registry: Mutex<HashMap<u64, Arc<PreparedQuery>>>,
     next_prepared: AtomicU64,
     shutdown: AtomicBool,
+    active_conns: AtomicU64,
+    conn_seq: AtomicU64,
+    options: ServerOptions,
+}
+
+/// Decrements the active-connection count when a connection thread
+/// exits — normally or by unwinding.
+struct ConnGuard {
+    shared: Arc<Shared>,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// A running TCP sampling server.
@@ -63,12 +173,24 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` and starts serving `engine` with a worker pool
-    /// configured by `config`. Use port 0 to let the OS pick; the
-    /// bound address is available via [`Server::addr`].
+    /// configured by `config` and default [`ServerOptions`]. Use port
+    /// 0 to let the OS pick; the bound address is available via
+    /// [`Server::addr`].
     pub fn bind(
         engine: Engine,
         addr: impl ToSocketAddrs,
         config: ServiceConfig,
+    ) -> Result<Server, NetError> {
+        Self::bind_with(engine, addr, config, ServerOptions::default())
+    }
+
+    /// Like [`Server::bind`] with explicit failure-containment
+    /// options.
+    pub fn bind_with(
+        engine: Engine,
+        addr: impl ToSocketAddrs,
+        config: ServiceConfig,
+        options: ServerOptions,
     ) -> Result<Server, NetError> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
@@ -83,6 +205,9 @@ impl Server {
             registry: Mutex::new(HashMap::new()),
             next_prepared: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
+            active_conns: AtomicU64::new(0),
+            conn_seq: AtomicU64::new(0),
+            options,
         });
         let accept_shared = Arc::clone(&shared);
         let accept_handle = thread::Builder::new()
@@ -106,21 +231,31 @@ impl Server {
         self.shared.shutdown.load(Ordering::SeqCst)
     }
 
+    /// Open connections currently being served.
+    pub fn active_connections(&self) -> u64 {
+        self.shared.active_conns.load(Ordering::SeqCst)
+    }
+
     /// Requests shutdown without a wire round-trip. Idempotent.
+    /// Draining connections answer their buffered frames with typed
+    /// `ShuttingDown` errors before closing.
     pub fn stop(&self) {
         request_shutdown(&self.shared, self.addr);
     }
 
     /// Blocks until the accept loop exits (after a `Shutdown` frame or
-    /// [`Server::stop`]), then joins connection threads implicitly by
-    /// returning once the listener is closed.
+    /// [`Server::stop`]), then waits — bounded by the drain and I/O
+    /// graces — for in-flight connections to finish draining.
     pub fn join(mut self) -> Result<(), NetError> {
-        if let Some(handle) = self.accept_handle.take() {
+        let result = if let Some(handle) = self.accept_handle.take() {
             handle
                 .join()
-                .map_err(|_| NetError::Protocol("accept thread panicked".into()))?;
-        }
-        Ok(())
+                .map_err(|_| NetError::Protocol("accept thread panicked".into()))
+        } else {
+            Ok(())
+        };
+        wait_for_drain(&self.shared);
+        result
     }
 }
 
@@ -130,6 +265,18 @@ impl Drop for Server {
         if let Some(handle) = self.accept_handle.take() {
             let _ = handle.join();
         }
+        wait_for_drain(&self.shared);
+    }
+}
+
+/// Bounded wait for connection threads to drain after shutdown: the
+/// drain grace (buffered frames) plus the I/O grace (a stalled final
+/// write), plus scheduling slack.
+fn wait_for_drain(shared: &Shared) {
+    let deadline =
+        Instant::now() + shared.options.drain_grace + shared.options.io_grace + POLL_INTERVAL;
+    while shared.active_conns.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+        thread::sleep(Duration::from_millis(5));
     }
 }
 
@@ -152,11 +299,26 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                     return;
                 }
                 let conn_shared = Arc::clone(&shared);
-                let _ = thread::Builder::new()
+                shared.active_conns.fetch_add(1, Ordering::SeqCst);
+                let spawned = thread::Builder::new()
                     .name("suj-net-conn".into())
                     .spawn(move || {
-                        let _ = serve_connection(stream, conn_shared);
+                        let guard = ConnGuard {
+                            shared: Arc::clone(&conn_shared),
+                        };
+                        // A panicking connection must not take the
+                        // server down: contain it, release the guard,
+                        // keep accepting.
+                        let _ = catch_unwind(AssertUnwindSafe(|| {
+                            let _ = serve_connection(stream, &conn_shared);
+                        }));
+                        drop(guard);
                     });
+                if spawned.is_err() {
+                    // Thread spawn failed (resource exhaustion): undo
+                    // the count and drop the connection.
+                    shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+                }
             }
             Err(_) => {
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -168,37 +330,68 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
-/// Reads `buf.len()` bytes, looping over timeouts; the caller has
-/// already seen the first byte of the frame, so a mid-frame timeout
-/// just means a slow peer.
-fn read_full(stream: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<()> {
+/// Reads `buf.len()` bytes, looping over timeouts but only while the
+/// peer makes progress: each received chunk renews the grace; a stall
+/// longer than `grace` fails with `TimedOut` so a dead or glacial peer
+/// cannot pin the connection thread forever.
+fn read_full(conn: &mut Conn, buf: &mut [u8], grace: Duration) -> std::io::Result<()> {
     let mut off = 0;
+    let mut stall_deadline = Instant::now() + grace;
     while off < buf.len() {
-        match stream.read(&mut buf[off..]) {
+        match conn.read(&mut buf[off..]) {
             Ok(0) => return Err(ErrorKind::UnexpectedEof.into()),
-            Ok(n) => off += n,
+            Ok(n) => {
+                off += n;
+                stall_deadline = Instant::now() + grace;
+            }
             Err(e)
                 if matches!(
                     e.kind(),
                     ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
-                ) => {}
+                ) =>
+            {
+                if Instant::now() >= stall_deadline {
+                    return Err(ErrorKind::TimedOut.into());
+                }
+            }
             Err(e) => return Err(e),
         }
     }
     Ok(())
 }
 
+/// What the connection loop should do with the bytes it just read.
+enum Next {
+    /// A complete frame arrived.
+    Frame(Frame),
+    /// A frame arrived but its payload failed the header CRC; answer
+    /// with a typed error (the stream itself is still framed
+    /// correctly, so the connection survives).
+    Corrupt { request_id: u64 },
+    /// Orderly end: peer closed, or the drain grace expired.
+    Done,
+}
+
 /// Reads the next frame, polling the shutdown flag between timed-out
-/// reads while idle. Returns `None` on orderly end (peer closed, or
-/// shutdown observed between frames).
-fn read_frame(stream: &mut TcpStream, shared: &Shared) -> Result<Option<Frame>, NetError> {
+/// reads while idle. After shutdown is flagged, keeps reading for
+/// `drain_grace` so frames already in flight get typed
+/// `ShuttingDown` answers instead of a dropped connection.
+fn read_frame(
+    conn: &mut Conn,
+    shared: &Shared,
+    drain_deadline: &mut Option<Instant>,
+) -> Result<Next, NetError> {
     let mut first = [0u8; 1];
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
-            return Ok(None);
+            let deadline =
+                *drain_deadline.get_or_insert_with(|| Instant::now() + shared.options.drain_grace);
+            if Instant::now() >= deadline {
+                return Ok(Next::Done);
+            }
         }
-        match stream.read(&mut first) {
-            Ok(0) => return Ok(None),
+        match conn.read(&mut first) {
+            Ok(0) => return Ok(Next::Done),
             Ok(_) => break,
             Err(e)
                 if matches!(
@@ -208,33 +401,84 @@ fn read_frame(stream: &mut TcpStream, shared: &Shared) -> Result<Option<Frame>, 
             Err(e) => return Err(e.into()),
         }
     }
+    let grace = shared.options.io_grace;
     let mut header = [0u8; HEADER_LEN];
     header[0] = first[0];
-    read_full(stream, &mut header[1..])?;
-    let (opcode, request_id, len) = parse_header(&header)?;
+    read_full(conn, &mut header[1..], grace)?;
+    let (opcode, request_id, len, expected_crc) = parse_header(&header)?;
     let mut payload = vec![0u8; len as usize];
-    read_full(stream, &mut payload)?;
-    Ok(Some(Frame {
+    read_full(conn, &mut payload, grace)?;
+    if verify_payload(&payload, expected_crc).is_err() {
+        return Ok(Next::Corrupt { request_id });
+    }
+    Ok(Next::Frame(Frame {
         opcode,
         request_id,
         payload,
     }))
 }
 
-fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) -> Result<(), NetError> {
+fn serve_connection(stream: TcpStream, shared: &Shared) -> Result<(), NetError> {
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    stream.set_write_timeout(Some(shared.options.io_grace))?;
     stream.set_nodelay(true)?;
-    while let Some(frame) = read_frame(&mut stream, &shared)? {
-        let is_shutdown = frame.opcode == OP_SHUTDOWN;
-        let response = handle_frame(frame, &shared);
-        response.write_to(&mut stream)?;
-        stream.flush()?;
-        if is_shutdown {
-            request_shutdown(&shared, stream.local_addr()?);
-            break;
-        }
+    let local_addr = stream.local_addr()?;
+    let stream_id = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
+    #[cfg(any(test, feature = "faults"))]
+    let injector = shared
+        .options
+        .fault_plan
+        .as_ref()
+        .map(|plan| plan.injector(stream_id));
+    #[cfg(not(any(test, feature = "faults")))]
+    let injector = None;
+    let _ = stream_id;
+    let mut conn = Conn::new(stream, injector);
+    let mut drain_deadline = None;
+    loop {
+        let response = match read_frame(&mut conn, shared, &mut drain_deadline)? {
+            Next::Done => return Ok(()),
+            Next::Corrupt { request_id } => error_frame(
+                request_id,
+                ERR_BAD_REQUEST,
+                "payload checksum mismatch: frame corrupted in transit",
+            ),
+            Next::Frame(frame) => {
+                let is_shutdown = frame.opcode == OP_SHUTDOWN;
+                let response = dispatch(frame, shared);
+                if is_shutdown {
+                    response.write_to(&mut conn)?;
+                    conn.flush()?;
+                    request_shutdown(shared, local_addr);
+                    return Ok(());
+                }
+                response
+            }
+        };
+        response.write_to(&mut conn)?;
+        conn.flush()?;
     }
-    Ok(())
+}
+
+/// Handles one frame with panic containment: a request that panics the
+/// handler produces a typed `Error` frame, not a dead connection.
+fn dispatch(frame: Frame, shared: &Shared) -> Frame {
+    let id = frame.request_id;
+    catch_unwind(AssertUnwindSafe(|| handle_frame(frame, shared))).unwrap_or_else(|payload| {
+        let detail = panic_message(payload.as_ref());
+        error_frame(id, ERR_ENGINE, &format!("request panicked: {detail}"))
+    })
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "opaque panic payload"
+    }
 }
 
 fn handle_frame(frame: Frame, shared: &Shared) -> Frame {
@@ -263,11 +507,7 @@ fn handle_prepare(id: u64, payload: &[u8], shared: &Shared) -> Frame {
     let prepared_id = shared.next_prepared.fetch_add(1, Ordering::Relaxed);
     let estimations = prepared.estimations();
     let summary = prepared.plan().summary().to_string();
-    shared
-        .registry
-        .lock()
-        .expect("prepared registry poisoned")
-        .insert(prepared_id, prepared);
+    lock(&shared.registry).insert(prepared_id, prepared);
     Frame {
         opcode: OP_PREPARED,
         request_id: id,
@@ -276,11 +516,17 @@ fn handle_prepare(id: u64, payload: &[u8], shared: &Shared) -> Frame {
 }
 
 fn handle_sample(id: u64, payload: &[u8], shared: &Shared) -> Frame {
-    let (prepared_id, n, seed) = match decode_sample(payload) {
+    let (prepared_id, n, seed, budget_ns) = match decode_sample(payload) {
         Ok(parts) => parts,
         Err(e) => return error_frame(id, ERR_BAD_REQUEST, &e.to_string()),
     };
-    if n > MAX_SAMPLE_N {
+    // Chaos builds: `n == u64::MAX` is a panic pill that exercises the
+    // worker-pool panic containment end to end.
+    #[cfg(feature = "faults")]
+    let panic_pill = n == u64::MAX;
+    #[cfg(not(feature = "faults"))]
+    let panic_pill = false;
+    if n > MAX_SAMPLE_N && !panic_pill {
         return error_frame(
             id,
             ERR_BAD_REQUEST,
@@ -288,7 +534,7 @@ fn handle_sample(id: u64, payload: &[u8], shared: &Shared) -> Frame {
         );
     }
     let prepared = {
-        let registry = shared.registry.lock().expect("prepared registry poisoned");
+        let registry = lock(&shared.registry);
         match registry.get(&prepared_id) {
             Some(p) => Arc::clone(p),
             None => {
@@ -300,7 +546,15 @@ fn handle_sample(id: u64, payload: &[u8], shared: &Shared) -> Frame {
             }
         }
     };
-    let request = SampleRequest::prepared(id, n as usize, &prepared).with_seed(seed);
+    let effective_n = if panic_pill { 1 } else { n as usize };
+    let mut request = SampleRequest::prepared(id, effective_n, &prepared).with_seed(seed);
+    if budget_ns > 0 {
+        request = request.with_budget(Duration::from_nanos(budget_ns));
+    }
+    #[cfg(feature = "faults")]
+    if panic_pill {
+        request = request.with_panic_for_test();
+    }
     let ticket = match shared.service.try_submit(request) {
         Ok(t) => t,
         Err(SubmitError::Busy { retry_after, .. }) => {
@@ -323,6 +577,11 @@ fn handle_sample(id: u64, payload: &[u8], shared: &Shared) -> Frame {
                 payload: encode_batch(&attrs, &response.tuples),
             }
         }
+        Err(CoreError::DeadlineExceeded) => error_frame(
+            id,
+            ERR_DEADLINE,
+            "deadline exceeded before the request finished",
+        ),
         Err(e) => error_frame(id, ERR_ENGINE, &e.to_string()),
     }
 }

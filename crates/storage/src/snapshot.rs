@@ -435,6 +435,15 @@ pub fn read_sections(bytes: &[u8]) -> Result<Vec<(u32, &[u8])>, SnapshotError> {
         r.align8()?;
         sections.push((kind, payload));
     }
+    if r.remaining() != 0 {
+        // A corrupted section count can otherwise decode "successfully"
+        // with sections silently dropped; the writer never leaves
+        // trailing bytes, so any remainder is corruption.
+        return Err(SnapshotError::Corrupt(format!(
+            "{} trailing bytes after the last section",
+            r.remaining()
+        )));
+    }
     Ok(sections)
 }
 
@@ -919,18 +928,107 @@ impl Snapshot {
         Ok(snapshot)
     }
 
-    /// Writes the snapshot to a file.
+    /// Writes the snapshot to a file via the crash-safe
+    /// [`atomic_replace`] protocol: the previous good file survives as
+    /// [`snapshot_prev_path`] and a crash at any point leaves either
+    /// the old or the new snapshot fully intact, never a torn one.
     pub fn write(&self, path: impl AsRef<std::path::Path>) -> Result<u64, SnapshotError> {
-        let bytes = self.write_bytes();
-        std::fs::write(path, &bytes)?;
-        Ok(bytes.len() as u64)
+        atomic_replace(path, &self.write_bytes())
     }
 
-    /// Reads a snapshot from a file.
+    /// Reads a snapshot from a file, falling back to the previous good
+    /// snapshot ([`snapshot_prev_path`]) when the newest one is
+    /// missing, truncated, or corrupt (see [`fallback_eligible`]).
     pub fn read(path: impl AsRef<std::path::Path>) -> Result<Self, SnapshotError> {
-        let bytes = std::fs::read(path)?;
-        Self::read_bytes(&bytes)
+        let path = path.as_ref();
+        let primary = std::fs::read(path)
+            .map_err(SnapshotError::from)
+            .and_then(|b| Self::read_bytes(&b));
+        match primary {
+            Ok(snapshot) => Ok(snapshot),
+            Err(e) if fallback_eligible(&e) => {
+                match std::fs::read(snapshot_prev_path(path))
+                    .ok()
+                    .and_then(|b| Self::read_bytes(&b).ok())
+                {
+                    Some(snapshot) => Ok(snapshot),
+                    None => Err(e),
+                }
+            }
+            Err(e) => Err(e),
+        }
     }
+}
+
+// ---------------------------------------------------------------------
+// Crash-safe file replacement
+// ---------------------------------------------------------------------
+
+fn sibling(path: &std::path::Path, suffix: &str) -> std::path::PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(suffix);
+    std::path::PathBuf::from(name)
+}
+
+/// The staging file [`atomic_replace`] writes before the final rename.
+/// A crash mid-write leaves (at most) a torn file *here*, never at the
+/// destination path.
+pub fn snapshot_tmp_path(path: impl AsRef<std::path::Path>) -> std::path::PathBuf {
+    sibling(path.as_ref(), ".tmp")
+}
+
+/// Where [`atomic_replace`] preserves the previous good file, and
+/// where the readers ([`Snapshot::read`], `Engine::load_snapshot`)
+/// look when the newest snapshot fails to decode.
+pub fn snapshot_prev_path(path: impl AsRef<std::path::Path>) -> std::path::PathBuf {
+    sibling(path.as_ref(), ".prev")
+}
+
+/// Whether a decode failure warrants falling back to the previous
+/// snapshot: everything a crash or bit-rot can produce (i/o errors,
+/// truncation, corruption, a garbage magic) — but *not*
+/// [`SnapshotError::UnsupportedVersion`], which is a deployment
+/// mismatch that silently serving stale data would only mask.
+pub fn fallback_eligible(e: &SnapshotError) -> bool {
+    !matches!(e, SnapshotError::UnsupportedVersion(_))
+}
+
+/// Crash-safe file replacement: stages `bytes` at
+/// [`snapshot_tmp_path`], fsyncs, then atomically renames over `path`,
+/// first preserving the existing file (if any) at
+/// [`snapshot_prev_path`]. Returns the bytes written.
+///
+/// The invariant: whatever instant the process dies, `path` holds a
+/// complete snapshot (old or new), and at least one of
+/// `path`/`path.prev` decodes — a torn write can only ever land in the
+/// staging file.
+pub fn atomic_replace(
+    path: impl AsRef<std::path::Path>,
+    bytes: &[u8],
+) -> Result<u64, SnapshotError> {
+    use std::io::Write as _;
+    let path = path.as_ref();
+    let tmp = snapshot_tmp_path(path);
+    if path.exists() {
+        let prev = snapshot_prev_path(path);
+        let _ = std::fs::remove_file(&prev);
+        // Hard link keeps `path` valid at every instant; fall back to
+        // a copy on filesystems without link support.
+        std::fs::hard_link(path, &prev).or_else(|_| std::fs::copy(path, &prev).map(|_| ()))?;
+    }
+    {
+        let mut staged = std::fs::File::create(&tmp)?;
+        staged.write_all(bytes)?;
+        staged.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    // Make the rename itself durable.
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(dir) = std::fs::File::open(dir) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(bytes.len() as u64)
 }
 
 #[cfg(test)]

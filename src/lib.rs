@@ -39,7 +39,10 @@ pub use suj_core::query::{JoinDef, UnionQuery, UnionSemantics};
 pub use suj_core::serve::{
     SampleRequest, SampleResponse, SamplingService, ServiceConfig, ServiceStats,
 };
-pub use suj_net::{Client, NetError, Server, WireStats};
+pub use suj_net::{Client, NetError, Server, ServerOptions, WireStats};
+
+#[cfg(feature = "faults")]
+pub use suj_net::{FaultConfig, FaultPlan};
 
 use suj_core::error::CoreError;
 use suj_tpch::TpchConfig;

@@ -8,7 +8,8 @@
 //! the bottom (`cargo test --release --test net -- --ignored`).
 
 use sample_union_joins::prelude::*;
-use sample_union_joins::{Client, NetError, Server, ServiceConfig};
+use sample_union_joins::{Client, NetError, Server, ServerOptions, ServiceConfig};
+use std::time::Duration;
 use suj_net::protocol::{self, Frame, ERR_BAD_REQUEST, ERR_UNKNOWN_PREPARED};
 
 fn relation(name: &str, attrs: &[&str], rows: Vec<Vec<i64>>) -> Relation {
@@ -162,6 +163,112 @@ fn unknown_opcode_gets_error_frame() {
     assert!(message.contains("opcode"));
     drop(stream);
     server.stop();
+    server.join().unwrap();
+}
+
+/// A request whose deadline budget cannot possibly be met comes back
+/// as the typed [`NetError::DeadlineExceeded`] — and a generous budget
+/// changes nothing about the sampled bits.
+#[test]
+fn wire_deadlines_are_typed_and_do_not_change_samples() {
+    let server = Server::bind(
+        default_engine(),
+        "127.0.0.1:0",
+        ServiceConfig::with_workers(1),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let remote = client.prepare(&union_query()).unwrap();
+
+    // A 1ns budget expires before the worker can even dequeue.
+    match client.sample_within(&remote, 1000, 7, Duration::from_nanos(1)) {
+        Err(NetError::DeadlineExceeded) => {}
+        other => panic!("expected typed deadline error, got {other:?}"),
+    }
+
+    // The connection survives, and a generous budget is bit-identical
+    // to no budget at all: the deadline check never alters the draw
+    // sequence.
+    let unbounded = client.sample(&remote, 32, 7).unwrap();
+    let budgeted = client
+        .sample_within(&remote, 32, 7, Duration::from_secs(60))
+        .unwrap();
+    assert_eq!(unbounded.tuples, budgeted.tuples);
+
+    // The failed request is a counted, typed failure — not a lost one.
+    let stats = client.stats().unwrap();
+    assert!(stats.failed >= 1);
+    client.shutdown().unwrap();
+    server.join().unwrap();
+}
+
+/// After `Server::stop`, a connection in its drain window answers
+/// queued requests with typed `ShuttingDown` errors instead of a raw
+/// EOF.
+#[test]
+fn stopped_server_drains_with_typed_shutting_down_frames() {
+    let server = Server::bind_with(
+        default_engine(),
+        "127.0.0.1:0",
+        ServiceConfig::with_workers(1),
+        ServerOptions::default().with_drain_grace(Duration::from_secs(3)),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let remote = client.prepare(&union_query()).unwrap();
+    assert_eq!(client.sample(&remote, 8, 0).unwrap().tuples.len(), 8);
+
+    server.stop();
+    // The established connection is draining: requests sent now get a
+    // typed answer, not a hangup.
+    match client.sample(&remote, 8, 1) {
+        Err(NetError::ShuttingDown) => {}
+        other => panic!("expected typed shutting-down error, got {other:?}"),
+    }
+    match client.stats() {
+        Err(NetError::ShuttingDown) => {}
+        other => panic!("expected typed shutting-down error, got {other:?}"),
+    }
+    server.join().unwrap();
+}
+
+/// A peer that starts a frame and then stalls is dropped once the I/O
+/// grace expires — it cannot pin its connection thread — and the
+/// server keeps serving everyone else.
+#[test]
+fn stalled_mid_frame_peer_is_dropped_after_the_grace() {
+    use std::io::{Read, Write};
+    let server = Server::bind_with(
+        default_engine(),
+        "127.0.0.1:0",
+        ServiceConfig::with_workers(1),
+        ServerOptions::default().with_io_grace(Duration::from_millis(200)),
+    )
+    .unwrap();
+
+    // Send half a header, then stall.
+    let mut stalled = std::net::TcpStream::connect(server.addr()).unwrap();
+    stalled.write_all(b"SUJN\x02\x00").unwrap();
+    stalled.flush().unwrap();
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let start = std::time::Instant::now();
+    let mut buf = [0u8; 1];
+    // The server must close the connection (read yields 0/EOF or a
+    // reset) well before our 5s read timeout.
+    let dropped = matches!(stalled.read(&mut buf), Ok(0) | Err(_));
+    assert!(dropped, "server must drop a stalled mid-frame peer");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "drop must come from the server's grace, not our timeout"
+    );
+
+    // Other connections were never affected.
+    let mut client = Client::connect(server.addr()).unwrap();
+    let remote = client.prepare(&union_query()).unwrap();
+    assert_eq!(client.sample(&remote, 8, 0).unwrap().tuples.len(), 8);
+    client.shutdown().unwrap();
     server.join().unwrap();
 }
 

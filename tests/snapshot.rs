@@ -314,28 +314,30 @@ fn empty_file_fails_with_named_error() {
 // (catalog + prepared cache) never panics either.
 // ---------------------------------------------------------------------
 
+fn small_engine() -> Engine {
+    let schema_r = Schema::new(["a", "b"]).unwrap();
+    let schema_s = Schema::new(["b", "c"]).unwrap();
+    let rows = |k: i64| {
+        (0..20)
+            .map(|i| Tuple::new(vec![Value::int(i % 7), Value::int((i * k) % 5)]))
+            .collect()
+    };
+    let mut catalog = Catalog::new();
+    catalog
+        .register(Relation::new("r", schema_r, rows(3)).unwrap())
+        .unwrap();
+    catalog
+        .register(Relation::new("s", schema_s, rows(2)).unwrap())
+        .unwrap();
+    let engine = Engine::new(catalog);
+    let query = UnionQuery::set_union().chain("q", ["r", "s"]).unwrap();
+    engine.prepare(&query).unwrap();
+    engine
+}
+
 fn engine_snapshot_bytes() -> &'static [u8] {
     static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
-    BYTES.get_or_init(|| {
-        let schema_r = Schema::new(["a", "b"]).unwrap();
-        let schema_s = Schema::new(["b", "c"]).unwrap();
-        let rows = |k: i64| {
-            (0..20)
-                .map(|i| Tuple::new(vec![Value::int(i % 7), Value::int((i * k) % 5)]))
-                .collect()
-        };
-        let mut catalog = Catalog::new();
-        catalog
-            .register(Relation::new("r", schema_r, rows(3)).unwrap())
-            .unwrap();
-        catalog
-            .register(Relation::new("s", schema_s, rows(2)).unwrap())
-            .unwrap();
-        let engine = Engine::new(catalog);
-        let query = UnionQuery::set_union().chain("q", ["r", "s"]).unwrap();
-        engine.prepare(&query).unwrap();
-        engine.snapshot_to_bytes().unwrap()
-    })
+    BYTES.get_or_init(|| small_engine().snapshot_to_bytes().unwrap())
 }
 
 proptest! {
@@ -369,5 +371,152 @@ proptest! {
         let bytes = engine_snapshot_bytes();
         let cut = cut_seed % bytes.len();
         prop_assert!(Engine::load_snapshot_bytes(&bytes[..cut]).is_err());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Crash-safe on-disk protocol: temp-file staging, atomic rename, and
+// fallback to the previous generation.
+// ---------------------------------------------------------------------
+
+/// A scratch snapshot path (plus its `.tmp`/`.prev` siblings), cleaned
+/// up on drop so reruns start fresh.
+struct SnapDir {
+    path: std::path::PathBuf,
+}
+
+impl SnapDir {
+    fn new(name: &str) -> Self {
+        let dir = std::env::temp_dir().join("suj_snapshot_crash_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let this = SnapDir { path };
+        this.clean();
+        this
+    }
+
+    fn clean(&self) {
+        std::fs::remove_file(&self.path).ok();
+        std::fs::remove_file(snapshot_prev_path(&self.path)).ok();
+        std::fs::remove_file(snapshot_tmp_path(&self.path)).ok();
+    }
+}
+
+impl Drop for SnapDir {
+    fn drop(&mut self) {
+        self.clean();
+    }
+}
+
+use suj_storage::snapshot::{snapshot_prev_path, snapshot_tmp_path};
+
+/// Builds the two-generation fixture: generation 1 (one prepared
+/// query) lives in `.prev`, generation 2 (two prepared queries) is the
+/// main file. Returns the engine and the main file's bytes.
+fn two_generations(scratch: &SnapDir) -> (Engine, Vec<u8>) {
+    let engine = small_engine();
+    engine.save_snapshot(&scratch.path).unwrap();
+    let second = UnionQuery::set_union().chain("q2", ["s", "r"]).unwrap();
+    engine.prepare(&second).unwrap();
+    engine.save_snapshot(&scratch.path).unwrap();
+    assert!(
+        snapshot_prev_path(&scratch.path).exists(),
+        "saving twice must keep the previous generation"
+    );
+    let v2 = std::fs::read(&scratch.path).unwrap();
+    (engine, v2)
+}
+
+/// A crash while writing the staging file leaves the previous
+/// generation untouched: for every prefix length of the new bytes left
+/// in `.tmp`, the main file still loads the newest good generation.
+#[test]
+fn kill_mid_tmp_write_never_affects_the_main_snapshot() {
+    let scratch = SnapDir::new("tmp_torn.snap");
+    let (_engine, v2) = two_generations(&scratch);
+    let tmp = snapshot_tmp_path(&scratch.path);
+    // Sweep every prefix (bounded stride keeps the sweep exhaustive
+    // for small snapshots and fast for large ones), plus the exact
+    // boundary cases.
+    let stride = (v2.len() / 512).max(1);
+    let cuts = (0..v2.len()).step_by(stride).chain([0, 1, v2.len() - 1]);
+    for cut in cuts {
+        std::fs::write(&tmp, &v2[..cut]).unwrap();
+        let restored = Engine::load_snapshot(&scratch.path).unwrap();
+        assert_eq!(restored.cached_queries(), 2, "cut {cut}");
+    }
+}
+
+/// A torn main file (crash mid-overwrite, disk corruption) falls back
+/// to the previous generation for every possible truncation point.
+#[test]
+fn torn_main_snapshot_falls_back_at_every_prefix() {
+    let scratch = SnapDir::new("main_torn.snap");
+    let (_engine, v2) = two_generations(&scratch);
+    let stride = (v2.len() / 512).max(1);
+    let cuts = (0..v2.len()).step_by(stride).chain([0, 1, v2.len() - 1]);
+    for cut in cuts {
+        std::fs::write(&scratch.path, &v2[..cut]).unwrap();
+        let restored = Engine::load_snapshot(&scratch.path)
+            .unwrap_or_else(|e| panic!("cut {cut}: no fallback ({e})"));
+        assert_eq!(
+            restored.cached_queries(),
+            1,
+            "cut {cut} must restore the previous generation"
+        );
+    }
+    // Restore the intact main file: the newest generation wins again.
+    std::fs::write(&scratch.path, &v2).unwrap();
+    assert_eq!(
+        Engine::load_snapshot(&scratch.path)
+            .unwrap()
+            .cached_queries(),
+        2
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Single-byte corruption of the main file with an intact `.prev`:
+    /// the load must succeed — either the flip was benign (newest
+    /// generation) or the fallback kicks in (previous generation). The
+    /// only acceptable failure is a version-field flip, which is
+    /// deliberately not eligible for fallback (a deployment mismatch
+    /// must not silently serve stale data).
+    #[test]
+    fn corrupted_main_with_good_prev_always_recovers(
+        flip_seed in 0usize..100_000,
+        flip_bit in 0u8..8,
+    ) {
+        let scratch = SnapDir::new(&format!("flip_{flip_seed}_{flip_bit}.snap"));
+        let (_engine, v2) = two_generations(&scratch);
+        let mut corrupted = v2.clone();
+        let pos = flip_seed % corrupted.len();
+        corrupted[pos] ^= 1 << flip_bit;
+        std::fs::write(&scratch.path, &corrupted).unwrap();
+        match Engine::load_snapshot(&scratch.path) {
+            Ok(engine) => {
+                let queries = engine.cached_queries();
+                prop_assert!(
+                    queries == 1 || queries == 2,
+                    "flip at {} restored {} prepared queries",
+                    pos,
+                    queries
+                );
+                let names: Vec<&str> = engine.catalog().names().collect();
+                prop_assert_eq!(names, vec!["r", "s"]);
+            }
+            Err(e) => {
+                // Only an unsupported-version rejection may refuse the
+                // fallback.
+                prop_assert!(
+                    e.to_string().contains("version"),
+                    "flip at {} failed with non-version error: {}",
+                    pos,
+                    e
+                );
+            }
+        }
     }
 }
