@@ -1,0 +1,260 @@
+//! Alias-cascade draw throughput: the factorized-count + alias-arena
+//! draw path (`JoinSampler::sample_batch`, one O(1) alias lookup per
+//! tree edge) against the pre-arena linear-scan reference
+//! (`ExactWeightSampler::sample_rows_linear`, which walks each key's
+//! postings weighted by the exact counts).
+//!
+//! Both paths share the same count tables, the same per-tuple
+//! marginals, and the same allocation-free draw loop — the only
+//! difference is the per-edge child pick, so the ratio isolates the
+//! cascade's win. The gap widens with fanout: uq1–uq3 carry moderate
+//! TPC-H fanout, while the `zipf_hot` chain concentrates postings on a
+//! few Zipf-hot keys, exactly the shape where a size-biased linear
+//! scan degenerates and the alias lookup does not.
+//!
+//! Full runs append a machine-readable `BENCH_10.json` at the
+//! workspace root (per-workload cascade vs. linear draws/sec, the
+//! speedup, prepare time, and the resident footprint split into count
+//! tables vs. alias arenas). `--test` (the CI smoke mode) runs a
+//! reduced draw count, skips the JSON write, and asserts the cascade
+//! is at least as fast as the linear scan on the high-fanout workload
+//! — the structural claim of this optimisation, stable even on noisy
+//! shared hardware.
+
+use std::sync::Arc;
+use std::time::Instant;
+use suj_bench::{build_workload, FigureTable, UqOptions};
+use suj_join::{ExactWeightSampler, JoinSampler, JoinSpec, RowDraw};
+use suj_stats::{SujRng, Zipf};
+use suj_storage::{Relation, Schema, Tuple, Value};
+
+struct Measurement {
+    key: String,
+    cascade_dps: f64,
+    linear_dps: f64,
+    prepare_ms: f64,
+    resident_bytes: usize,
+    arena_bytes: usize,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        if self.linear_dps > 0.0 {
+            self.cascade_dps / self.linear_dps
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Draws `n` tuples through the linear-scan reference path — the same
+/// accept loop as `sample_batch`, with the per-edge alias lookup
+/// replaced by the postings scan.
+fn linear_batch(sampler: &ExactWeightSampler, n: usize, rng: &mut SujRng, out: &mut Vec<Tuple>) {
+    out.reserve(n);
+    let mut draw = RowDraw::new();
+    let mut accepted = 0usize;
+    while accepted < n {
+        if sampler.sample_rows_linear(rng, &mut draw) {
+            out.push(sampler.materialize(&draw));
+            accepted += 1;
+        }
+    }
+}
+
+fn measure(key: &str, spec: Arc<JoinSpec>, draws: usize, reps: usize) -> Measurement {
+    // Prepare: count DP + arena builds, best-of-reps wall time.
+    let mut prepare = std::time::Duration::MAX;
+    let mut sampler = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        sampler = Some(ExactWeightSampler::new(spec.clone()).expect("acyclic spec"));
+        prepare = prepare.min(start.elapsed());
+    }
+    let sampler = sampler.unwrap();
+    let artifacts = sampler.artifacts();
+    let arena_bytes = artifacts.root_arena.memory_bytes()
+        + artifacts
+            .arenas
+            .iter()
+            .flatten()
+            .map(suj_stats::AliasArena::memory_bytes)
+            .sum::<usize>();
+
+    let mut rng = SujRng::seed_from_u64(42);
+    let mut out = Vec::new();
+
+    // Warm-up faults in the indexes and sizes the scratch.
+    sampler.sample_batch(draws.min(500), u64::MAX, &mut rng, &mut out);
+
+    // Best-of-reps: the minimum is the load-insensitive statistic
+    // (same convention as `hot_path`).
+    let mut cascade = std::time::Duration::MAX;
+    for _ in 0..reps.max(1) {
+        out.clear();
+        let start = Instant::now();
+        sampler.sample_batch(draws, u64::MAX, &mut rng, &mut out);
+        cascade = cascade.min(start.elapsed());
+    }
+
+    linear_batch(&sampler, draws.min(500), &mut rng, &mut out);
+    let mut linear = std::time::Duration::MAX;
+    for _ in 0..reps.max(1) {
+        out.clear();
+        let start = Instant::now();
+        linear_batch(&sampler, draws, &mut rng, &mut out);
+        linear = linear.min(start.elapsed());
+    }
+
+    Measurement {
+        key: key.to_string(),
+        cascade_dps: draws as f64 / cascade.as_secs_f64(),
+        linear_dps: draws as f64 / linear.as_secs_f64(),
+        prepare_ms: prepare.as_secs_f64() * 1e3,
+        resident_bytes: sampler.memory_bytes(),
+        arena_bytes,
+    }
+}
+
+/// The high-fanout chain `r(a,b) ⋈ s(b,c) ⋈ t(c,d)`: both join
+/// attributes draw their values from Zipf(1.2), so a handful of hot
+/// keys own most of the postings — the Zipf-hot rows are also the
+/// heavy ones, so the linear scan's expected walk is size-biased
+/// toward the longest lists.
+fn zipf_hot_spec() -> Arc<JoinSpec> {
+    let mut rng = SujRng::seed_from_u64(7);
+    let b_keys = Zipf::new(1_000, 1.2).unwrap();
+    let c_keys = Zipf::new(500, 1.2).unwrap();
+
+    let int_rows = |rows: Vec<(i64, i64)>| {
+        rows.into_iter()
+            .map(|(x, y)| Tuple::new(vec![Value::int(x), Value::int(y)]))
+            .collect::<Vec<_>>()
+    };
+    let r = int_rows(
+        (0..2_000)
+            .map(|i| (i, b_keys.draw(&mut rng) as i64))
+            .collect(),
+    );
+    let s = int_rows(
+        (0..50_000)
+            .map(|_| (b_keys.draw(&mut rng) as i64, c_keys.draw(&mut rng) as i64))
+            .collect(),
+    );
+    let t = int_rows(
+        (0..2_000)
+            .map(|i| (c_keys.draw(&mut rng) as i64, i))
+            .collect(),
+    );
+
+    let rel = |name: &str, attrs: [&str; 2], rows: Vec<Tuple>| {
+        Arc::new(Relation::new(name, Schema::new(attrs).unwrap(), rows).unwrap())
+    };
+    Arc::new(
+        JoinSpec::chain(
+            "zipf_hot",
+            vec![
+                rel("r", ["a", "b"], r),
+                rel("s", ["b", "c"], s),
+                rel("t", ["c", "d"], t),
+            ],
+        )
+        .unwrap(),
+    )
+}
+
+fn write_json(measurements: &[Measurement]) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_10.json");
+    let mut out = String::from("{\n  \"pr\": 10,\n  \"bench\": \"alias_path\",\n");
+    out.push_str(
+        "  \"config\": \"ExactWeightSampler sample_batch (alias cascade) vs \
+         sample_rows_linear (postings scan), shared count tables\",\n",
+    );
+    out.push_str("  \"workloads\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"cascade_draws_per_sec\": {:.0}, \
+             \"linear_draws_per_sec\": {:.0}, \"speedup\": {:.2}, \
+             \"prepare_ms\": {:.3}, \"resident_bytes\": {}, \"arena_bytes\": {}}}",
+            m.key,
+            m.cascade_dps,
+            m.linear_dps,
+            m.speedup(),
+            m.prepare_ms,
+            m.resident_bytes,
+            m.arena_bytes
+        ));
+        out.push_str(if i + 1 < measurements.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write BENCH_10.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let (draws, reps) = if smoke { (2_000, 1) } else { (200_000, 3) };
+
+    let opts = UqOptions::new(2, 42, 0.2);
+    let mut specs: Vec<(String, Arc<JoinSpec>)> = ["uq1", "uq2", "uq3"]
+        .iter()
+        .map(|name| {
+            let w = build_workload(name, &opts).expect("workload");
+            (format!("{name}/join0"), w.join(0).clone())
+        })
+        .collect();
+    specs.push(("zipf_hot".into(), zipf_hot_spec()));
+
+    let mut table = FigureTable::new(
+        "Alias cascade — exact-weight draw throughput vs linear scan",
+        &[
+            "workload",
+            "cascade/s",
+            "linear/s",
+            "speedup",
+            "prep",
+            "resident",
+            "arenas",
+        ],
+    );
+    let mut measurements = Vec::new();
+    for (key, spec) in specs {
+        let m = measure(&key, spec, draws, reps);
+        table.push_row(vec![
+            m.key.clone(),
+            format!("{:.0}", m.cascade_dps),
+            format!("{:.0}", m.linear_dps),
+            format!("{:.2}x", m.speedup()),
+            format!("{:.2}ms", m.prepare_ms),
+            format!("{}B", m.resident_bytes),
+            format!("{}B", m.arena_bytes),
+        ]);
+        measurements.push(m);
+    }
+    println!("{table}");
+
+    if smoke {
+        // CI smoke: numbers are meaningless at this draw count on
+        // shared hardware, but the *structural* claim — O(1) alias
+        // lookups never lose to a size-biased postings scan on
+        // Zipf-hot fanout — must hold at any scale.
+        assert!(measurements.iter().all(|m| m.cascade_dps > 0.0));
+        let hot = measurements
+            .iter()
+            .find(|m| m.key == "zipf_hot")
+            .expect("zipf_hot measured");
+        assert!(
+            hot.cascade_dps >= hot.linear_dps,
+            "cascade ({:.0}/s) must not lose to the linear scan ({:.0}/s) on high fanout",
+            hot.cascade_dps,
+            hot.linear_dps
+        );
+        println!("smoke mode: skipping BENCH_10.json");
+        return;
+    }
+    write_json(&measurements);
+}

@@ -490,6 +490,16 @@ impl PreparedQuery {
         self.plan.explain()
     }
 
+    /// The resolved configuration summary stamped at freeze time —
+    /// including provenance (rule, size provenance) that a summary
+    /// recomputed from [`Self::plan`] cannot always re-derive after a
+    /// snapshot restore (frozen stats carry no histogram map). This is
+    /// the same summary every [`RunReport`] from this query carries in
+    /// its `config`.
+    pub fn summary(&self) -> &crate::report::PlanSummary {
+        self.prepared.summary()
+    }
+
     /// The workload being sampled (after any predicate push-down).
     pub fn workload(&self) -> &Arc<UnionWorkload> {
         self.prepared.workload()

@@ -38,7 +38,10 @@ use crate::report::PlanSummary;
 use crate::session::{Estimator, HistogramOptions, Strategy};
 use crate::walk_estimator::WalkEstimatorConfig;
 use crate::workload::UnionWorkload;
-use suj_join::WeightKind;
+use std::fmt;
+use std::sync::Arc;
+use suj_join::weights::build_sampler;
+use suj_join::{JoinSampler, WeightKind};
 
 /// Cheap statistics the planner gathers before choosing a
 /// configuration: histogram-derived join-size hints and an
@@ -56,10 +59,29 @@ pub struct WorkloadStats {
     pub total_base_rows: usize,
     /// Number of joins.
     pub n_joins: usize,
+    /// Whether `join_size_hints` are exact integer join cardinalities
+    /// from the Exact-Weight count tables (every member acyclic and
+    /// unsaturated) rather than histogram estimates.
+    pub exact_sizes: bool,
     /// The overlap map the probe computed, kept so a plan that selects
     /// the same histogram estimator can hand it to the builder instead
     /// of re-estimating.
     pub(crate) probed_map: Option<OverlapMap>,
+    /// The Exact-Weight samplers the exact-size refinement built (count
+    /// tables + alias arenas), kept so `freeze()` reuses them instead
+    /// of building the same structures a second time.
+    pub(crate) probed_samplers: Option<ProbedSamplers>,
+}
+
+/// Shared per-join samplers riding along on [`WorkloadStats`] from the
+/// planner's exact-size probe into the builder's freeze.
+#[derive(Clone)]
+pub(crate) struct ProbedSamplers(pub(crate) Vec<Arc<dyn JoinSampler>>);
+
+impl fmt::Debug for ProbedSamplers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ProbedSamplers({})", self.0.len())
+    }
 }
 
 impl WorkloadStats {
@@ -112,7 +134,9 @@ impl WorkloadStats {
             union_size_hint: None,
             total_base_rows,
             n_joins: workload.n_joins(),
+            exact_sizes: false,
             probed_map: None,
+            probed_samplers: None,
         }
     }
 
@@ -271,16 +295,19 @@ impl Planner {
 
     /// Plans a workload under the given union semantics.
     pub fn plan(&self, workload: &UnionWorkload, semantics: UnionSemantics) -> Plan {
-        let stats = if self.config.use_statistics {
+        let mut stats = if self.config.use_statistics {
             WorkloadStats::probe(workload)
         } else {
             WorkloadStats::unavailable(workload)
         };
-        let estimator = self.pick_estimator(&stats);
         let cyclic = workload
             .joins()
             .iter()
             .any(|j| suj_join::graph::has_graph_cycle(j));
+        if self.config.use_statistics && !cyclic {
+            Self::refine_exact_sizes(&mut stats, workload);
+        }
+        let estimator = self.pick_estimator(&stats);
 
         let (rule, strategy) = if semantics == UnionSemantics::Disjoint {
             (PlanRule::DisjointSemantics, Strategy::Disjoint)
@@ -379,6 +406,37 @@ impl Planner {
         plan
     }
 
+    /// On an all-acyclic workload, builds the Exact-Weight samplers
+    /// once — their count tables yield *exact* integer join sizes — and
+    /// (when the probe's statistics are available to supply overlap
+    /// context) replaces the histogram's size hints with the exact
+    /// figures, clamping the union estimate into its sound bracket
+    /// `[max |Jᵢ|, Σ|Jᵢ|]`. The samplers ride along on the stats so
+    /// `freeze()` reuses their alias arenas instead of building them a
+    /// second time. Skipped entirely when any count saturated `u64`
+    /// (the hints would not be exact) or a sampler failed to build.
+    fn refine_exact_sizes(stats: &mut WorkloadStats, workload: &UnionWorkload) {
+        let built: Result<Vec<Arc<dyn JoinSampler>>, _> = workload
+            .joins()
+            .iter()
+            .map(|j| build_sampler(j.clone(), WeightKind::Exact).map(Arc::from))
+            .collect();
+        let Ok(samplers) = built else { return };
+        let exact: Option<Vec<u64>> = samplers.iter().map(|s| s.size_info().exact).collect();
+        if let (Some(exact), true) = (exact, stats.available()) {
+            let hints: Vec<f64> = exact.iter().map(|&n| n as f64).collect();
+            let sum: f64 = hints.iter().sum();
+            let max = hints.iter().cloned().fold(0.0f64, f64::max);
+            // The union estimate keeps the probe's overlap information
+            // (exact member sizes say nothing about overlap) but is
+            // clamped into the bracket the exact sizes prove.
+            stats.union_size_hint = stats.union_size_hint.map(|u| u.clamp(max, sum));
+            stats.join_size_hints = Some(hints);
+            stats.exact_sizes = true;
+        }
+        stats.probed_samplers = Some(ProbedSamplers(samplers));
+    }
+
     /// Estimator for strategies that need parameters up front.
     fn pick_estimator(&self, stats: &WorkloadStats) -> Estimator {
         if stats.total_base_rows <= self.config.exact_max_base_rows {
@@ -439,7 +497,19 @@ impl Plan {
                 }
                 .to_string()
             }),
+            sizing: self.sizing_label(),
             rule: Some(self.rule.name().to_string()),
+        }
+    }
+
+    /// Provenance of the join-size figures the decision consumed.
+    fn sizing_label(&self) -> Option<String> {
+        if self.stats.exact_sizes {
+            Some("exact".to_string())
+        } else if self.stats.available() {
+            Some("histogram".to_string())
+        } else {
+            None
         }
     }
 
@@ -492,12 +562,13 @@ impl Plan {
             self.rule.citation()
         ));
         out.push_str(&format!(
-            "stats: joins={} base_rows={} Σ|Jᵢ|≈{} |∪Jᵢ|≈{} skew≈{}",
+            "stats: joins={} base_rows={} Σ|Jᵢ|≈{} |∪Jᵢ|≈{} skew≈{} sizing={}",
             self.stats.n_joins,
             self.stats.total_base_rows,
             fmt_opt(self.stats.sum_join_sizes()),
             fmt_opt(self.stats.union_size_hint),
             fmt_opt(self.stats.size_skew()),
+            self.sizing_label().as_deref().unwrap_or("none"),
         ));
         out
     }
@@ -769,5 +840,46 @@ mod tests {
         assert_eq!(summary.strategy, "rejection");
         assert_eq!(summary.rule.as_deref(), Some("high-overlap"));
         assert!(summary.cover.is_some());
+    }
+
+    #[test]
+    fn acyclic_stats_carry_exact_sizes() {
+        let w = identical_workload();
+        let plan = Planner::default().plan(&w, UnionSemantics::Set);
+        assert!(plan.stats.exact_sizes);
+        // Each member joins to exactly (1,10,100),(2,20,200),(3,20,200).
+        assert_eq!(plan.stats.join_size_hints.as_deref(), Some(&[3.0, 3.0][..]));
+        // The union estimate is clamped into the bracket the exact
+        // member sizes prove: [max |Jᵢ|, Σ|Jᵢ|].
+        let union = plan.stats.union_size_hint.unwrap();
+        assert!(
+            (3.0..=6.0).contains(&union),
+            "union {union} outside bracket"
+        );
+        assert_eq!(plan.summary().sizing.as_deref(), Some("exact"));
+        assert!(
+            plan.explain().contains("sizing=exact"),
+            "{}",
+            plan.explain()
+        );
+        // The samplers built for the probe ride along for freeze reuse.
+        assert!(plan.stats.probed_samplers.is_some());
+    }
+
+    #[test]
+    fn cyclic_plans_never_claim_exact_sizes() {
+        let w = Arc::new(UnionWorkload::new(vec![triangle("t1", 0), triangle("t2", 100)]).unwrap());
+        let plan = Planner::default().plan(&w, UnionSemantics::Set);
+        assert!(!plan.stats.exact_sizes);
+        assert!(plan.stats.probed_samplers.is_none());
+        assert_ne!(plan.summary().sizing.as_deref(), Some("exact"));
+    }
+
+    #[test]
+    fn without_statistics_skips_exact_size_probe() {
+        let plan = Planner::without_statistics().plan(&identical_workload(), UnionSemantics::Set);
+        assert!(!plan.stats.exact_sizes);
+        assert!(plan.stats.probed_samplers.is_none());
+        assert_eq!(plan.summary().sizing, None);
     }
 }

@@ -208,6 +208,14 @@ impl JoinSampler for FilteredSampler {
         // The unfiltered hint remains a valid upper bound.
         self.inner.join_size_hint()
     }
+
+    // `size_info` deliberately stays the trait default: the predicate
+    // shrinks the result, so the inner sampler's exact size is only an
+    // upper bound here.
+
+    fn memory_bytes(&self) -> usize {
+        self.inner.memory_bytes()
+    }
 }
 
 /// Reject-during-sampling over a whole union: wraps any

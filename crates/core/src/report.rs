@@ -32,6 +32,12 @@ pub struct PlanSummary {
     pub cover: Option<String>,
     /// Predicate mode, when a selection predicate is attached.
     pub predicate: Option<String>,
+    /// Provenance of the join-size figures the plan consumed: `exact`
+    /// when every member's size came from the Exact-Weight count tables
+    /// (integer join cardinalities, not estimates), `histogram` when
+    /// the §5 probe supplied them; `None` when no statistics drove the
+    /// decision.
+    pub sizing: Option<String>,
     /// The planner rule that selected this configuration, when it came
     /// from [`Strategy::Auto`](crate::session::Strategy) or the
     /// [`Engine`](crate::catalog::Engine) rather than explicit calls.
@@ -49,6 +55,9 @@ impl fmt::Display for PlanSummary {
         }
         if let Some(predicate) = &self.predicate {
             write!(f, " predicate={predicate}")?;
+        }
+        if let Some(sizing) = &self.sizing {
+            write!(f, " sizing={sizing}")?;
         }
         if let Some(rule) = &self.rule {
             write!(f, " rule={rule}")?;
@@ -525,6 +534,7 @@ mod tests {
             weights: Some("exact".into()),
             cover: Some("as-given".into()),
             predicate: None,
+            sizing: None,
             rule: None,
         });
         r.accepted = 3;

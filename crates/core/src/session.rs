@@ -181,11 +181,25 @@ pub struct SamplerBuilder {
     /// Only set by [`apply_plan`](Self::apply_plan), and discarded
     /// when a push-down predicate rewrites the workload.
     prebuilt_overlap: Option<OverlapMap>,
+    /// Exact-weight per-join samplers the planner already built for
+    /// this workload (count tables + alias arenas); consumed by
+    /// `freeze()` instead of building the same structures again. Like
+    /// `prebuilt_overlap`, discarded when a push-down predicate
+    /// rewrites the workload. Only set by
+    /// [`apply_plan`](Self::apply_plan).
+    prebuilt_samplers: Option<Vec<Arc<dyn JoinSampler>>>,
     /// Parameters restored from a snapshot; consumed by `freeze()`
     /// instead of estimating. Unlike `prebuilt_overlap`, restored
     /// parameters were frozen *after* any push-down rewrite, so they
     /// survive it. Only set by [`with_restored`](Self::with_restored).
     restored: Option<FrozenParams>,
+    /// Per-join Exact-Weight artifacts restored from a snapshot;
+    /// `freeze()` revives them through
+    /// [`ExactWeightSampler::from_artifacts`](suj_join::ExactWeightSampler::from_artifacts)
+    /// instead of rebuilding count tables and alias arenas. Frozen
+    /// after any push-down rewrite, so they survive it. Only set by
+    /// [`with_restored_artifacts`](Self::with_restored_artifacts).
+    restored_artifacts: Option<Vec<suj_join::EwArtifacts>>,
 }
 
 /// The estimated parameters a freeze committed to, retained on the
@@ -218,7 +232,9 @@ impl SamplerBuilder {
             max_join_tries: None,
             max_cover_retries: None,
             prebuilt_overlap: None,
+            prebuilt_samplers: None,
             restored: None,
+            restored_artifacts: None,
         }
     }
 
@@ -354,6 +370,14 @@ impl SamplerBuilder {
         if let Some(cs) = plan.cover_strategy {
             self = self.cover_strategy_if_unset(cs);
         }
+        // The planner's exact-size refinement already built the
+        // exact-weight samplers (count tables + alias arenas); reuse
+        // them unless the caller pinned a different weight kind.
+        if let Some(probed) = &plan.stats.probed_samplers {
+            if self.weights == Some(WeightKind::Exact) {
+                self.prebuilt_samplers = Some(probed.0.clone());
+            }
+        }
         self
     }
 
@@ -363,6 +387,17 @@ impl SamplerBuilder {
     #[must_use = "builder methods return the updated builder; dropping it discards the configuration"]
     pub(crate) fn with_restored(mut self, params: FrozenParams) -> Self {
         self.restored = Some(params);
+        self
+    }
+
+    /// Supplies snapshot-restored Exact-Weight artifacts: `freeze()`
+    /// revives the per-join samplers from them (validated by
+    /// `from_artifacts`) instead of recomputing count tables and
+    /// rebuilding alias arenas — restored replicas serve without any
+    /// alias build (observable via [`suj_join::alias_builds`]).
+    #[must_use = "builder methods return the updated builder; dropping it discards the configuration"]
+    pub(crate) fn with_restored_artifacts(mut self, artifacts: Vec<suj_join::EwArtifacts>) -> Self {
+        self.restored_artifacts = Some(artifacts);
         self
     }
 
@@ -444,6 +479,9 @@ impl SamplerBuilder {
             weights,
             cover,
             predicate,
+            // The builder records no size provenance of its own; the
+            // planner (freeze_auto / engine) stamps it afterwards.
+            sizing: None,
             rule,
         }
     }
@@ -456,6 +494,7 @@ impl SamplerBuilder {
         let plan = Planner::default().plan(&self.workload, UnionSemantics::Set);
         let rule = plan.rule.name();
         let planned = plan.strategy.to_string();
+        let sizing = plan.summary().sizing;
         let mut prepared = self.apply_plan(&plan).freeze().map_err(|e| match e {
             // A knob the caller pinned can be incompatible with the
             // strategy the planner picked for *this data*; say so
@@ -466,6 +505,7 @@ impl SamplerBuilder {
             other => other,
         })?;
         prepared.summary.rule = Some(rule.to_string());
+        prepared.summary.sizing = sizing;
         Ok(prepared)
     }
 
@@ -504,6 +544,29 @@ impl SamplerBuilder {
             .map_err(CoreError::Join)
     }
 
+    /// Shared samplers for a freeze arm, cheapest source first:
+    /// snapshot-restored samplers (revived from persisted artifacts, no
+    /// alias build), then the planner's probed samplers (identical by
+    /// construction to what [`shared_samplers`](Self::shared_samplers)
+    /// would rebuild), else a fresh build. Both prebuilt sources hold
+    /// exact-weight samplers, so any other weight kind always builds
+    /// fresh.
+    fn resolve_samplers(
+        restored: &mut Option<Vec<Arc<dyn JoinSampler>>>,
+        prebuilt: &mut Option<Vec<Arc<dyn JoinSampler>>>,
+        workload: &Arc<UnionWorkload>,
+        weights: WeightKind,
+    ) -> Result<Vec<Arc<dyn JoinSampler>>, CoreError> {
+        if weights == WeightKind::Exact {
+            if let Some(s) = restored.take().or_else(|| prebuilt.take()) {
+                if s.len() == workload.n_joins() {
+                    return Ok(s);
+                }
+            }
+        }
+        Self::shared_samplers(workload, weights)
+    }
+
     /// Validates the configuration, pays parameter estimation and
     /// per-join precomputation once, and returns the frozen
     /// [`PreparedSampler`] — a `Send + Sync` artifact that mints any
@@ -527,10 +590,17 @@ impl SamplerBuilder {
             (_, Some((_, PredicateMode::PushDown))) => None,
             _ => self.prebuilt_overlap.take(),
         };
+        let mut prebuilt_samplers = match &self.predicate {
+            // Planner-probed samplers were built on the original
+            // workload; a push-down rewrite invalidates them.
+            Some((_, PredicateMode::PushDown)) => None,
+            _ => self.prebuilt_samplers.take(),
+        };
         let restored_sizes = match restored {
             Some(FrozenParams::Sizes(sizes)) => Some(sizes),
             _ => None,
         };
+        let restored_artifacts = self.restored_artifacts.take();
 
         // --- Predicate push-down rewrites the workload first. ---
         let workload = match &self.predicate {
@@ -544,6 +614,37 @@ impl SamplerBuilder {
                 Arc::new(UnionWorkload::new(filtered)?)
             }
             _ => self.workload.clone(),
+        };
+
+        // Revive snapshot-restored Exact-Weight samplers from their
+        // persisted artifacts. Artifacts were frozen after any
+        // push-down rewrite, so they line up with the (possibly
+        // rewritten) workload; `from_artifacts` validates every shape
+        // against the spec before serving from them.
+        let mut restored_samplers: Option<Vec<Arc<dyn JoinSampler>>> = match restored_artifacts {
+            Some(artifacts) => {
+                if artifacts.len() != workload.n_joins() {
+                    return Err(CoreError::Invalid(format!(
+                        "restored EW artifacts cover {} joins but the workload has {}",
+                        artifacts.len(),
+                        workload.n_joins()
+                    )));
+                }
+                Some(
+                    workload
+                        .joins()
+                        .iter()
+                        .cloned()
+                        .zip(artifacts)
+                        .map(|(spec, art)| {
+                            suj_join::ExactWeightSampler::from_artifacts(spec, art)
+                                .map(|s| Arc::new(s) as Arc<dyn JoinSampler>)
+                        })
+                        .collect::<Result<Vec<_>, _>>()
+                        .map_err(CoreError::Join)?,
+                )
+            }
+            None => None,
         };
 
         let (kind, frozen_params) = match self.strategy {
@@ -566,7 +667,12 @@ impl SamplerBuilder {
                     max_join_tries: self.max_join_tries.unwrap_or(defaults.max_join_tries),
                     max_cover_retries: self.max_cover_retries.unwrap_or(defaults.max_cover_retries),
                 };
-                let samplers = Self::shared_samplers(&workload, config.weights)?;
+                let samplers = Self::resolve_samplers(
+                    &mut restored_samplers,
+                    &mut prebuilt_samplers,
+                    &workload,
+                    config.weights,
+                )?;
                 let frozen = FrozenParams::Map(map.clone());
                 (
                     PreparedKind::Rejection {
@@ -646,8 +752,12 @@ impl SamplerBuilder {
                     &mut estimation_passes,
                 )?;
                 let sizes: Vec<f64> = (0..workload.n_joins()).map(|j| map.join_size(j)).collect();
-                let samplers =
-                    Self::shared_samplers(&workload, self.weights.unwrap_or(WeightKind::Exact))?;
+                let samplers = Self::resolve_samplers(
+                    &mut restored_samplers,
+                    &mut prebuilt_samplers,
+                    &workload,
+                    self.weights.unwrap_or(WeightKind::Exact),
+                )?;
                 let union_size = map.union_size();
                 (
                     PreparedKind::Bernoulli {
@@ -681,6 +791,12 @@ impl SamplerBuilder {
                     "max_cover_retries",
                     "Strategy::Disjoint",
                 )?;
+                let samplers = Self::resolve_samplers(
+                    &mut restored_samplers,
+                    &mut prebuilt_samplers,
+                    &workload,
+                    self.weights.unwrap_or(WeightKind::Exact),
+                )?;
                 let (sizes, frozen) = match self
                     .estimator
                     .unwrap_or(Estimator::Histogram(HistogramOptions::default()))
@@ -692,7 +808,18 @@ impl SamplerBuilder {
                             Some(sizes) => sizes,
                             None => {
                                 estimation_passes += 1;
-                                workload.exact_join_sizes()?
+                                // Exact-weight samplers already hold the
+                                // exact sizes in their count-table
+                                // roots (identical values to the
+                                // separate EW pass they replace).
+                                if samplers.iter().all(|s| s.as_exact().is_some()) {
+                                    samplers
+                                        .iter()
+                                        .map(|s| s.as_exact().expect("checked above").exact_size())
+                                        .collect()
+                                } else {
+                                    workload.exact_join_sizes()?
+                                }
                             }
                         };
                         (sizes.clone(), FrozenParams::Sizes(sizes))
@@ -709,14 +836,23 @@ impl SamplerBuilder {
                         (sizes, FrozenParams::Map(map))
                     }
                 };
-                let samplers =
-                    Self::shared_samplers(&workload, self.weights.unwrap_or(WeightKind::Exact))?;
                 (PreparedKind::Disjoint { samplers, sizes }, frozen)
             }
             Strategy::Auto => unreachable!("Auto is resolved in freeze_auto"),
         };
 
-        let prepared_bytes = workload.memory_bytes() as u64;
+        // Resident footprint of the frozen pipeline: base relations
+        // plus everything the per-join samplers precomputed (hash
+        // indexes, count tables, alias arenas).
+        let sampler_bytes: u64 = match &kind {
+            PreparedKind::Rejection { samplers, .. }
+            | PreparedKind::Bernoulli { samplers, .. }
+            | PreparedKind::Disjoint { samplers, .. } => {
+                samplers.iter().map(|s| s.memory_bytes() as u64).sum()
+            }
+            PreparedKind::Online { .. } => 0,
+        };
+        let prepared_bytes = workload.memory_bytes() as u64 + sampler_bytes;
         Ok(PreparedSampler {
             workload,
             kind,
@@ -926,6 +1062,24 @@ impl PreparedSampler {
         &self.summary
     }
 
+    /// Per-join Exact-Weight artifacts (count tables + alias arenas)
+    /// when *every* member sampler is exact-weight — what a snapshot
+    /// persists so a restore can revive the samplers without any count
+    /// recomputation or alias rebuild. `None` for online pipelines or
+    /// any non-EW member (nothing to persist).
+    pub(crate) fn ew_artifacts(&self) -> Option<Vec<suj_join::EwArtifacts>> {
+        let samplers = match &self.kind {
+            PreparedKind::Rejection { samplers, .. }
+            | PreparedKind::Bernoulli { samplers, .. }
+            | PreparedKind::Disjoint { samplers, .. } => samplers,
+            PreparedKind::Online { .. } => return None,
+        };
+        samplers
+            .iter()
+            .map(|s| s.as_exact().map(|e| e.artifacts()))
+            .collect()
+    }
+
     /// Overrides the stamped configuration record — used by the engine
     /// to substitute the planner's summary (which names the rule that
     /// fired) for the builder's.
@@ -1051,6 +1205,37 @@ mod tests {
             let (samples, _) = sampler.sample(25, &mut rng).unwrap();
             assert_eq!(samples.len(), 25);
         }
+    }
+
+    #[test]
+    fn prepared_bytes_accounts_sampler_footprint() {
+        let w = workload();
+        // Exact weights build count tables + alias arenas per join, so
+        // the frozen footprint must exceed the bare workload's bytes…
+        let prepared = SamplerBuilder::for_workload(w.clone())
+            .estimator(Estimator::Exact)
+            .strategy(Strategy::Rejection)
+            .weights(WeightKind::Exact)
+            .freeze()
+            .unwrap();
+        let workload_bytes = w.memory_bytes() as u64;
+        assert!(
+            prepared.prepared_bytes() > workload_bytes,
+            "prepared_bytes ({}) must include the samplers' count \
+             tables and arenas on top of the workload ({workload_bytes})",
+            prepared.prepared_bytes()
+        );
+        // …and exactly by the samplers' own accounting.
+        let artifacts = prepared.ew_artifacts().expect("EW pipeline");
+        assert_eq!(artifacts.len(), w.n_joins());
+
+        // Online builds no per-join samplers: workload bytes only.
+        let online = SamplerBuilder::for_workload(w.clone())
+            .strategy(Strategy::Online(OnlineConfig::default()))
+            .freeze()
+            .unwrap();
+        assert_eq!(online.prepared_bytes(), workload_bytes);
+        assert!(online.ew_artifacts().is_none());
     }
 
     #[test]

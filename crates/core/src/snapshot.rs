@@ -24,6 +24,7 @@
 //! | 16 ([`SECTION_ENGINE_META`]) | engine format version `u32`, planner config (`f64`, `u64`, `f64`, `u8`) |
 //! | 1 ([`SECTION_RELATION`]) | one relation, in catalog registration order |
 //! | 17 ([`SECTION_PREPARED`]) | one prepared entry: query, root seed `u64`, plan tags, frozen parameters |
+//! | 18 ([`SECTION_EW_ARENAS`]) | per-join Exact-Weight artifacts (count tables + alias arenas) for the prepared entry immediately before it |
 //!
 //! Plans are stored as *tags* (strategy / estimator / weights / cover
 //! / predicate mode / rule discriminants), not full configurations:
@@ -37,6 +38,14 @@
 //! estimation. They were captured *after* any predicate push-down
 //! rewrite, so restoring replays the rewrite deterministically and
 //! then installs the map over the rewritten workload.
+//!
+//! When every member sampler of a prepared entry is exact-weight, its
+//! factorized count tables and alias arenas follow in a
+//! [`SECTION_EW_ARENAS`] section (paired with the preceding prepared
+//! entry by order). The restore revives the samplers from those
+//! artifacts — validated slab-by-slab — so a restored replica performs
+//! **zero** alias builds ([`suj_join::alias_builds`] is flat across a
+//! restore) and serves draw streams bit-identical to the donor's.
 
 use crate::bernoulli::DesignationPolicy;
 use crate::catalog::{Catalog, Engine, PreparedQuery};
@@ -62,6 +71,9 @@ use suj_storage::SnapshotError;
 pub const SECTION_ENGINE_META: u32 = 16;
 /// Section kind: one serialized prepared-query entry.
 pub const SECTION_PREPARED: u32 = 17;
+/// Section kind: the Exact-Weight artifacts (count tables + alias
+/// arenas) of the prepared entry immediately before this section.
+pub const SECTION_EW_ARENAS: u32 = 18;
 /// Version of the engine sections' encoding (independent of the
 /// container version).
 pub const ENGINE_FORMAT_VERSION: u32 = 1;
@@ -191,6 +203,9 @@ struct PlanTags {
     weights: u8,
     cover: u8,
     predicate_mode: u8,
+    /// Join-size provenance: 0 none, 1 exact (EW count tables),
+    /// 2 histogram.
+    sizing: u8,
     rule: u8,
 }
 
@@ -233,6 +248,13 @@ fn encode_plan(plan: &Plan, w: &mut ByteWriter) -> Result<(), SnapshotError> {
         Some(PredicateMode::PushDown) => 1,
         Some(PredicateMode::Reject) => 2,
     });
+    w.put_u8(if plan.stats.exact_sizes {
+        1
+    } else if plan.stats.available() {
+        2
+    } else {
+        0
+    });
     w.put_u8(match plan.rule {
         PlanRule::DisjointSemantics => 0,
         PlanRule::SingleJoin => 1,
@@ -252,6 +274,7 @@ fn decode_plan_tags(r: &mut ByteReader<'_>) -> Result<PlanTags, SnapshotError> {
         weights: r.get_u8()?,
         cover: r.get_u8()?,
         predicate_mode: r.get_u8()?,
+        sizing: r.get_u8()?,
         rule: r.get_u8()?,
     })
 }
@@ -311,10 +334,15 @@ impl PlanTags {
             5 => PlanRule::CyclicJoin,
             other => return Err(corrupt("rule tag", other)),
         };
-        let stats = match frozen {
+        let mut stats = match frozen {
             FrozenParams::Map(map) => WorkloadStats::from_probed(workload, map.clone()),
             _ => WorkloadStats::unavailable(workload),
         };
+        match self.sizing {
+            0 | 2 => {}
+            1 => stats.exact_sizes = true,
+            other => return Err(corrupt("sizing tag", other)),
+        }
         Ok(Plan {
             strategy,
             estimator,
@@ -382,6 +410,97 @@ fn decode_frozen(r: &mut ByteReader<'_>) -> Result<FrozenParams, SnapshotError> 
 }
 
 // ---------------------------------------------------------------------
+// Exact-Weight artifact codec (count tables + alias arenas)
+// ---------------------------------------------------------------------
+
+fn encode_arena(a: &suj_stats::AliasArena, w: &mut ByteWriter) {
+    w.put_u32_slab(a.offsets());
+    w.put_f64_slab(a.prob());
+    w.put_u32_slab(a.alias_slab());
+}
+
+fn decode_arena(r: &mut ByteReader<'_>) -> Result<suj_stats::AliasArena, SnapshotError> {
+    let offsets = r.get_u32_slab()?;
+    let prob = r.get_f64_slab()?;
+    let alias = r.get_u32_slab()?;
+    suj_stats::AliasArena::from_parts(offsets, prob, alias).ok_or_else(|| {
+        SnapshotError::Corrupt("alias arena slabs violate a structural invariant".into())
+    })
+}
+
+fn encode_ew_artifacts(artifacts: &[suj_join::EwArtifacts], w: &mut ByteWriter) {
+    w.put_u32(artifacts.len() as u32);
+    for a in artifacts {
+        w.put_u64(a.total);
+        w.put_u8(u8::from(a.exact));
+        w.put_u32(a.counts.len() as u32);
+        for counts in &a.counts {
+            w.put_u64_slab(counts);
+        }
+        for key_counts in &a.key_counts {
+            w.put_u64_slab(key_counts);
+        }
+        for arena in &a.arenas {
+            match arena {
+                None => w.put_u8(0),
+                Some(arena) => {
+                    w.put_u8(1);
+                    encode_arena(arena, w);
+                }
+            }
+        }
+        encode_arena(&a.root_arena, w);
+    }
+}
+
+/// Inverse of [`encode_ew_artifacts`]. Arena slabs are validated
+/// structurally here ([`suj_stats::AliasArena::from_parts`]); the
+/// cross-checks against the join spec (column lengths, key-table
+/// shapes, total consistency) happen in
+/// [`suj_join::ExactWeightSampler::from_artifacts`] at freeze time.
+fn decode_ew_artifacts(
+    r: &mut ByteReader<'_>,
+) -> Result<Vec<suj_join::EwArtifacts>, SnapshotError> {
+    let n_joins = r.get_u32()? as usize;
+    let mut artifacts = Vec::with_capacity(n_joins.min(1024));
+    for _ in 0..n_joins {
+        let total = r.get_u64()?;
+        let exact = match r.get_u8()? {
+            0 => false,
+            1 => true,
+            other => return Err(corrupt("EW exact flag", other)),
+        };
+        let n_rels = r.get_u32()? as usize;
+        let mut counts = Vec::with_capacity(n_rels.min(1024));
+        for _ in 0..n_rels {
+            counts.push(r.get_u64_slab()?);
+        }
+        let mut key_counts = Vec::with_capacity(n_rels.min(1024));
+        for _ in 0..n_rels {
+            key_counts.push(r.get_u64_slab()?);
+        }
+        let mut arenas = Vec::with_capacity(n_rels.min(1024));
+        for _ in 0..n_rels {
+            arenas.push(match r.get_u8()? {
+                0 => None,
+                1 => Some(decode_arena(r)?),
+                other => return Err(corrupt("EW arena presence tag", other)),
+            });
+        }
+        let root_arena = decode_arena(r)?;
+        artifacts.push(suj_join::EwArtifacts {
+            counts,
+            key_counts,
+            arenas,
+            root_arena,
+            total,
+            exact,
+        });
+    }
+    Ok(artifacts)
+}
+
+// ---------------------------------------------------------------------
 // Engine save / load
 // ---------------------------------------------------------------------
 
@@ -434,6 +553,14 @@ impl Engine {
             encode_plan(prepared.plan(), &mut w)?;
             encode_frozen(prepared.prepared().frozen_params(), &mut w);
             sections.push((SECTION_PREPARED, w.into_bytes()));
+            // Exact-weight pipelines also persist their count tables
+            // and alias arenas, paired with the entry by order, so a
+            // restore revives the samplers without rebuilding either.
+            if let Some(artifacts) = prepared.prepared().ew_artifacts() {
+                let mut w = ByteWriter::new();
+                encode_ew_artifacts(&artifacts, &mut w);
+                sections.push((SECTION_EW_ARENAS, w.into_bytes()));
+            }
         }
 
         Ok(write_sections(&sections))
@@ -520,14 +647,22 @@ impl Engine {
         };
 
         let mut catalog = Catalog::new();
-        let mut prepared_payloads: Vec<&[u8]> = Vec::new();
+        let mut prepared_payloads: Vec<(&[u8], Option<&[u8]>)> = Vec::new();
         for (kind, payload) in iter {
             match kind {
                 SECTION_RELATION => {
                     let mut r = ByteReader::new(payload);
                     catalog.register_arc(Arc::new(decode_relation(&mut r)?))?;
                 }
-                SECTION_PREPARED => prepared_payloads.push(payload),
+                SECTION_PREPARED => prepared_payloads.push((payload, None)),
+                SECTION_EW_ARENAS => match prepared_payloads.last_mut() {
+                    Some((_, slot @ None)) => *slot = Some(payload),
+                    _ => {
+                        return Err(CoreError::Snapshot(SnapshotError::Corrupt(
+                            "EW arenas section must directly follow its prepared entry".into(),
+                        )))
+                    }
+                },
                 other => {
                     return Err(CoreError::Snapshot(SnapshotError::Corrupt(format!(
                         "unknown engine section kind {other}"
@@ -538,12 +673,20 @@ impl Engine {
 
         let engine = Engine::with_planner(catalog, Planner::new(planner_config));
         let snapshot_bytes = bytes.len() as u64;
-        for payload in prepared_payloads {
+        for (payload, arena_payload) in prepared_payloads {
             let mut r = ByteReader::new(payload);
             let query = decode_query(&mut r)?;
             let root_seed = r.get_u64()?;
             let tags = decode_plan_tags(&mut r)?;
+            let sizing_tag = tags.sizing;
             let frozen = decode_frozen(&mut r)?;
+            let artifacts = match arena_payload {
+                Some(bytes) => {
+                    let mut r = ByteReader::new(bytes);
+                    Some(decode_ew_artifacts(&mut r)?)
+                }
+                None => None,
+            };
 
             let resolved = query.resolve(engine.catalog())?;
             let plan = tags.into_plan(&resolved.workload, &frozen)?;
@@ -551,10 +694,22 @@ impl Engine {
                 .apply(SamplerBuilder::for_workload(resolved.workload.clone()))
                 .estimation_seed(root_seed)
                 .with_restored(frozen);
+            if let Some(artifacts) = artifacts {
+                builder = builder.with_restored_artifacts(artifacts);
+            }
             if let (Some(p), Some(mode)) = (resolved.predicate, plan.predicate_mode) {
                 builder = builder.predicate(p, mode);
             }
-            let mut prepared = builder.freeze()?.with_summary(plan.summary());
+            // The sizing provenance the donor's summary carried is
+            // restored from its tag verbatim (restored stats cannot
+            // always re-derive it — e.g. frozen sizes carry no map).
+            let mut summary = plan.summary();
+            summary.sizing = match sizing_tag {
+                0 => None,
+                1 => Some("exact".to_string()),
+                _ => Some("histogram".to_string()),
+            };
+            let mut prepared = builder.freeze()?.with_summary(summary);
             prepared.set_restore_cost(snapshot_bytes, start.elapsed());
             let restored = Arc::new(PreparedQuery::from_query_parts(
                 query.clone(),

@@ -85,7 +85,8 @@ pub use spec::{JoinEdge, JoinSpec};
 pub use tree::JoinTree;
 pub use wander::{WalkOutcome, WanderJoin, WanderSampler};
 pub use weights::{
-    ExactWeightSampler, JoinSampler, OlkenSampler, RowDraw, SampleOutcome, WeightKind,
+    alias_builds, EwArtifacts, ExactWeightSampler, JoinSampler, OlkenSampler, RowDraw,
+    SampleOutcome, SizeInfo, WeightKind,
 };
 
 /// Commonly used items.
@@ -102,6 +103,7 @@ pub mod prelude {
     pub use crate::tree::JoinTree;
     pub use crate::wander::{WalkOutcome, WanderJoin, WanderSampler};
     pub use crate::weights::{
-        ExactWeightSampler, JoinSampler, OlkenSampler, RowDraw, SampleOutcome, WeightKind,
+        alias_builds, EwArtifacts, ExactWeightSampler, JoinSampler, OlkenSampler, RowDraw,
+        SampleOutcome, SizeInfo, WeightKind,
     };
 }

@@ -35,6 +35,18 @@
 //! ([`JoinSampler::materialize`]), so rejected attempts perform zero
 //! heap allocations — pinned by the counting-allocator test in
 //! `tests/alloc_free.rs`.
+//!
+//! # The alias cascade
+//!
+//! The EW sampler compiles its count tables into per-key alias tables
+//! at build time (one [`AliasArena`] segment per dictionary key id,
+//! congruent with the CSR postings): a draw is then a root alias pick
+//! plus exactly one O(1) alias lookup per join edge — O(tree depth)
+//! total, zero rejection, no per-candidate scan. The count DP itself
+//! runs in u64 with checked arithmetic, so the root total is the
+//! *exact* integer join size on acyclic specs (no f64 drift), reported
+//! through [`JoinSampler::size_info`] and consumed by the planner's
+//! Bernoulli rule.
 
 use crate::error::JoinError;
 use crate::exec::execute;
@@ -42,8 +54,9 @@ use crate::graph::has_graph_cycle;
 use crate::spec::JoinSpec;
 use crate::tree::JoinTree;
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use suj_stats::{AliasTable, SujRng};
+use suj_stats::{AliasArena, AliasArenaBuilder, SujRng};
 use suj_storage::{HashIndex, Tuple, Value, NO_KEY};
 
 /// Weight instantiation for the join-sampling subroutine (§3.2 lists
@@ -62,6 +75,27 @@ pub enum WeightKind {
     /// structurally cyclic path — see [`crate::cyclic`]). On acyclic
     /// specs this degrades to exact weights, which dominate there.
     AgmBox,
+}
+
+/// Join-size information implied by a sampler's weights.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizeInfo {
+    /// An upper bound on the join size (always valid; equal to the
+    /// true size when `exact` is set).
+    pub bound: f64,
+    /// The exact integer join size, when the sampler knows it: EW on
+    /// an acyclic spec whose count DP did not saturate.
+    pub exact: Option<u64>,
+}
+
+static ALIAS_BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of Exact-Weight alias-arena builds. Snapshot
+/// restore must *deserialize* arenas ([`ExactWeightSampler::from_artifacts`])
+/// rather than rebuild them; the restore tests pin that by watching
+/// this counter.
+pub fn alias_builds() -> u64 {
+    ALIAS_BUILDS.load(Ordering::Relaxed)
 }
 
 /// Outcome of one sampling attempt.
@@ -141,6 +175,29 @@ pub trait JoinSampler: Send + Sync {
     /// Size information implied by the weights: the exact join size for
     /// EW on acyclic joins, an upper bound otherwise.
     fn join_size_hint(&self) -> f64;
+
+    /// Structured size report: the bound plus the exact integer size
+    /// when the sampler knows it. The default reports no exact size.
+    fn size_info(&self) -> SizeInfo {
+        SizeInfo {
+            bound: self.join_size_hint(),
+            exact: None,
+        }
+    }
+
+    /// Heap bytes owned by the sampler's prepared structures (hash
+    /// indexes, encoded edge keys, count tables, alias arenas). Base
+    /// relation storage is accounted separately by the workload; the
+    /// default reports zero for samplers that keep no auxiliary state.
+    fn memory_bytes(&self) -> usize {
+        0
+    }
+
+    /// Downcast hook: the EW sampler returns itself so the snapshot
+    /// writer can extract its count-table/alias-arena artifacts.
+    fn as_exact(&self) -> Option<&ExactWeightSampler> {
+        None
+    }
 
     /// One sampling attempt, materializing the tuple only on
     /// acceptance.
@@ -306,6 +363,22 @@ impl Prepared {
         })
     }
 
+    /// Heap bytes of the prepared structures: child hash indexes plus
+    /// the encoded edge-key tables and output/consistency plans.
+    pub(crate) fn memory_bytes(&self) -> usize {
+        let indexes: usize = self
+            .indexes
+            .iter()
+            .flatten()
+            .map(HashIndex::memory_bytes)
+            .sum();
+        let edges: usize = self.edge_keys.iter().map(|e| e.len() * 4).sum();
+        indexes
+            + edges
+            + self.out_src.len() * std::mem::size_of::<(u32, u32)>()
+            + self.consistency.len() * std::mem::size_of::<(u32, u32, u32, u32)>()
+    }
+
     /// Materializes a row combination into an output tuple, filling
     /// each output position straight from the owning relation's column
     /// (string cells are an `Arc` bump out of the column dictionary) —
@@ -322,50 +395,107 @@ impl Prepared {
     }
 }
 
+/// The freeze-time artifacts of an [`ExactWeightSampler`]: the u64
+/// count tables and the compiled alias arenas. Extracted via
+/// [`ExactWeightSampler::artifacts`] for snapshot persistence and
+/// re-installed by [`ExactWeightSampler::from_artifacts`] *without* an
+/// alias rebuild (pinned by [`alias_builds`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EwArtifacts {
+    /// Per relation: exact result count of each row.
+    pub counts: Vec<Vec<u64>>,
+    /// Per non-root relation: total count of each dictionary key's
+    /// postings (empty for the root).
+    pub key_counts: Vec<Vec<u64>>,
+    /// Per non-root relation: the per-key alias arena, segment `k`
+    /// congruent with postings list `k` (`None` for the root).
+    pub arenas: Vec<Option<AliasArena>>,
+    /// Single-segment arena over the root relation's counts.
+    pub root_arena: AliasArena,
+    /// Exact spanning-join size (saturating at `u64::MAX`).
+    pub total: u64,
+    /// Whether `total` is the exact join size (acyclic spec, no
+    /// counter saturation).
+    pub exact: bool,
+}
+
 /// Exact-weight sampler: zero rejections on acyclic joins, exact size.
+///
+/// Per-row result counts are computed bottom-up as u64 integers with
+/// checked arithmetic (saturating to `u64::MAX` and clearing the exact
+/// flag on overflow), then compiled into flat [`AliasArena`]s — one
+/// alias table per dictionary key id per join edge plus one over the
+/// root — so a draw is an O(tree depth) alias cascade with zero
+/// rejection and zero allocation. Counts above 2⁵³ lose precision only
+/// in the draw *probabilities* (the arena weights pass through f64);
+/// the reported sizes stay integer-exact until u64 saturation.
 #[derive(Debug)]
 pub struct ExactWeightSampler {
     prepared: Prepared,
-    /// Per relation: weight of each row (number of spanning-join results
-    /// through that row's subtree).
-    weights: Vec<Vec<f64>>,
-    /// Per non-root relation: total weight of each dictionary key's
-    /// postings — the per-probe weight sum, precomputed per key id so a
-    /// walk step reads it instead of summing candidates.
-    key_sums: Vec<Vec<f64>>,
-    root_alias: Option<AliasTable>,
-    total: f64,
+    /// Per relation: exact result count of each row (number of
+    /// spanning-join results through that row's subtree).
+    counts: Vec<Vec<u64>>,
+    /// Per non-root relation: total count of each dictionary key's
+    /// postings — the per-probe count sum, precomputed per key id.
+    key_counts: Vec<Vec<u64>>,
+    /// Per non-root relation: per-key alias tables over the postings.
+    arenas: Vec<Option<AliasArena>>,
+    /// Single-segment arena over the root relation's counts.
+    root_arena: AliasArena,
+    /// Exact spanning-join size (saturating at `u64::MAX`).
+    total: u64,
+    /// Whether `total` is the exact join size: acyclic spec and no
+    /// counter saturation.
+    exact: bool,
 }
 
 impl ExactWeightSampler {
     /// Builds the sampler for any join shape.
     pub fn new(spec: Arc<JoinSpec>) -> Result<Self, JoinError> {
         let prepared = Prepared::new(spec)?;
+        let (counts, key_counts, total, saturated) = Self::count_tables(&prepared);
+        let (root_arena, arenas) = Self::build_arenas(&prepared, &counts);
+        let exact = prepared.exact_tree && !saturated;
+        Ok(Self {
+            prepared,
+            counts,
+            key_counts,
+            arenas,
+            root_arena,
+            total,
+            exact,
+        })
+    }
+
+    /// Bottom-up count DP in u64: count(row) = Π_child Σ_matching
+    /// count(child row). Children are finalized first, so each child's
+    /// per-key count sums are ready when the parent consults them —
+    /// the per-row probe is a single encoded-key array read. All
+    /// arithmetic is checked; overflow saturates to `u64::MAX` and
+    /// flags the result inexact.
+    fn count_tables(prepared: &Prepared) -> (Vec<Vec<u64>>, Vec<Vec<u64>>, u64, bool) {
         let spec = &prepared.spec;
         let n = spec.n_relations();
-        let mut weights: Vec<Vec<f64>> = (0..n)
-            .map(|i| vec![1.0f64; spec.relation(i).len()])
-            .collect();
-        let mut key_sums: Vec<Vec<f64>> = vec![Vec::new(); n];
+        let mut counts: Vec<Vec<u64>> =
+            (0..n).map(|i| vec![1u64; spec.relation(i).len()]).collect();
+        let mut key_counts: Vec<Vec<u64>> = vec![Vec::new(); n];
+        let mut saturated = false;
 
-        // Bottom-up DP: weight(row) = Π_child Σ_matching weight(child
-        // row). Children are finalized first, so each child's per-key
-        // weight sums are ready when the parent consults them — the
-        // per-row probe is a single encoded-key array read.
         for v in prepared.tree.bottom_up() {
             let children = prepared.tree.children(v);
             if !children.is_empty() {
-                for (ri, slot) in weights[v].iter_mut().enumerate() {
-                    let mut w = 1.0f64;
+                for (ri, slot) in counts[v].iter_mut().enumerate() {
+                    let mut w = 1u64;
                     for &c in children {
-                        let kid = prepared.edge_keys[c][ri];
-                        let s = if kid == NO_KEY {
-                            0.0
-                        } else {
-                            key_sums[c][kid as usize]
+                        let s = match prepared.edge_keys[c][ri] {
+                            NO_KEY => 0,
+                            kid => key_counts[c][kid as usize],
                         };
-                        w *= s;
-                        if w == 0.0 {
+                        w = w.checked_mul(s).unwrap_or_else(|| {
+                            saturated = true;
+                            u64::MAX
+                        });
+                        if w == 0 {
                             break;
                         }
                     }
@@ -373,46 +503,230 @@ impl ExactWeightSampler {
                 }
             }
             if let Some(index) = prepared.indexes[v].as_ref() {
-                key_sums[v] = (0..index.n_keys() as u32)
+                key_counts[v] = (0..index.n_keys() as u32)
                     .map(|kid| {
-                        index
-                            .postings(kid)
-                            .iter()
-                            .map(|&rid| weights[v][rid as usize])
-                            .sum()
+                        index.postings(kid).iter().fold(0u64, |acc, &rid| {
+                            acc.checked_add(counts[v][rid as usize]).unwrap_or_else(|| {
+                                saturated = true;
+                                u64::MAX
+                            })
+                        })
                     })
                     .collect();
             }
         }
 
         let root = prepared.tree.root();
-        let total: f64 = weights[root].iter().sum();
-        let root_alias = AliasTable::new(&weights[root]);
+        let total = counts[root].iter().fold(0u64, |acc, &c| {
+            acc.checked_add(c).unwrap_or_else(|| {
+                saturated = true;
+                u64::MAX
+            })
+        });
+        (counts, key_counts, total, saturated)
+    }
+
+    /// Compiles the count tables into alias arenas: one segment per
+    /// key id per edge (congruent with the CSR postings) plus a
+    /// single-segment arena over the root rows. Bumps the
+    /// [`alias_builds`] counter — the snapshot-restore path must go
+    /// through [`ExactWeightSampler::from_artifacts`] instead.
+    fn build_arenas(
+        prepared: &Prepared,
+        counts: &[Vec<u64>],
+    ) -> (AliasArena, Vec<Option<AliasArena>>) {
+        let root = prepared.tree.root();
+        let mut rb = AliasArenaBuilder::with_capacity(1, counts[root].len());
+        rb.push_segment_with(counts[root].len(), |i| counts[root][i] as f64);
+        let root_arena = rb.finish();
+
+        let arenas = prepared
+            .indexes
+            .iter()
+            .enumerate()
+            .map(|(v, index)| {
+                index.as_ref().map(|index| {
+                    let n_keys = index.n_keys();
+                    let mut b = AliasArenaBuilder::with_capacity(n_keys, counts[v].len());
+                    for kid in 0..n_keys as u32 {
+                        let posts = index.postings(kid);
+                        b.push_segment_with(posts.len(), |i| counts[v][posts[i] as usize] as f64);
+                    }
+                    b.finish()
+                })
+            })
+            .collect();
+        ALIAS_BUILDS.fetch_add(1, Ordering::Relaxed);
+        (root_arena, arenas)
+    }
+
+    /// Reassembles a sampler from snapshot artifacts without rebuilding
+    /// any alias arena. The hash indexes and edge encodings are rebuilt
+    /// from the relations (they are derived data); the count tables and
+    /// arenas are validated structurally against them — shape mismatch
+    /// is a [`JoinError::Invalid`], never a panic.
+    pub fn from_artifacts(spec: Arc<JoinSpec>, artifacts: EwArtifacts) -> Result<Self, JoinError> {
+        let prepared = Prepared::new(spec)?;
+        let EwArtifacts {
+            counts,
+            key_counts,
+            arenas,
+            root_arena,
+            total,
+            exact,
+        } = artifacts;
+        let invalid = |what: &str| JoinError::Invalid(format!("EW artifacts: {what}"));
+        let n = prepared.spec.n_relations();
+        if counts.len() != n || key_counts.len() != n || arenas.len() != n {
+            return Err(invalid("table count disagrees with relations"));
+        }
+        for v in 0..n {
+            if counts[v].len() != prepared.spec.relation(v).len() {
+                return Err(invalid("count column length disagrees with relation"));
+            }
+            match (prepared.indexes[v].as_ref(), arenas[v].as_ref()) {
+                (Some(index), Some(arena)) => {
+                    let n_keys = index.n_keys();
+                    if key_counts[v].len() != n_keys || arena.segments() != n_keys {
+                        return Err(invalid("key table shape disagrees with index"));
+                    }
+                    for kid in 0..n_keys {
+                        if arena.segment_len(kid) != index.postings(kid as u32).len() {
+                            return Err(invalid("arena segment incongruent with postings"));
+                        }
+                    }
+                }
+                (None, None) => {
+                    if !key_counts[v].is_empty() {
+                        return Err(invalid("root key table must be empty"));
+                    }
+                }
+                _ => return Err(invalid("arena/index presence mismatch")),
+            }
+        }
+        let root = prepared.tree.root();
+        if root_arena.segments() != 1 || root_arena.segment_len(0) != counts[root].len() {
+            return Err(invalid("root arena incongruent with root relation"));
+        }
+        let sum = counts[root]
+            .iter()
+            .fold(0u64, |acc, &c| acc.saturating_add(c));
+        if sum != total {
+            return Err(invalid("total disagrees with root counts"));
+        }
+        if exact && !prepared.exact_tree {
+            return Err(invalid("exact flag set on a cyclic spec"));
+        }
         Ok(Self {
             prepared,
-            weights,
-            key_sums,
-            root_alias,
+            counts,
+            key_counts,
+            arenas,
+            root_arena,
             total,
+            exact,
         })
+    }
+
+    /// Extracts the freeze-time artifacts for snapshot persistence.
+    pub fn artifacts(&self) -> EwArtifacts {
+        EwArtifacts {
+            counts: self.counts.clone(),
+            key_counts: self.key_counts.clone(),
+            arenas: self.arenas.clone(),
+            root_arena: self.root_arena.clone(),
+            total: self.total,
+            exact: self.exact,
+        }
     }
 
     /// The exact join size for acyclic joins; for cyclic joins this is
     /// the spanning-join size, an upper bound on the true size.
     pub fn exact_size(&self) -> f64 {
-        self.total
+        self.total as f64
+    }
+
+    /// The exact integer join size, when known (acyclic spec, no u64
+    /// saturation in the count DP).
+    pub fn exact_size_u64(&self) -> Option<u64> {
+        self.exact.then_some(self.total)
     }
 
     /// Whether [`ExactWeightSampler::exact_size`] is the true join size
-    /// (acyclic specs) rather than a spanning-join upper bound.
+    /// (acyclic specs, no saturation) rather than an upper bound.
     pub fn size_is_exact(&self) -> bool {
-        self.prepared.exact_tree
+        self.exact
     }
 
-    /// Per-row weights of relation `i` (exposed for tests and the EO
-    /// comparison benches).
-    pub fn weights_of(&self, i: usize) -> &[f64] {
-        &self.weights[i]
+    /// Per-row result counts of relation `i` (exposed for tests and
+    /// the EO comparison benches).
+    pub fn counts_of(&self, i: usize) -> &[u64] {
+        &self.counts[i]
+    }
+
+    /// Draws the root row (shared by the cascade and linear paths).
+    /// Returns `None` when the join is empty or the alias residue
+    /// landed on a dead row.
+    #[inline]
+    fn draw_root(&self, rng: &mut SujRng, draw: &mut RowDraw) -> Option<usize> {
+        if self.total == 0 {
+            return None;
+        }
+        let prepared = &self.prepared;
+        let root = prepared.tree.root();
+        draw.reset(prepared.spec.n_relations());
+        let root_row = self.root_arena.draw(0, rng);
+        // Alias tables cannot express zero-probability rows exactly in
+        // the presence of FP residue; guard against picking a dead row.
+        if self.counts[root][root_row as usize] == 0 {
+            return None;
+        }
+        draw.rows[root] = root_row;
+        Some(root)
+    }
+
+    /// The pre-arena reference draw path: root alias pick plus a
+    /// linear scan of each key's postings weighted by the exact
+    /// counts. Retained for the `alias_path` bench comparison and the
+    /// distribution-equivalence proptests; per-tuple marginals are
+    /// identical to [`JoinSampler::sample_rows`] (RNG consumption
+    /// differs). Allocation-free like the cascade.
+    pub fn sample_rows_linear(&self, rng: &mut SujRng, draw: &mut RowDraw) -> bool {
+        if self.draw_root(rng, draw).is_none() {
+            return false;
+        }
+        let prepared = &self.prepared;
+        for &v in &prepared.tree.order()[1..] {
+            let p = prepared.tree.parent(v).expect("non-root has parent");
+            let kid = prepared.edge_keys[v][draw.rows[p] as usize];
+            if kid == NO_KEY {
+                return false; // impossible when counts are exact; defensive
+            }
+            let total = self.key_counts[v][kid as usize];
+            if total == 0 {
+                return false; // likewise defensive
+            }
+            let index = prepared.indexes[v].as_ref().expect("child index");
+            let cands = index.postings(kid);
+            // Integer inversion: x ∈ [0, total) lands in exactly one
+            // row's count interval — no FP fallback needed.
+            let mut x = rng.range_u64(0, total);
+            let mut picked = None;
+            for &rid in cands {
+                let c = self.counts[v][rid as usize];
+                if x < c {
+                    picked = Some(rid);
+                    break;
+                }
+                x -= c;
+            }
+            match picked {
+                Some(rid) => draw.rows[v] = rid,
+                // Unreachable unless the counts saturated; reject.
+                None => return false,
+            }
+        }
+        prepared.consistent(&draw.rows)
     }
 }
 
@@ -422,66 +736,33 @@ impl JoinSampler for ExactWeightSampler {
     }
 
     fn sample_rows(&self, rng: &mut SujRng, draw: &mut RowDraw) -> bool {
-        let Some(alias) = &self.root_alias else {
-            return false; // empty join
-        };
-        if self.total <= 0.0 {
+        if self.draw_root(rng, draw).is_none() {
             return false;
         }
         let prepared = &self.prepared;
-        let root = prepared.tree.root();
-        draw.reset(prepared.spec.n_relations());
 
-        let root_row = alias.draw(rng) as u32;
-        // Alias tables cannot express zero-probability rows exactly in
-        // the presence of FP residue; guard against picking a dead row.
-        if self.weights[root][root_row as usize] <= 0.0 {
-            return false;
-        }
-        draw.rows[root] = root_row;
-
-        // Top-down over the tree order (parents precede children): one
-        // encoded-key read + one weighted pick per edge.
+        // Top-down over the tree order (parents precede children): the
+        // alias cascade — one encoded-key read plus one O(1) alias
+        // lookup per edge, no candidate scan.
         for &v in &prepared.tree.order()[1..] {
             let p = prepared.tree.parent(v).expect("non-root has parent");
             let kid = prepared.edge_keys[v][draw.rows[p] as usize];
             if kid == NO_KEY {
-                return false; // impossible when weights are exact; defensive
+                return false; // impossible when counts are exact; defensive
             }
-            let total = self.key_sums[v][kid as usize];
-            if total <= 0.0 {
+            if self.key_counts[v][kid as usize] == 0 {
                 return false; // likewise defensive
             }
-            let index = prepared.indexes[v].as_ref().expect("child index");
-            let cands = index.postings(kid);
-            let mut x = rng.next_f64() * total;
-            let mut picked = None;
-            for &rid in cands {
-                let w = self.weights[v][rid as usize];
-                if w <= 0.0 {
-                    continue;
-                }
-                if x < w {
-                    picked = Some(rid);
-                    break;
-                }
-                x -= w;
+            let local = self.arenas[v].as_ref().expect("child arena").draw(kid, rng);
+            let rid = prepared.indexes[v]
+                .as_ref()
+                .expect("child index")
+                .postings(kid)[local as usize];
+            // FP residue guard, same as the root pick.
+            if self.counts[v][rid as usize] == 0 {
+                return false;
             }
-            let picked = match picked {
-                Some(r) => r,
-                None => {
-                    // FP rounding: take the last positive candidate.
-                    match cands
-                        .iter()
-                        .rev()
-                        .find(|&&rid| self.weights[v][rid as usize] > 0.0)
-                    {
-                        Some(&r) => r,
-                        None => return false,
-                    }
-                }
-            };
-            draw.rows[v] = picked;
+            draw.rows[v] = rid;
         }
         prepared.consistent(&draw.rows)
     }
@@ -491,7 +772,31 @@ impl JoinSampler for ExactWeightSampler {
     }
 
     fn join_size_hint(&self) -> f64 {
-        self.total
+        self.total as f64
+    }
+
+    fn size_info(&self) -> SizeInfo {
+        SizeInfo {
+            bound: self.total as f64,
+            exact: self.exact.then_some(self.total),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let counts: usize = self.counts.iter().map(|c| c.len() * 8).sum();
+        let key_counts: usize = self.key_counts.iter().map(|c| c.len() * 8).sum();
+        let arenas: usize = self
+            .arenas
+            .iter()
+            .flatten()
+            .map(AliasArena::memory_bytes)
+            .sum::<usize>()
+            + self.root_arena.memory_bytes();
+        self.prepared.memory_bytes() + counts + key_counts + arenas
+    }
+
+    fn as_exact(&self) -> Option<&ExactWeightSampler> {
+        Some(self)
     }
 }
 
@@ -598,6 +903,10 @@ impl JoinSampler for OlkenSampler {
 
     fn join_size_hint(&self) -> f64 {
         self.bound
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.prepared.memory_bytes() + self.max_degrees.len() * 8 + self.live_roots.len() * 4
     }
 }
 
@@ -966,9 +1275,291 @@ mod tests {
         let spec = skewed_chain();
         let sampler = ExactWeightSampler::new(spec.clone()).unwrap();
         // Row (1,10) of r joins s-rows {100,101,102}; t matches:
-        // 100→2, 101→1, 102→0 → weight 3.
-        assert_eq!(sampler.weights_of(0)[0], 3.0);
+        // 100→2, 101→1, 102→0 → count 3.
+        assert_eq!(sampler.counts_of(0)[0], 3);
         // Row (4,30) is dangling → 0.
-        assert_eq!(sampler.weights_of(0)[3], 0.0);
+        assert_eq!(sampler.counts_of(0)[3], 0);
+    }
+
+    /// Chi²-checks the linear-scan reference path the same way
+    /// `assert_uniform` checks the cascade.
+    fn assert_uniform_linear(sampler: &ExactWeightSampler, seed: u64) {
+        let result = execute(sampler.spec());
+        let universe = result.distinct_set();
+        let k = universe.len();
+        assert!(k >= 2, "need a multi-tuple join for the test");
+        let mut rng = SujRng::seed_from_u64(seed);
+        let mut draw = RowDraw::new();
+        let mut counts: FxHashMap<Tuple, u64> = FxHashMap::default();
+        let mut accepted = 0usize;
+        while accepted < 2_000 * k {
+            if sampler.sample_rows_linear(&mut rng, &mut draw) {
+                let t = sampler.materialize(&draw);
+                assert!(universe.contains(&t), "sampled non-member {t}");
+                *counts.entry(t).or_insert(0) += 1;
+                accepted += 1;
+            }
+        }
+        let observed: Vec<u64> = result
+            .tuples()
+            .iter()
+            .map(|t| counts.get(t).copied().unwrap_or(0))
+            .collect();
+        let outcome = suj_stats::chi_square_test(&observed).unwrap();
+        assert!(
+            outcome.p_value > 0.001,
+            "linear path not uniform: chi2={} p={}",
+            outcome.statistic,
+            outcome.p_value
+        );
+    }
+
+    #[test]
+    fn linear_scan_path_samples_uniformly() {
+        let sampler = ExactWeightSampler::new(skewed_chain()).unwrap();
+        assert_uniform_linear(&sampler, 51);
+    }
+
+    /// A chain where most rows are dangling: only one s-row and one
+    /// t-row survive, so the cascade must route around heavy dead mass.
+    fn dangling_heavy_chain() -> Arc<JoinSpec> {
+        let r = rel(
+            "r",
+            &["a", "b"],
+            (0..12).map(|i| vec![i, 10 + (i % 4)]).collect(),
+        );
+        let s = rel(
+            "s",
+            &["b", "c"],
+            vec![
+                vec![10, 100],
+                vec![10, 777], // dangling in t
+                vec![11, 777],
+                vec![12, 777],
+                vec![13, 100],
+            ],
+        );
+        let t = rel("t", &["c", "d"], vec![vec![100, 1], vec![100, 2]]);
+        Arc::new(JoinSpec::chain("dangling", vec![r, s, t]).unwrap())
+    }
+
+    #[test]
+    fn dangling_heavy_cascade_samples_uniformly() {
+        let spec = dangling_heavy_chain();
+        let sampler = ExactWeightSampler::new(spec.clone()).unwrap();
+        assert_eq!(sampler.exact_size_u64(), Some(execute(&spec).len() as u64));
+        assert_uniform(&sampler, 52);
+        assert_uniform_linear(&sampler, 53);
+    }
+
+    #[test]
+    fn cascade_and_linear_marginals_agree() {
+        let sampler = ExactWeightSampler::new(skewed_chain()).unwrap();
+        let result = execute(sampler.spec());
+        let draws = 3_000 * result.tuples().len();
+        let freq = |linear: bool, seed: u64| -> FxHashMap<Tuple, f64> {
+            let mut rng = SujRng::seed_from_u64(seed);
+            let mut draw = RowDraw::new();
+            let mut counts: FxHashMap<Tuple, u64> = FxHashMap::default();
+            for _ in 0..draws {
+                let ok = if linear {
+                    sampler.sample_rows_linear(&mut rng, &mut draw)
+                } else {
+                    sampler.sample_rows(&mut rng, &mut draw)
+                };
+                if ok {
+                    *counts.entry(sampler.materialize(&draw)).or_insert(0) += 1;
+                }
+            }
+            counts
+                .into_iter()
+                .map(|(t, c)| (t, c as f64 / draws as f64))
+                .collect()
+        };
+        let fa = freq(false, 61);
+        let fl = freq(true, 62);
+        for (t, &p) in &fa {
+            let q = fl.get(t).copied().unwrap_or(0.0);
+            assert!((p - q).abs() < 0.02, "{t}: cascade {p} vs linear {q}");
+        }
+    }
+
+    #[test]
+    fn exact_size_matches_brute_force_on_randomized_joins() {
+        // Randomized chain/star/natural joins: the u64 count DP must
+        // agree with materialized execution *exactly*, not up to ULPs.
+        let mut rng = SujRng::seed_from_u64(0xE0E0);
+        for trial in 0..12 {
+            let n_rel = 2 + rng.index(3); // 2..=4 relations
+            let shape = trial % 3;
+            let mut relations = Vec::new();
+            if shape == 1 {
+                // Star: hub(h1..h_{n-1}), leaf i joins on its own h_i.
+                let hub_attrs: Vec<String> = (1..n_rel).map(|i| format!("h{i}")).collect();
+                let n_rows = 3 + rng.index(15);
+                let hub_tuples: Vec<Tuple> = (0..n_rows)
+                    .map(|_| {
+                        Tuple::new(
+                            (1..n_rel)
+                                .map(|_| Value::int(rng.range_i64(0, 6)))
+                                .collect(),
+                        )
+                    })
+                    .collect();
+                let schema = Schema::new(hub_attrs.iter().map(String::as_str)).unwrap();
+                relations.push(Arc::new(
+                    Relation::new(format!("hub{trial}"), schema, hub_tuples).unwrap(),
+                ));
+                for i in 1..n_rel {
+                    let n_rows = 3 + rng.index(15);
+                    let schema =
+                        Schema::new([format!("h{i}").as_str(), format!("x{i}").as_str()]).unwrap();
+                    let tuples = (0..n_rows)
+                        .map(|_| {
+                            Tuple::new(vec![
+                                Value::int(rng.range_i64(0, 6)),
+                                Value::int(rng.range_i64(0, 6)),
+                            ])
+                        })
+                        .collect();
+                    relations.push(Arc::new(
+                        Relation::new(format!("leaf{trial}_{i}"), schema, tuples).unwrap(),
+                    ));
+                }
+            } else {
+                for i in 0..n_rel {
+                    let n_rows = 3 + rng.index(15);
+                    let (a, b) = if shape == 0 {
+                        // Chain: r_i(c_i, c_{i+1}).
+                        (format!("c{i}"), format!("c{}", i + 1))
+                    } else {
+                        // Natural: overlapping pairs, some repeated attrs.
+                        (format!("c{}", i / 2), format!("c{}", i / 2 + 1))
+                    };
+                    let schema = Schema::new([a.as_str(), b.as_str()]).unwrap();
+                    let tuples = (0..n_rows)
+                        .map(|_| {
+                            Tuple::new(vec![
+                                Value::int(rng.range_i64(0, 6)),
+                                Value::int(rng.range_i64(0, 6)),
+                            ])
+                        })
+                        .collect();
+                    relations.push(Arc::new(
+                        Relation::new(format!("r{trial}_{i}"), schema, tuples).unwrap(),
+                    ));
+                }
+            }
+            let spec = Arc::new(JoinSpec::natural(format!("rand{trial}"), relations).unwrap());
+            if has_graph_cycle(&spec) {
+                continue;
+            }
+            let sampler = ExactWeightSampler::new(spec.clone()).unwrap();
+            let actual = execute(&spec).len() as u64;
+            assert_eq!(
+                sampler.exact_size_u64(),
+                Some(actual),
+                "trial {trial}: DP size disagrees with brute force"
+            );
+            assert_eq!(sampler.size_info().exact, Some(actual));
+            assert_eq!(sampler.size_info().bound, actual as f64);
+        }
+    }
+
+    #[test]
+    fn count_overflow_saturates_and_clears_exact_flag() {
+        // 9-relation chain, 256 rows each, all matching: join size is
+        // 256⁹ = 2⁷² — past u64. The DP must saturate, not wrap, and
+        // the sampler must still produce draws.
+        let relations: Vec<Arc<Relation>> = (0..9)
+            .map(|i| {
+                let attrs = [format!("c{i}"), format!("c{}", i + 1), format!("u{i}")];
+                let schema = Schema::new(attrs.iter().map(String::as_str)).unwrap();
+                let tuples = (0..256)
+                    .map(|v| Tuple::new(vec![Value::int(1), Value::int(1), Value::int(v)]))
+                    .collect();
+                Arc::new(Relation::new(format!("w{i}"), schema, tuples).unwrap())
+            })
+            .collect();
+        let spec = Arc::new(JoinSpec::chain("wide", relations).unwrap());
+        let sampler = ExactWeightSampler::new(spec).unwrap();
+        assert!(!sampler.size_is_exact());
+        assert_eq!(sampler.exact_size_u64(), None);
+        assert_eq!(sampler.size_info().exact, None);
+        assert_eq!(sampler.counts_of(0)[0], u64::MAX, "saturate, not wrap");
+        let mut rng = SujRng::seed_from_u64(4);
+        let mut draw = RowDraw::new();
+        let accepted = (0..64)
+            .filter(|_| sampler.sample_rows(&mut rng, &mut draw))
+            .count();
+        assert!(accepted > 0, "saturated sampler must still draw");
+    }
+
+    #[test]
+    fn artifacts_round_trip_bit_identically() {
+        // The "no alias rebuild" half of this guarantee is pinned by
+        // `tests/artifact_restore.rs` (its own binary: the global
+        // `alias_builds` counter cannot be asserted race-free amid
+        // parallel lib tests).
+        let spec = skewed_chain();
+        let sampler = ExactWeightSampler::new(spec.clone()).unwrap();
+        let artifacts = sampler.artifacts();
+        let restored = ExactWeightSampler::from_artifacts(spec.clone(), artifacts).unwrap();
+        assert_eq!(restored.exact_size_u64(), sampler.exact_size_u64());
+        // Same artifacts ⇒ bit-identical draw streams.
+        let mut ra = SujRng::seed_from_u64(33);
+        let mut rb = SujRng::seed_from_u64(33);
+        let mut da = RowDraw::new();
+        let mut db = RowDraw::new();
+        for _ in 0..200 {
+            assert_eq!(
+                sampler.sample_rows(&mut ra, &mut da),
+                restored.sample_rows(&mut rb, &mut db)
+            );
+            assert_eq!(da.rows(), db.rows());
+        }
+    }
+
+    #[test]
+    fn from_artifacts_rejects_mismatched_shapes() {
+        let spec = skewed_chain();
+        let sampler = ExactWeightSampler::new(spec.clone()).unwrap();
+        let good = sampler.artifacts();
+
+        let mut short_counts = good.clone();
+        short_counts.counts[0].pop();
+        assert!(ExactWeightSampler::from_artifacts(spec.clone(), short_counts).is_err());
+
+        let mut bad_total = good.clone();
+        bad_total.total += 1;
+        assert!(ExactWeightSampler::from_artifacts(spec.clone(), bad_total).is_err());
+
+        let mut missing_arena = good.clone();
+        let slot = missing_arena
+            .arenas
+            .iter()
+            .position(Option::is_some)
+            .unwrap();
+        missing_arena.arenas[slot] = None;
+        assert!(ExactWeightSampler::from_artifacts(spec.clone(), missing_arena).is_err());
+
+        let mut wrong_exact = good;
+        wrong_exact.exact = true; // fine: spec is acyclic
+        assert!(ExactWeightSampler::from_artifacts(spec, wrong_exact).is_ok());
+    }
+
+    #[test]
+    fn ew_memory_bytes_accounts_counts_and_arenas() {
+        let sampler = ExactWeightSampler::new(skewed_chain()).unwrap();
+        let total = JoinSampler::memory_bytes(&sampler);
+        let counts: usize = (0..3).map(|i| sampler.counts_of(i).len() * 8).sum();
+        assert!(
+            total > counts,
+            "memory_bytes ({total}) must cover more than the raw count \
+             columns ({counts}): key tables, arenas, indexes"
+        );
+        // And the trait default stays zero for samplers without state.
+        let eo = OlkenSampler::new(skewed_chain()).unwrap();
+        assert!(JoinSampler::memory_bytes(&eo) > 0);
     }
 }

@@ -7,9 +7,12 @@ use suj_join::exec::execute;
 use suj_join::graph::{classify, gyo_acyclic, JoinShape};
 use suj_join::residual::decompose_cyclic;
 use suj_join::weights::{build_sampler, exact_join_size};
-use suj_join::{JoinSpec, JoinTree, MembershipOracle, SampleOutcome, WanderJoin, WeightKind};
+use suj_join::{
+    ExactWeightSampler, JoinSampler, JoinSpec, JoinTree, MembershipOracle, RowDraw, SampleOutcome,
+    WanderJoin, WeightKind,
+};
 use suj_stats::SujRng;
-use suj_storage::{FxHashSet, Relation, Schema, Tuple, Value};
+use suj_storage::{FxHashMap, FxHashSet, Relation, Schema, Tuple, Value};
 
 fn rel(name: &str, attrs: [&str; 2], rows: &[(i64, i64)]) -> Arc<Relation> {
     let schema = Schema::new(attrs).unwrap();
@@ -197,6 +200,70 @@ proptest! {
                 SampleOutcome::Accepted(_) => prop_assert!(size > 0),
                 SampleOutcome::Rejected => prop_assert_eq!(size, 0),
             }
+        }
+    }
+
+    /// The alias cascade and the linear-scan reference path draw from
+    /// the *same* per-tuple distribution (uniform over the join
+    /// result): their RNG streams differ, so the comparison is
+    /// distributional — full-support equality plus per-tuple empirical
+    /// frequencies within a 6σ binomial envelope of each other.
+    #[test]
+    fn cascade_and_linear_paths_share_per_tuple_marginals(
+        spec in star(),
+        seed in 0u64..1_000,
+    ) {
+        let result = execute(&spec);
+        let size = result.len();
+        // Small non-empty joins: every tuple's expected count is large
+        // enough for a tight envelope, and full coverage is certain
+        // (miss probability ≈ e^{-N/|J|} ≈ e^{-125}).
+        prop_assume!(size > 0 && size <= 64);
+        let set = result.distinct_set();
+        let sampler = ExactWeightSampler::new(Arc::new(spec)).unwrap();
+
+        const N: usize = 8_000;
+        let mut draw = RowDraw::new();
+        let mut cascade: FxHashMap<Tuple, i64> = FxHashMap::default();
+        let mut rng = SujRng::seed_from_u64(seed);
+        for _ in 0..N {
+            prop_assert!(
+                sampler.sample_rows(&mut rng, &mut draw),
+                "cascade rejected a draw on an acyclic spec"
+            );
+            *cascade.entry(sampler.materialize(&draw)).or_insert(0) += 1;
+        }
+        let mut linear: FxHashMap<Tuple, i64> = FxHashMap::default();
+        let mut rng = SujRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        for _ in 0..N {
+            prop_assert!(
+                sampler.sample_rows_linear(&mut rng, &mut draw),
+                "linear scan rejected a draw on an acyclic spec"
+            );
+            *linear.entry(sampler.materialize(&draw)).or_insert(0) += 1;
+        }
+
+        // Both paths cover exactly the join result, nothing else.
+        prop_assert_eq!(cascade.len(), size, "cascade support");
+        prop_assert_eq!(linear.len(), size, "linear support");
+        for t in cascade.keys().chain(linear.keys()) {
+            prop_assert!(set.contains(t), "non-member emitted: {:?}", t);
+        }
+
+        // Per-tuple counts are Binomial(N, 1/|J|) on both sides; the
+        // difference of two independent estimates stays within 6σ
+        // (≈1e-9 per-tuple false-positive rate — negligible across the
+        // whole sweep).
+        let p = 1.0 / size as f64;
+        let tol = 6.0 * (2.0 * N as f64 * p * (1.0 - p)).sqrt() + 8.0;
+        for t in set.iter() {
+            let a = cascade.get(t).copied().unwrap_or(0);
+            let b = linear.get(t).copied().unwrap_or(0);
+            prop_assert!(
+                (a - b).abs() as f64 <= tol,
+                "marginals diverge on {:?}: cascade {} vs linear {} (tol {:.1})",
+                t, a, b, tol
+            );
         }
     }
 }

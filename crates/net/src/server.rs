@@ -506,7 +506,10 @@ fn handle_prepare(id: u64, payload: &[u8], shared: &Shared) -> Frame {
     };
     let prepared_id = shared.next_prepared.fetch_add(1, Ordering::Relaxed);
     let estimations = prepared.estimations();
-    let summary = prepared.plan().summary().to_string();
+    // The freeze-time summary, not one recomputed from the plan: the
+    // stamped copy preserves provenance (rule, sizing) across snapshot
+    // restores, so donor and replica serve identical strings.
+    let summary = prepared.summary().to_string();
     lock(&shared.registry).insert(prepared_id, prepared);
     Frame {
         opcode: OP_PREPARED,

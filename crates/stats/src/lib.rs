@@ -14,12 +14,15 @@
 //!   to check sampler uniformity against materialized ground truth.
 //! * [`sample`] — categorical sampling (cumulative and alias-table) and
 //!   Bernoulli draws.
+//! * [`arena`] — flat arenas of alias tables (one Walker/Vose table per
+//!   key id, shared slabs) powering the Exact-Weight alias cascade.
 //! * [`binom`] — exact binomial coefficients for the k-overlap recurrence
 //!   (Theorem 3).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod binom;
 pub mod chi2;
 pub mod ci;
@@ -28,6 +31,7 @@ pub mod rng;
 pub mod running;
 pub mod sample;
 
+pub use arena::{AliasArena, AliasArenaBuilder};
 pub use binom::binomial;
 pub use chi2::{chi_square_statistic, chi_square_test, ChiSquareOutcome};
 pub use ci::{half_width, z_value, ConfidenceInterval};

@@ -32,27 +32,36 @@ fn decentralized_pipeline_histogram_eo() {
 }
 
 /// Prepared-footprint accounting: every built sampler's report carries
-/// the workload's columnar resident bytes, the summary prints them,
-/// and they survive batch deltas.
+/// the workload's columnar resident bytes *plus* the per-join
+/// samplers' own structures (indexes, count tables, alias arenas), the
+/// summary prints them, and they survive batch deltas.
 #[test]
 fn reports_carry_prepared_footprint_bytes() {
     let w = Arc::new(uq1(&UqOptions::new(1, 44, 0.2)).unwrap());
-    let expected = w.memory_bytes() as u64;
-    assert!(expected > 0, "workload must have a measurable footprint");
+    let workload_bytes = w.memory_bytes() as u64;
+    assert!(
+        workload_bytes > 0,
+        "workload must have a measurable footprint"
+    );
     let mut sampler = SamplerBuilder::for_workload(w)
         .estimator(Estimator::Histogram(HistogramOptions::default()))
         .weights(WeightKind::ExtendedOlken)
         .cover_policy(CoverPolicy::Record)
         .build()
         .unwrap();
-    assert_eq!(sampler.report().prepared_bytes, expected);
+    let total = sampler.report().prepared_bytes;
+    assert!(
+        total > workload_bytes,
+        "footprint ({total}) must include the per-join samplers on top \
+         of the workload ({workload_bytes})"
+    );
     let mut rng = SujRng::seed_from_u64(4);
     let (_, report) = sampler.sample(50, &mut rng).unwrap();
-    assert_eq!(report.prepared_bytes, expected);
+    assert_eq!(report.prepared_bytes, total);
     assert!(
         report
             .summary()
-            .contains(&format!("prepared_bytes={expected}")),
+            .contains(&format!("prepared_bytes={total}")),
         "summary must surface the footprint: {}",
         report.summary()
     );

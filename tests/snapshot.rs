@@ -372,6 +372,87 @@ proptest! {
         let cut = cut_seed % bytes.len();
         prop_assert!(Engine::load_snapshot_bytes(&bytes[..cut]).is_err());
     }
+
+    /// Single-byte corruption aimed *inside* the exact-weight alias
+    /// arenas section is always rejected with a named error — the
+    /// section checksum catches the flip before the arena decoder, and
+    /// the decoder itself re-validates every structural invariant
+    /// (offset monotonicity, probability range, segment-local aliases)
+    /// so a forged checksum still cannot smuggle in a lying arena.
+    #[test]
+    fn corrupted_ew_arena_bytes_fail_with_named_errors(
+        flip_seed in 0usize..100_000,
+        flip_bit in 0u8..8,
+    ) {
+        let bytes = engine_snapshot_bytes();
+        let (start, len) = ew_arena_span();
+        let mut corrupted = bytes.to_vec();
+        let pos = start + flip_seed % len;
+        corrupted[pos] ^= 1 << flip_bit;
+        prop_assert!(
+            Engine::load_snapshot_bytes(&corrupted).is_err(),
+            "flip at arena byte {} must be rejected",
+            pos
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Exact-weight alias arenas ride in their own section (kind 18),
+// paired by order with the prepared entry they belong to.
+// ---------------------------------------------------------------------
+
+use suj_core::snapshot::{SECTION_EW_ARENAS, SECTION_PREPARED};
+
+/// Byte span `(offset, len)` of the EW arenas payload inside the
+/// engine snapshot, located via the payload slice's position in the
+/// original buffer.
+fn ew_arena_span() -> (usize, usize) {
+    let bytes = engine_snapshot_bytes();
+    let sections = read_sections(bytes).unwrap();
+    let payload = sections
+        .iter()
+        .find(|(kind, _)| *kind == SECTION_EW_ARENAS)
+        .map(|(_, payload)| *payload)
+        .expect("acyclic prepared query must persist an EW arenas section");
+    let offset = payload.as_ptr() as usize - bytes.as_ptr() as usize;
+    (offset, payload.len())
+}
+
+/// An acyclic prepared query persists its count tables + alias arenas
+/// as a `SECTION_EW_ARENAS` entry directly after its prepared section
+/// — the pairing the restore path depends on.
+#[test]
+fn engine_snapshots_carry_ew_arena_sections() {
+    let sections = read_sections(engine_snapshot_bytes()).unwrap();
+    let kinds: Vec<u32> = sections.iter().map(|(kind, _)| *kind).collect();
+    let pos = kinds
+        .iter()
+        .position(|&k| k == SECTION_EW_ARENAS)
+        .expect("acyclic prepared query must persist an EW arenas section");
+    assert!(pos > 0, "arenas can never lead the section list");
+    assert_eq!(
+        kinds[pos - 1],
+        SECTION_PREPARED,
+        "arenas must directly follow their prepared entry: {kinds:?}"
+    );
+    let (_, len) = ew_arena_span();
+    assert!(len > 0, "arena payload must not be empty");
+}
+
+/// Restoring an engine snapshot and re-snapshotting it reproduces the
+/// exact original bytes, alias arenas included: the restored samplers
+/// hold bit-identical count tables and arena slabs, and the section
+/// writer is deterministic (fingerprint order).
+#[test]
+fn engine_snapshot_round_trip_is_bit_identical_with_arenas() {
+    let bytes = engine_snapshot_bytes();
+    let restored = Engine::load_snapshot_bytes(bytes).unwrap();
+    let again = restored.snapshot_to_bytes().unwrap();
+    assert_eq!(
+        again, bytes,
+        "re-snapshotting a restored engine must be bit-identical"
+    );
 }
 
 // ---------------------------------------------------------------------
